@@ -1,0 +1,134 @@
+//! Operation caches (computed tables) for the manager.
+//!
+//! Every recursive BDD operation memoizes its results keyed on operand
+//! handles. Canonicity of the arena makes the keys exact: equal keys always
+//! denote equal results. Caches survive until [`crate::Manager::gc`] or
+//! [`crate::Manager::clear_caches`] runs.
+
+use crate::hasher::FxHashMap;
+use crate::manager::{Bdd, Var};
+
+/// The binary Boolean connectives handled by the generic `apply`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum BinOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// All computed tables, grouped so they can be cleared at once.
+#[derive(Debug, Default)]
+pub(crate) struct Caches {
+    binop: FxHashMap<(BinOp, u32, u32), u32>,
+    not: FxHashMap<u32, u32>,
+    ite: FxHashMap<(u32, u32, u32), u32>,
+    exists: FxHashMap<(u32, u32), u32>,
+    and_exists: FxHashMap<(u32, u32, u32), u32>,
+    rename: FxHashMap<(u32, u64), u32>,
+    restrict: FxHashMap<(u32, u32, bool), u32>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+impl Caches {
+    pub(crate) fn clear(&mut self) {
+        self.binop.clear();
+        self.not.clear();
+        self.ite.clear();
+        self.exists.clear();
+        self.and_exists.clear();
+        self.rename.clear();
+        self.restrict.clear();
+    }
+
+    #[inline]
+    fn record<T: Copy>(&mut self, hit: Option<T>) -> Option<T> {
+        match hit {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn binop_get(&mut self, op: BinOp, f: Bdd, g: Bdd) -> Option<Bdd> {
+        let hit = self.binop.get(&(op, f.0, g.0)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn binop_put(&mut self, op: BinOp, f: Bdd, g: Bdd, r: Bdd) {
+        self.binop.insert((op, f.0, g.0), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn not_get(&mut self, f: Bdd) -> Option<Bdd> {
+        let hit = self.not.get(&f.0).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn not_put(&mut self, f: Bdd, r: Bdd) {
+        self.not.insert(f.0, r.0);
+    }
+
+    #[inline]
+    pub(crate) fn ite_get(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Option<Bdd> {
+        let hit = self.ite.get(&(f.0, g.0, h.0)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn ite_put(&mut self, f: Bdd, g: Bdd, h: Bdd, r: Bdd) {
+        self.ite.insert((f.0, g.0, h.0), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn exists_get(&mut self, f: Bdd, cube: Bdd) -> Option<Bdd> {
+        let hit = self.exists.get(&(f.0, cube.0)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn exists_put(&mut self, f: Bdd, cube: Bdd, r: Bdd) {
+        self.exists.insert((f.0, cube.0), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn and_exists_get(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Option<Bdd> {
+        let hit = self.and_exists.get(&(f.0, g.0, cube.0)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn and_exists_put(&mut self, f: Bdd, g: Bdd, cube: Bdd, r: Bdd) {
+        self.and_exists.insert((f.0, g.0, cube.0), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn rename_get(&mut self, f: Bdd, map_id: u64) -> Option<Bdd> {
+        let hit = self.rename.get(&(f.0, map_id)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn rename_put(&mut self, f: Bdd, map_id: u64, r: Bdd) {
+        self.rename.insert((f.0, map_id), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn restrict_get(&mut self, f: Bdd, v: Var, value: bool) -> Option<Bdd> {
+        let hit = self.restrict.get(&(f.0, v.0, value)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn restrict_put(&mut self, f: Bdd, v: Var, value: bool, r: Bdd) {
+        self.restrict.insert((f.0, v.0, value), r.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model enumeration: iterate the satisfying cubes of a function.
+
+use crate::manager::{Bdd, Manager, Var};
+
+/// Iterator over the satisfying *cubes* of a BDD.
+///
+/// Each item is a partial assignment — the variables actually tested on one
+/// root-to-TRUE path, in level order. Variables absent from a cube may take
+/// either value.
+///
+/// Produced by [`Manager::cubes`].
+///
+/// # Example
+///
+/// ```
+/// use getafix_bdd::Manager;
+/// let mut m = Manager::new();
+/// let x = m.new_var();
+/// let y = m.new_var();
+/// let fx = m.var(x);
+/// let fy = m.var(y);
+/// let f = m.or(fx, fy);
+/// let cubes: Vec<_> = m.cubes(f).collect();
+/// assert_eq!(cubes.len(), 2); // paths: x=0,y=1 and x=1
+/// ```
+#[derive(Debug)]
+pub struct CubeIter<'a> {
+    manager: &'a Manager,
+    /// DFS stack of (node, path-so-far).
+    stack: Vec<(Bdd, Vec<(Var, bool)>)>,
+}
+
+impl<'a> Iterator for CubeIter<'a> {
+    type Item = Vec<(Var, bool)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, path)) = self.stack.pop() {
+            if node.is_true() {
+                return Some(path);
+            }
+            if node.is_false() {
+                continue;
+            }
+            let v = self.manager.root_var(node).expect("non-terminal");
+            let lo = self.manager.lo(node);
+            let hi = self.manager.hi(node);
+            // Push hi first so lo (the 0-branch) is yielded first: cubes come
+            // out in lexicographic order of the tested variables.
+            let mut hi_path = path.clone();
+            hi_path.push((v, true));
+            self.stack.push((hi, hi_path));
+            let mut lo_path = path;
+            lo_path.push((v, false));
+            self.stack.push((lo, lo_path));
+        }
+        None
+    }
+}
+
+impl Manager {
+    /// Iterates over the satisfying cubes of `f` (root-to-TRUE paths).
+    pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter { manager: self, stack: vec![(f, Vec::new())] }
+    }
+
+    /// Enumerates *total* satisfying assignments of `f` over the variables
+    /// `vars`, expanding the don't-cares in each cube.
+    ///
+    /// Intended for tests and tiny relations; the result can be exponential.
+    pub fn all_models(&self, f: Bdd, vars: &[Var]) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        for cube in self.cubes(f) {
+            let fixed: std::collections::HashMap<u32, bool> =
+                cube.iter().map(|&(v, b)| (v.0, b)).collect();
+            let free: Vec<usize> = vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !fixed.contains_key(&v.0))
+                .map(|(i, _)| i)
+                .collect();
+            let mut base: Vec<bool> =
+                vars.iter().map(|v| fixed.get(&v.0).copied().unwrap_or(false)).collect();
+            let combos = 1usize << free.len();
+            for bits in 0..combos {
+                for (j, &idx) in free.iter().enumerate() {
+                    base[idx] = (bits >> j) & 1 == 1;
+                }
+                out.push(base.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubes_of_constants() {
+        let m = Manager::new();
+        assert_eq!(m.cubes(Bdd::FALSE).count(), 0);
+        let cubes: Vec<_> = m.cubes(Bdd::TRUE).collect();
+        assert_eq!(cubes, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn cubes_cover_exactly_the_models() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        // f = (v0 ∧ v1) ∨ ¬v2  — check via all_models against eval.
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            let ab = m.and(a, b);
+            let nc = m.nvar(v[2]);
+            m.or(ab, nc)
+        };
+        let models = m.all_models(f, &v);
+        let mut expect = Vec::new();
+        for bits in 0..8u32 {
+            let a = [(bits & 1) == 1, (bits & 2) == 2, (bits & 4) == 4];
+            if m.eval(f, &a) {
+                expect.push(a.to_vec());
+            }
+        }
+        expect.sort();
+        assert_eq!(models, expect);
+    }
+
+    #[test]
+    fn model_count_matches_sat_count() {
+        let mut m = Manager::new();
+        let v = m.new_vars(4);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            let c = m.var(v[2]);
+            let x = m.xor(a, b);
+            m.or(x, c)
+        };
+        let models = m.all_models(f, &v);
+        assert_eq!(models.len() as f64, m.sat_count(f, 4));
+    }
+}

@@ -1,0 +1,99 @@
+//! A small, fast, non-cryptographic hasher for the unique table and the
+//! operation caches.
+//!
+//! The workloads hash billions of fixed-width keys (node triples, operation
+//! tags); `std`'s SipHash is needlessly defensive for an in-process cache, so
+//! we use an FxHash-style multiply-xor hasher. No external dependencies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash / Firefox hasher.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher over machine words.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        // Not a guarantee in general, but these must not collide for the
+        // hasher to be remotely useful.
+        let a = hash_of(&(1u32, 2u32, 3u32));
+        let b = hash_of(&(1u32, 3u32, 2u32));
+        let c = hash_of(&(3u32, 2u32, 1u32));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn equal_keys_hash_equally() {
+        assert_eq!(hash_of(&(7u32, 8u32)), hash_of(&(7u32, 8u32)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i.wrapping_mul(31)), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&(i, i.wrapping_mul(31))), Some(&i));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! This crate is the symbolic substrate of the Getafix reproduction: every
+//! relation manipulated by the fixed-point solver (`getafix-mucalc`), the
+//! pushdown-system baselines and the summary engines is represented as a BDD
+//! managed by a [`Manager`].
+//!
+//! The design follows the classic hash-consed node-table architecture
+//! (Brace–Rudell–Bryant):
+//!
+//! * nodes live in an arena owned by a [`Manager`]; a [`Bdd`] is a cheap
+//!   `Copy` handle (an index) into that arena,
+//! * a *unique table* guarantees canonicity — structurally equal functions
+//!   are pointer-equal, so equivalence checks are `O(1)`,
+//! * *operation caches* memoize `ite`, binary operations, quantification and
+//!   relational products,
+//! * variables are identified by their *level* (`u32`); the variable order is
+//!   the numeric order of levels and is fixed at variable-creation time.
+//!
+//! # Example
+//!
+//! ```
+//! use getafix_bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let x = m.new_var();
+//! let y = m.new_var();
+//! let fx = m.var(x);
+//! let fy = m.var(y);
+//! let conj = m.and(fx, fy);
+//! let quantified = m.exists_one(conj, y); // ∃y. x ∧ y  ==  x
+//! assert_eq!(quantified, fx);
+//! assert_eq!(m.sat_count(conj, 2), 1.0);
+//! ```
+//!
+//! # Garbage collection
+//!
+//! The arena only grows during normal operation. Long-running fixed-point
+//! computations call [`Manager::gc`] with the handles they need to keep; the
+//! manager rebuilds the arena, remaps the roots and clears all caches.
+
+mod cache;
+mod explore;
+mod gc;
+mod hasher;
+mod manager;
+mod quant;
+mod rename;
+
+pub use explore::CubeIter;
+pub use gc::GcResult;
+pub use manager::{Bdd, Manager, ManagerStats, Var};
+pub use rename::VarMap;

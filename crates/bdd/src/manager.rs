@@ -1,0 +1,729 @@
+//! The node arena, unique table and core Boolean operations.
+
+use crate::cache::{BinOp, Caches};
+use crate::hasher::FxHashMap;
+
+/// A BDD variable, identified by its *level* in the (fixed) variable order.
+///
+/// Lower levels are tested first. Levels are dense `u32`s handed out by
+/// [`Manager::new_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The level of this variable in the global order.
+    #[inline]
+    pub fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A handle to a BDD node owned by a [`Manager`].
+///
+/// Handles are cheap to copy and compare; canonicity of the underlying arena
+/// guarantees that two handles are equal iff they denote the same Boolean
+/// function. A handle is only meaningful together with the manager that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Is this the constant-false function?
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Is this the constant-true function?
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Is this either constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The raw arena index. Exposed for debugging and for stable map keys.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Level assigned to the two terminal nodes: strictly below every variable.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// An interior (or terminal) node of the shared DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// Counters describing the health of a [`Manager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ManagerStats {
+    /// Total nodes currently in the arena (including the two terminals).
+    pub nodes: usize,
+    /// Number of distinct variables created so far.
+    pub vars: usize,
+    /// Hits across all operation caches since the last reset.
+    pub cache_hits: u64,
+    /// Misses across all operation caches since the last reset.
+    pub cache_misses: u64,
+    /// Number of garbage collections performed.
+    pub gcs: u64,
+    /// Peak arena size ever observed (in nodes).
+    pub peak_nodes: usize,
+}
+
+/// A BDD manager: owns the node arena, the unique table and the operation
+/// caches. All operations that build or inspect nodes go through a manager.
+///
+/// # Example
+///
+/// ```
+/// use getafix_bdd::Manager;
+/// let mut m = Manager::new();
+/// let a = m.new_var();
+/// let b = m.new_var();
+/// let fa = m.var(a);
+/// let fb = m.var(b);
+/// let f = m.or(fa, fb);
+/// let g = m.not(f);
+/// let h = m.and(g, fa); // ¬(a ∨ b) ∧ a  ==  false
+/// assert!(h.is_false());
+/// ```
+#[derive(Debug)]
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: FxHashMap<Node, u32>,
+    pub(crate) caches: Caches,
+    pub(crate) num_vars: u32,
+    pub(crate) stats: ManagerStats,
+    pub(crate) map_registry: crate::rename::MapRegistry,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    /// Creates an empty manager with just the two terminal nodes.
+    pub fn new() -> Self {
+        let nodes = vec![
+            // FALSE terminal
+            Node { var: TERMINAL_LEVEL, lo: 0, hi: 0 },
+            // TRUE terminal
+            Node { var: TERMINAL_LEVEL, lo: 1, hi: 1 },
+        ];
+        Manager {
+            nodes,
+            unique: FxHashMap::default(),
+            caches: Caches::default(),
+            num_vars: 0,
+            stats: ManagerStats { nodes: 2, peak_nodes: 2, ..ManagerStats::default() },
+            map_registry: crate::rename::MapRegistry::default(),
+        }
+    }
+
+    /// Allocates a fresh variable at the next level of the order.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        self.stats.vars = self.num_vars as usize;
+        v
+    }
+
+    /// Allocates `n` fresh consecutive variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables created so far.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// A snapshot of the manager's counters.
+    pub fn stats(&self) -> ManagerStats {
+        let mut s = self.stats;
+        s.nodes = self.nodes.len();
+        s.cache_hits = self.caches.hits;
+        s.cache_misses = self.caches.misses;
+        s
+    }
+
+    /// The variable tested at the root of `f`.
+    ///
+    /// Returns `None` for the constant functions.
+    pub fn root_var(&self, f: Bdd) -> Option<Var> {
+        let n = self.nodes[f.0 as usize];
+        if n.var == TERMINAL_LEVEL { None } else { Some(Var(n.var)) }
+    }
+
+    /// The low (else) cofactor of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn lo(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "lo() on a terminal");
+        Bdd(self.nodes[f.0 as usize].lo)
+    }
+
+    /// The high (then) cofactor of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn hi(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "hi() on a terminal");
+        Bdd(self.nodes[f.0 as usize].hi)
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    /// The canonical node constructor: reduces and hash-conses.
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        debug_assert!(var < self.level(lo) && var < self.level(hi), "order violation in mk");
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo: lo.0, hi: hi.0 };
+        if let Some(&idx) = self.unique.get(&node) {
+            return Bdd(idx);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.unique.insert(node, idx);
+        if self.nodes.len() > self.stats.peak_nodes {
+            self.stats.peak_nodes = self.nodes.len();
+        }
+        Bdd(idx)
+    }
+
+    /// The constant function for `value`.
+    #[inline]
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value { Bdd::TRUE } else { Bdd::FALSE }
+    }
+
+    /// The projection function of variable `v` (i.e. the literal `v`).
+    pub fn var(&mut self, v: Var) -> Bdd {
+        self.mk(v.0, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated literal `¬v`.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// The literal `v` or `¬v` depending on `positive`.
+    pub fn literal(&mut self, v: Var, positive: bool) -> Bdd {
+        if positive { self.var(v) } else { self.nvar(v) }
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_true() {
+            return Bdd::FALSE;
+        }
+        if f.is_false() {
+            return Bdd::TRUE;
+        }
+        if let Some(r) = self.caches.not_get(f) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.not(Bdd(n.lo));
+        let hi = self.not(Bdd(n.hi));
+        let r = self.mk(n.var, lo, hi);
+        self.caches.not_put(f, r);
+        // Negation is an involution; prime the reverse direction too.
+        self.caches.not_put(r, f);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BinOp::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BinOp::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BinOp::Xor, f, g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Shannon-expansion based binary apply with memoization.
+    pub(crate) fn apply(&mut self, op: BinOp, mut f: Bdd, mut g: Bdd) -> Bdd {
+        // Terminal rules.
+        match op {
+            BinOp::And => {
+                if f.is_false() || g.is_false() {
+                    return Bdd::FALSE;
+                }
+                if f.is_true() {
+                    return g;
+                }
+                if g.is_true() || f == g {
+                    return f;
+                }
+            }
+            BinOp::Or => {
+                if f.is_true() || g.is_true() {
+                    return Bdd::TRUE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() || f == g {
+                    return f;
+                }
+            }
+            BinOp::Xor => {
+                if f == g {
+                    return Bdd::FALSE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() {
+                    return f;
+                }
+                if f.is_true() {
+                    return self.not(g);
+                }
+                if g.is_true() {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative: normalize operand order for better cache hit rates.
+        if f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
+        }
+        if let Some(r) = self.caches.binop_get(op, f, g) {
+            return r;
+        }
+        let (fv, gv) = (self.level(f), self.level(g));
+        let var = fv.min(gv);
+        let (f0, f1) = if fv == var {
+            let n = self.nodes[f.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if gv == var {
+            let n = self.nodes[g.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (g, g)
+        };
+        let lo = self.apply(op, f0, g0);
+        let hi = self.apply(op, f1, g1);
+        let r = self.mk(var, lo, hi);
+        self.caches.binop_put(op, f, g, r);
+        r
+    }
+
+    /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal simplifications.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        if let Some(r) = self.caches.ite_get(f, g, h) {
+            return r;
+        }
+        let var = self.level(f).min(self.level(g)).min(self.level(h));
+        let cof = |m: &Manager, x: Bdd| -> (Bdd, Bdd) {
+            if m.level(x) == var {
+                let n = m.nodes[x.0 as usize];
+                (Bdd(n.lo), Bdd(n.hi))
+            } else {
+                (x, x)
+            }
+        };
+        let (f0, f1) = cof(self, f);
+        let (g0, g1) = cof(self, g);
+        let (h0, h1) = cof(self, h);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.caches.ite_put(f, g, h, r);
+        r
+    }
+
+    /// The positive cofactor of `f` with variable `v` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, v: Var, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let fl = self.level(f);
+        if fl > v.0 {
+            // v does not occur in f (it is below the root in the order).
+            return f;
+        }
+        if let Some(r) = self.caches.restrict_get(f, v, value) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let r = if fl == v.0 {
+            if value { Bdd(n.hi) } else { Bdd(n.lo) }
+        } else {
+            let lo = self.restrict(Bdd(n.lo), v, value);
+            let hi = self.restrict(Bdd(n.hi), v, value);
+            self.mk(n.var, lo, hi)
+        };
+        self.caches.restrict_put(f, v, value, r);
+        r
+    }
+
+    /// Evaluates `f` under a total assignment: `assignment[i]` is the value of
+    /// the variable at level `i`. Variables at levels beyond the slice length
+    /// are treated as `false`.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur.is_true() {
+                return true;
+            }
+            if cur.is_false() {
+                return false;
+            }
+            let n = self.nodes[cur.0 as usize];
+            let val = assignment.get(n.var as usize).copied().unwrap_or(false);
+            cur = if val { Bdd(n.hi) } else { Bdd(n.lo) };
+        }
+    }
+
+    /// Number of satisfying assignments of `f` over `nvars` variables
+    /// (levels `0..nvars`), as an `f64` (exact up to 2^53).
+    ///
+    /// Counts are computed with the standard level-relative recurrence: the
+    /// count at a node is taken over the variable space *at or below* its
+    /// level, with terminals conceptually at level `nvars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` mentions a variable at level ≥ `nvars`.
+    pub fn sat_count(&self, f: Bdd, nvars: usize) -> f64 {
+        let n = nvars as u32;
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        let total = self.count_rec(f, n, &mut memo);
+        let root = self.clamped_level(f, n);
+        total * 2f64.powi(root as i32)
+    }
+
+    /// The level of `f`, with terminals mapped to `nvars`.
+    fn clamped_level(&self, f: Bdd, nvars: u32) -> u32 {
+        let l = self.level(f);
+        if l == TERMINAL_LEVEL {
+            nvars
+        } else {
+            assert!(l < nvars, "sat_count: variable level {l} outside 0..{nvars}");
+            l
+        }
+    }
+
+    /// Satisfying-assignment count of `f` over levels `level(f)..nvars`.
+    fn count_rec(&self, f: Bdd, nvars: u32, memo: &mut FxHashMap<u32, f64>) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&f.0) {
+            return c;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = Bdd(n.lo);
+        let hi = Bdd(n.hi);
+        let lo_gap = self.clamped_level(lo, nvars) - n.var - 1;
+        let hi_gap = self.clamped_level(hi, nvars) - n.var - 1;
+        let c = self.count_rec(lo, nvars, memo) * 2f64.powi(lo_gap as i32)
+            + self.count_rec(hi, nvars, memo) * 2f64.powi(hi_gap as i32);
+        memo.insert(f.0, c);
+        c
+    }
+
+    /// The number of nodes in the DAG rooted at `f` (including terminals).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0usize;
+        while let Some(i) = stack.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            count += 1;
+            if i > 1 {
+                let n = self.nodes[i as usize];
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
+    /// The set of variables appearing in `f`, in increasing level order.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().map(Var).collect()
+    }
+
+    /// Picks one satisfying assignment of `f`, if any, as a vector of
+    /// `(variable, value)` pairs mentioning exactly the variables on the
+    /// chosen path.
+    pub fn pick_one(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            if Bdd(n.hi) != Bdd::FALSE {
+                path.push((Var(n.var), true));
+                cur = Bdd(n.hi);
+            } else {
+                path.push((Var(n.var), false));
+                cur = Bdd(n.lo);
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(path)
+    }
+
+    /// Clears all operation caches (but keeps the arena).
+    pub fn clear_caches(&mut self) {
+        self.caches.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let m = Manager::new();
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_false());
+        assert_eq!(m.stats().nodes, 2);
+    }
+
+    #[test]
+    fn literal_structure() {
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let f = m.var(v);
+        assert_eq!(m.root_var(f), Some(v));
+        assert_eq!(m.lo(f), Bdd::FALSE);
+        assert_eq!(m.hi(f), Bdd::TRUE);
+        let g = m.nvar(v);
+        assert_eq!(m.lo(g), Bdd::TRUE);
+        assert_eq!(m.hi(g), Bdd::FALSE);
+    }
+
+    #[test]
+    fn hash_consing_canonical() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let f1 = m.and(fa, fb);
+        let f2 = m.and(fb, fa);
+        assert_eq!(f1, f2, "AND must be canonical irrespective of operand order");
+        let g1 = m.or(fa, fb);
+        let ng = m.not(g1);
+        let nng = m.not(ng);
+        assert_eq!(g1, nng, "double negation is identity");
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let and = m.and(fa, fb);
+        let nand = m.not(and);
+        let na = m.not(fa);
+        let nb = m.not(fb);
+        let or = m.or(na, nb);
+        assert_eq!(nand, or);
+    }
+
+    #[test]
+    fn ite_equals_definition() {
+        let mut m = Manager::new();
+        let vars: Vec<_> = (0..3).map(|_| m.new_var()).collect();
+        let f = m.var(vars[0]);
+        let g = m.var(vars[1]);
+        let h = m.var(vars[2]);
+        let ite = m.ite(f, g, h);
+        let fg = m.and(f, g);
+        let nf = m.not(f);
+        let nfh = m.and(nf, h);
+        let expect = m.or(fg, nfh);
+        assert_eq!(ite, expect);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let x = m.xor(fa, fb);
+        assert!(!m.eval(x, &[false, false]));
+        assert!(m.eval(x, &[true, false]));
+        assert!(m.eval(x, &[false, true]));
+        assert!(!m.eval(x, &[true, true]));
+    }
+
+    #[test]
+    fn restrict_shannon() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let f = m.xor(fa, fb);
+        let f_a1 = m.restrict(f, a, true);
+        let nb = m.not(fb);
+        assert_eq!(f_a1, nb);
+        let f_a0 = m.restrict(f, a, false);
+        assert_eq!(f_a0, fb);
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let fc = m.var(c);
+        let f = m.or(fa, fb);
+        // over 3 vars: (a|b) has 6 models
+        assert_eq!(m.sat_count(f, 3), 6.0);
+        let g = m.and(f, fc);
+        assert_eq!(m.sat_count(g, 3), 3.0);
+        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let _skip = m.new_var();
+        let c = m.new_var();
+        let fa = m.var(a);
+        let fc = m.var(c);
+        let f = m.and(fa, fc);
+        assert_eq!(m.support(f), vec![a, c]);
+        // nodes: a-node, c-node, TRUE, FALSE
+        assert_eq!(m.node_count(f), 4);
+    }
+
+    #[test]
+    fn pick_one_satisfies() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let nb = m.nvar(b);
+        let f = m.and(fa, nb);
+        let model = m.pick_one(f).expect("satisfiable");
+        let mut assignment = vec![false; 2];
+        for (v, val) in model {
+            assignment[v.level() as usize] = val;
+        }
+        assert!(m.eval(f, &assignment));
+        assert!(m.pick_one(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn eval_missing_vars_default_false() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let fa = m.var(a);
+        assert!(!m.eval(fa, &[]));
+    }
+}

@@ -1,0 +1,276 @@
+//! Quantification: `∃`, `∀` and the fused relational product `∃x. f ∧ g`.
+//!
+//! Variable sets are passed as *cubes* — conjunctions of positive literals —
+//! built with [`Manager::cube`]. Cubes are ordinary BDDs, so they are
+//! hash-consed and make excellent cache keys.
+
+use crate::manager::{Bdd, Manager, Var};
+
+impl Manager {
+    /// Builds the positive cube `v₀ ∧ v₁ ∧ …` over `vars`.
+    ///
+    /// The variable list may be in any order and may contain duplicates.
+    pub fn cube(&mut self, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        // Build bottom-up so each mk call respects the order invariant.
+        let mut acc = Bdd::TRUE;
+        for v in sorted.into_iter().rev() {
+            acc = self.mk(v.0, Bdd::FALSE, acc);
+        }
+        acc
+    }
+
+    /// Existential quantification `∃ vars. f` with `vars` given as a cube.
+    pub fn exists(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(cube), "exists: second argument must be a positive cube");
+        self.exists_rec(f, cube)
+    }
+
+    /// Existential quantification over a single variable.
+    pub fn exists_one(&mut self, f: Bdd, v: Var) -> Bdd {
+        let cube = self.cube(&[v]);
+        self.exists(f, cube)
+    }
+
+    /// Existential quantification over a list of variables.
+    pub fn exists_vars(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let cube = self.cube(vars);
+        self.exists(f, cube)
+    }
+
+    /// Universal quantification `∀ vars. f`, via `¬∃ vars. ¬f`.
+    pub fn forall(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, cube);
+        self.not(e)
+    }
+
+    /// Universal quantification over a list of variables.
+    pub fn forall_vars(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let cube = self.cube(vars);
+        self.forall(f, cube)
+    }
+
+    /// The relational product `∃ cube. f ∧ g`, fused so the conjunction is
+    /// never fully materialized. This is the workhorse of every symbolic
+    /// fixed-point step (image computation).
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(cube), "and_exists: third argument must be a positive cube");
+        self.and_exists_rec(f, g, cube)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, mut cube: Bdd) -> Bdd {
+        if f.is_const() || cube.is_true() {
+            return f;
+        }
+        let fl = self.level(f);
+        // Skip quantified variables that can no longer occur in f.
+        while !cube.is_true() && self.level(cube) < fl {
+            cube = self.hi(cube);
+        }
+        if cube.is_true() {
+            return f;
+        }
+        if let Some(r) = self.caches.exists_get(f, cube) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let r = if n.var == self.level(cube) {
+            let rest = self.hi(cube);
+            let lo = self.exists_rec(Bdd(n.lo), rest);
+            if lo.is_true() {
+                // Short-circuit: lo ∨ hi is already TRUE.
+                Bdd::TRUE
+            } else {
+                let hi = self.exists_rec(Bdd(n.hi), rest);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.exists_rec(Bdd(n.lo), cube);
+            let hi = self.exists_rec(Bdd(n.hi), cube);
+            self.mk(n.var, lo, hi)
+        };
+        self.caches.exists_put(f, cube, r);
+        r
+    }
+
+    fn and_exists_rec(&mut self, mut f: Bdd, mut g: Bdd, mut cube: Bdd) -> Bdd {
+        // Terminal rules for the conjunction.
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return Bdd::TRUE;
+        }
+        if f.is_true() {
+            return self.exists_rec(g, cube);
+        }
+        if g.is_true() || f == g {
+            return self.exists_rec(f, cube);
+        }
+        if cube.is_true() {
+            return self.and(f, g);
+        }
+        if f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
+        }
+        let top = self.level(f).min(self.level(g));
+        while !cube.is_true() && self.level(cube) < top {
+            cube = self.hi(cube);
+        }
+        if cube.is_true() {
+            return self.and(f, g);
+        }
+        if let Some(r) = self.caches.and_exists_get(f, g, cube) {
+            return r;
+        }
+        let cof = |m: &Manager, x: Bdd| -> (Bdd, Bdd) {
+            if m.level(x) == top {
+                let n = m.nodes[x.0 as usize];
+                (Bdd(n.lo), Bdd(n.hi))
+            } else {
+                (x, x)
+            }
+        };
+        let (f0, f1) = cof(self, f);
+        let (g0, g1) = cof(self, g);
+        let r = if self.level(cube) == top {
+            let rest = self.hi(cube);
+            let lo = self.and_exists_rec(f0, g0, rest);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, rest);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, cube);
+            let hi = self.and_exists_rec(f1, g1, cube);
+            self.mk(top, lo, hi)
+        };
+        self.caches.and_exists_put(f, g, cube, r);
+        r
+    }
+
+    /// Is `f` a positive cube (every node's low child is FALSE, ending in
+    /// TRUE)? Used in debug assertions.
+    pub fn is_cube(&self, f: Bdd) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            if Bdd(n.lo) != Bdd::FALSE {
+                return false;
+            }
+            cur = Bdd(n.hi);
+        }
+        cur.is_true()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Manager, Vec<Var>) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(n);
+        (m, vars)
+    }
+
+    #[test]
+    fn cube_structure() {
+        let (mut m, v) = setup(3);
+        let c = m.cube(&[v[2], v[0]]);
+        assert!(m.is_cube(c));
+        assert_eq!(m.support(c), vec![v[0], v[2]]);
+        // Duplicates are fine.
+        let c2 = m.cube(&[v[0], v[2], v[0]]);
+        assert_eq!(c, c2);
+        assert_eq!(m.cube(&[]), Bdd::TRUE);
+    }
+
+    #[test]
+    fn exists_removes_var() {
+        let (mut m, v) = setup(2);
+        let fa = m.var(v[0]);
+        let fb = m.var(v[1]);
+        let f = m.and(fa, fb);
+        let e = m.exists_one(f, v[1]);
+        assert_eq!(e, fa);
+        let e2 = m.exists_vars(f, &[v[0], v[1]]);
+        assert!(e2.is_true());
+    }
+
+    #[test]
+    fn exists_or_distributes() {
+        // ∃x.(f ∨ g) == (∃x.f) ∨ (∃x.g)
+        let (mut m, v) = setup(3);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            m.and(a, b)
+        };
+        let g = {
+            let b = m.nvar(v[1]);
+            let c = m.var(v[2]);
+            m.and(b, c)
+        };
+        let fg = m.or(f, g);
+        let left = m.exists_one(fg, v[1]);
+        let ef = m.exists_one(f, v[1]);
+        let eg = m.exists_one(g, v[1]);
+        let right = m.or(ef, eg);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn forall_dual() {
+        let (mut m, v) = setup(2);
+        let fa = m.var(v[0]);
+        let fb = m.var(v[1]);
+        let f = m.or(fa, fb);
+        // ∀b. a ∨ b == a
+        let g = m.forall_vars(f, &[v[1]]);
+        assert_eq!(g, fa);
+        // ∀a,b. a ∨ b == false
+        let h = m.forall_vars(f, &[v[0], v[1]]);
+        assert!(h.is_false());
+    }
+
+    #[test]
+    fn and_exists_matches_unfused() {
+        let (mut m, v) = setup(4);
+        // f = (v0 ↔ v2) ∧ v1 ; g = (v2 ∨ v3)
+        let f = {
+            let a = m.var(v[0]);
+            let c = m.var(v[2]);
+            let eq = m.iff(a, c);
+            let b = m.var(v[1]);
+            m.and(eq, b)
+        };
+        let g = {
+            let c = m.var(v[2]);
+            let d = m.var(v[3]);
+            m.or(c, d)
+        };
+        let cube = m.cube(&[v[2]]);
+        let fused = m.and_exists(f, g, cube);
+        let conj = m.and(f, g);
+        let unfused = m.exists(conj, cube);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn and_exists_terminal_cases() {
+        let (mut m, v) = setup(2);
+        let fa = m.var(v[0]);
+        let cube = m.cube(&[v[0]]);
+        assert_eq!(m.and_exists(Bdd::FALSE, fa, cube), Bdd::FALSE);
+        assert_eq!(m.and_exists(fa, Bdd::TRUE, cube), Bdd::TRUE);
+        let nb = m.nvar(v[1]);
+        let got = m.and_exists(Bdd::TRUE, nb, cube);
+        assert_eq!(got, nb);
+    }
+}

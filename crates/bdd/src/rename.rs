@@ -1,0 +1,254 @@
+//! Variable renaming (simultaneous variable-to-variable substitution).
+//!
+//! Renaming moves a relation between *slots*: the fixed-point solver keeps,
+//! say, a summary relation over the canonical parameter variables and renames
+//! it onto the variables of a quantified instance at application sites.
+//!
+//! The implementation is a vector compose: at each node the substituted
+//! variable is re-introduced with `ite`, which is correct for **any**
+//! injective map — including order-reversing maps and swaps — not just
+//! monotone ones. Monotone maps (the common case here, thanks to interleaved
+//! allocation) degenerate to a cheap single pass.
+
+use crate::hasher::FxHashMap;
+use crate::manager::{Bdd, Manager, Var};
+
+/// A simultaneous variable-to-variable substitution.
+///
+/// Build one with [`VarMap::new`]; apply it with [`Manager::rename`].
+///
+/// # Example
+///
+/// ```
+/// use getafix_bdd::{Manager, VarMap};
+/// let mut m = Manager::new();
+/// let x = m.new_var();
+/// let y = m.new_var();
+/// let fx = m.var(x);
+/// let map = VarMap::new([(x, y)]);
+/// let fy = m.rename(fx, &map);
+/// assert_eq!(fy, m.var(y));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarMap {
+    /// Sorted by source level; sources unique.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl VarMap {
+    /// Creates a map sending each `(from, to)` pair's `from` to `to`.
+    ///
+    /// Identity pairs are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source or target variable occurs twice (the substitution
+    /// must be a partial injection).
+    pub fn new<I: IntoIterator<Item = (Var, Var)>>(pairs: I) -> Self {
+        let mut v: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a.0, b.0))
+            .collect();
+        v.sort_unstable();
+        for w in v.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "VarMap: duplicate source variable v{}", w[0].0);
+        }
+        let mut targets: Vec<u32> = v.iter().map(|&(_, b)| b).collect();
+        targets.sort_unstable();
+        for w in targets.windows(2) {
+            assert_ne!(w[0], w[1], "VarMap: duplicate target variable v{}", w[0]);
+        }
+        VarMap { pairs: v }
+    }
+
+    /// The inverse substitution (targets become sources).
+    pub fn inverse(&self) -> VarMap {
+        let mut pairs: Vec<(u32, u32)> = self.pairs.iter().map(|&(a, b)| (b, a)).collect();
+        pairs.sort_unstable();
+        VarMap { pairs }
+    }
+
+    /// Is this the identity substitution?
+    pub fn is_identity(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The image of `v` under the substitution (identity if unmapped).
+    pub fn apply(&self, v: Var) -> Var {
+        match self.pairs.binary_search_by_key(&v.0, |&(a, _)| a) {
+            Ok(i) => Var(self.pairs[i].1),
+            Err(_) => v,
+        }
+    }
+
+    /// Iterates over the non-identity `(from, to)` pairs in source order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Var)> + '_ {
+        self.pairs.iter().map(|&(a, b)| (Var(a), Var(b)))
+    }
+
+    pub(crate) fn key(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+}
+
+impl Manager {
+    /// Applies the substitution `map` to `f`.
+    pub fn rename(&mut self, f: Bdd, map: &VarMap) -> Bdd {
+        if map.is_identity() || f.is_const() {
+            return f;
+        }
+        let id = self.intern_map(map);
+        self.rename_rec(f, map, id)
+    }
+
+    /// Convenience wrapper: rename with an ad-hoc pair list.
+    pub fn rename_pairs(&mut self, f: Bdd, pairs: &[(Var, Var)]) -> Bdd {
+        let map = VarMap::new(pairs.iter().copied());
+        self.rename(f, &map)
+    }
+
+    fn rename_rec(&mut self, f: Bdd, map: &VarMap, id: u64) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(r) = self.caches.rename_get(f, id) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.rename_rec(Bdd(n.lo), map, id);
+        let hi = self.rename_rec(Bdd(n.hi), map, id);
+        let target = map.apply(Var(n.var));
+        let r = if target.0 == n.var && target.0 < self.level(lo).min(self.level(hi)) {
+            self.mk(n.var, lo, hi)
+        } else {
+            let tv = self.var(target);
+            self.ite(tv, hi, lo)
+        };
+        self.caches.rename_put(f, id, r);
+        r
+    }
+
+    /// Interns a map so renames can be cached by a stable small id.
+    fn intern_map(&mut self, map: &VarMap) -> u64 {
+        if let Some(&id) = self.map_registry.get(map.key()) {
+            return id;
+        }
+        let id = self.map_registry.len() as u64;
+        self.map_registry.insert(map.key().to_vec(), id);
+        id
+    }
+}
+
+/// Registry type stored on the manager (see `manager.rs`).
+pub(crate) type MapRegistry = FxHashMap<Vec<(u32, u32)>, u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_literal() {
+        let mut m = Manager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let fx = m.var(x);
+        let map = VarMap::new([(x, y)]);
+        let got = m.rename(fx, &map);
+        let want = m.var(y);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rename_monotone_block() {
+        // (x0 ∧ ¬x1) renamed to (x2 ∧ ¬x3)
+        let mut m = Manager::new();
+        let v = m.new_vars(4);
+        let a = m.var(v[0]);
+        let nb = m.nvar(v[1]);
+        let f = m.and(a, nb);
+        let map = VarMap::new([(v[0], v[2]), (v[1], v[3])]);
+        let got = m.rename(f, &map);
+        let c = m.var(v[2]);
+        let nd = m.nvar(v[3]);
+        let want = m.and(c, nd);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rename_swap() {
+        // Swapping variables must work even though it is not monotone.
+        let mut m = Manager::new();
+        let v = m.new_vars(2);
+        let a = m.var(v[0]);
+        let nb = m.nvar(v[1]);
+        let f = m.and(a, nb); // x ∧ ¬y
+        let map = VarMap::new([(v[0], v[1]), (v[1], v[0])]);
+        let got = m.rename(f, &map); // y ∧ ¬x
+        let b = m.var(v[1]);
+        let na = m.nvar(v[0]);
+        let want = m.and(b, na);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rename_reversing() {
+        // Order-reversing map across three variables.
+        let mut m = Manager::new();
+        let v = m.new_vars(6);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            let c = m.var(v[2]);
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let map = VarMap::new([(v[0], v[5]), (v[1], v[4]), (v[2], v[3])]);
+        let got = m.rename(f, &map);
+        let want = {
+            let a = m.var(v[5]);
+            let b = m.var(v[4]);
+            let c = m.var(v[3]);
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rename_roundtrip() {
+        let mut m = Manager::new();
+        let v = m.new_vars(4);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            m.xor(a, b)
+        };
+        let map = VarMap::new([(v[0], v[2]), (v[1], v[3])]);
+        let g = m.rename(f, &map);
+        let back = m.rename(g, &map.inverse());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn identity_map_is_noop() {
+        let mut m = Manager::new();
+        let v = m.new_vars(2);
+        let a = m.var(v[0]);
+        let map = VarMap::new([(v[0], v[0])]);
+        assert!(map.is_identity());
+        assert_eq!(m.rename(a, &map), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn duplicate_source_rejected() {
+        let _ = VarMap::new([(Var(0), Var(1)), (Var(0), Var(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_target_rejected() {
+        let _ = VarMap::new([(Var(0), Var(2)), (Var(1), Var(2))]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the Figure 2 engines: one benchmark group per
+//! suite family, one benchmark per engine, on fixed small instances so the
+//! relative shape is measured repeatably.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use getafix_bebop::bebop_reachable;
+use getafix_boolprog::{Cfg, Pc};
+use getafix_core::{check_reachability, Algorithm};
+use getafix_pds::{poststar, prestar};
+use getafix_workloads::{
+    driver, regression_suite, terminator, DeadStyle, DriverSpec, TerminatorVariant,
+};
+use std::hint::black_box;
+
+fn engines(c: &mut Criterion, group: &str, cfg: &Cfg, pc: Pc) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("getafix-ef", |b| {
+        b.iter(|| check_reachability(black_box(cfg), &[pc], Algorithm::EntryForward).unwrap())
+    });
+    g.bench_function("getafix-ef-opt", |b| {
+        b.iter(|| check_reachability(black_box(cfg), &[pc], Algorithm::EntryForwardOpt).unwrap())
+    });
+    g.bench_function("moped1-poststar", |b| {
+        b.iter(|| poststar(black_box(cfg), &[pc]).unwrap())
+    });
+    g.bench_function("moped2-prestar", |b| {
+        b.iter(|| prestar(black_box(cfg), &[pc]).unwrap())
+    });
+    g.bench_function("bebop-worklist", |b| {
+        b.iter(|| bebop_reachable(black_box(cfg), &[pc]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    // A representative positive and negative regression case.
+    let (pos, neg) = regression_suite();
+    for case in [&pos[5], &neg[5]] {
+        let cfg = Cfg::build(&case.program).unwrap();
+        let pc = cfg.label(&case.label).unwrap();
+        engines(c, &format!("fig2-regression/{}", case.name), &cfg, pc);
+    }
+}
+
+fn bench_slam(c: &mut Criterion) {
+    for positive in [true, false] {
+        let case = driver(
+            if positive { "pos" } else { "neg" },
+            DriverSpec { handlers: 3, globals: 2, locals: 3, filler: 2, positive, seed: 0xFE },
+        );
+        let cfg = Cfg::build(&case.program).unwrap();
+        let pc = cfg.label(&case.label).unwrap();
+        engines(c, &format!("fig2-driver/{}", case.name), &cfg, pc);
+    }
+}
+
+fn bench_terminator(c: &mut Criterion) {
+    for (variant, style) in [
+        (TerminatorVariant::A, DeadStyle::Iterative),
+        (TerminatorVariant::B, DeadStyle::Schoose),
+    ] {
+        let case = terminator(variant, style, 3);
+        let cfg = Cfg::build(&case.program).unwrap();
+        let pc = cfg.label(&case.label).unwrap();
+        engines(c, &format!("fig2-terminator/{}", case.name), &cfg, pc);
+    }
+}
+
+criterion_group!(benches, bench_regression, bench_slam, bench_terminator);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmarks for Figure 3: the bounded context-switching engine
+//! on the Bluetooth model, per configuration and switch bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use getafix_conc::{check_merged, merge};
+use getafix_workloads::{adder_err_label, bluetooth};
+use std::hint::black_box;
+
+fn bench_bluetooth(c: &mut Criterion) {
+    for (adders, stoppers) in [(1usize, 1usize), (1, 2), (2, 1)] {
+        let conc = bluetooth(adders, stoppers);
+        let merged = merge(&conc).unwrap();
+        let targets: Vec<_> = (0..adders)
+            .map(|i| merged.cfg.label(&adder_err_label(i)).unwrap())
+            .collect();
+        let mut g = c.benchmark_group(format!("fig3-bluetooth/{adders}a{stoppers}s"));
+        g.sample_size(10);
+        for k in [1usize, 2, 3] {
+            g.bench_function(format!("k{k}"), |b| {
+                b.iter(|| check_merged(black_box(&merged), &targets, k).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_bluetooth);
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! Abstract syntax of recursive Boolean programs (§2 of the paper), plus the
+//! extensions the benchmark suites need: `assert`, `assume`, `goto`/labels,
+//! `dead` (Terminator) and `schoose` (Bebop).
+
+use std::fmt;
+
+/// A Boolean expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `T` or `F`.
+    Const(bool),
+    /// `*` — nondeterministically true or false.
+    Nondet,
+    /// A variable reference.
+    Var(String),
+    /// `!e`
+    Not(Box<Expr>),
+    /// `e & e`
+    And(Box<Expr>, Box<Expr>),
+    /// `e | e`
+    Or(Box<Expr>, Box<Expr>),
+    /// `e = e` (biconditional on Booleans).
+    Eq(Box<Expr>, Box<Expr>),
+    /// `e != e` (exclusive or).
+    Ne(Box<Expr>, Box<Expr>),
+    /// `schoose [pos, neg]` — Bebop's constrained choice: evaluates to `T`
+    /// when `pos` holds, to `F` when `neg` (and not `pos`) holds, and
+    /// nondeterministically otherwise.
+    Schoose(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `!e` with double-negation collapse.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        match e {
+            Expr::Not(inner) => *inner,
+            Expr::Const(b) => Expr::Const(!b),
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+
+    /// `a & b` with constant folding.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        match (a, b) {
+            (Expr::Const(false), _) | (_, Expr::Const(false)) => Expr::Const(false),
+            (Expr::Const(true), x) | (x, Expr::Const(true)) => x,
+            (a, b) => Expr::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a | b` with constant folding.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        match (a, b) {
+            (Expr::Const(true), _) | (_, Expr::Const(true)) => Expr::Const(true),
+            (Expr::Const(false), x) | (x, Expr::Const(false)) => x,
+            (a, b) => Expr::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Does the expression contain a nondeterministic choice (`*` or
+    /// `schoose`)?
+    pub fn has_choice(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => false,
+            Expr::Nondet => true,
+            Expr::Schoose(..) => true,
+            Expr::Not(e) => e.has_choice(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Eq(a, b) | Expr::Ne(a, b) => {
+                a.has_choice() || b.has_choice()
+            }
+        }
+    }
+
+    /// All variable names referenced, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) | Expr::Nondet => {}
+            Expr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Schoose(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(true) => write!(f, "T"),
+            Expr::Const(false) => write!(f, "F"),
+            Expr::Nondet => write!(f, "*"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Not(e) => write!(f, "!{}", Paren(e)),
+            Expr::And(a, b) => write!(f, "{} & {}", Paren(a), Paren(b)),
+            Expr::Or(a, b) => write!(f, "{} | {}", Paren(a), Paren(b)),
+            Expr::Eq(a, b) => write!(f, "{} = {}", Paren(a), Paren(b)),
+            Expr::Ne(a, b) => write!(f, "{} != {}", Paren(a), Paren(b)),
+            Expr::Schoose(a, b) => write!(f, "schoose [{a}, {b}]"),
+        }
+    }
+}
+
+/// Helper that parenthesizes compound sub-expressions.
+struct Paren<'a>(&'a Expr);
+
+impl fmt::Display for Paren<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Expr::Const(_) | Expr::Nondet | Expr::Var(_) | Expr::Not(_) => write!(f, "{}", self.0),
+            compound => write!(f, "({compound})"),
+        }
+    }
+}
+
+/// A statement, optionally labeled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Optional label (`L: stmt`). Reachability targets are labels.
+    pub label: Option<String>,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// An unlabeled statement.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { label: None, kind }
+    }
+
+    /// A labeled statement.
+    pub fn labeled(label: impl Into<String>, kind: StmtKind) -> Stmt {
+        Stmt { label: Some(label.into()), kind }
+    }
+}
+
+/// Statement kinds (paper grammar plus benchmark extensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `skip`
+    Skip,
+    /// Parallel assignment `x₁, …, xₘ := e₁, …, eₘ`.
+    Assign { targets: Vec<String>, exprs: Vec<Expr> },
+    /// Call whose return values are assigned: `x₁, …, xₖ := f(e₁, …, eₕ)`.
+    CallAssign { targets: Vec<String>, callee: String, args: Vec<Expr> },
+    /// `call f(e₁, …, eₕ)` — a call with no return values.
+    Call { callee: String, args: Vec<Expr> },
+    /// `return e₁, …, eₖ`
+    Return(Vec<Expr>),
+    /// `if (e) then … else … fi`
+    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    /// `while (e) do … od`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `assert (e)` — jumps to the distinguished error sink when `e` fails.
+    Assert(Expr),
+    /// `assume (e)` — blocks executions where `e` fails.
+    Assume(Expr),
+    /// `goto L`
+    Goto(String),
+    /// `dead x₁, …, xₙ` — the Terminator marker: the variables are no
+    /// longer used; semantically a havoc (they take arbitrary values).
+    Dead(Vec<String>),
+}
+
+/// A procedure `f^{h,k}` with `h` parameters and `k` return values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters (these are local variables too, per §2).
+    pub params: Vec<String>,
+    /// Number of values returned by every `return` in the body.
+    pub returns: usize,
+    /// Local variable declarations (excluding the parameters).
+    pub locals: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A sequential recursive Boolean program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variable declarations.
+    pub globals: Vec<String>,
+    /// Procedures; execution starts at `main`.
+    pub procs: Vec<Proc>,
+}
+
+impl Program {
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Non-blank source lines of the pretty-printed program — the paper's
+    /// `LOC` metric for Figure 2.
+    pub fn loc(&self) -> usize {
+        self.to_string().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Counts of the Figure 2 metadata columns: (max returns, max params,
+    /// globals, total locals, max locals per procedure, procedures).
+    pub fn metadata(&self) -> ProgramMetadata {
+        ProgramMetadata {
+            max_returns: self.procs.iter().map(|p| p.returns).max().unwrap_or(0),
+            max_params: self.procs.iter().map(|p| p.params.len()).max().unwrap_or(0),
+            globals: self.globals.len(),
+            total_locals: self
+                .procs
+                .iter()
+                .map(|p| p.params.len() + p.locals.len())
+                .sum(),
+            max_locals: self
+                .procs
+                .iter()
+                .map(|p| p.params.len() + p.locals.len())
+                .max()
+                .unwrap_or(0),
+            procedures: self.procs.len(),
+        }
+    }
+}
+
+/// The program-shape columns reported in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramMetadata {
+    /// Maximal number of return values of any procedure.
+    pub max_returns: usize,
+    /// Maximal number of parameters of any procedure.
+    pub max_params: usize,
+    /// Number of global variables.
+    pub globals: usize,
+    /// Total number of local variables (including parameters).
+    pub total_locals: usize,
+    /// Maximal locals (including parameters) in any one procedure.
+    pub max_locals: usize,
+    /// Number of procedures.
+    pub procedures: usize,
+}
+
+/// A concurrent Boolean program (§5): shared globals plus `n` threads, each
+/// a sequential program. Thread globals are private to the thread; shared
+/// variables are visible to every thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConcProgram {
+    /// Variables shared by all threads.
+    pub shared: Vec<String>,
+    /// The component programs.
+    pub threads: Vec<Program>,
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing (round-trips with the parser).
+// ---------------------------------------------------------------------------
+
+fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], depth: usize) -> fmt::Result {
+    for s in stmts {
+        write_stmt(f, s, depth)?;
+    }
+    Ok(())
+}
+
+fn pad(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn write_exprs(f: &mut fmt::Formatter<'_>, exprs: &[Expr]) -> fmt::Result {
+    for (i, e) in exprs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{e}")?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, depth: usize) -> fmt::Result {
+    pad(f, depth)?;
+    if let Some(l) = &s.label {
+        write!(f, "{l}: ")?;
+    }
+    match &s.kind {
+        StmtKind::Skip => writeln!(f, "skip;"),
+        StmtKind::Assign { targets, exprs } => {
+            write!(f, "{}", targets.join(", "))?;
+            write!(f, " := ")?;
+            write_exprs(f, exprs)?;
+            writeln!(f, ";")
+        }
+        StmtKind::CallAssign { targets, callee, args } => {
+            write!(f, "{}", targets.join(", "))?;
+            write!(f, " := {callee}(")?;
+            write_exprs(f, args)?;
+            writeln!(f, ");")
+        }
+        StmtKind::Call { callee, args } => {
+            write!(f, "call {callee}(")?;
+            write_exprs(f, args)?;
+            writeln!(f, ");")
+        }
+        StmtKind::Return(exprs) => {
+            write!(f, "return")?;
+            if !exprs.is_empty() {
+                write!(f, " ")?;
+                write_exprs(f, exprs)?;
+            }
+            writeln!(f, ";")
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            writeln!(f, "if ({cond}) then")?;
+            write_stmts(f, then_branch, depth + 1)?;
+            if !else_branch.is_empty() {
+                pad(f, depth)?;
+                writeln!(f, "else")?;
+                write_stmts(f, else_branch, depth + 1)?;
+            }
+            pad(f, depth)?;
+            writeln!(f, "fi;")
+        }
+        StmtKind::While { cond, body } => {
+            writeln!(f, "while ({cond}) do")?;
+            write_stmts(f, body, depth + 1)?;
+            pad(f, depth)?;
+            writeln!(f, "od;")
+        }
+        StmtKind::Assert(e) => writeln!(f, "assert ({e});"),
+        StmtKind::Assume(e) => writeln!(f, "assume ({e});"),
+        StmtKind::Goto(l) => writeln!(f, "goto {l};"),
+        StmtKind::Dead(vars) => writeln!(f, "dead {};", vars.join(", ")),
+    }
+}
+
+impl fmt::Display for Proc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.params.join(", "))?;
+        if self.returns > 0 {
+            write!(f, " returns {}", self.returns)?;
+        }
+        writeln!(f, " begin")?;
+        if !self.locals.is_empty() {
+            writeln!(f, "  decl {};", self.locals.join(", "))?;
+        }
+        write_stmts(f, &self.body, 1)?;
+        writeln!(f, "end")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.globals.is_empty() {
+            writeln!(f, "decl {};", self.globals.join(", "))?;
+            writeln!(f)?;
+        }
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConcProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.shared.is_empty() {
+            writeln!(f, "shared {};", self.shared.join(", "))?;
+            writeln!(f)?;
+        }
+        for t in &self.threads {
+            writeln!(f, "thread")?;
+            write!(f, "{t}")?;
+            writeln!(f, "endthread")?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_fold() {
+        assert_eq!(Expr::and(Expr::Const(false), Expr::var("x")), Expr::Const(false));
+        assert_eq!(Expr::or(Expr::Const(true), Expr::var("x")), Expr::Const(true));
+        assert_eq!(Expr::and(Expr::Const(true), Expr::var("x")), Expr::var("x"));
+        assert_eq!(Expr::not(Expr::not(Expr::var("x"))), Expr::var("x"));
+    }
+
+    #[test]
+    fn expr_vars_and_choice() {
+        let e = Expr::and(
+            Expr::var("a"),
+            Expr::or(Expr::var("b"), Expr::and(Expr::var("a"), Expr::Nondet)),
+        );
+        assert_eq!(e.vars(), vec!["a", "b"]);
+        assert!(e.has_choice());
+        assert!(!Expr::var("a").has_choice());
+        let s = Expr::Schoose(Box::new(Expr::var("p")), Box::new(Expr::var("q")));
+        assert!(s.has_choice());
+    }
+
+    #[test]
+    fn display_expr() {
+        let e = Expr::and(Expr::var("a"), Expr::or(Expr::var("b"), Expr::Const(true)));
+        // or folds to T, and drops it.
+        assert_eq!(e.to_string(), "a");
+        let e2 = Expr::And(
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Or(Box::new(Expr::Var("b".into())), Box::new(Expr::Nondet))),
+        );
+        assert_eq!(e2.to_string(), "a & (b | *)");
+    }
+
+    #[test]
+    fn program_metadata() {
+        let p = Program {
+            globals: vec!["g".into()],
+            procs: vec![
+                Proc {
+                    name: "main".into(),
+                    params: vec![],
+                    returns: 0,
+                    locals: vec!["x".into(), "y".into()],
+                    body: vec![Stmt::new(StmtKind::Skip)],
+                },
+                Proc {
+                    name: "f".into(),
+                    params: vec!["a".into(), "b".into()],
+                    returns: 1,
+                    locals: vec!["c".into()],
+                    body: vec![Stmt::new(StmtKind::Return(vec![Expr::var("a")]))],
+                },
+            ],
+        };
+        let md = p.metadata();
+        assert_eq!(md.max_returns, 1);
+        assert_eq!(md.max_params, 2);
+        assert_eq!(md.globals, 1);
+        assert_eq!(md.total_locals, 5);
+        assert_eq!(md.max_locals, 3);
+        assert_eq!(md.procedures, 2);
+        assert!(p.loc() > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests: pretty-print ∘ parse round-trips on randomly
+//! generated programs, and CFG lowering never panics on valid inputs.
+
+use getafix_boolprog::{parse_program, Cfg, Expr, Proc, Program, Stmt, StmtKind};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["g0", "g1", "x", "y"];
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        Just(Expr::Nondet),
+        (0..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Schoose(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let base = prop_oneof![
+        Just(StmtKind::Skip),
+        (0..2usize, expr_strategy())
+            .prop_map(|(i, e)| StmtKind::Assign { targets: vec![VARS[i].into()], exprs: vec![e] }),
+        (expr_strategy(), expr_strategy()).prop_map(|(a, b)| StmtKind::Assign {
+            targets: vec!["x".into(), "y".into()],
+            exprs: vec![a, b],
+        }),
+        expr_strategy().prop_map(StmtKind::Assume),
+        expr_strategy().prop_map(StmtKind::Assert),
+        Just(StmtKind::Dead(vec!["x".into(), "y".into()])),
+        expr_strategy().prop_map(|e| StmtKind::CallAssign {
+            targets: vec!["x".into()],
+            callee: "f".into(),
+            args: vec![e],
+        }),
+    ];
+    let kinds = base.prop_recursive(3, 16, 3, |inner| {
+        let stmt = inner.prop_map(Stmt::new);
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(stmt.clone(), 1..3),
+             prop::collection::vec(stmt.clone(), 0..2))
+                .prop_map(|(c, t, e)| StmtKind::If { cond: c, then_branch: t, else_branch: e }),
+            (expr_strategy(), prop::collection::vec(stmt, 1..3))
+                .prop_map(|(c, b)| StmtKind::While { cond: c, body: b }),
+        ]
+    });
+    kinds.prop_map(Stmt::new)
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt_strategy(), 1..6).prop_map(|body| Program {
+        globals: vec!["g0".into(), "g1".into()],
+        procs: vec![
+            Proc {
+                name: "main".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec!["x".into(), "y".into()],
+                body,
+            },
+            Proc {
+                name: "f".into(),
+                params: vec!["x".into()],
+                returns: 1,
+                locals: vec!["y".into()],
+                body: vec![Stmt::new(StmtKind::Return(vec![Expr::var("x")]))],
+            },
+        ],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pretty-printing then parsing reproduces the AST exactly.
+    #[test]
+    fn print_parse_roundtrip(p in program_strategy()) {
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// CFG lowering succeeds on every generated (valid) program, covers
+    /// every statement pc, and keeps procedure ranges disjoint.
+    #[test]
+    fn cfg_builds_and_is_dense(p in program_strategy()) {
+        let cfg = Cfg::build(&p).unwrap_or_else(|e| panic!("{e}\n{p}"));
+        let mut covered = vec![false; cfg.pc_count as usize];
+        for proc in &cfg.procs {
+            for pc in proc.pc_range.0..proc.pc_range.1 {
+                prop_assert!(!covered[pc as usize]);
+                covered[pc as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b));
+        // Every edge targets a pc inside the same procedure; call edges
+        // target real procedures.
+        for proc in &cfg.procs {
+            for edges in proc.edges.values() {
+                for e in edges {
+                    match e {
+                        getafix_boolprog::Edge::Internal { to, .. } => {
+                            prop_assert!(proc.contains(*to));
+                        }
+                        getafix_boolprog::Edge::Call { callee, ret_to, .. } => {
+                            prop_assert!(*callee < cfg.procs.len());
+                            prop_assert!(proc.contains(*ret_to));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

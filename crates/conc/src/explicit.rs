@@ -1,0 +1,406 @@
+//! Explicit-state bounded-context-switch exploration: the concurrent
+//! ground-truth oracle.
+//!
+//! A full configuration — shared globals plus one call stack per thread —
+//! is explored by BFS with a context-switch budget. Unlike the symbolic
+//! engine this cannot handle unbounded recursion (stacks are materialized),
+//! so a stack-depth limit turns runaway recursion into an error; the tests
+//! use it on finite-stack programs only.
+
+use crate::merge::Merged;
+use getafix_boolprog::{Bits, Edge, Pc, ProcId, VarRef};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Errors from the explicit concurrent engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcExplicitError {
+    /// The state budget was exhausted.
+    StateLimit(usize),
+    /// A stack exceeded the depth limit (recursion too deep to explore
+    /// explicitly).
+    StackLimit(usize),
+    /// Frame too wide for the explicit engine.
+    TooManyVariables(String),
+}
+
+impl fmt::Display for ConcExplicitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcExplicitError::StateLimit(n) => write!(f, "state limit {n} exceeded"),
+            ConcExplicitError::StackLimit(n) => write!(f, "stack depth limit {n} exceeded"),
+            ConcExplicitError::TooManyVariables(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConcExplicitError {}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcLimits {
+    /// Maximum distinct configurations.
+    pub max_states: usize,
+    /// Maximum call-stack depth per thread.
+    pub max_stack: usize,
+}
+
+impl Default for ConcLimits {
+    fn default() -> Self {
+        ConcLimits { max_states: 2_000_000, max_stack: 12 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Frame {
+    proc: ProcId,
+    pc: Pc,
+    locals: Bits,
+    /// (return-value targets in the caller, resume pc) captured at call.
+    on_return: Option<(Vec<VarRef>, Pc)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Config {
+    switches_used: usize,
+    active: usize,
+    globals: Bits,
+    stacks: Vec<Vec<Frame>>,
+}
+
+/// Explicit bounded-context-switch reachability of any pc in `targets`.
+///
+/// # Errors
+///
+/// See [`ConcExplicitError`].
+pub fn conc_explicit_reachable(
+    merged: &Merged,
+    targets: &[Pc],
+    switches: usize,
+    limits: ConcLimits,
+) -> Result<bool, ConcExplicitError> {
+    let cfg = &merged.cfg;
+    if cfg.globals.len() > 64 {
+        return Err(ConcExplicitError::TooManyVariables(format!(
+            "{} merged globals exceed 64",
+            cfg.globals.len()
+        )));
+    }
+    let target_set: BTreeSet<Pc> = targets.iter().copied().collect();
+    let mut visited: BTreeSet<Config> = BTreeSet::new();
+    let mut queue: VecDeque<Config> = VecDeque::new();
+
+    // Thread 0..n-1 may each be the initially active thread? §5 fixes the
+    // schedule vector t̄, including t0 — any thread may run first.
+    for first in 0..merged.n_threads {
+        let mut stacks: Vec<Vec<Frame>> = vec![Vec::new(); merged.n_threads];
+        let entry = merged.thread_entries[first];
+        let proc = cfg.proc_of(entry).id;
+        stacks[first].push(Frame { proc, pc: entry, locals: 0, on_return: None });
+        let c = Config { switches_used: 0, active: first, globals: 0, stacks };
+        if visited.insert(c.clone()) {
+            queue.push_back(c);
+        }
+    }
+
+    while let Some(c) = queue.pop_front() {
+        if visited.len() > limits.max_states {
+            return Err(ConcExplicitError::StateLimit(limits.max_states));
+        }
+        // Target check: active thread's top frame.
+        if let Some(top) = c.stacks[c.active].last() {
+            if target_set.contains(&top.pc) {
+                return Ok(true);
+            }
+        }
+        let mut successors: Vec<Config> = Vec::new();
+        step_active(merged, &c, limits.max_stack, &mut successors)?;
+        // Context switches.
+        if c.switches_used < switches {
+            for next in 0..merged.n_threads {
+                if next == c.active {
+                    continue;
+                }
+                let mut c2 = c.clone();
+                c2.switches_used += 1;
+                c2.active = next;
+                if c2.stacks[next].is_empty() {
+                    // First activation: start at the thread's main.
+                    let entry = merged.thread_entries[next];
+                    let proc = merged.cfg.proc_of(entry).id;
+                    c2.stacks[next].push(Frame {
+                        proc,
+                        pc: entry,
+                        locals: 0,
+                        on_return: None,
+                    });
+                }
+                successors.push(c2);
+            }
+        }
+        for s in successors {
+            if visited.insert(s.clone()) {
+                queue.push_back(s);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn read_var(globals: Bits, locals: Bits, v: VarRef) -> bool {
+    match v {
+        VarRef::Global(i) => (globals >> i) & 1 == 1,
+        VarRef::Local(i) => (locals >> i) & 1 == 1,
+    }
+}
+
+fn write_var(globals: &mut Bits, locals: &mut Bits, v: VarRef, value: bool) {
+    match v {
+        VarRef::Global(i) => {
+            if value {
+                *globals |= 1 << i;
+            } else {
+                *globals &= !(1 << i);
+            }
+        }
+        VarRef::Local(i) => {
+            if value {
+                *locals |= 1 << i;
+            } else {
+                *locals &= !(1 << i);
+            }
+        }
+    }
+}
+
+fn enumerate_choices(sets: &[(bool, bool)]) -> Vec<Vec<bool>> {
+    let mut out: Vec<Vec<bool>> = vec![Vec::new()];
+    for &(t, f) in sets {
+        let mut next = Vec::new();
+        for p in &out {
+            if t {
+                let mut q = p.clone();
+                q.push(true);
+                next.push(q);
+            }
+            if f {
+                let mut q = p.clone();
+                q.push(false);
+                next.push(q);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn step_active(
+    merged: &Merged,
+    c: &Config,
+    max_stack: usize,
+    out: &mut Vec<Config>,
+) -> Result<(), ConcExplicitError> {
+    let cfg = &merged.cfg;
+    let Some(top) = c.stacks[c.active].last().cloned() else {
+        return Ok(());
+    };
+    let proc = &cfg.procs[top.proc];
+
+    // Return from an exit pc.
+    if proc.is_exit(top.pc) {
+        let exit = proc.exits.iter().find(|e| e.pc == top.pc).expect("exit");
+        if let Some((rets, ret_to)) = &top.on_return {
+            let read = |v: VarRef| read_var(c.globals, top.locals, v);
+            let sets: Vec<(bool, bool)> =
+                exit.ret_exprs.iter().map(|e| e.value_set(&read)).collect();
+            for vals in enumerate_choices(&sets) {
+                let mut c2 = c.clone();
+                c2.stacks[c.active].pop();
+                let caller =
+                    c2.stacks[c.active].last_mut().expect("caller frame below callee");
+                caller.pc = *ret_to;
+                let mut g2 = c2.globals;
+                let mut l2 = caller.locals;
+                for (t, val) in rets.iter().zip(vals) {
+                    write_var(&mut g2, &mut l2, *t, val);
+                }
+                c2.globals = g2;
+                caller.locals = l2;
+                out.push(c2);
+            }
+        } else {
+            // Thread main finished: the thread halts (no successor states
+            // from this thread, but others may still switch in).
+        }
+        return Ok(());
+    }
+
+    let Some(edges) = proc.edges.get(&top.pc) else { return Ok(()) };
+    for e in edges {
+        match e {
+            Edge::Internal { to, guard, assigns } => {
+                let read = |v: VarRef| read_var(c.globals, top.locals, v);
+                let (can_true, _) = guard.value_set(&read);
+                if !can_true {
+                    continue;
+                }
+                let sets: Vec<(bool, bool)> =
+                    assigns.iter().map(|(_, e)| e.value_set(&read)).collect();
+                for vals in enumerate_choices(&sets) {
+                    let mut c2 = c.clone();
+                    let f = c2.stacks[c.active].last_mut().expect("frame");
+                    f.pc = *to;
+                    let mut g2 = c2.globals;
+                    let mut l2 = f.locals;
+                    for ((t, _), val) in assigns.iter().zip(vals) {
+                        write_var(&mut g2, &mut l2, *t, val);
+                    }
+                    c2.globals = g2;
+                    f.locals = l2;
+                    out.push(c2);
+                }
+            }
+            Edge::Call { callee, args, rets, ret_to } => {
+                if c.stacks[c.active].len() >= max_stack {
+                    return Err(ConcExplicitError::StackLimit(max_stack));
+                }
+                let read = |v: VarRef| read_var(c.globals, top.locals, v);
+                let sets: Vec<(bool, bool)> = args.iter().map(|a| a.value_set(&read)).collect();
+                for vals in enumerate_choices(&sets) {
+                    let mut locals: Bits = 0;
+                    for (i, &b) in vals.iter().enumerate() {
+                        if b {
+                            locals |= 1 << i;
+                        }
+                    }
+                    let mut c2 = c.clone();
+                    let q = &cfg.procs[*callee];
+                    c2.stacks[c.active].push(Frame {
+                        proc: *callee,
+                        pc: q.entry,
+                        locals,
+                        on_return: Some((rets.clone(), *ret_to)),
+                    });
+                    out.push(c2);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge;
+    use getafix_boolprog::parse_concurrent;
+
+    fn reach(src: &str, label: &str, k: usize) -> bool {
+        let conc = parse_concurrent(src).unwrap();
+        let merged = merge(&conc).unwrap();
+        let pc = merged.cfg.label(label).unwrap_or_else(|| panic!("no label {label}"));
+        conc_explicit_reachable(&merged, &[pc], k, ConcLimits::default()).unwrap()
+    }
+
+    const HANDSHAKE: &str = r#"
+        shared flag;
+        thread
+          main() begin
+            if (flag) then HIT: skip; fi;
+          end
+        endthread
+        thread
+          main() begin
+            flag := T;
+          end
+        endthread
+    "#;
+
+    #[test]
+    fn needs_context_switches() {
+        // Thread 0 sees flag only if thread 1 ran first: 1 switch when
+        // thread 1 starts, or 2 when thread 0 starts.
+        assert!(reach(HANDSHAKE, "t0__HIT", 1));
+    }
+
+    #[test]
+    fn zero_switches_insufficient() {
+        assert!(!reach(HANDSHAKE, "t0__HIT", 0));
+    }
+
+    #[test]
+    fn ping_pong_depth() {
+        // a must be set by T1, then b by T0, then c by T1 again: at least
+        // 3 switches if T0 starts... explore exact threshold.
+        let src = r#"
+            shared a, b, c;
+            thread
+              main() begin
+                if (a) then
+                  b := T;
+                fi;
+                if (c) then HIT: skip; fi;
+              end
+            endthread
+            thread
+              main() begin
+                a := T;
+                if (b) then
+                  c := T;
+                fi;
+              end
+            endthread
+        "#;
+        // T1: a:=T; switch. T0: b:=T; switch. T1: c:=T; switch. T0: HIT.
+        assert!(reach(src, "t0__HIT", 3));
+        assert!(!reach(src, "t0__HIT", 2));
+    }
+
+    #[test]
+    fn switch_preserves_locals() {
+        let src = r#"
+            shared s;
+            thread
+              main() begin
+                decl x;
+                x := T;
+                if (s & x) then HIT: skip; fi;
+              end
+            endthread
+            thread
+              main() begin
+                s := T;
+              end
+            endthread
+        "#;
+        // x:=T in T0, switch to T1 (s:=T), switch back: x still T.
+        assert!(reach(src, "t0__HIT", 2));
+    }
+
+    #[test]
+    fn calls_inside_threads() {
+        let src = r#"
+            shared s;
+            thread
+              main() begin
+                decl r;
+                r := get();
+                if (r) then HIT: skip; fi;
+              end
+              get() returns 1 begin
+                return s;
+              end
+            endthread
+            thread
+              main() begin
+                call set();
+              end
+              set() begin
+                s := T;
+              end
+            endthread
+        "#;
+        assert!(reach(src, "t0__HIT", 2));
+        assert!(!reach(src, "t0__HIT", 0));
+    }
+}

@@ -1,0 +1,410 @@
+//! The bounded context-switching reachability fixpoint of §5.1, generated
+//! as a formula parameterized by the context-switch bound `k` and the
+//! thread count `n`.
+//!
+//! The relation is
+//! `Reach(s: Conf, ecs: CS, cs: CS, gs: GVec, ts: TVec)` where
+//!
+//! * `s` packs the procedure-entry and current valuations of the *active*
+//!   thread (exactly like the sequential summaries);
+//! * `cs` is the number of context switches so far, `ecs` the count at the
+//!   entry to the current procedure (`ecs ≤ cs`);
+//! * `gs.g1 … gs.gk` are the shared-global valuations *at each switch
+//!   point* — the paper's headline: only `k+1` copies of the globals ever
+//!   appear (`gs` plus `s.cg`), against 3k in the eager reduction of
+//!   Lal–Reps;
+//! * `ts.t0 … ts.tk` name the thread active in each context.
+//!
+//! `First` / `Consecutive` and the indexed accesses `g_cs`, `t_cs` are
+//! expanded into finite disjunctions over the (small, fixed) bound `k` —
+//! the formula is *generated*, which is exactly how one uses a fixed-point
+//! calculus as a programming language.
+
+use getafix_boolprog::Cfg;
+use getafix_core::systems::base_builder;
+use getafix_mucalc::{Formula, System, SystemError, Term, Type};
+
+/// Parameters of the concurrent analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcParams {
+    /// Maximum number of context switches.
+    pub switches: usize,
+    /// Number of threads.
+    pub threads: usize,
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn fld(name: &str, f: &str) -> Term {
+    Term::field(name, f)
+}
+
+fn g_at(gs: &str, j: usize) -> Term {
+    Term::field(gs, format!("g{j}"))
+}
+
+fn t_at(ts: &str, j: usize) -> Term {
+    Term::field(ts, format!("t{j}"))
+}
+
+fn app(name: &str, args: Vec<Term>) -> Formula {
+    Formula::app(name, args)
+}
+
+fn eq(a: Term, b: Term) -> Formula {
+    Formula::eq(a, b)
+}
+
+fn conf() -> Type {
+    Type::named("Conf")
+}
+
+fn cs_ty() -> Type {
+    Type::named("CS")
+}
+
+/// `x`'s entry fields match `s`'s.
+fn same_entry(x: &str, s: &str) -> Formula {
+    Formula::and(vec![
+        eq(fld(x, "ecl"), fld(s, "ecl")),
+        eq(fld(x, "ecg"), fld(s, "ecg")),
+    ])
+}
+
+/// Generates the §5.1 system for `cfg` (a merged concurrent program).
+///
+/// # Errors
+///
+/// Propagates [`SystemError`]s from the builder.
+pub fn system_conc(cfg: &Cfg, params: ConcParams) -> Result<System, SystemError> {
+    let k = params.switches;
+    let n = params.threads;
+    assert!(k >= 1, "use the sequential engine for zero context switches");
+    assert!(n >= 1);
+
+    let mut b = base_builder(cfg)?;
+    b.declare_type("CS", Type::Range((k + 1) as u64))?;
+    b.declare_type("Tid", Type::Range(n as u64))?;
+    b.declare_type(
+        "GVec",
+        Type::Struct((1..=k).map(|j| (format!("g{j}"), Type::named("Global"))).collect()),
+    )?;
+    b.declare_type(
+        "TVec",
+        Type::Struct((0..=k).map(|j| (format!("t{j}"), Type::named("Tid"))).collect()),
+    )?;
+    // InitConf(t, s): s is the initial configuration of thread t's main —
+    // entry pc, all-false locals, entry halves mirroring current (globals
+    // free: they are pinned by the context that activates the thread).
+    b.input("InitConf", vec![("t".into(), Type::named("Tid")), ("s".into(), conf())]);
+
+    let reach_params = vec![
+        ("s".to_string(), conf()),
+        ("ecs".to_string(), cs_ty()),
+        ("cs".to_string(), cs_ty()),
+        ("gs".to_string(), Type::named("GVec")),
+        ("ts".to_string(), Type::named("TVec")),
+    ];
+    // Standard tail for recursive applications: same gs/ts vectors.
+    let reach =
+        |s: Term, ecs: Term, cs: Term| app("Reach", vec![s, ecs, cs, v("gs"), v("ts")]);
+
+    // --- ϕ_init -----------------------------------------------------------
+    let phi_init = Formula::and(vec![
+        eq(v("cs"), Term::int(0)),
+        eq(v("ecs"), Term::int(0)),
+        app("InitConf", vec![t_at("ts", 0), v("s")]),
+        eq(fld("s", "cg"), Term::int(0)),
+    ]);
+
+    // --- ϕ_int -------------------------------------------------------------
+    let phi_int = Formula::exists(
+        vec![("x".into(), conf())],
+        Formula::and(vec![
+            reach(v("x"), v("ecs"), v("cs")),
+            same_entry("x", "s"),
+            app(
+                "ProgramInt",
+                vec![
+                    fld("x", "pc"),
+                    fld("s", "pc"),
+                    fld("x", "cl"),
+                    fld("s", "cl"),
+                    fld("x", "cg"),
+                    fld("s", "cg"),
+                ],
+            ),
+        ]),
+    );
+
+    // --- ϕ_call ------------------------------------------------------------
+    let phi_call = Formula::and(vec![
+        app("EntryOf", vec![fld("s", "pc")]),
+        eq(fld("s", "ecl"), fld("s", "cl")),
+        eq(fld("s", "ecg"), fld("s", "cg")),
+        eq(v("ecs"), v("cs")),
+        Formula::exists(
+            vec![("x".into(), conf()), ("ecs2".into(), cs_ty())],
+            Formula::and(vec![
+                reach(v("x"), v("ecs2"), v("cs")),
+                eq(fld("x", "cg"), fld("s", "cg")),
+                app(
+                    "ProgramCall",
+                    vec![
+                        fld("x", "pc"),
+                        fld("s", "pc"),
+                        fld("x", "cl"),
+                        fld("s", "cl"),
+                        fld("s", "cg"),
+                    ],
+                ),
+            ]),
+        ),
+    ]);
+
+    // --- ϕ_ret --------------------------------------------------------------
+    // Caller reached with cs' ≤ cs switches; callee summary entered at cs'
+    // and exited at cs; same gs/ts on both tuples (the stitching argument).
+    // The caller's context must belong to the *same thread* as the current
+    // one (t_{cs'} = t_cs), expanded over the bound.
+    let same_thread_caller = {
+        let mut cases = Vec::new();
+        for b in 0..=k {
+            for a in 0..=b {
+                cases.push(Formula::and(vec![
+                    eq(v("cs2"), Term::int(a as u64)),
+                    eq(v("cs"), Term::int(b as u64)),
+                    eq(t_at("ts", a), t_at("ts", b)),
+                ]));
+            }
+        }
+        Formula::or(cases)
+    };
+    let phi_ret = Formula::exists(
+        vec![
+            ("x".into(), conf()),
+            ("u".into(), conf()),
+            ("cs2".into(), cs_ty()),
+            ("epc".into(), Type::named("PC")),
+        ],
+        Formula::and(vec![
+            reach(v("x"), v("ecs"), v("cs2")),
+            Formula::le(v("cs2"), v("cs")),
+            same_thread_caller,
+            same_entry("x", "s"),
+            app("SkipCall", vec![fld("x", "pc"), fld("s", "pc")]),
+            app(
+                "ProgramCall",
+                vec![fld("x", "pc"), v("epc"), fld("x", "cl"), fld("u", "ecl"), fld("x", "cg")],
+            ),
+            eq(fld("u", "ecg"), fld("x", "cg")),
+            reach(v("u"), v("cs2"), v("cs")),
+            app("ExitOf", vec![fld("u", "pc")]),
+            app("SetReturn1", vec![fld("x", "pc"), fld("x", "cl"), fld("s", "cl")]),
+            app(
+                "SetReturn2",
+                vec![
+                    fld("x", "pc"),
+                    fld("u", "pc"),
+                    fld("u", "cl"),
+                    fld("s", "cl"),
+                    fld("u", "cg"),
+                    fld("s", "cg"),
+                ],
+            ),
+        ]),
+    );
+
+    // --- ϕ_1st-switch --------------------------------------------------------
+    // Switching to thread ts.t_cs for the first time: the new thread starts
+    // at its main entry; the globals are inherited from the suspended state
+    // and recorded in gs.g_cs.
+    let mut first_cases = Vec::new();
+    for j in 1..=k {
+        let mut parts = vec![
+            eq(v("cs"), Term::int(j as u64)),
+            eq(v("cs2"), Term::int((j - 1) as u64)),
+            // First: t_j differs from every earlier context's thread.
+            Formula::and(
+                (0..j).map(|r| Formula::ne(t_at("ts", r), t_at("ts", j))).collect(),
+            ),
+            // v.Global = g_cs = y.Global
+            eq(fld("s", "cg"), g_at("gs", j)),
+            eq(fld("x", "cg"), g_at("gs", j)),
+            app("InitConf", vec![t_at("ts", j), v("s")]),
+        ];
+        first_cases.push(Formula::and(std::mem::take(&mut parts)));
+    }
+    let phi_first = Formula::and(vec![
+        eq(v("ecs"), v("cs")),
+        Formula::exists(
+            vec![("x".into(), conf()), ("cs2".into(), cs_ty()), ("ecs2".into(), cs_ty())],
+            Formula::and(vec![
+                reach(v("x"), v("ecs2"), v("cs2")),
+                Formula::or(first_cases),
+            ]),
+        ),
+    ]);
+
+    // --- ϕ_switch -------------------------------------------------------------
+    // Switching back: conjunct A imports the globals from the thread that
+    // just ran; conjunct B recovers the suspended local state (same entry,
+    // same pc, same locals) from the last context this thread was active in
+    // (Consecutive).
+    let mut conj_a_cases = Vec::new();
+    for j in 1..=k {
+        conj_a_cases.push(Formula::and(vec![
+            eq(v("cs"), Term::int(j as u64)),
+            eq(v("cs2"), Term::int((j - 1) as u64)),
+            // Not first: some earlier context ran this thread.
+            Formula::or((0..j).map(|r| eq(t_at("ts", r), t_at("ts", j))).collect()),
+            eq(fld("s", "cg"), g_at("gs", j)),
+            eq(fld("x", "cg"), g_at("gs", j)),
+        ]));
+    }
+    let conj_a = Formula::exists(
+        vec![("x".into(), conf()), ("cs2".into(), cs_ty()), ("ecs2".into(), cs_ty())],
+        Formula::and(vec![reach(v("x"), v("ecs2"), v("cs2")), Formula::or(conj_a_cases)]),
+    );
+    let mut conj_b_cases = Vec::new();
+    for bj in 1..=k {
+        for aj in 0..bj {
+            conj_b_cases.push(Formula::and(
+                std::iter::once(eq(v("cs"), Term::int(bj as u64)))
+                    .chain(std::iter::once(eq(v("cs3"), Term::int(aj as u64))))
+                    .chain(std::iter::once(eq(t_at("ts", aj), t_at("ts", bj))))
+                    .chain(((aj + 1)..bj).map(|r| Formula::ne(t_at("ts", r), t_at("ts", bj))))
+                    // Suspension consistency: the resumed tuple must be the
+                    // thread's state *at the switch out of context cs''*,
+                    // i.e. its globals are the recorded switch valuation
+                    // g_{cs''+1}. Without this, a run could resume locals
+                    // from one point of the suspended context and globals
+                    // from another — the stitching argument needs a single
+                    // suspension point.
+                    .chain(std::iter::once(eq(fld("x2", "cg"), g_at("gs", aj + 1))))
+                    .collect(),
+            ));
+        }
+    }
+    let conj_b = Formula::exists(
+        vec![("x2".into(), conf()), ("cs3".into(), cs_ty())],
+        Formula::and(vec![
+            reach(v("x2"), v("ecs"), v("cs3")),
+            same_entry("x2", "s"),
+            eq(fld("x2", "pc"), fld("s", "pc")),
+            eq(fld("x2", "cl"), fld("s", "cl")),
+            Formula::or(conj_b_cases),
+        ]),
+    );
+    let phi_switch = Formula::and(vec![conj_a, conj_b]);
+
+    b.define(
+        "Reach",
+        reach_params,
+        Formula::or(vec![phi_init, phi_int, phi_call, phi_ret, phi_first, phi_switch]),
+    );
+
+    // Canonicalized view for set-size reporting: coordinates of ḡ and t̄
+    // beyond the tuple's own switch count are semantically irrelevant
+    // ("not relevant at all" — §5.1), so they are pinned to zero before
+    // counting; otherwise every tuple would be counted 2^|unused| times.
+    let mut canon = vec![app("Reach", vec![v("s"), v("ecs"), v("cs"), v("gs"), v("ts")])];
+    for j in 1..=k {
+        canon.push(Formula::or(vec![
+            Formula::le(Term::int(j as u64), v("cs")),
+            Formula::and(vec![
+                eq(g_at("gs", j), Term::int(0)),
+                eq(t_at("ts", j), Term::int(0)),
+            ]),
+        ]));
+    }
+    b.define(
+        "ReachCanon",
+        vec![
+            ("s".to_string(), conf()),
+            ("ecs".to_string(), cs_ty()),
+            ("cs".to_string(), cs_ty()),
+            ("gs".to_string(), Type::named("GVec")),
+            ("ts".to_string(), Type::named("TVec")),
+        ],
+        Formula::and(canon),
+    );
+
+    b.query(
+        "reach",
+        Formula::exists(
+            vec![
+                ("s".into(), conf()),
+                ("ecs".into(), cs_ty()),
+                ("cs".into(), cs_ty()),
+                ("gs".into(), Type::named("GVec")),
+                ("ts".into(), Type::named("TVec")),
+            ],
+            Formula::and(vec![
+                app("Reach", vec![v("s"), v("ecs"), v("cs"), v("gs"), v("ts")]),
+                app("Target", vec![fld("s", "pc")]),
+            ]),
+        ),
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge;
+    use getafix_boolprog::parse_concurrent;
+
+    #[test]
+    fn system_builds_for_various_k_n() {
+        let conc = parse_concurrent(
+            r#"
+            shared s;
+            thread
+              main() begin
+                s := T;
+              end
+            endthread
+            thread
+              main() begin
+                if (s) then HIT: skip; fi;
+              end
+            endthread
+            "#,
+        )
+        .unwrap();
+        let merged = merge(&conc).unwrap();
+        for k in 1..=4 {
+            let sys = system_conc(&merged.cfg, ConcParams { switches: k, threads: 2 })
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(sys.relation("Reach").is_some());
+            assert!(sys.is_positive("Reach"), "the concurrent fixpoint is positive");
+        }
+    }
+
+    #[test]
+    fn formula_stays_one_page() {
+        let conc = parse_concurrent(
+            r#"
+            shared s;
+            thread
+              main() begin
+                s := T;
+              end
+            endthread
+            thread
+              main() begin
+                s := F;
+              end
+            endthread
+            "#,
+        )
+        .unwrap();
+        let merged = merge(&conc).unwrap();
+        let sys = system_conc(&merged.cfg, ConcParams { switches: 2, threads: 2 }).unwrap();
+        let text = sys.to_string();
+        assert!(text.lines().count() < 120, "{} lines", text.lines().count());
+    }
+}

@@ -1,0 +1,561 @@
+//! Symbolic encoding of a Boolean program: building the template relations
+//! of §4 as BDDs over the solver's input-relation formals.
+//!
+//! The templates form the interface between "the program" and "the
+//! algorithm" (Figure 1 of the paper): the fixed-point formulae only ever
+//! mention these relations, so the encoding and the algorithms evolve
+//! independently.
+//!
+//! # Deviations from the paper's template signatures
+//!
+//! * Program counters are **globally unique** across procedures (the CFG
+//!   hands them out densely), so the `mod` component of a configuration is
+//!   derivable from `pc` and is dropped; a configuration is
+//!   `Conf = { pc, cl, cg, ecl, ecg }`.
+//! * Call sites determine their return-target variables, so `SetReturn1`
+//!   needs only the call pc, and `SetReturn2` only the (call pc, exit pc)
+//!   pair — the pairing also ties an exit to *the procedure called at that
+//!   site*, subsuming the appendix's explicit module equalities.
+//! * All variables initialize to `false` (see `getafix_boolprog::cfg`), so
+//!   `Init` is a single configuration.
+//!
+//! # Nondeterminism
+//!
+//! Expressions may contain `*` and `schoose`; they compile to a pair of
+//! BDDs `can_true`/`can_false` over the state variables (each choice
+//! occurrence independent), and an assignment `v' := e` becomes
+//! `ite(v', can_true(e), can_false(e))` — exactly the relation the explicit
+//! oracle's `value_set` induces pointwise.
+
+use getafix_boolprog::{Cfg, Edge, LExpr, Pc, VarRef};
+use getafix_bdd::{Bdd, Manager, Var};
+use getafix_mucalc::{eq_const, Instance, SolveError, Solver};
+
+/// Errors raised while encoding a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The solver rejected an input (internal wiring bug).
+    Solve(String),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::Solve(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<SolveError> for EncodeError {
+    fn from(e: SolveError) -> Self {
+        EncodeError::Solve(e.to_string())
+    }
+}
+
+/// The variable blocks of one relation formal of `Conf` type.
+struct ConfVars {
+    pc: Vec<Var>,
+    cl: Vec<Var>,
+    cg: Vec<Var>,
+    ecl: Vec<Var>,
+    ecg: Vec<Var>,
+}
+
+fn conf_vars(inst: &Instance) -> ConfVars {
+    let leaf = |name: &str| -> Vec<Var> {
+        inst.leaves_under(&[name.to_string()])
+            .first()
+            .unwrap_or_else(|| panic!("Conf field `{name}` missing"))
+            .vars
+            .clone()
+    };
+    ConfVars { pc: leaf("pc"), cl: leaf("cl"), cg: leaf("cg"), ecl: leaf("ecl"), ecg: leaf("ecg") }
+}
+
+fn scalar_vars(inst: &Instance) -> Vec<Var> {
+    inst.all_vars()
+}
+
+/// `can_true` / `can_false` compilation of an [`LExpr`] over the given
+/// local/global variable blocks.
+pub fn can_value(
+    m: &mut Manager,
+    e: &LExpr,
+    locals: &[Var],
+    globals: &[Var],
+    want_true: bool,
+) -> Bdd {
+    match e {
+        LExpr::Const(b) => m.constant(*b == want_true),
+        LExpr::Nondet => Bdd::TRUE,
+        LExpr::Var(v) => {
+            let var = match v {
+                VarRef::Local(i) => locals[*i],
+                VarRef::Global(i) => globals[*i],
+            };
+            m.literal(var, want_true)
+        }
+        LExpr::Not(a) => can_value(m, a, locals, globals, !want_true),
+        LExpr::And(a, b) => {
+            if want_true {
+                let x = can_value(m, a, locals, globals, true);
+                let y = can_value(m, b, locals, globals, true);
+                m.and(x, y)
+            } else {
+                let x = can_value(m, a, locals, globals, false);
+                let y = can_value(m, b, locals, globals, false);
+                m.or(x, y)
+            }
+        }
+        LExpr::Or(a, b) => {
+            if want_true {
+                let x = can_value(m, a, locals, globals, true);
+                let y = can_value(m, b, locals, globals, true);
+                m.or(x, y)
+            } else {
+                let x = can_value(m, a, locals, globals, false);
+                let y = can_value(m, b, locals, globals, false);
+                m.and(x, y)
+            }
+        }
+        LExpr::Eq(a, b) => {
+            let at = can_value(m, a, locals, globals, true);
+            let af = can_value(m, a, locals, globals, false);
+            let bt = can_value(m, b, locals, globals, true);
+            let bf = can_value(m, b, locals, globals, false);
+            if want_true {
+                let tt = m.and(at, bt);
+                let ff = m.and(af, bf);
+                m.or(tt, ff)
+            } else {
+                let tf = m.and(at, bf);
+                let ft = m.and(af, bt);
+                m.or(tf, ft)
+            }
+        }
+        LExpr::Ne(a, b) => can_value(m, &flip_ne(a, b), locals, globals, want_true),
+        LExpr::Schoose(p, n) => {
+            let pt = can_value(m, p, locals, globals, true);
+            let pf = can_value(m, p, locals, globals, false);
+            if want_true {
+                // T when pos holds; free when neither constrains.
+                let nf = can_value(m, n, locals, globals, false);
+                let free = m.and(pf, nf);
+                m.or(pt, free)
+            } else {
+                // F requires pos to possibly fail, and then neg decides or
+                // is free.
+                let nt = can_value(m, n, locals, globals, true);
+                let nf = can_value(m, n, locals, globals, false);
+                let any = m.or(nt, nf);
+                m.and(pf, any)
+            }
+        }
+    }
+}
+
+fn flip_ne(a: &LExpr, b: &LExpr) -> LExpr {
+    LExpr::Not(Box::new(LExpr::Eq(Box::new(a.clone()), Box::new(b.clone()))))
+}
+
+/// The relation `target := e(state)` for a single target bit.
+fn assign_bit(m: &mut Manager, target: Var, e: &LExpr, locals: &[Var], globals: &[Var]) -> Bdd {
+    let ct = can_value(m, e, locals, globals, true);
+    let cf = can_value(m, e, locals, globals, false);
+    let t = m.var(target);
+    m.ite(t, ct, cf)
+}
+
+/// Equality of two equal-length variable blocks, skipping indices in `except`.
+fn eq_except(m: &mut Manager, a: &[Var], b: &[Var], except: &[usize]) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        if except.contains(&i) {
+            continue;
+        }
+        let fx = m.var(x);
+        let fy = m.var(y);
+        let eq = m.iff(fx, fy);
+        acc = m.and(acc, eq);
+    }
+    acc
+}
+
+/// Constrains the bits of `vars` at positions `width..` to `false` — the
+/// frame discipline for local vectors narrower than the widest frame.
+fn zero_above(m: &mut Manager, vars: &[Var], width: usize) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for &v in vars.iter().skip(width) {
+        let nv = m.nvar(v);
+        acc = m.and(acc, nv);
+    }
+    acc
+}
+
+/// Builds and installs every template relation for `cfg` into `solver`.
+///
+/// The solver must have been created from one of the systems in
+/// [`crate::systems`] (they all declare the same input signatures).
+///
+/// # Errors
+///
+/// Returns an error if an input relation is missing from the system — a
+/// sign the system and the encoder have drifted apart.
+pub fn install_templates(solver: &mut Solver, cfg: &Cfg, targets: &[Pc]) -> Result<(), EncodeError> {
+    let n_globals = cfg.globals.len();
+
+    // --- Init(s: Conf): the single all-false configuration at main entry.
+    {
+        let s = solver.alloc().formal("Init", 0).clone();
+        let v = conf_vars(&s);
+        let m = solver.manager();
+        let main_entry = cfg.procs[cfg.main].entry as u64;
+        let mut b = eq_const(m, &v.pc, main_entry);
+        for blk in [&v.cl, &v.cg, &v.ecl, &v.ecg] {
+            let z = eq_const(m, blk, 0);
+            b = m.and(b, z);
+        }
+        solver.set_input("Init", b)?;
+    }
+
+    // --- EntryOf(p), ExitOf(p), Target(p): pc point sets.
+    let point_set = |solver: &mut Solver, rel: &str, pcs: &[Pc]| -> Result<(), EncodeError> {
+        let inst = solver.alloc().formal(rel, 0).clone();
+        let vars = scalar_vars(&inst);
+        let m = solver.manager();
+        let mut b = Bdd::FALSE;
+        for &pc in pcs {
+            let p = eq_const(m, &vars, pc as u64);
+            b = m.or(b, p);
+        }
+        solver.set_input(rel, b)?;
+        Ok(())
+    };
+    let entries: Vec<Pc> = cfg.procs.iter().map(|p| p.entry).collect();
+    let exits: Vec<Pc> = cfg.procs.iter().flat_map(|p| p.exits.iter().map(|e| e.pc)).collect();
+    point_set(solver, "EntryOf", &entries)?;
+    point_set(solver, "ExitOf", &exits)?;
+    point_set(solver, "Target", targets)?;
+
+    // --- ProgramInt(from, to, l, l2, g, g2).
+    {
+        let from_i = solver.alloc().formal("ProgramInt", 0).clone();
+        let to_i = solver.alloc().formal("ProgramInt", 1).clone();
+        let l_i = solver.alloc().formal("ProgramInt", 2).clone();
+        let l2_i = solver.alloc().formal("ProgramInt", 3).clone();
+        let g_i = solver.alloc().formal("ProgramInt", 4).clone();
+        let g2_i = solver.alloc().formal("ProgramInt", 5).clone();
+        let (from_v, to_v) = (scalar_vars(&from_i), scalar_vars(&to_i));
+        let (l_v, l2_v) = (scalar_vars(&l_i), scalar_vars(&l2_i));
+        let (g_v, g2_v) = (scalar_vars(&g_i), scalar_vars(&g2_i));
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let nl = proc.n_locals();
+            let frame = {
+                let a = zero_above(m, &l_v, nl);
+                let b = zero_above(m, &l2_v, nl);
+                m.and(a, b)
+            };
+            for (&pc, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Internal { to, guard, assigns } = e else { continue };
+                    let mut b = eq_const(m, &from_v, pc as u64);
+                    let tob = eq_const(m, &to_v, *to as u64);
+                    b = m.and(b, tob);
+                    let gd = can_value(m, guard, &l_v, &g_v, true);
+                    b = m.and(b, gd);
+                    let mut assigned_locals = Vec::new();
+                    let mut assigned_globals = Vec::new();
+                    for (tv, expr) in assigns {
+                        let target = match tv {
+                            VarRef::Local(i) => {
+                                assigned_locals.push(*i);
+                                l2_v[*i]
+                            }
+                            VarRef::Global(i) => {
+                                assigned_globals.push(*i);
+                                g2_v[*i]
+                            }
+                        };
+                        let a = assign_bit(m, target, expr, &l_v, &g_v);
+                        b = m.and(b, a);
+                    }
+                    // Frame: unassigned variables keep their values.
+                    let fl = eq_except(m, &l_v[..nl], &l2_v[..nl], &assigned_locals);
+                    b = m.and(b, fl);
+                    let fg = eq_except(m, &g_v[..n_globals], &g2_v[..n_globals], &assigned_globals);
+                    b = m.and(b, fg);
+                    b = m.and(b, frame);
+                    rel = m.or(rel, b);
+                }
+            }
+        }
+        solver.set_input("ProgramInt", rel)?;
+    }
+
+    // --- ProgramCall(call, entry, cl, el, g): parameter passing.
+    {
+        let call_i = solver.alloc().formal("ProgramCall", 0).clone();
+        let entry_i = solver.alloc().formal("ProgramCall", 1).clone();
+        let cl_i = solver.alloc().formal("ProgramCall", 2).clone();
+        let el_i = solver.alloc().formal("ProgramCall", 3).clone();
+        let g_i = solver.alloc().formal("ProgramCall", 4).clone();
+        let call_v = scalar_vars(&call_i);
+        let entry_v = scalar_vars(&entry_i);
+        let cl_v = scalar_vars(&cl_i);
+        let el_v = scalar_vars(&el_i);
+        let g_v = scalar_vars(&g_i);
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let caller_frame = zero_above(m, &cl_v, proc.n_locals());
+            for (&pc, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Call { callee, args, .. } = e else { continue };
+                    let q = &cfg.procs[*callee];
+                    let mut b = eq_const(m, &call_v, pc as u64);
+                    let eb = eq_const(m, &entry_v, q.entry as u64);
+                    b = m.and(b, eb);
+                    // Parameters from arguments; remaining callee locals F.
+                    for (i, arg) in args.iter().enumerate() {
+                        let a = assign_bit(m, el_v[i], arg, &cl_v, &g_v);
+                        b = m.and(b, a);
+                    }
+                    let rest = zero_above(m, &el_v, args.len());
+                    b = m.and(b, rest);
+                    b = m.and(b, caller_frame);
+                    rel = m.or(rel, b);
+                }
+            }
+        }
+        solver.set_input("ProgramCall", rel)?;
+    }
+
+    // --- SkipCall(call, ret): the `Across` relation.
+    {
+        let call_i = solver.alloc().formal("SkipCall", 0).clone();
+        let ret_i = solver.alloc().formal("SkipCall", 1).clone();
+        let call_v = scalar_vars(&call_i);
+        let ret_v = scalar_vars(&ret_i);
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            for (&pc, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Call { ret_to, .. } = e else { continue };
+                    let a = eq_const(m, &call_v, pc as u64);
+                    let b = eq_const(m, &ret_v, *ret_to as u64);
+                    let both = m.and(a, b);
+                    rel = m.or(rel, both);
+                }
+            }
+        }
+        solver.set_input("SkipCall", rel)?;
+    }
+
+    // --- ProcEntry(p, e): every pc maps to the entry pc of its procedure.
+    {
+        let p_i = solver.alloc().formal("ProcEntry", 0).clone();
+        let e_i = solver.alloc().formal("ProcEntry", 1).clone();
+        let p_v = scalar_vars(&p_i);
+        let e_v = scalar_vars(&e_i);
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let entry = eq_const(m, &e_v, proc.entry as u64);
+            for pc in proc.pc_range.0..proc.pc_range.1 {
+                let a = eq_const(m, &p_v, pc as u64);
+                let both = m.and(a, entry);
+                rel = m.or(rel, both);
+            }
+        }
+        solver.set_input("ProcEntry", rel)?;
+    }
+
+    // --- SetReturn1(call, lcall, lret): caller locals preserved except
+    //     return-value targets.
+    {
+        let call_i = solver.alloc().formal("SetReturn1", 0).clone();
+        let lc_i = solver.alloc().formal("SetReturn1", 1).clone();
+        let lr_i = solver.alloc().formal("SetReturn1", 2).clone();
+        let call_v = scalar_vars(&call_i);
+        let lc_v = scalar_vars(&lc_i);
+        let lr_v = scalar_vars(&lr_i);
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let nl = proc.n_locals();
+            for (&pc, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Call { rets, .. } = e else { continue };
+                    let local_targets: Vec<usize> = rets
+                        .iter()
+                        .filter_map(|r| match r {
+                            VarRef::Local(i) => Some(*i),
+                            VarRef::Global(_) => None,
+                        })
+                        .collect();
+                    let mut b = eq_const(m, &call_v, pc as u64);
+                    let keep = eq_except(m, &lc_v[..nl], &lr_v[..nl], &local_targets);
+                    b = m.and(b, keep);
+                    let fa = zero_above(m, &lc_v, nl);
+                    let fb = zero_above(m, &lr_v, nl);
+                    b = m.and(b, fa);
+                    b = m.and(b, fb);
+                    rel = m.or(rel, b);
+                }
+            }
+        }
+        solver.set_input("SetReturn1", rel)?;
+    }
+
+    // --- SetReturn2(call, exit, ucl, scl, ucg, scg): return-value transfer.
+    //     Pairs each call site with the exit points of its callee, ties the
+    //     exit state (ucl, ucg) to the post-return state (scl, scg).
+    {
+        let call_i = solver.alloc().formal("SetReturn2", 0).clone();
+        let exit_i = solver.alloc().formal("SetReturn2", 1).clone();
+        let ucl_i = solver.alloc().formal("SetReturn2", 2).clone();
+        let scl_i = solver.alloc().formal("SetReturn2", 3).clone();
+        let ucg_i = solver.alloc().formal("SetReturn2", 4).clone();
+        let scg_i = solver.alloc().formal("SetReturn2", 5).clone();
+        let call_v = scalar_vars(&call_i);
+        let exit_v = scalar_vars(&exit_i);
+        let ucl_v = scalar_vars(&ucl_i);
+        let scl_v = scalar_vars(&scl_i);
+        let ucg_v = scalar_vars(&ucg_i);
+        let scg_v = scalar_vars(&scg_i);
+        let m = solver.manager();
+        let mut rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            for (&pc, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Call { callee, rets, .. } = e else { continue };
+                    let q = &cfg.procs[*callee];
+                    let global_targets: Vec<usize> = rets
+                        .iter()
+                        .filter_map(|r| match r {
+                            VarRef::Global(i) => Some(*i),
+                            VarRef::Local(_) => None,
+                        })
+                        .collect();
+                    for exit in &q.exits {
+                        let mut b = eq_const(m, &call_v, pc as u64);
+                        let eb = eq_const(m, &exit_v, exit.pc as u64);
+                        b = m.and(b, eb);
+                        // Return values: i-th target receives i-th expr,
+                        // evaluated in the exit state (ucl, ucg).
+                        for (target, expr) in rets.iter().zip(&exit.ret_exprs) {
+                            let tv = match target {
+                                VarRef::Local(i) => scl_v[*i],
+                                VarRef::Global(i) => scg_v[*i],
+                            };
+                            let a = assign_bit(m, tv, expr, &ucl_v, &ucg_v);
+                            b = m.and(b, a);
+                        }
+                        // Globals not overwritten come from the exit state.
+                        let keep =
+                            eq_except(m, &ucg_v[..n_globals], &scg_v[..n_globals], &global_targets);
+                        b = m.and(b, keep);
+                        // Frames: exit locals within the callee's width.
+                        let fu = zero_above(m, &ucl_v, q.n_locals());
+                        b = m.and(b, fu);
+                        let fs = zero_above(m, &scl_v, proc.n_locals());
+                        b = m.and(b, fs);
+                        rel = m.or(rel, b);
+                    }
+                }
+            }
+        }
+        solver.set_input("SetReturn2", rel)?;
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_bdd::Manager;
+
+    #[test]
+    fn can_value_matches_value_set() {
+        // Exhaustively compare can_true/can_false against LExpr::value_set
+        // over all states for a few expressions.
+        let exprs = [
+            LExpr::Nondet,
+            LExpr::Var(VarRef::Local(0)),
+            LExpr::And(Box::new(LExpr::Var(VarRef::Local(0))), Box::new(LExpr::Nondet)),
+            LExpr::Or(
+                Box::new(LExpr::Not(Box::new(LExpr::Var(VarRef::Global(0))))),
+                Box::new(LExpr::Var(VarRef::Local(1))),
+            ),
+            LExpr::Eq(Box::new(LExpr::Var(VarRef::Local(0))), Box::new(LExpr::Nondet)),
+            LExpr::Ne(
+                Box::new(LExpr::Var(VarRef::Local(0))),
+                Box::new(LExpr::Var(VarRef::Global(0))),
+            ),
+            LExpr::Schoose(
+                Box::new(LExpr::Var(VarRef::Local(0))),
+                Box::new(LExpr::Var(VarRef::Global(0))),
+            ),
+            LExpr::Schoose(Box::new(LExpr::Const(false)), Box::new(LExpr::Const(false))),
+        ];
+        for e in &exprs {
+            let mut m = Manager::new();
+            let locals = m.new_vars(2);
+            let globals = m.new_vars(1);
+            let ct = can_value(&mut m, e, &locals, &globals, true);
+            let cf = can_value(&mut m, e, &locals, &globals, false);
+            for bits in 0..8u32 {
+                let l0 = bits & 1 == 1;
+                let l1 = bits & 2 == 2;
+                let g0 = bits & 4 == 4;
+                let lbits: u64 = (l0 as u64) | ((l1 as u64) << 1);
+                let gbits: u64 = g0 as u64;
+                let read = |v: VarRef| match v {
+                    VarRef::Local(i) => (lbits >> i) & 1 == 1,
+                    VarRef::Global(i) => (gbits >> i) & 1 == 1,
+                };
+                let (want_t, want_f) = e.value_set(&read);
+                let env = vec![l0, l1, g0];
+                assert_eq!(m.eval(ct, &env), want_t, "{e:?} can_true at {bits:03b}");
+                assert_eq!(m.eval(cf, &env), want_f, "{e:?} can_false at {bits:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_bit_is_functional_for_deterministic_exprs() {
+        let mut m = Manager::new();
+        let locals = m.new_vars(2);
+        let globals = m.new_vars(0);
+        let target = m.new_var();
+        let e = LExpr::And(
+            Box::new(LExpr::Var(VarRef::Local(0))),
+            Box::new(LExpr::Var(VarRef::Local(1))),
+        );
+        let rel = assign_bit(&mut m, target, &e, &locals, &globals);
+        // Exactly one target value per state.
+        for bits in 0..4u32 {
+            let l0 = bits & 1 == 1;
+            let l1 = bits & 2 == 2;
+            let t_true = m.eval(rel, &[l0, l1, true]);
+            let t_false = m.eval(rel, &[l0, l1, false]);
+            assert_eq!(t_true, l0 && l1);
+            assert_eq!(t_false, !(l0 && l1));
+        }
+    }
+
+    #[test]
+    fn zero_above_constrains_tail() {
+        let mut m = Manager::new();
+        let vars = m.new_vars(4);
+        let f = zero_above(&mut m, &vars, 2);
+        assert!(m.eval(f, &[true, true, false, false]));
+        assert!(!m.eval(f, &[false, false, true, false]));
+    }
+}

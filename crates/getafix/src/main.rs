@@ -1,0 +1,133 @@
+//! The `getafix` command-line tool: reachability checking for sequential
+//! and concurrent Boolean programs, plus formula emission.
+//!
+//! ```text
+//! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
+//! getafix check-conc <file.cbp> --label L --switches K
+//! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
+//! ```
+
+use getafix::prelude::*;
+use getafix_core::AnalysisError;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("getafix: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  getafix check <file.bp> --label L [--algo ALGO]
+  getafix check-conc <file.cbp> --label L --switches K
+  getafix emit-mu <file.bp> [--algo ALGO]
+
+ALGO: ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "check" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let label = flag_value(args, "--label").ok_or("missing --label")?;
+            let algo = flag_value(args, "--algo").unwrap_or("ef-opt");
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+            check_sequential(&cfg, label, algo)
+        }
+        "check-conc" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let label = flag_value(args, "--label").ok_or("missing --label")?;
+            let switches: usize = flag_value(args, "--switches")
+                .ok_or("missing --switches")?
+                .parse()
+                .map_err(|e| format!("--switches: {e}"))?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let conc = parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?;
+            let r = check_conc_reachability(&conc, label, switches).map_err(|e| e.to_string())?;
+            println!(
+                "{}: `{label}` within {switches} switches — Reach: {:.0} tuples, {} BDD nodes, {} iterations, {:.3}s",
+                if r.reachable { "REACHABLE" } else { "unreachable" },
+                r.reach_tuples,
+                r.reach_nodes,
+                r.iterations,
+                r.solve_time.as_secs_f64()
+            );
+            Ok(())
+        }
+        "emit-mu" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+            let system = emit_system(&cfg, algo).map_err(|e: AnalysisError| e.to_string())?;
+            println!("{system}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_algo(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "simple" => Algorithm::SummarySimple,
+        "ef-naive" => Algorithm::EntryForwardNaive,
+        "ef" => Algorithm::EntryForward,
+        "ef-opt" => Algorithm::EntryForwardOpt,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn check_sequential(cfg: &Cfg, label: &str, algo: &str) -> Result<(), String> {
+    let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+    let (reachable, detail) = match algo {
+        "bebop" => {
+            let r = bebop_reachable(cfg, &[pc]).map_err(|e| e.to_string())?;
+            (r.reachable, format!("{} nodes, {} steps, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+        }
+        "moped-fwd" => {
+            let r = poststar(cfg, &[pc]).map_err(|e| e.to_string())?;
+            (r.reachable, format!("{} nodes, {} rounds, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+        }
+        "moped-bwd" => {
+            let r = prestar(cfg, &[pc]).map_err(|e| e.to_string())?;
+            (r.reachable, format!("{} nodes, {} rounds, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+        }
+        "oracle" => {
+            let r = explicit_reachable(cfg, &[pc], 50_000_000).map_err(|e| e.to_string())?;
+            (r.reachable, format!("{} path edges", r.path_edges))
+        }
+        formula => {
+            let a = parse_algo(formula)?;
+            let r = check_reachability(cfg, &[pc], a).map_err(|e| e.to_string())?;
+            (
+                r.reachable,
+                format!(
+                    "{} summary nodes, {} iterations, encode {:.3}s, solve {:.3}s",
+                    r.summary_nodes,
+                    r.iterations,
+                    r.encode_time.as_secs_f64(),
+                    r.solve_time.as_secs_f64()
+                ),
+            )
+        }
+    };
+    println!(
+        "{}: `{label}` ({algo}) — {detail}",
+        if reachable { "REACHABLE" } else { "unreachable" }
+    );
+    Ok(())
+}

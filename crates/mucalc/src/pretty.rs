@@ -1,0 +1,185 @@
+//! Pretty-printing of formulae and systems, round-tripping with `parse.rs`.
+//!
+//! The point of the paper is that the whole model-checking algorithm fits on
+//! a page of readable formulae; the pretty-printer is what puts that page on
+//! screen (see the `emit-mu` mode of the CLI).
+
+use crate::ast::{Formula, Term};
+use crate::system::{RelationKind, System};
+use crate::types::Type;
+use std::fmt;
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(self, f, 0)
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn write_terms(f: &mut fmt::Formatter<'_>, terms: &[Term]) -> fmt::Result {
+    for (i, t) in terms.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{t}")?;
+    }
+    Ok(())
+}
+
+fn write_binders(f: &mut fmt::Formatter<'_>, binders: &[(String, Type)]) -> fmt::Result {
+    for (i, (name, ty)) in binders.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{name}: {ty}")?;
+    }
+    Ok(())
+}
+
+/// Writes a formula with explicit parentheses (safe to re-parse).
+fn write_formula(formula: &Formula, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    match formula {
+        Formula::Const(true) => write!(f, "true"),
+        Formula::Const(false) => write!(f, "false"),
+        Formula::Atom(t) => write!(f, "{t}"),
+        Formula::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+        Formula::App(name, args) => {
+            write!(f, "{name}(")?;
+            write_terms(f, args)?;
+            write!(f, ")")
+        }
+        Formula::Not(g) => {
+            write!(f, "!(")?;
+            write_formula(g, f, depth)?;
+            write!(f, ")")
+        }
+        Formula::And(gs) => {
+            write!(f, "(")?;
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_formula(g, f, depth)?;
+            }
+            write!(f, ")")
+        }
+        Formula::Or(gs) => {
+            // Disjunctions are the clause structure of the algorithms;
+            // print one clause per line like the paper's appendix.
+            write!(f, "(")?;
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f)?;
+                    indent(f, depth + 1)?;
+                    write!(f, "| ")?;
+                }
+                write_formula(g, f, depth + 1)?;
+            }
+            write!(f, ")")
+        }
+        Formula::Implies(a, b) => {
+            write!(f, "(")?;
+            write_formula(a, f, depth)?;
+            write!(f, " -> ")?;
+            write_formula(b, f, depth)?;
+            write!(f, ")")
+        }
+        Formula::Iff(a, b) => {
+            write!(f, "(")?;
+            write_formula(a, f, depth)?;
+            write!(f, " <-> ")?;
+            write_formula(b, f, depth)?;
+            write!(f, ")")
+        }
+        Formula::Exists(binders, g) => {
+            write!(f, "(exists ")?;
+            write_binders(f, binders)?;
+            write!(f, ". ")?;
+            write_formula(g, f, depth)?;
+            write!(f, ")")
+        }
+        Formula::Forall(binders, g) => {
+            write!(f, "(forall ")?;
+            write_binders(f, binders)?;
+            write!(f, ". ")?;
+            write_formula(g, f, depth)?;
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for name in self.types.names() {
+            let ty = self.types.get(name).expect("declared");
+            writeln!(f, "type {name} = {ty};")?;
+        }
+        if self.types.names().next().is_some() {
+            writeln!(f)?;
+        }
+        for rel in &self.relations {
+            match rel.kind {
+                RelationKind::Input => {
+                    write!(f, "input {}(", rel.name)?;
+                    write_binders(f, &rel.params)?;
+                    writeln!(f, ");")?;
+                }
+                RelationKind::Fixpoint => {
+                    write!(f, "mu {}(", rel.name)?;
+                    write_binders(f, &rel.params)?;
+                    writeln!(f, ") :=")?;
+                    write!(f, "  ")?;
+                    write_formula(rel.body.as_ref().expect("fixpoint body"), f, 1)?;
+                    writeln!(f, ";")?;
+                    writeln!(f)?;
+                }
+            }
+        }
+        for q in &self.queries {
+            write!(f, "query {} := ", q.name)?;
+            write_formula(&q.body, f, 0)?;
+            writeln!(f, ";")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_system;
+
+    const EXAMPLE: &str = r#"
+        type PC = range 9;
+        type Conf = struct { pc: PC, halt: bool };
+        input Init(s: Conf);
+        input Trans(s: Conf, t: Conf);
+        mu Reach(u: Conf) :=
+            Init(u)
+          | (exists x: Conf. Reach(x) & Trans(x, u) & !(x.halt) & x.pc <= u.pc);
+        query hit := exists u: Conf. Reach(u) & u.pc = 5;
+    "#;
+
+    #[test]
+    fn round_trip_is_stable() {
+        let sys1 = parse_system(EXAMPLE).unwrap();
+        let printed1 = sys1.to_string();
+        let sys2 = parse_system(&printed1).expect("pretty output re-parses");
+        let printed2 = sys2.to_string();
+        assert_eq!(printed1, printed2, "printing must be a fixed point of parse∘print");
+    }
+
+    #[test]
+    fn display_shows_clauses_on_lines() {
+        let sys = parse_system(EXAMPLE).unwrap();
+        let text = sys.to_string();
+        assert!(text.contains("mu Reach"));
+        assert!(text.contains("| "), "clause separator rendered");
+        assert!(text.contains("query hit"));
+    }
+}

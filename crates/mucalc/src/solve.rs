@@ -1,0 +1,355 @@
+//! The fixed-point solver: the paper's `Evaluate(R, Eq)` operational
+//! semantics (§3), executed symbolically over BDDs.
+//!
+//! To evaluate a relation `R` defined by `R = B`:
+//!
+//! 1. start with `S := ∅`;
+//! 2. in each round, freeze `R ↦ S`, evaluate every relation occurring in
+//!    `B` under that frozen environment (recursively, by the same
+//!    procedure), then re-evaluate `B` to obtain the next `S`;
+//! 3. stop when `S` stabilizes.
+//!
+//! For positive systems this computes the least fixed point
+//! (Tarski–Knaster). For non-positive systems — the optimized entry-forward
+//! algorithm needs one — the procedure is still well-defined and the
+//! specific equations we run are written to terminate; a configurable
+//! iteration bound turns accidental divergence into an error.
+
+use crate::alloc::{owner_query, owner_rel, Allocation};
+use crate::compile::CompileCtx;
+use crate::system::{RelationKind, System, SystemError};
+use getafix_bdd::{Bdd, Manager};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced while solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// An input relation was applied but never supplied.
+    MissingInterpretation(String),
+    /// Evaluation exceeded the iteration bound (non-positive system that
+    /// does not stabilize, or the bound is too small).
+    Diverged { relation: String, bound: usize },
+    /// A query did not reduce to a constant (free variables escaped).
+    OpenQuery(String),
+    /// Unknown relation or query name.
+    Unknown(String),
+    /// System-level error surfaced during setup.
+    System(String),
+    /// Invariant violation (a bug in the caller or in this crate).
+    Internal(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::MissingInterpretation(n) => {
+                write!(f, "input relation `{n}` has no interpretation")
+            }
+            SolveError::Diverged { relation, bound } => {
+                write!(f, "evaluation of `{relation}` did not stabilize within {bound} rounds")
+            }
+            SolveError::OpenQuery(n) => write!(f, "query `{n}` has free variables"),
+            SolveError::Unknown(n) => write!(f, "unknown relation or query `{n}`"),
+            SolveError::System(msg) => write!(f, "{msg}"),
+            SolveError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SystemError> for SolveError {
+    fn from(e: SystemError) -> Self {
+        SolveError::System(e.to_string())
+    }
+}
+
+/// Tuning knobs for the solver.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Maximum rounds per relation before declaring divergence.
+    pub max_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iterations: 1_000_000 }
+    }
+}
+
+/// Per-relation evaluation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RelationStats {
+    /// Outer rounds taken to stabilize (top-level evaluations only).
+    pub iterations: usize,
+    /// DAG node count of the final interpretation.
+    pub final_nodes: usize,
+    /// Peak DAG node count of the interpretation across rounds.
+    pub peak_nodes: usize,
+}
+
+/// Aggregated solver statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Statistics per top-level-evaluated relation.
+    pub relations: BTreeMap<String, RelationStats>,
+}
+
+/// The solver: owns the manager, the allocation and the interpretations.
+#[derive(Debug)]
+pub struct Solver {
+    manager: Manager,
+    system: System,
+    alloc: Allocation,
+    inputs: BTreeMap<String, Bdd>,
+    /// Memoized top-level (empty-frozen-environment) interpretations.
+    evaluated: BTreeMap<String, Bdd>,
+    options: SolveOptions,
+    stats: SolveStats,
+}
+
+impl Solver {
+    /// Creates a solver for `system` with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures (undeclared types).
+    pub fn new(system: System) -> Result<Solver, SolveError> {
+        Self::with_options(system, SolveOptions::default())
+    }
+
+    /// Creates a solver with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures (undeclared types).
+    pub fn with_options(system: System, options: SolveOptions) -> Result<Solver, SolveError> {
+        let mut manager = Manager::new();
+        let alloc = Allocation::build(&mut manager, &system)?;
+        Ok(Solver {
+            manager,
+            system,
+            alloc,
+            inputs: BTreeMap::new(),
+            evaluated: BTreeMap::new(),
+            options,
+            stats: SolveStats::default(),
+        })
+    }
+
+    /// The underlying manager (input relations are built against it).
+    pub fn manager(&mut self) -> &mut Manager {
+        &mut self.manager
+    }
+
+    /// The variable allocation (to look up formal-parameter variables when
+    /// building input relations).
+    pub fn alloc(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// The system being solved.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Supplies the interpretation of an input relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Unknown`] if `name` is not an input relation.
+    pub fn set_input(&mut self, name: &str, bdd: Bdd) -> Result<(), SolveError> {
+        match self.system.relation(name) {
+            Some(rel) if rel.kind == RelationKind::Input => {
+                self.inputs.insert(name.to_string(), bdd);
+                // Interpretations downstream may change.
+                self.evaluated.clear();
+                Ok(())
+            }
+            Some(_) => Err(SolveError::System(format!("`{name}` is not an input relation"))),
+            None => Err(SolveError::Unknown(name.to_string())),
+        }
+    }
+
+    /// Evaluates relation `name` per the operational semantics and returns
+    /// its interpretation (a BDD over the relation's formal variables).
+    ///
+    /// Top-level results are memoized until the next [`Solver::set_input`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn evaluate(&mut self, name: &str) -> Result<Bdd, SolveError> {
+        if let Some(&b) = self.evaluated.get(name) {
+            return Ok(b);
+        }
+        let frozen = BTreeMap::new();
+        let b = self.evaluate_rec(name, &frozen, true)?;
+        self.evaluated.insert(name.to_string(), b);
+        Ok(b)
+    }
+
+    /// The paper's `Evaluate(R, Eq)` with a frozen environment.
+    fn evaluate_rec(
+        &mut self,
+        name: &str,
+        frozen: &BTreeMap<String, Bdd>,
+        top_level: bool,
+    ) -> Result<Bdd, SolveError> {
+        if let Some(&b) = frozen.get(name) {
+            return Ok(b);
+        }
+        let (body, param_names) = {
+            let rel = self
+                .system
+                .relation(name)
+                .ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+            if rel.kind == RelationKind::Input {
+                return self
+                    .inputs
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SolveError::MissingInterpretation(name.to_string()));
+            }
+            let body = rel.body.clone().expect("fixpoint relation has a body");
+            let names: Vec<String> = rel.params.iter().map(|(n, _)| n.clone()).collect();
+            (body, names)
+        };
+        let inner_relations = body.relations();
+
+        // Domain constraint of the formals, conjoined into each round so the
+        // interpretation stays canonical (no out-of-range junk tuples).
+        let mut formals_domain = Bdd::TRUE;
+        for i in 0..param_names.len() {
+            let inst = self.alloc.formal(name, i).clone();
+            let d = self.alloc.domain(&mut self.manager, &inst);
+            formals_domain = self.manager.and(formals_domain, d);
+        }
+
+        let rel_name = name.to_string();
+        let nparams = param_names.len();
+        let mut s = Bdd::FALSE;
+        let mut iterations = 0usize;
+        let mut peak_nodes = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > self.options.max_iterations {
+                return Err(SolveError::Diverged {
+                    relation: rel_name,
+                    bound: self.options.max_iterations,
+                });
+            }
+            let mut env = frozen.clone();
+            env.insert(rel_name.clone(), s);
+            // Evaluate every inner relation under the frozen environment.
+            let mut interp = env.clone();
+            for r in &inner_relations {
+                if !interp.contains_key(r) {
+                    let v = self.evaluate_rec(r, &env, false)?;
+                    interp.insert(r.clone(), v);
+                }
+            }
+            let next = {
+                let mut ctx = CompileCtx::new(
+                    &mut self.manager,
+                    &self.system,
+                    &self.alloc,
+                    &interp,
+                    owner_rel(&rel_name),
+                );
+                for i in 0..nparams {
+                    let inst = ctx.alloc.formal(&rel_name, i).clone();
+                    ctx.bind(&param_names[i], inst);
+                }
+                let raw = ctx.compile(&body)?;
+                ctx.manager.and(raw, formals_domain)
+            };
+            peak_nodes = peak_nodes.max(self.manager.node_count(next));
+            if next == s {
+                break;
+            }
+            s = next;
+        }
+        if top_level {
+            let entry = self.stats.relations.entry(rel_name).or_default();
+            entry.iterations = iterations;
+            entry.final_nodes = self.manager.node_count(s);
+            entry.peak_nodes = peak_nodes;
+        }
+        Ok(s)
+    }
+
+    /// Evaluates a closed Boolean query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::OpenQuery`] if the query's formula does not
+    /// reduce to a constant, plus any evaluation error.
+    pub fn eval_query(&mut self, name: &str) -> Result<bool, SolveError> {
+        let q = self
+            .system
+            .query(name)
+            .ok_or_else(|| SolveError::Unknown(name.to_string()))?
+            .clone();
+        // Evaluate every relation the query mentions.
+        let mut interp = BTreeMap::new();
+        for r in q.body.relations() {
+            let v = self.evaluate(&r)?;
+            interp.insert(r, v);
+        }
+        let result = {
+            let mut ctx = CompileCtx::new(
+                &mut self.manager,
+                &self.system,
+                &self.alloc,
+                &interp,
+                owner_query(&q.name),
+            );
+            ctx.compile(&q.body)?
+        };
+        if result.is_true() {
+            Ok(true)
+        } else if result.is_false() {
+            Ok(false)
+        } else {
+            Err(SolveError::OpenQuery(name.to_string()))
+        }
+    }
+
+    /// Node count of the most recent interpretation of `name`, if evaluated.
+    pub fn interpretation_nodes(&self, name: &str) -> Option<usize> {
+        self.evaluated.get(name).map(|&b| self.manager.node_count(b))
+    }
+
+    /// Number of satisfying tuples of the interpretation of `name`
+    /// (over the relation's formal variables, domain-constrained).
+    ///
+    /// # Errors
+    ///
+    /// Evaluates the relation first; see [`Solver::evaluate`].
+    pub fn tuple_count(&mut self, name: &str) -> Result<f64, SolveError> {
+        let b = self.evaluate(name)?;
+        let rel = self
+            .system
+            .relation(name)
+            .ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+        // Count over exactly the formal variables.
+        let mut formal_vars = Vec::new();
+        for i in 0..rel.params.len() {
+            formal_vars.extend(self.alloc.formal(name, i).all_vars());
+        }
+        // Project onto the formal space: existentially quantify nothing —
+        // the interpretation already only mentions formal vars. Count by
+        // scaling: sat_count over all manager vars / 2^(others).
+        let total_vars = self.manager.var_count();
+        let full = self.manager.sat_count(b, total_vars);
+        let scale = 2f64.powi((total_vars - formal_vars.len()) as i32);
+        Ok(full / scale)
+    }
+}

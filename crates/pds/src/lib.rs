@@ -1,0 +1,26 @@
+//! Symbolic pushdown-system baselines, in the spirit of MOPED.
+//!
+//! The paper's evaluation (Figure 2) compares GETAFIX against MOPED's
+//! forward and backward engines. This crate reimplements both as
+//! *hand-coded* BDD algorithms — the low-level style the paper argues
+//! against writing by hand:
+//!
+//! * [`poststar`] — forward saturation ("MOPED 1"). Like Moped's forward
+//!   automaton construction, it grows procedure summaries from **every**
+//!   entry (the eager exploration of the saturation approach) and then
+//!   filters through reachable entries.
+//! * [`prestar`] — backward saturation ("MOPED 2"). Computes the set of
+//!   frame configurations that can reach the target, stepping backward
+//!   through internal edges and skipping calls via the eagerly computed
+//!   summaries. Backward search "can discover unreachable states" (§related
+//!   work) — the inefficiency these baselines exhibit on some suites.
+//!
+//! Both engines share a private symbolic encoding over raw variable blocks
+//! (`mod space`); there is no fixed-point calculus here, only manual image
+//! computation, renaming and quantification — several hundred lines where
+//! the formula in `getafix-core` is forty.
+
+mod engine;
+mod space;
+
+pub use engine::{poststar, prestar, PdsError, PdsResult};

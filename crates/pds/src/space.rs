@@ -1,0 +1,330 @@
+//! The hand-rolled variable space and transfer relations for the PDS
+//! baselines.
+//!
+//! Blocks (all interleaved bit-by-bit per kind so equalities and renames
+//! stay linear):
+//!
+//! * `pc[0..4]` — program-counter copies,
+//! * `l[0..4]`  — local-frame copies,
+//! * `g[0..4]`  — global copies.
+//!
+//! A *summary element* lives over `(l[0], g[0], pc[1], l[1], g[1])`:
+//! entry valuations (the entry pc is implied by `pc[1]`'s procedure) and
+//! current state — the same shape as the paper's `Conf`.
+
+use getafix_bdd::{Bdd, Manager, Var, VarMap};
+use getafix_boolprog::{Cfg, Edge, Pc, VarRef};
+use getafix_core::can_value;
+
+/// Number of copies of each block kind.
+pub const COPIES: usize = 5;
+
+/// The allocated variable space plus the program's transfer relations.
+pub struct Space {
+    /// Node manager.
+    pub m: Manager,
+    /// `pc[i]` blocks, LSB first.
+    pub pc: [Vec<Var>; COPIES],
+    /// `l[i]` blocks.
+    pub l: [Vec<Var>; COPIES],
+    /// `g[i]` blocks.
+    pub g: [Vec<Var>; COPIES],
+    /// Internal transitions over `(pc1, l1, g1) → (pc2, l2, g2)`.
+    pub int_rel: Bdd,
+    /// Calls: `(pc1 = call site, l1, g1)` to callee entry locals in `l2`
+    /// and entry pc in `pc2`.
+    pub call_rel: Bdd,
+    /// Call-site skip: `(pc1 = call, pc2 = return-to)`.
+    pub skip_rel: Bdd,
+    /// Return transfer: callee exit `(pc2 = exit, l2, g2)` with caller at
+    /// call site `(pc1, l1)` yields post-return `(l3, g3)`.
+    pub ret_rel: Bdd,
+    /// pc → its procedure's entry pc, over `(pc1, pc2)`.
+    pub proc_entry: Bdd,
+    /// Target pcs over `pc1`.
+    pub targets: Bdd,
+    /// Initial configuration over `(pc1, l1, g1)`.
+    pub init: Bdd,
+}
+
+fn eq_const(m: &mut Manager, bits: &[Var], value: u64) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for (i, &v) in bits.iter().enumerate() {
+        let lit = m.literal(v, (value >> i) & 1 == 1);
+        acc = m.and(acc, lit);
+    }
+    acc
+}
+
+fn eq_blocks(m: &mut Manager, a: &[Var], b: &[Var]) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for (&x, &y) in a.iter().zip(b) {
+        let fx = m.var(x);
+        let fy = m.var(y);
+        let e = m.iff(fx, fy);
+        acc = m.and(acc, e);
+    }
+    acc
+}
+
+fn eq_except(m: &mut Manager, a: &[Var], b: &[Var], except: &[usize]) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        if except.contains(&i) {
+            continue;
+        }
+        let fx = m.var(x);
+        let fy = m.var(y);
+        let e = m.iff(fx, fy);
+        acc = m.and(acc, e);
+    }
+    acc
+}
+
+fn zero_above(m: &mut Manager, vars: &[Var], width: usize) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for &v in vars.iter().skip(width) {
+        let nv = m.nvar(v);
+        acc = m.and(acc, nv);
+    }
+    acc
+}
+
+fn assign_bit(m: &mut Manager, target: Var, e: &getafix_boolprog::LExpr, l: &[Var], g: &[Var]) -> Bdd {
+    let ct = can_value(m, e, l, g, true);
+    let cf = can_value(m, e, l, g, false);
+    let t = m.var(target);
+    m.ite(t, ct, cf)
+}
+
+impl Space {
+    /// Allocates the blocks and builds every transfer relation for `cfg`.
+    pub fn build(cfg: &Cfg, target_pcs: &[Pc]) -> Space {
+        let mut m = Manager::new();
+        let pc_bits = 64 - (cfg.pc_count.max(2) as u64 - 1).leading_zeros() as usize;
+        let l_bits = cfg.max_locals().max(1);
+        let g_bits = cfg.globals.len().max(1);
+
+        // Interleaved allocation per kind.
+        let alloc = |m: &mut Manager, width: usize| -> [Vec<Var>; COPIES] {
+            let block = m.new_vars(width * COPIES);
+            std::array::from_fn(|c| (0..width).map(|b| block[b * COPIES + c]).collect())
+        };
+        let pc = alloc(&mut m, pc_bits);
+        let l = alloc(&mut m, l_bits);
+        let g = alloc(&mut m, g_bits);
+
+        let n_globals = cfg.globals.len();
+
+        // Internal transitions.
+        let mut int_rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let nl = proc.n_locals();
+            let frame = {
+                let a = zero_above(&mut m, &l[1], nl);
+                let b = zero_above(&mut m, &l[2], nl);
+                m.and(a, b)
+            };
+            for (&from, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Internal { to, guard, assigns } = e else { continue };
+                    let mut b = eq_const(&mut m, &pc[1], from as u64);
+                    let t = eq_const(&mut m, &pc[2], *to as u64);
+                    b = m.and(b, t);
+                    let gd = can_value(&mut m, guard, &l[1], &g[1], true);
+                    b = m.and(b, gd);
+                    let mut al = Vec::new();
+                    let mut ag = Vec::new();
+                    for (tv, ex) in assigns {
+                        let tvar = match tv {
+                            VarRef::Local(i) => {
+                                al.push(*i);
+                                l[2][*i]
+                            }
+                            VarRef::Global(i) => {
+                                ag.push(*i);
+                                g[2][*i]
+                            }
+                        };
+                        let a = assign_bit(&mut m, tvar, ex, &l[1], &g[1]);
+                        b = m.and(b, a);
+                    }
+                    let fl = eq_except(&mut m, &l[1][..nl], &l[2][..nl], &al);
+                    b = m.and(b, fl);
+                    let fg = eq_except(&mut m, &g[1][..n_globals], &g[2][..n_globals], &ag);
+                    b = m.and(b, fg);
+                    b = m.and(b, frame);
+                    int_rel = m.or(int_rel, b);
+                }
+            }
+        }
+
+        // Calls, skips, returns.
+        let mut call_rel = Bdd::FALSE;
+        let mut skip_rel = Bdd::FALSE;
+        let mut ret_rel = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let caller_frame = zero_above(&mut m, &l[1], proc.n_locals());
+            for (&from, edges) in &proc.edges {
+                for e in edges {
+                    let Edge::Call { callee, args, rets, ret_to } = e else { continue };
+                    let q = &cfg.procs[*callee];
+                    // call_rel
+                    {
+                        let mut b = eq_const(&mut m, &pc[1], from as u64);
+                        let t = eq_const(&mut m, &pc[2], q.entry as u64);
+                        b = m.and(b, t);
+                        for (i, arg) in args.iter().enumerate() {
+                            let a = assign_bit(&mut m, l[2][i], arg, &l[1], &g[1]);
+                            b = m.and(b, a);
+                        }
+                        let rest = zero_above(&mut m, &l[2], args.len());
+                        b = m.and(b, rest);
+                        b = m.and(b, caller_frame);
+                        call_rel = m.or(call_rel, b);
+                    }
+                    // skip_rel
+                    {
+                        let a = eq_const(&mut m, &pc[1], from as u64);
+                        let b = eq_const(&mut m, &pc[2], *ret_to as u64);
+                        let both = m.and(a, b);
+                        skip_rel = m.or(skip_rel, both);
+                    }
+                    // ret_rel: caller (pc1 = call, l1) + callee exit
+                    // (pc2, l2, g2) → post-return (l3, g3).
+                    {
+                        let local_targets: Vec<usize> = rets
+                            .iter()
+                            .filter_map(|r| match r {
+                                VarRef::Local(i) => Some(*i),
+                                _ => None,
+                            })
+                            .collect();
+                        let global_targets: Vec<usize> = rets
+                            .iter()
+                            .filter_map(|r| match r {
+                                VarRef::Global(i) => Some(*i),
+                                _ => None,
+                            })
+                            .collect();
+                        for exit in &q.exits {
+                            let mut b = eq_const(&mut m, &pc[1], from as u64);
+                            let x = eq_const(&mut m, &pc[2], exit.pc as u64);
+                            b = m.and(b, x);
+                            for (tv, ex) in rets.iter().zip(&exit.ret_exprs) {
+                                let tvar = match tv {
+                                    VarRef::Local(i) => l[3][*i],
+                                    VarRef::Global(i) => g[3][*i],
+                                };
+                                let a = assign_bit(&mut m, tvar, ex, &l[2], &g[2]);
+                                b = m.and(b, a);
+                            }
+                            let keep_l =
+                                eq_except(&mut m, &l[1][..proc.n_locals()], &l[3][..proc.n_locals()], &local_targets);
+                            b = m.and(b, keep_l);
+                            let keep_g =
+                                eq_except(&mut m, &g[2][..n_globals], &g[3][..n_globals], &global_targets);
+                            b = m.and(b, keep_g);
+                            let fu = zero_above(&mut m, &l[2], q.n_locals());
+                            b = m.and(b, fu);
+                            let fs = zero_above(&mut m, &l[3], proc.n_locals());
+                            b = m.and(b, fs);
+                            b = m.and(b, caller_frame);
+                            ret_rel = m.or(ret_rel, b);
+                        }
+                    }
+                }
+            }
+        }
+
+        // pc → proc entry; targets; init.
+        let mut proc_entry = Bdd::FALSE;
+        for proc in &cfg.procs {
+            let e = eq_const(&mut m, &pc[2], proc.entry as u64);
+            for p in proc.pc_range.0..proc.pc_range.1 {
+                let a = eq_const(&mut m, &pc[1], p as u64);
+                let both = m.and(a, e);
+                proc_entry = m.or(proc_entry, both);
+            }
+        }
+        let mut targets = Bdd::FALSE;
+        for &t in target_pcs {
+            let b = eq_const(&mut m, &pc[1], t as u64);
+            targets = m.or(targets, b);
+        }
+        let init = {
+            let mut b = eq_const(&mut m, &pc[1], cfg.procs[cfg.main].entry as u64);
+            let zl = eq_const(&mut m, &l[1], 0);
+            b = m.and(b, zl);
+            let zg = eq_const(&mut m, &g[1], 0);
+            m.and(b, zg)
+        };
+
+        Space {
+            m,
+            pc,
+            l,
+            g,
+            int_rel,
+            call_rel,
+            skip_rel,
+            ret_rel,
+            proc_entry,
+            targets,
+            init,
+        }
+    }
+
+    /// Renames blocks: all (pc, l, g) triples `(from_i → to_i)`.
+    pub fn rename_blocks(&mut self, f: Bdd, moves: &[(usize, usize)]) -> Bdd {
+        self.rename_parts(f, moves, moves, moves)
+    }
+
+    /// Renames per-kind blocks independently.
+    pub fn rename_parts(
+        &mut self,
+        f: Bdd,
+        pc_moves: &[(usize, usize)],
+        l_moves: &[(usize, usize)],
+        g_moves: &[(usize, usize)],
+    ) -> Bdd {
+        let mut pairs = Vec::new();
+        for &(a, b) in pc_moves {
+            pairs.extend(self.pc[a].iter().copied().zip(self.pc[b].iter().copied()));
+        }
+        for &(a, b) in l_moves {
+            pairs.extend(self.l[a].iter().copied().zip(self.l[b].iter().copied()));
+        }
+        for &(a, b) in g_moves {
+            pairs.extend(self.g[a].iter().copied().zip(self.g[b].iter().copied()));
+        }
+        let map = VarMap::new(pairs);
+        self.m.rename(f, &map)
+    }
+
+    /// Cube over selected kinds of blocks.
+    pub fn cube_parts(&mut self, pcs: &[usize], ls: &[usize], gs: &[usize]) -> Bdd {
+        let mut vars = Vec::new();
+        for &i in pcs {
+            vars.extend(self.pc[i].iter().copied());
+        }
+        for &i in ls {
+            vars.extend(self.l[i].iter().copied());
+        }
+        for &i in gs {
+            vars.extend(self.g[i].iter().copied());
+        }
+        self.m.cube(&vars)
+    }
+
+    /// Equality of the g blocks `a` and `b`.
+    pub fn eq_g(&mut self, a: usize, b: usize) -> Bdd {
+        eq_blocks(&mut self.m, &self.g[a].clone(), &self.g[b].clone())
+    }
+
+    /// Equality of the l blocks `a` and `b`.
+    pub fn eq_l(&mut self, a: usize, b: usize) -> Bdd {
+        eq_blocks(&mut self.m, &self.l[a].clone(), &self.l[b].clone())
+    }
+
+}

@@ -1,0 +1,161 @@
+//! The Windows NT Bluetooth driver model (Qadeer–Wu, KISS) — the Figure 3
+//! concurrent benchmark.
+//!
+//! Two thread templates share the driver state:
+//!
+//! * an **adder** performs I/O: atomically check-the-stopping-flag and
+//!   increment the pending-I/O count; assert the driver is not stopped;
+//!   decrement; signal the stopping event when the driver has drained.
+//!   The driver bug reproduced here: an adder that *fails* the flag check
+//!   still decrements the count (the error path releases a reference it
+//!   never took).
+//! * a **stopper** halts the driver: set the stopping flag, release the
+//!   driver's own reference, signal the event once drained, and mark the
+//!   driver stopped. The second driver bug: a stopper that finds the
+//!   reference already released decrements the adder count instead (a
+//!   double release).
+//!
+//! These two defects give exactly the Figure 3 bug thresholds:
+//!
+//! | configuration          | bug manifests at |
+//! |------------------------|------------------|
+//! | 1 adder + 1 stopper    | never            |
+//! | 1 adder + 2 stoppers   | ≥ 3 switches     |
+//! | 2 adders + 1 stopper   | ≥ 4 switches     |
+//! | 2 adders + 2 stoppers  | ≥ 3 switches     |
+//!
+//! The pending count is a 2-bit saturating counter in shared variables
+//! (`p0`, `p1`); the error label is `ERR` inside the adder (reachable ⇔ an
+//! adder performs I/O on a stopped driver).
+
+use getafix_boolprog::{parse_concurrent, ConcProgram};
+
+/// The adder thread template.
+const ADDER: &str = r#"
+thread
+  main() begin
+    decl go;
+    /* Atomic check-and-increment: go records whether the flag was clear;
+       the 2-bit count (p1 p0) is incremented only in that case. */
+    go, p0, p1 := !flag, p0 != !flag, p1 != (p0 & !flag);
+    if (go) then
+      /* I/O in flight: the driver must not be stopped. */
+      if (stopped) then ERR: skip; fi;
+      /* Release our reference (saturating decrement). */
+      if (p0 | p1) then p0, p1 := !p0, p1 != !p0; fi;
+      if (flag & released & !p0 & !p1) then ev := T; fi;
+    else
+      /* BUG: the failure path releases a reference it never acquired. */
+      if (p0 | p1) then p0, p1 := !p0, p1 != !p0; fi;
+      if (flag & released & !p0 & !p1) then ev := T; fi;
+    fi;
+  end
+endthread
+"#;
+
+/// The stopper thread template.
+const STOPPER: &str = r#"
+thread
+  main() begin
+    flag := T;
+    if (!released) then
+      released := T;
+    else
+      /* BUG: double release decrements the adders' count. */
+      if (p0 | p1) then p0, p1 := !p0, p1 != !p0; fi;
+    fi;
+    if (released & !p0 & !p1) then ev := T; fi;
+    if (ev) then stopped := T; fi;
+  end
+endthread
+"#;
+
+/// Builds the Bluetooth model with the given numbers of adder and stopper
+/// threads. Thread 0..adders-1 are adders; the rest are stoppers.
+///
+/// # Panics
+///
+/// Panics if both counts are zero (no threads).
+pub fn bluetooth(adders: usize, stoppers: usize) -> ConcProgram {
+    assert!(adders + stoppers > 0, "at least one thread required");
+    let mut src = String::from("shared flag, released, stopped, ev, p0, p1;\n");
+    for _ in 0..adders {
+        src.push_str(ADDER);
+    }
+    for _ in 0..stoppers {
+        src.push_str(STOPPER);
+    }
+    parse_concurrent(&src).expect("bluetooth template parses")
+}
+
+/// The error label of adder thread `i` (threads are numbered with adders
+/// first).
+pub fn adder_err_label(i: usize) -> String {
+    format!("t{i}__ERR")
+}
+
+/// The four Figure 3 configurations: `(name, adders, stoppers)`.
+pub const FIGURE3_CONFIGS: [(&str, usize, usize); 4] = [
+    ("one adder and one stopper", 1, 1),
+    ("one adder and two stoppers", 1, 2),
+    ("two adders and one stopper", 2, 1),
+    ("two adders and two stoppers", 2, 2),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_conc::{conc_explicit_reachable, merge, ConcLimits};
+
+    /// The first context switch at which the bug manifests, up to `max_k`,
+    /// per the explicit oracle.
+    fn threshold(adders: usize, stoppers: usize, max_k: usize) -> Option<usize> {
+        let conc = bluetooth(adders, stoppers);
+        let merged = merge(&conc).unwrap();
+        let targets: Vec<_> =
+            (0..adders).map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR")).collect();
+        (1..=max_k).find(|&k| {
+            conc_explicit_reachable(&merged, &targets, k, ConcLimits::default()).unwrap()
+        })
+    }
+
+    #[test]
+    fn one_adder_one_stopper_is_safe() {
+        assert_eq!(threshold(1, 1, 6), None, "the 2-thread configuration has no bug");
+    }
+
+    #[test]
+    fn two_stoppers_bug_at_three() {
+        assert_eq!(threshold(1, 2, 6), Some(3));
+    }
+
+    #[test]
+    fn one_stopper_two_adders_bug_at_four() {
+        assert_eq!(threshold(2, 1, 6), Some(4));
+    }
+
+    #[test]
+    fn two_and_two_bug_at_three() {
+        assert_eq!(threshold(2, 2, 6), Some(3));
+    }
+
+    /// The §5 symbolic engine must reproduce the same thresholds as the
+    /// explicit oracle on every configuration (the Figure 3 table).
+    #[test]
+    fn symbolic_engine_matches_thresholds() {
+        use getafix_conc::check_merged;
+        for (adders, stoppers, expect) in
+            [(1usize, 1usize, None), (1, 2, Some(3)), (2, 1, Some(4)), (2, 2, Some(3))]
+        {
+            let conc = bluetooth(adders, stoppers);
+            let merged = merge(&conc).unwrap();
+            let targets: Vec<_> = (0..adders)
+                .map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR"))
+                .collect();
+            let max_k = 4;
+            let got = (1..=max_k)
+                .find(|&k| check_merged(&merged, &targets, k).unwrap().reachable);
+            assert_eq!(got, expect, "{adders} adders + {stoppers} stoppers");
+        }
+    }
+}

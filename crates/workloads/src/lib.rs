@@ -1,0 +1,27 @@
+//! Benchmark workload generators for the Getafix reproduction — the
+//! stand-ins for the proprietary suites of the paper's evaluation:
+//!
+//! * [`regression_suite`] — 99 positive + 79 negative feature programs
+//!   (Figure 2, Regression rows);
+//! * [`slam_suites`] — four device-driver sub-suites with the
+//!   `iscsiprt`/`floppy`/negative/`iscsi` shapes (Figure 2, SLAM rows);
+//! * [`terminator_suite`] — state-rich counter programs in the two `dead`
+//!   modelings (Figure 2, Terminator rows);
+//! * [`bluetooth`] — the Qadeer–Wu Bluetooth driver model with adder and
+//!   stopper threads (Figure 3), tuned so the bug thresholds match the
+//!   paper's table exactly.
+//!
+//! All generators are deterministic (seeded); expected verdicts hold by
+//! construction and are re-checked against the explicit oracle in tests.
+
+mod bluetooth;
+mod regression;
+mod slam;
+mod terminator;
+
+pub use bluetooth::{adder_err_label, bluetooth, FIGURE3_CONFIGS};
+pub use regression::{regression_suite, Case};
+pub use slam::{driver, slam_suites, DriverCase, DriverSpec};
+pub use terminator::{
+    terminator, terminator_suite, DeadStyle, TerminatorCase, TerminatorVariant,
+};

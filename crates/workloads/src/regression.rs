@@ -1,0 +1,278 @@
+//! The Regression suite: small programs exercising individual language
+//! features, half with a reachable target ("positive") and half with an
+//! unreachable one ("negative") — the stand-in for the 99 + 79 SLAM
+//! regression programs of Figure 2.
+//!
+//! Programs are generated from feature templates crossed with small
+//! parameter variations; every program carries a `HIT` label whose
+//! reachability is guaranteed *by construction* (and double-checked against
+//! the explicit oracle in this crate's tests).
+
+use getafix_boolprog::{parse_program, Program};
+
+/// One benchmark case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Suite-unique name.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The reachability target label (always `"HIT"` in this suite).
+    pub label: String,
+    /// The expected verdict.
+    pub expect_reachable: bool,
+}
+
+fn case(name: String, src: &str, expect: bool) -> Case {
+    let program =
+        parse_program(src).unwrap_or_else(|e| panic!("regression template {name}: {e}\n{src}"));
+    Case { name, program, label: "HIT".into(), expect_reachable: expect }
+}
+
+/// Chain of `n` pass-through calls ending in a (non-)hit.
+fn call_chain(n: usize, positive: bool) -> String {
+    let mut procs = String::new();
+    for i in 0..n {
+        let next = if i + 1 < n {
+            format!("r := p{}(a);", i + 1)
+        } else if positive {
+            "r := a;".to_string()
+        } else {
+            "r := a & !a;".to_string()
+        };
+        procs.push_str(&format!(
+            "p{i}(a) returns 1 begin\n  decl r;\n  {next}\n  return r;\nend\n"
+        ));
+    }
+    format!(
+        "decl g;\nmain() begin\n  decl x;\n  x := p0(T);\n  if (x) then HIT: skip; fi;\nend\n{procs}"
+    )
+}
+
+/// Nested ifs `d` deep; the innermost branch is the target.
+fn nested_if(d: usize, positive: bool) -> String {
+    let guard = if positive { "x" } else { "x & !x" };
+    let mut body = "HIT: skip;\n".to_string();
+    for _ in 0..d {
+        body = format!("if ({guard}) then\n{body}fi;\n");
+    }
+    format!("main() begin\n  decl x;\n  x := T;\n{body}end\n")
+}
+
+/// While loop flipping a flag; parity decides reachability.
+fn loop_parity(iters: usize, positive: bool) -> String {
+    // After an even number of flips the flag is back to F.
+    let flips = if positive { iters * 2 + 1 } else { iters * 2 };
+    let mut flips_src = String::new();
+    for _ in 0..flips {
+        flips_src.push_str("  g := !g;\n");
+    }
+    format!(
+        "decl g;\nmain() begin\n  g := F;\n{flips_src}  if (g) then HIT: skip; fi;\nend\n"
+    )
+}
+
+/// Multi-value returns with swapping.
+fn multi_return(width: usize, positive: bool) -> String {
+    let params: Vec<String> = (0..width).map(|i| format!("a{i}")).collect();
+    let rets: Vec<String> = (0..width).rev().map(|i| format!("a{i}")).collect();
+    let targets: Vec<String> = (0..width).map(|i| format!("x{i}")).collect();
+    let args: Vec<String> =
+        (0..width).map(|i| if i == 0 { "T".into() } else { "F".into() }).collect();
+    // After the swap, the T ends up in the last slot.
+    let guard = if positive {
+        format!("x{}", width - 1)
+    } else {
+        format!("x{} & !x{}", width - 1, width - 1)
+    };
+    format!(
+        "main() begin\n  decl {};\n  {} := sw({});\n  if ({guard}) then HIT: skip; fi;\nend\n\
+         sw({}) returns {} begin\n  return {};\nend\n",
+        targets.join(", "),
+        targets.join(", "),
+        args.join(", "),
+        params.join(", "),
+        width,
+        rets.join(", ")
+    )
+}
+
+/// Recursion transporting a global.
+fn recursion(depth_flag: bool, positive: bool) -> String {
+    let set = if positive { "g := T;" } else { "g := g & !g;" };
+    let guard = if depth_flag { "d" } else { "*" };
+    format!(
+        "decl g;\nmain() begin\n  call r(F);\n  if (g) then HIT: skip; fi;\nend\n\
+         r(d) begin\n  if ({guard}) then\n    {set}\n  else\n    call r(T);\n  fi;\nend\n"
+    )
+}
+
+/// schoose-constrained choice.
+fn schoose_case(free: bool, positive: bool) -> String {
+    let expr = match (free, positive) {
+        (true, true) => "schoose [F, F]",   // free: can be T
+        (true, false) => "schoose [F, T]",  // forced F
+        (false, true) => "schoose [T, F]",  // forced T
+        (false, false) => "schoose [g, T]", // g is F initially: forced F
+    };
+    format!(
+        "decl g;\nmain() begin\n  decl x;\n  x := {expr};\n  if (x) then HIT: skip; fi;\nend\n"
+    )
+}
+
+/// Goto over poisoning code.
+fn goto_case(skip_poison: bool) -> String {
+    if skip_poison {
+        "decl g;\nmain() begin\n  g := T;\n  goto L;\n  g := F;\n  L: skip;\n  if (g) then HIT: skip; fi;\nend\n".into()
+    } else {
+        "decl g;\nmain() begin\n  g := T;\n  g := F;\n  L: skip;\n  if (g) then HIT: skip; fi;\nend\n".into()
+    }
+}
+
+/// assume pruning.
+fn assume_case(consistent: bool) -> String {
+    let a = if consistent { "x" } else { "!x" };
+    format!(
+        "main() begin\n  decl x;\n  x := *;\n  assume ({a});\n  if (x) then HIT: skip; fi;\nend\n"
+    )
+}
+
+/// Parallel assignment (swap chains).
+fn parallel_assign(rounds: usize, positive: bool) -> String {
+    let mut swaps = String::new();
+    for _ in 0..rounds {
+        swaps.push_str("  a, b := b, a;\n");
+    }
+    // After `rounds` swaps, T is in a iff rounds is even.
+    let guard = if (rounds % 2 == 0) == positive { "a" } else { "b" };
+    let negguard = if positive { guard.to_string() } else { format!("{guard} & !{guard}") };
+    format!(
+        "decl a, b;\nmain() begin\n  a := T;\n  b := F;\n{swaps}  if ({negguard}) then HIT: skip; fi;\nend\n"
+    )
+}
+
+/// Globals carried across a call boundary.
+fn global_via_call(positive: bool) -> String {
+    let v = if positive { "T" } else { "F" };
+    format!(
+        "decl g;\nmain() begin\n  call s();\n  if (g) then HIT: skip; fi;\nend\n\
+         s() begin\n  g := {v};\nend\n"
+    )
+}
+
+/// The full regression suite: `(positive cases, negative cases)`.
+///
+/// Sizes match Figure 2's row counts: 99 positive and 79 negative programs.
+pub fn regression_suite() -> (Vec<Case>, Vec<Case>) {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    let mut add = |name: String, src: String, expect: bool| {
+        let c = case(name, &src, expect);
+        if expect {
+            pos.push(c);
+        } else {
+            neg.push(c);
+        }
+    };
+
+    for n in 1..=12 {
+        add(format!("pos-chain-{n}"), call_chain(n, true), true);
+    }
+    for n in 1..=10 {
+        add(format!("neg-chain-{n}"), call_chain(n, false), false);
+    }
+    for d in 1..=12 {
+        add(format!("pos-nest-{d}"), nested_if(d, true), true);
+    }
+    for d in 1..=10 {
+        add(format!("neg-nest-{d}"), nested_if(d, false), false);
+    }
+    for i in 0..12 {
+        add(format!("pos-loop-{i}"), loop_parity(i, true), true);
+    }
+    for i in 1..=10 {
+        add(format!("neg-loop-{i}"), loop_parity(i, false), false);
+    }
+    for w in 1..=12 {
+        add(format!("pos-multiret-{w}"), multi_return(w, true), true);
+    }
+    for w in 1..=10 {
+        add(format!("neg-multiret-{w}"), multi_return(w, false), false);
+    }
+    for (i, df) in [true, false].into_iter().enumerate() {
+        add(format!("pos-rec-{i}"), recursion(df, true), true);
+        add(format!("neg-rec-{i}"), recursion(df, false), false);
+    }
+    for (i, fr) in [true, false].into_iter().enumerate() {
+        add(format!("pos-schoose-{i}"), schoose_case(fr, true), true);
+        add(format!("neg-schoose-{i}"), schoose_case(fr, false), false);
+    }
+    add("pos-goto".into(), goto_case(true), true);
+    add("neg-goto".into(), goto_case(false), false);
+    add("pos-assume".into(), assume_case(true), true);
+    add("neg-assume".into(), assume_case(false), false);
+    for r in 1..=12 {
+        add(format!("pos-par-{r}"), parallel_assign(r, true), true);
+    }
+    for r in 1..=10 {
+        add(format!("neg-par-{r}"), parallel_assign(r, false), false);
+    }
+    add("pos-gcall".into(), global_via_call(true), true);
+    add("neg-gcall".into(), global_via_call(false), false);
+
+    // Pad deterministically with slightly larger variants to hit the
+    // Figure 2 counts exactly (99 positive, 79 negative).
+    let mut extra = 0usize;
+    while pos.len() < 99 {
+        extra += 1;
+        let n = 12 + extra;
+        let c = case(format!("pos-chain-{n}"), &call_chain(n, true), true);
+        pos.push(c);
+    }
+    let mut extra = 0usize;
+    while neg.len() < 79 {
+        extra += 1;
+        let n = 10 + extra;
+        let c = case(format!("neg-chain-{n}"), &call_chain(n, false), false);
+        neg.push(c);
+    }
+    pos.truncate(99);
+    neg.truncate(79);
+    (pos, neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_boolprog::{explicit_reachable_label, Cfg};
+
+    #[test]
+    fn suite_sizes_match_figure2() {
+        let (pos, neg) = regression_suite();
+        assert_eq!(pos.len(), 99);
+        assert_eq!(neg.len(), 79);
+    }
+
+    #[test]
+    fn expected_verdicts_match_oracle() {
+        let (pos, neg) = regression_suite();
+        for c in pos.iter().chain(&neg) {
+            let cfg = Cfg::build(&c.program).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+            let r = explicit_reachable_label(&cfg, &c.label, 5_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name))
+                .unwrap_or_else(|| panic!("{}: no HIT label", c.name));
+            assert_eq!(r.reachable, c.expect_reachable, "case {}", c.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let (pos, neg) = regression_suite();
+        let mut names: Vec<&str> =
+            pos.iter().chain(&neg).map(|c| c.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

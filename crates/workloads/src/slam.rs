@@ -1,0 +1,216 @@
+//! SLAM-style device-driver workloads: long, procedure-heavy, shallow-state
+//! programs — the shape of the `iscsiprt` / `floppy` / `iscsi` suites in
+//! Figure 2.
+//!
+//! The originals are proprietary Microsoft predicate abstractions; these
+//! generators reproduce the *shape* that drives the measurements: many
+//! procedures, long dispatch chains, a lock/irql protocol threaded through
+//! every handler, and a small reachable state space (parse/encode
+//! dominated, small summary BDDs). Positive programs plant one genuine
+//! protocol violation (a double acquire); negative programs follow the
+//! protocol everywhere, so the violation guard is unreachable only through
+//! real interprocedural reasoning.
+
+use getafix_boolprog::{parse_program, Program};
+
+/// Shape parameters of a generated driver.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverSpec {
+    /// Number of handler procedures (on top of the protocol procedures).
+    pub handlers: usize,
+    /// Extra status globals threaded around.
+    pub globals: usize,
+    /// Local variables per handler.
+    pub locals: usize,
+    /// Statements of filler local computation per handler.
+    pub filler: usize,
+    /// Whether the bug (double acquire) is planted.
+    pub positive: bool,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// One generated driver case.
+#[derive(Debug, Clone)]
+pub struct DriverCase {
+    /// Case name.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// Target label.
+    pub label: String,
+    /// Expected verdict.
+    pub expect_reachable: bool,
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a driver with the given shape.
+pub fn driver(name: &str, spec: DriverSpec) -> DriverCase {
+    let mut rng = Rng(spec.seed | 1);
+    let mut src = String::new();
+
+    // Globals: the protocol state plus padding status flags.
+    let mut globals = vec!["lock".to_string(), "irql".to_string(), "pending".to_string()];
+    for i in 0..spec.globals {
+        globals.push(format!("st{i}"));
+    }
+    src.push_str(&format!("decl {};\n\n", globals.join(", ")));
+
+    // Protocol procedures. The violation guard lives in acquire().
+    src.push_str(
+        "acquire() begin\n  if (lock) then ERR: skip; fi;\n  lock := T;\nend\n\n\
+         release() begin\n  lock := F;\nend\n\n\
+         raise_irql() returns 1 begin\n  decl old;\n  old := irql;\n  irql := T;\n  return old;\nend\n\n\
+         lower_irql(old) begin\n  irql := old;\nend\n\n",
+    );
+
+    // Handlers: local computation, protocol usage, chained dispatch.
+    let buggy = if spec.positive { rng.below(spec.handlers as u64) as usize } else { usize::MAX };
+    for h in 0..spec.handlers {
+        let locals: Vec<String> = (0..spec.locals).map(|i| format!("v{i}")).collect();
+        src.push_str(&format!("handler{h}(arg) begin\n  decl {};\n", locals.join(", ")));
+        src.push_str("  decl old;\n");
+        // Filler computation over locals and status globals.
+        for _ in 0..spec.filler {
+            let t = rng.below(spec.locals as u64) as usize;
+            let a = rng.below(spec.locals as u64) as usize;
+            let g = rng.below(spec.globals.max(1) as u64) as usize;
+            let gname = if spec.globals > 0 { format!("st{g}") } else { "pending".into() };
+            match rng.below(4) {
+                0 => src.push_str(&format!("  v{t} := v{a} & {gname};\n")),
+                1 => src.push_str(&format!("  v{t} := v{a} | !arg;\n")),
+                2 => src.push_str(&format!(
+                    "  if (v{a}) then v{t} := {gname}; else v{t} := *; fi;\n"
+                )),
+                _ => src.push_str(&format!("  {gname} := {gname} != v{a};\n")),
+            }
+        }
+        // Protocol section.
+        src.push_str("  old := raise_irql();\n  call acquire();\n  pending := pending | arg;\n");
+        if h == buggy {
+            // The planted bug: re-acquire while holding the lock, guarded
+            // behind a feasible local condition.
+            src.push_str("  if (v0 | *) then\n    call acquire();\n  fi;\n");
+        }
+        src.push_str("  call release();\n  call lower_irql(old);\n");
+        // Chain to the next handler sometimes.
+        if h + 1 < spec.handlers && rng.below(2) == 0 {
+            src.push_str(&format!("  if (*) then call handler{}(v0);\n  fi;\n", h + 1));
+        }
+        src.push_str("end\n\n");
+    }
+
+    // Dispatch loop.
+    src.push_str("main() begin\n  decl req;\n  while (*) do\n    req := *;\n");
+    for h in 0..spec.handlers {
+        src.push_str(&format!("    if (*) then call handler{h}(req); fi;\n"));
+    }
+    src.push_str("  od;\nend\n");
+
+    let program =
+        parse_program(&src).unwrap_or_else(|e| panic!("driver generator {name}: {e}\n{src}"));
+    DriverCase {
+        name: name.to_string(),
+        program,
+        label: "ERR".into(),
+        expect_reachable: spec.positive,
+    }
+}
+
+/// The four Figure 2 driver sub-suites, scaled by `scale` (1 = small/test,
+/// larger values approach the paper's program sizes).
+pub fn slam_suites(scale: usize) -> Vec<(String, Vec<DriverCase>)> {
+    let s = scale.max(1);
+    let mk = |name: &str, count: usize, handlers: usize, globals: usize, locals: usize,
+              positive: bool|
+     -> (String, Vec<DriverCase>) {
+        let cases = (0..count)
+            .map(|i| {
+                driver(
+                    &format!("{name}-{i}"),
+                    DriverSpec {
+                        handlers: handlers * s,
+                        globals,
+                        locals,
+                        filler: 4 * s,
+                        positive,
+                        seed: 0xBEEF ^ ((i as u64 + 1) * 0x9E3779B9),
+                    },
+                )
+            })
+            .collect();
+        (name.to_string(), cases)
+    };
+    vec![
+        // (name, #programs, handlers, globals, locals/handler, positive)
+        mk("iscsiprt", 15, 6, 3, 8, true),
+        mk("floppy", 12, 8, 5, 10, true),
+        mk("driver-neg", 4, 6, 8, 8, false),
+        mk("iscsi", 16, 7, 12, 12, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_boolprog::{explicit_reachable_label, Cfg};
+
+    #[test]
+    fn small_drivers_match_expected_verdicts() {
+        for positive in [true, false] {
+            let c = driver(
+                "test",
+                DriverSpec {
+                    handlers: 3,
+                    globals: 2,
+                    locals: 3,
+                    filler: 2,
+                    positive,
+                    seed: 42,
+                },
+            );
+            let cfg = Cfg::build(&c.program).unwrap();
+            let r = explicit_reachable_label(&cfg, &c.label, 5_000_000)
+                .unwrap()
+                .expect("ERR label");
+            assert_eq!(r.reachable, c.expect_reachable, "positive={positive}");
+        }
+    }
+
+    #[test]
+    fn suites_have_figure2_counts() {
+        let suites = slam_suites(1);
+        let counts: Vec<usize> = suites.iter().map(|(_, cs)| cs.len()).collect();
+        assert_eq!(counts, vec![15, 12, 4, 16]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = driver("d", DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 });
+        let b = driver("d", DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 });
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn loc_grows_with_scale() {
+        let small = slam_suites(1)[0].1[0].program.loc();
+        let big = slam_suites(3)[0].1[0].program.loc();
+        assert!(big > 2 * small, "scale 3: {big} vs scale 1: {small}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Terminator-style workloads: short programs with *many* live Boolean
+//! variables and loops — the state-rich shape of the Terminator rows in
+//! Figure 2, where reachable-set BDDs get large and GETAFIX shines.
+//!
+//! The original benchmarks contain `dead` statements (variables abandoned
+//! by the termination argument); the paper models them two ways —
+//! "iterative" nondeterministic if-then-else reassignment, and a `schoose`
+//! assignment. Both emissions are reproduced here via [`DeadStyle`].
+
+use getafix_boolprog::{parse_program, Program};
+
+/// How `dead x` is modeled (the two Figure 2 row variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadStyle {
+    /// `if (*) then x := T; else x := F; fi` per variable.
+    Iterative,
+    /// `x := schoose [F, F]` per variable (unconstrained choice).
+    Schoose,
+}
+
+/// The three Terminator program families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminatorVariant {
+    /// A bit-counter that eventually overflows: target reachable.
+    A,
+    /// Two counters in lock-step: divergence target unreachable, with a
+    /// large reachable relation (the hard case).
+    B,
+    /// A parity invariant over many globals: target unreachable.
+    C,
+}
+
+/// A generated Terminator case.
+#[derive(Debug, Clone)]
+pub struct TerminatorCase {
+    /// Case name.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// Target label.
+    pub label: String,
+    /// Expected verdict.
+    pub expect_reachable: bool,
+}
+
+fn dead_stmt(vars: &[String], style: DeadStyle) -> String {
+    let mut out = String::new();
+    for v in vars {
+        match style {
+            DeadStyle::Iterative => {
+                out.push_str(&format!("  if (*) then {v} := T; else {v} := F; fi;\n"));
+            }
+            DeadStyle::Schoose => {
+                out.push_str(&format!("  {v} := schoose [F, F];\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Generates a Terminator-style case; `bits` controls the counter width
+/// (state-space size doubles per bit).
+pub fn terminator(variant: TerminatorVariant, style: DeadStyle, bits: usize) -> TerminatorCase {
+    let b = bits.max(2);
+    let style_name = match style {
+        DeadStyle::Iterative => "iterative",
+        DeadStyle::Schoose => "schoose",
+    };
+    let (src, expect) = match variant {
+        TerminatorVariant::A => (gen_a(b, style), true),
+        TerminatorVariant::B => (gen_b(b, style), false),
+        TerminatorVariant::C => (gen_c(b, style), false),
+    };
+    let name = format!("terminator-{variant:?}-{style_name}-{b}");
+    let program =
+        parse_program(&src).unwrap_or_else(|e| panic!("terminator generator {name}: {e}\n{src}"));
+    TerminatorCase { name, program, label: "HIT".into(), expect_reachable: expect }
+}
+
+/// Increment of an LSB-first bit vector named `p{i}`, as one parallel
+/// assignment (bit i flips iff all lower bits are set).
+fn increment(prefix: &str, b: usize) -> String {
+    let mut targets = Vec::new();
+    let mut exprs = Vec::new();
+    for i in 0..b {
+        targets.push(format!("{prefix}{i}"));
+        let carry: Vec<String> = (0..i).map(|j| format!("{prefix}{j}")).collect();
+        if carry.is_empty() {
+            exprs.push(format!("!{prefix}{i}"));
+        } else {
+            exprs.push(format!("{prefix}{i} != ({})", carry.join(" & ")));
+        }
+    }
+    format!("  {} := {};\n", targets.join(", "), exprs.join(", "))
+}
+
+fn all_set(prefix: &str, b: usize) -> String {
+    (0..b).map(|i| format!("{prefix}{i}")).collect::<Vec<_>>().join(" & ")
+}
+
+/// Variant A: counter runs to all-ones; the target checks the overflow.
+fn gen_a(b: usize, style: DeadStyle) -> String {
+    let decls: Vec<String> = (0..b).map(|i| format!("x{i}")).collect();
+    let olds: Vec<String> = (0..b).map(|i| format!("o{i}")).collect();
+    let snapshot: String = (0..b).map(|i| format!("  o{i} := x{i};\n")).collect();
+    format!(
+        "decl done;\nmain() begin\n  decl {xs}, {os};\n\
+         {reset}\
+         \n  while (!({full})) do\n{snapshot}{inc}    call note();\n  od;\n\
+         {dead}\
+         \n  if ({full}) then HIT: skip; fi;\nend\n\n\
+         note() begin\n  done := done | *;\nend\n",
+        xs = decls.join(", "),
+        os = olds.join(", "),
+        reset = (0..b).map(|i| format!("  x{i} := F;\n")).collect::<String>(),
+        full = all_set("x", b),
+        snapshot = snapshot,
+        inc = increment("x", b),
+        dead = dead_stmt(&olds, style),
+    )
+}
+
+/// Variant B: two counters stepped identically; divergence unreachable.
+fn gen_b(b: usize, style: DeadStyle) -> String {
+    let xs: Vec<String> = (0..b).map(|i| format!("x{i}")).collect();
+    let ys: Vec<String> = (0..b).map(|i| format!("y{i}")).collect();
+    let tmp: Vec<String> = (0..b).map(|i| format!("t{i}")).collect();
+    let diverged: String =
+        (0..b).map(|i| format!("(x{i} != y{i})")).collect::<Vec<_>>().join(" | ");
+    format!(
+        "decl round;\nmain() begin\n  decl {xs}, {ys}, {ts};\n\
+         {reset}\
+         \n  while (*) do\n{incx}{incy}    round := !round;\n{dead}  od;\n\
+         \n  if ({diverged}) then HIT: skip; fi;\nend\n",
+        xs = xs.join(", "),
+        ys = ys.join(", "),
+        ts = tmp.join(", "),
+        reset = (0..b)
+            .map(|i| format!("  x{i} := F;\n  y{i} := F;\n"))
+            .collect::<String>(),
+        incx = increment("x", b),
+        incy = increment("y", b),
+        dead = dead_stmt(&tmp, style),
+        diverged = diverged,
+    )
+}
+
+/// Variant C: flips always occur in pairs, so the parity of the globals is
+/// invariant; the odd-parity target is unreachable.
+fn gen_c(b: usize, style: DeadStyle) -> String {
+    let gs: Vec<String> = (0..b).map(|i| format!("g{i}")).collect();
+    let locals: Vec<String> = (0..b.min(6)).map(|i| format!("l{i}")).collect();
+    let mut flips = String::new();
+    for i in 0..b {
+        let j = (i + 1) % b;
+        flips.push_str(&format!(
+            "    if (*) then g{i}, g{j} := !g{i}, !g{j}; fi;\n"
+        ));
+    }
+    // Left-fold the parity xor with explicit parentheses (the expression
+    // grammar does not chain `!=`).
+    let parity = gs[1..]
+        .iter()
+        .fold(gs[0].clone(), |acc, g| format!("({acc} != {g})"));
+    format!(
+        "decl {gs};\nmain() begin\n  decl {ls};\n\
+         \n  while (*) do\n{flips}{dead}  od;\n\
+         \n  if ({parity}) then HIT: skip; fi;\nend\n",
+        gs = gs.join(", "),
+        ls = locals.join(", "),
+        flips = flips,
+        dead = dead_stmt(&locals, style),
+        parity = parity,
+    )
+}
+
+/// The six Figure 2 Terminator rows: A/B/C × iterative/schoose.
+pub fn terminator_suite(bits: usize) -> Vec<TerminatorCase> {
+    let mut out = Vec::new();
+    for variant in [TerminatorVariant::A, TerminatorVariant::B, TerminatorVariant::C] {
+        for style in [DeadStyle::Iterative, DeadStyle::Schoose] {
+            out.push(terminator(variant, style, bits));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_boolprog::{explicit_reachable_label, Cfg};
+
+    #[test]
+    fn verdicts_match_oracle_small() {
+        for case in terminator_suite(3) {
+            let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let r = explicit_reachable_label(&cfg, &case.label, 5_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name))
+                .expect("HIT exists");
+            assert_eq!(r.reachable, case.expect_reachable, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn suite_has_six_rows() {
+        assert_eq!(terminator_suite(3).len(), 6);
+    }
+
+    #[test]
+    fn state_grows_with_bits() {
+        let small = terminator(TerminatorVariant::B, DeadStyle::Schoose, 2);
+        let big = terminator(TerminatorVariant::B, DeadStyle::Schoose, 5);
+        assert!(big.program.metadata().total_locals > small.program.metadata().total_locals);
+    }
+}

@@ -1,0 +1,1 @@
+//! Cross-crate integration-test package (tests live in `tests/tests/`).

@@ -1,0 +1,97 @@
+//! Workspace-wide integration tests: every engine (four formula-driven
+//! algorithms, three hand-coded baselines, the explicit oracle) on every
+//! workload family, all agreeing.
+
+use getafix_bebop::bebop_reachable;
+use getafix_boolprog::{explicit_reachable, Cfg};
+use getafix_core::{check_reachability, Algorithm};
+use getafix_pds::{poststar, prestar};
+use getafix_workloads::{
+    driver, regression_suite, terminator_suite, DriverSpec,
+};
+
+/// Runs all engines on a case and asserts unanimity with the expectation.
+fn all_engines_agree(name: &str, program: &getafix_boolprog::Program, label: &str, expect: bool) {
+    let cfg = Cfg::build(program).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let pc = cfg.label(label).unwrap_or_else(|| panic!("{name}: no {label}"));
+
+    let oracle = explicit_reachable(&cfg, &[pc], 10_000_000)
+        .unwrap_or_else(|e| panic!("{name} oracle: {e}"))
+        .reachable;
+    assert_eq!(oracle, expect, "{name}: oracle vs construction");
+
+    for algo in Algorithm::ALL {
+        let r = check_reachability(&cfg, &[pc], algo)
+            .unwrap_or_else(|e| panic!("{name} {algo}: {e}"));
+        assert_eq!(r.reachable, expect, "{name} ({algo})");
+    }
+    assert_eq!(poststar(&cfg, &[pc]).unwrap().reachable, expect, "{name} (post*)");
+    assert_eq!(prestar(&cfg, &[pc]).unwrap().reachable, expect, "{name} (pre*)");
+    assert_eq!(bebop_reachable(&cfg, &[pc]).unwrap().reachable, expect, "{name} (bebop)");
+}
+
+#[test]
+fn regression_sample_unanimous() {
+    // Every 8th case of each half keeps debug-mode runtime reasonable while
+    // covering every feature template family.
+    let (pos, neg) = regression_suite();
+    for c in pos.iter().step_by(8).chain(neg.iter().step_by(8)) {
+        all_engines_agree(&c.name, &c.program, &c.label, c.expect_reachable);
+    }
+}
+
+#[test]
+fn terminator_small_unanimous() {
+    for c in terminator_suite(3) {
+        all_engines_agree(&c.name, &c.program, &c.label, c.expect_reachable);
+    }
+}
+
+#[test]
+fn driver_small_unanimous() {
+    for positive in [true, false] {
+        let c = driver(
+            if positive { "pos" } else { "neg" },
+            DriverSpec { handlers: 3, globals: 3, locals: 4, filler: 3, positive, seed: 0x1517 },
+        );
+        all_engines_agree(&c.name, &c.program, &c.label, c.expect_reachable);
+    }
+}
+
+#[test]
+fn ef_summary_sizes_match_theorem2() {
+    // Theorem 2 / Theorem 3: EF and EF-opt compute the same summary set,
+    // so on an unreachable target (no early termination) their final BDD
+    // node counts must coincide.
+    let c = driver(
+        "sizes",
+        DriverSpec { handlers: 3, globals: 2, locals: 3, filler: 2, positive: false, seed: 9 },
+    );
+    let cfg = Cfg::build(&c.program).unwrap();
+    let pc = cfg.label(&c.label).unwrap();
+    let ef = check_reachability(&cfg, &[pc], Algorithm::EntryForward).unwrap();
+    let efo = check_reachability(&cfg, &[pc], Algorithm::EntryForwardOpt).unwrap();
+    assert!(!ef.reachable && !efo.reachable);
+    assert_eq!(
+        ef.summary_nodes, efo.summary_nodes,
+        "EF and EF-opt summary BDDs must be identical on completion"
+    );
+}
+
+#[test]
+fn emitted_formulae_reparse() {
+    // The "page of formulae" pretty-printing round-trips through the
+    // mu-calculus parser for every algorithm.
+    let c = driver(
+        "emit",
+        DriverSpec { handlers: 2, globals: 2, locals: 2, filler: 1, positive: true, seed: 4 },
+    );
+    let cfg = Cfg::build(&c.program).unwrap();
+    for algo in Algorithm::ALL {
+        let sys = getafix_core::emit_system(&cfg, algo).unwrap();
+        let printed = sys.to_string();
+        let reparsed = getafix_mucalc::parse_system(&printed)
+            .unwrap_or_else(|e| panic!("{algo}: {e}\n{printed}"));
+        assert_eq!(printed, reparsed.to_string(), "{algo}: print∘parse∘print stable");
+    }
+}
