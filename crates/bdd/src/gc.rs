@@ -65,7 +65,12 @@ impl Manager {
         GcResult { roots: new_roots, nodes_before, nodes_after }
     }
 
-    fn copy_rec(&self, old: u32, remap: &mut FxHashMap<u32, u32>, new_nodes: &mut Vec<Node>) -> u32 {
+    fn copy_rec(
+        &self,
+        old: u32,
+        remap: &mut FxHashMap<u32, u32>,
+        new_nodes: &mut Vec<Node>,
+    ) -> u32 {
         if let Some(&n) = remap.get(&old) {
             return n;
         }

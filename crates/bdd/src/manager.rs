@@ -177,7 +177,11 @@ impl Manager {
     /// Returns `None` for the constant functions.
     pub fn root_var(&self, f: Bdd) -> Option<Var> {
         let n = self.nodes[f.0 as usize];
-        if n.var == TERMINAL_LEVEL { None } else { Some(Var(n.var)) }
+        if n.var == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(Var(n.var))
+        }
     }
 
     /// The low (else) cofactor of a non-terminal node.
@@ -227,7 +231,11 @@ impl Manager {
     /// The constant function for `value`.
     #[inline]
     pub fn constant(&self, value: bool) -> Bdd {
-        if value { Bdd::TRUE } else { Bdd::FALSE }
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
     }
 
     /// The projection function of variable `v` (i.e. the literal `v`).
@@ -242,7 +250,11 @@ impl Manager {
 
     /// The literal `v` or `¬v` depending on `positive`.
     pub fn literal(&mut self, v: Var, positive: bool) -> Bdd {
-        if positive { self.var(v) } else { self.nvar(v) }
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
     }
 
     /// Negation `¬f`.
@@ -426,7 +438,11 @@ impl Manager {
         }
         let n = self.nodes[f.0 as usize];
         let r = if fl == v.0 {
-            if value { Bdd(n.hi) } else { Bdd(n.lo) }
+            if value {
+                Bdd(n.hi)
+            } else {
+                Bdd(n.lo)
+            }
         } else {
             let lo = self.restrict(Bdd(n.lo), v, value);
             let hi = self.restrict(Bdd(n.hi), v, value);

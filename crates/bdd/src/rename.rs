@@ -45,11 +45,8 @@ impl VarMap {
     /// Panics if a source or target variable occurs twice (the substitution
     /// must be a partial injection).
     pub fn new<I: IntoIterator<Item = (Var, Var)>>(pairs: I) -> Self {
-        let mut v: Vec<(u32, u32)> = pairs
-            .into_iter()
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| (a.0, b.0))
-            .collect();
+        let mut v: Vec<(u32, u32)> =
+            pairs.into_iter().filter(|(a, b)| a != b).map(|(a, b)| (a.0, b.0)).collect();
         v.sort_unstable();
         for w in v.windows(2) {
             assert_ne!(w[0].0, w[1].0, "VarMap: duplicate source variable v{}", w[0].0);

@@ -61,10 +61,7 @@ impl Expr {
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Expr::Const),
-        (0..NVARS).prop_map(Expr::Var),
-    ];
+    let leaf = prop_oneof![any::<bool>().prop_map(Expr::Const), (0..NVARS).prop_map(Expr::Var),];
     leaf.prop_recursive(4, 48, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),

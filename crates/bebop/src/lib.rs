@@ -220,11 +220,8 @@ impl<'a> Engine<'a> {
 
         // Exit point: resume recorded callers.
         if proc.is_exit(pc) {
-            let waiting: Vec<(ProcId, Pc, usize)> = self
-                .callers
-                .get(&proc.id)
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default();
+            let waiting: Vec<(ProcId, Pc, usize)> =
+                self.callers.get(&proc.id).map(|s| s.iter().copied().collect()).unwrap_or_default();
             for (caller_proc, call_pc, edge_idx) in waiting {
                 self.apply_return(caller_proc, call_pc, edge_idx, proc.id, pc)?;
             }
@@ -372,12 +369,8 @@ pub fn bebop_reachable(cfg: &Cfg, targets: &[Pc]) -> Result<BebopResult, BebopEr
     // Seed: main entry, everything false, entry = current.
     let main = &cfg.procs[cfg.main];
     let seed = {
-        let blocks: Vec<Vec<Var>> = vec![
-            e.b.l[0].clone(),
-            e.b.l[1].clone(),
-            e.b.g[0].clone(),
-            e.b.g[1].clone(),
-        ];
+        let blocks: Vec<Vec<Var>> =
+            vec![e.b.l[0].clone(), e.b.l[1].clone(), e.b.g[0].clone(), e.b.g[1].clone()];
         let m = &mut e.m;
         let mut b = Bdd::TRUE;
         for blk in &blocks {

@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use getafix_bebop::bebop_reachable;
 use getafix_boolprog::{Cfg, Pc};
-use getafix_core::{check_reachability, Algorithm};
+use getafix_core::{check_reachability, check_reachability_with, Algorithm};
+use getafix_mucalc::{SolveOptions, Strategy};
 use getafix_pds::{poststar, prestar};
 use getafix_workloads::{
     driver, regression_suite, terminator, DeadStyle, DriverSpec, TerminatorVariant,
@@ -21,12 +22,8 @@ fn engines(c: &mut Criterion, group: &str, cfg: &Cfg, pc: Pc) {
     g.bench_function("getafix-ef-opt", |b| {
         b.iter(|| check_reachability(black_box(cfg), &[pc], Algorithm::EntryForwardOpt).unwrap())
     });
-    g.bench_function("moped1-poststar", |b| {
-        b.iter(|| poststar(black_box(cfg), &[pc]).unwrap())
-    });
-    g.bench_function("moped2-prestar", |b| {
-        b.iter(|| prestar(black_box(cfg), &[pc]).unwrap())
-    });
+    g.bench_function("moped1-poststar", |b| b.iter(|| poststar(black_box(cfg), &[pc]).unwrap()));
+    g.bench_function("moped2-prestar", |b| b.iter(|| prestar(black_box(cfg), &[pc]).unwrap()));
     g.bench_function("bebop-worklist", |b| {
         b.iter(|| bebop_reachable(black_box(cfg), &[pc]).unwrap())
     });
@@ -56,10 +53,9 @@ fn bench_slam(c: &mut Criterion) {
 }
 
 fn bench_terminator(c: &mut Criterion) {
-    for (variant, style) in [
-        (TerminatorVariant::A, DeadStyle::Iterative),
-        (TerminatorVariant::B, DeadStyle::Schoose),
-    ] {
+    for (variant, style) in
+        [(TerminatorVariant::A, DeadStyle::Iterative), (TerminatorVariant::B, DeadStyle::Schoose)]
+    {
         let case = terminator(variant, style, 3);
         let cfg = Cfg::build(&case.program).unwrap();
         let pc = cfg.label(&case.label).unwrap();
@@ -67,5 +63,37 @@ fn bench_terminator(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_regression, bench_slam, bench_terminator);
+/// Worklist vs round-robin scheduling, isolated from the engine
+/// comparison: the same formula algorithms, both solver strategies. The
+/// largest spread is on `simple`, whose `Summary`/`EntryReach` strata the
+/// round-robin semantics re-derives nestedly.
+fn bench_strategies(c: &mut Criterion) {
+    let (pos, _) = regression_suite();
+    // Same representative case as bench_regression; its name is part of the
+    // group label so a suite reordering shows up as a renamed benchmark
+    // rather than silently incomparable numbers.
+    let case = &pos[5];
+    let cfg = Cfg::build(&case.program).unwrap();
+    let pc = cfg.label(&case.label).unwrap();
+    for algo in [Algorithm::SummarySimple, Algorithm::EntryForward] {
+        let mut g = c.benchmark_group(format!("fig2-strategy/{}/{algo}", case.name));
+        g.sample_size(10);
+        for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+            g.bench_function(strategy.to_string(), |b| {
+                b.iter(|| {
+                    check_reachability_with(
+                        black_box(&cfg),
+                        &[pc],
+                        algo,
+                        SolveOptions::with_strategy(strategy),
+                    )
+                    .unwrap()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_regression, bench_slam, bench_terminator, bench_strategies);
 criterion_main!(benches);

@@ -10,9 +10,8 @@ fn bench_bluetooth(c: &mut Criterion) {
     for (adders, stoppers) in [(1usize, 1usize), (1, 2), (2, 1)] {
         let conc = bluetooth(adders, stoppers);
         let merged = merge(&conc).unwrap();
-        let targets: Vec<_> = (0..adders)
-            .map(|i| merged.cfg.label(&adder_err_label(i)).unwrap())
-            .collect();
+        let targets: Vec<_> =
+            (0..adders).map(|i| merged.cfg.label(&adder_err_label(i)).unwrap()).collect();
         let mut g = c.benchmark_group(format!("fig3-bluetooth/{adders}a{stoppers}s"));
         g.sample_size(10);
         for k in [1usize, 2, 3] {

@@ -24,7 +24,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
 
-    println!("E7 — return-clause rewrite (split vs naive), Terminator workloads, {bits}-bit counters\n");
+    println!(
+        "E7 — return-clause rewrite (split vs naive), Terminator workloads, {bits}-bit counters\n"
+    );
     println!("{:<34} {:>10} {:>10} {:>10} {:>8}", "case", "naive", "split", "ef-opt", "speedup");
     for variant in [TerminatorVariant::A, TerminatorVariant::B, TerminatorVariant::C] {
         for style in [DeadStyle::Iterative, DeadStyle::Schoose] {
@@ -61,8 +63,7 @@ fn main() {
         );
         let cfg = Cfg::build(&case.program).expect("cfg");
         let pc = cfg.label(&case.label).expect("label");
-        let simple =
-            check_reachability(&cfg, &[pc], Algorithm::SummarySimple).expect("simple");
+        let simple = check_reachability(&cfg, &[pc], Algorithm::SummarySimple).expect("simple");
         let ef = check_reachability(&cfg, &[pc], Algorithm::EntryForward).expect("ef");
         let opt = check_reachability(&cfg, &[pc], Algorithm::EntryForwardOpt).expect("opt");
         assert_eq!(simple.reachable, case.expect_reachable);

@@ -10,8 +10,7 @@
 //! which engine wins where, and by what rough factor — is the result.
 
 use getafix_bench::{
-    print_fig2_header, print_fig2_row, regression_cases, run_fig2_row, slam_cases,
-    terminator_cases,
+    print_fig2_header, print_fig2_row, regression_cases, run_fig2_row, slam_cases, terminator_cases,
 };
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {

@@ -19,7 +19,7 @@ fn main() {
         .unwrap_or(6);
 
     println!("Figure 3 — Bluetooth driver, bounded context-switching reachability\n");
-    println!("{:<9} {:<10} {:<14} {:<10} {}", "Context", "Reachable", "Reach set", "BDD", "Time");
+    println!("{:<9} {:<10} {:<14} {:<10} Time", "Context", "Reachable", "Reach set", "BDD");
     println!("{:<9} {:<10} {:<14} {:<10}", "switches", "", "size", "nodes");
     for &(name, adders, stoppers) in &FIGURE3_CONFIGS {
         let (merged, rows) = run_fig3_config(adders, stoppers, max_k);

@@ -5,7 +5,8 @@
 use getafix_bebop::bebop_reachable;
 use getafix_boolprog::{Cfg, Pc, Program};
 use getafix_conc::{check_merged, merge, Merged};
-use getafix_core::{check_reachability, Algorithm};
+use getafix_core::{check_reachability, check_reachability_with, Algorithm};
+use getafix_mucalc::{SolveOptions, Strategy};
 use getafix_pds::{poststar, prestar};
 use getafix_workloads as workloads;
 use std::time::Duration;
@@ -89,16 +90,12 @@ pub fn run_fig2_row(name: &str, cases: &[SeqCase]) -> Fig2Row {
         let ef = check_reachability(&cfg, &[pc], Algorithm::EntryForward)
             .unwrap_or_else(|e| panic!("{} ef: {e}", case.name));
         assert_eq!(ef.reachable, case.expect, "{} (ef)", case.name);
-        row.ef += Duration::from_secs_f64(
-            (ef.encode_time + ef.solve_time).as_secs_f64() / n,
-        );
+        row.ef += Duration::from_secs_f64((ef.encode_time + ef.solve_time).as_secs_f64() / n);
 
         let efo = check_reachability(&cfg, &[pc], Algorithm::EntryForwardOpt)
             .unwrap_or_else(|e| panic!("{} ef-opt: {e}", case.name));
         assert_eq!(efo.reachable, case.expect, "{} (ef-opt)", case.name);
-        row.ef_opt += Duration::from_secs_f64(
-            (efo.encode_time + efo.solve_time).as_secs_f64() / n,
-        );
+        row.ef_opt += Duration::from_secs_f64((efo.encode_time + efo.solve_time).as_secs_f64() / n);
         row.nodes += efo.summary_nodes as f64 / n;
 
         let m1 = poststar(&cfg, &[pc]).unwrap_or_else(|e| panic!("{} post*: {e}", case.name));
@@ -109,7 +106,8 @@ pub fn run_fig2_row(name: &str, cases: &[SeqCase]) -> Fig2Row {
         assert_eq!(m2.reachable, case.expect, "{} (pre*)", case.name);
         row.moped2 += Duration::from_secs_f64(m2.time.as_secs_f64() / n);
 
-        let bb = bebop_reachable(&cfg, &[pc]).unwrap_or_else(|e| panic!("{} bebop: {e}", case.name));
+        let bb =
+            bebop_reachable(&cfg, &[pc]).unwrap_or_else(|e| panic!("{} bebop: {e}", case.name));
         assert_eq!(bb.reachable, case.expect, "{} (bebop)", case.name);
         row.bebop += Duration::from_secs_f64(bb.time.as_secs_f64() / n);
     }
@@ -194,6 +192,58 @@ pub fn terminator_cases(bits: usize) -> Vec<SeqCase> {
             expect: c.expect_reachable,
         })
         .collect()
+}
+
+/// Work done by each solver strategy on the same cases: total relation
+/// re-evaluations (body compilations), the scheduling-quality measure of
+/// the worklist engine.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyComparison {
+    /// Total re-evaluations under [`Strategy::RoundRobin`].
+    pub round_robin: usize,
+    /// Total re-evaluations under [`Strategy::Worklist`].
+    pub worklist: usize,
+    /// Cases where the strategies disagreed with each other *or* with the
+    /// expected verdict (must stay empty — the worklist engine is only a
+    /// scheduler, and both strategies must match the construction).
+    pub verdict_mismatches: Vec<String>,
+}
+
+/// Runs `algorithm` on every case under both strategies and accumulates
+/// total re-evaluations; verdicts are cross-checked against each other and
+/// the expectation.
+///
+/// # Panics
+///
+/// Panics if either strategy errs.
+pub fn compare_strategies(cases: &[SeqCase], algorithm: Algorithm) -> StrategyComparison {
+    let mut cmp = StrategyComparison::default();
+    for case in cases {
+        let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let pc = cfg
+            .label(&case.label)
+            .unwrap_or_else(|| panic!("{}: no label {}", case.name, case.label));
+        let rr = check_reachability_with(
+            &cfg,
+            &[pc],
+            algorithm,
+            SolveOptions::with_strategy(Strategy::RoundRobin),
+        )
+        .unwrap_or_else(|e| panic!("{} rr: {e}", case.name));
+        let wl = check_reachability_with(
+            &cfg,
+            &[pc],
+            algorithm,
+            SolveOptions::with_strategy(Strategy::Worklist),
+        )
+        .unwrap_or_else(|e| panic!("{} wl: {e}", case.name));
+        cmp.round_robin += rr.reevaluations;
+        cmp.worklist += wl.reevaluations;
+        if rr.reachable != wl.reachable || rr.reachable != case.expect {
+            cmp.verdict_mismatches.push(case.name.clone());
+        }
+    }
+    cmp
 }
 
 /// One Figure 3 row: a configuration at one switch bound.

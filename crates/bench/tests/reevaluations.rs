@@ -1,0 +1,104 @@
+//! The worklist engine's acceptance criterion, checked on the Figure 2
+//! workload families: same verdicts as the round-robin reference, never
+//! more relation re-evaluations, and *strictly fewer* wherever the system
+//! has more than one stratum (the `simple` algorithm's `Summary` /
+//! `EntryReach` split, and the concurrent `Reach` / `ReachCanon` split).
+
+use getafix_bench::{compare_strategies, regression_cases, terminator_cases};
+use getafix_conc::{check_merged_with, merge};
+use getafix_core::Algorithm;
+use getafix_mucalc::{SolveOptions, Strategy};
+use getafix_workloads::{adder_err_label, bluetooth, driver, DriverSpec};
+
+/// A small cross-section of the fig2 corpus: a few regression programs of
+/// each polarity plus one SLAM-shaped driver.
+fn sample_cases() -> Vec<getafix_bench::SeqCase> {
+    let (pos, neg) = regression_cases();
+    let mut cases: Vec<_> =
+        pos.into_iter().step_by(24).chain(neg.into_iter().step_by(24)).collect();
+    let d = driver(
+        "strategy-driver",
+        DriverSpec { handlers: 3, globals: 2, locals: 3, filler: 2, positive: false, seed: 7 },
+    );
+    cases.push(getafix_bench::SeqCase {
+        name: d.name,
+        program: d.program,
+        label: d.label,
+        expect: d.expect_reachable,
+    });
+    cases.extend(terminator_cases(2).into_iter().take(2));
+    cases
+}
+
+#[test]
+fn worklist_never_exceeds_round_robin() {
+    let cases = sample_cases();
+    for algo in Algorithm::ALL {
+        let cmp = compare_strategies(&cases, algo);
+        assert!(
+            cmp.verdict_mismatches.is_empty(),
+            "{algo}: verdict mismatches on {:?}",
+            cmp.verdict_mismatches
+        );
+        assert!(
+            cmp.worklist <= cmp.round_robin,
+            "{algo}: worklist did MORE work ({} > {})",
+            cmp.worklist,
+            cmp.round_robin
+        );
+    }
+}
+
+#[test]
+fn worklist_strictly_reduces_on_stratified_systems() {
+    // The `simple` algorithm has two strata (`Summary`, then `EntryReach`
+    // reading it); round-robin re-derives the full `Summary` fixpoint
+    // inside every `EntryReach` round, the worklist engine solves it once.
+    let cases = sample_cases();
+    let cmp = compare_strategies(&cases, Algorithm::SummarySimple);
+    assert!(cmp.verdict_mismatches.is_empty(), "{:?}", cmp.verdict_mismatches);
+    assert!(
+        cmp.worklist < cmp.round_robin,
+        "expected a strict re-evaluation reduction, got {} vs {}",
+        cmp.worklist,
+        cmp.round_robin
+    );
+}
+
+#[test]
+fn worklist_strictly_reduces_on_the_conc_engine() {
+    // Figure 3 workload: `ReachCanon` (tuple counting) is a separate
+    // stratum over `Reach`; the worklist strategy reads the memoized
+    // `Reach` instead of re-deriving its fixpoint.
+    let conc = bluetooth(1, 1);
+    let merged = merge(&conc).expect("merge");
+    let targets = vec![merged.cfg.label(&adder_err_label(0)).expect("ERR label")];
+    let rr =
+        check_merged_with(&merged, &targets, 2, SolveOptions::with_strategy(Strategy::RoundRobin))
+            .expect("round-robin");
+    let wl =
+        check_merged_with(&merged, &targets, 2, SolveOptions::with_strategy(Strategy::Worklist))
+            .expect("worklist");
+    assert_eq!(rr.reachable, wl.reachable);
+    assert_eq!(rr.reach_tuples, wl.reach_tuples);
+    assert_eq!(rr.reach_nodes, wl.reach_nodes);
+    assert!(
+        wl.stats.total_reevaluations() < rr.stats.total_reevaluations(),
+        "expected strict reduction, got {} vs {}",
+        wl.stats.total_reevaluations(),
+        rr.stats.total_reevaluations()
+    );
+}
+
+#[test]
+fn ef_opt_is_routed_to_the_reference_semantics() {
+    // The EF-opt system is one non-monotone component; the worklist
+    // scheduler must not reorder it — identical work, identical answers.
+    let cases = sample_cases();
+    let cmp = compare_strategies(&cases[..3.min(cases.len())], Algorithm::EntryForwardOpt);
+    assert!(cmp.verdict_mismatches.is_empty(), "{:?}", cmp.verdict_mismatches);
+    assert_eq!(
+        cmp.worklist, cmp.round_robin,
+        "non-monotone components must run the reference schedule verbatim"
+    );
+}

@@ -226,11 +226,7 @@ impl Program {
             max_returns: self.procs.iter().map(|p| p.returns).max().unwrap_or(0),
             max_params: self.procs.iter().map(|p| p.params.len()).max().unwrap_or(0),
             globals: self.globals.len(),
-            total_locals: self
-                .procs
-                .iter()
-                .map(|p| p.params.len() + p.locals.len())
-                .sum(),
+            total_locals: self.procs.iter().map(|p| p.params.len() + p.locals.len()).sum(),
             max_locals: self
                 .procs
                 .iter()

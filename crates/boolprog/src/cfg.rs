@@ -400,7 +400,10 @@ impl<'a> Builder<'a> {
                 // it is reachable the program is malformed — but
                 // reachability is semantic, so accept it structurally and
                 // let it carry no return values only when k = 0.
-                pl.exits.push(ExitPoint { pc: exit_pc, ret_exprs: vec![LExpr::Const(false); p.returns] });
+                pl.exits.push(ExitPoint {
+                    pc: exit_pc,
+                    ret_exprs: vec![LExpr::Const(false); p.returns],
+                });
             } else {
                 pl.exits.push(ExitPoint { pc: exit_pc, ret_exprs: Vec::new() });
             }
@@ -523,9 +526,7 @@ impl<'a> Builder<'a> {
             StmtKind::CallAssign { targets, callee, args } => {
                 self.lower_call(pl, here, next, callee, args, targets)
             }
-            StmtKind::Call { callee, args } => {
-                self.lower_call(pl, here, next, callee, args, &[])
-            }
+            StmtKind::Call { callee, args } => self.lower_call(pl, here, next, callee, args, &[]),
             StmtKind::Return(exprs) => {
                 if exprs.len() != pl.returns {
                     return Err(BuildError(format!(
@@ -624,10 +625,12 @@ impl<'a> Builder<'a> {
             }
             rets.push(tv);
         }
-        pl.edges
-            .entry(here)
-            .or_default()
-            .push(Edge::Call { callee: callee_id, args: largs, rets, ret_to: next });
+        pl.edges.entry(here).or_default().push(Edge::Call {
+            callee: callee_id,
+            args: largs,
+            rets,
+            ret_to: next,
+        });
         Ok(())
     }
 }
@@ -859,21 +862,16 @@ mod tests {
         let Edge::Internal { assigns, .. } = &main.edges[&main.entry][0] else { panic!() };
         assert_eq!(
             assigns,
-            &vec![
-                (VarRef::Local(0), LExpr::Nondet),
-                (VarRef::Local(1), LExpr::Nondet)
-            ]
+            &vec![(VarRef::Local(0), LExpr::Nondet), (VarRef::Local(1), LExpr::Nondet)]
         );
     }
 
     #[test]
     fn errors_detected() {
         assert!(build_err("f() begin skip; end").0.contains("main"));
-        assert!(build_err(
-            "main() begin call f(T); end f(a, b) begin skip; end"
-        )
-        .0
-        .contains("parameters"));
+        assert!(build_err("main() begin call f(T); end f(a, b) begin skip; end")
+            .0
+            .contains("parameters"));
         assert!(build_err("main() begin decl x; x := g; end").0.contains("unknown variable"));
         assert!(build_err("decl g; main() begin decl g; skip; end").0.contains("shadows"));
         assert!(build_err("main() begin return T; end").0.contains("returns 0"));

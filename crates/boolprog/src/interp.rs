@@ -114,8 +114,7 @@ pub fn explicit_reachable(
     let mut edges_seen = 0usize;
 
     let main = &cfg.procs[cfg.main];
-    let seed_entry =
-        EntryKey { proc: cfg.main, globals: 0, locals: 0 };
+    let seed_entry = EntryKey { proc: cfg.main, globals: 0, locals: 0 };
     let seed_state = State { pc: main.entry, globals: 0, locals: 0 };
     path.entry(seed_entry).or_default().insert(seed_state);
     work.push_back((seed_entry, seed_state));
@@ -210,7 +209,11 @@ pub fn explicit_reachable(
                         let callee_cfg = &cfg.procs[*callee];
                         push_edge!(
                             centry,
-                            State { pc: callee_cfg.entry, globals: state.globals, locals: callee_locals }
+                            State {
+                                pc: callee_cfg.entry,
+                                globals: state.globals,
+                                locals: callee_locals
+                            }
                         );
                         // Apply any summaries already computed.
                         if let Some(sums) = summaries.get(&centry) {
@@ -320,11 +323,7 @@ fn apply_return(
     rets: &[VarRef],
 ) -> Vec<State> {
     let proc = &cfg.procs[callee];
-    let exit = proc
-        .exits
-        .iter()
-        .find(|e| e.pc == exit_state.pc)
-        .expect("exit state at an exit pc");
+    let exit = proc.exits.iter().find(|e| e.pc == exit_state.pc).expect("exit state at an exit pc");
     let read = |v: VarRef| read_var(exit_state.globals, exit_state.locals, v);
     let sets: Vec<(bool, bool)> = exit.ret_exprs.iter().map(|e| e.value_set(&read)).collect();
     enumerate_choices(&sets)
@@ -347,10 +346,7 @@ mod tests {
 
     fn reach(src: &str, label: &str) -> bool {
         let cfg = Cfg::build(&parse_program(src).unwrap()).unwrap();
-        explicit_reachable_label(&cfg, label, 1_000_000)
-            .unwrap()
-            .expect("label exists")
-            .reachable
+        explicit_reachable_label(&cfg, label, 1_000_000).unwrap().expect("label exists").reachable
     }
 
     #[test]

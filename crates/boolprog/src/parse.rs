@@ -98,8 +98,27 @@ struct Spanned {
 }
 
 const KEYWORDS: &[&str] = &[
-    "decl", "begin", "end", "skip", "call", "return", "returns", "if", "then", "else", "fi",
-    "while", "do", "od", "assert", "assume", "goto", "dead", "schoose", "shared", "thread",
+    "decl",
+    "begin",
+    "end",
+    "skip",
+    "call",
+    "return",
+    "returns",
+    "if",
+    "then",
+    "else",
+    "fi",
+    "while",
+    "do",
+    "od",
+    "assert",
+    "assume",
+    "goto",
+    "dead",
+    "schoose",
+    "shared",
+    "thread",
     "endthread",
 ];
 
@@ -161,7 +180,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 }
                 let sym1 = ["(", ")", "[", "]", ",", ";", ":", "&", "|", "!", "=", "*"]
                     .iter()
-                    .find(|&&s| s.chars().next() == Some(c));
+                    .find(|&&s| s.starts_with(c));
                 if let Some(&s) = sym1 {
                     out.push(Spanned { tok: Tok::Sym(s), line, col });
                     i += 1;
@@ -195,7 +214,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     col += i - start;
                     continue;
                 }
-                return Err(ParseError { message: format!("unexpected character `{c}`"), line, col });
+                return Err(ParseError {
+                    message: format!("unexpected character `{c}`"),
+                    line,
+                    col,
+                });
             }
         }
     }

@@ -15,16 +15,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Schoose(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Schoose(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -50,9 +45,16 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let kinds = base.prop_recursive(3, 16, 3, |inner| {
         let stmt = inner.prop_map(Stmt::new);
         prop_oneof![
-            (expr_strategy(), prop::collection::vec(stmt.clone(), 1..3),
-             prop::collection::vec(stmt.clone(), 0..2))
-                .prop_map(|(c, t, e)| StmtKind::If { cond: c, then_branch: t, else_branch: e }),
+            (
+                expr_strategy(),
+                prop::collection::vec(stmt.clone(), 1..3),
+                prop::collection::vec(stmt.clone(), 0..2)
+            )
+                .prop_map(|(c, t, e)| StmtKind::If {
+                    cond: c,
+                    then_branch: t,
+                    else_branch: e
+                }),
             (expr_strategy(), prop::collection::vec(stmt, 1..3))
                 .prop_map(|(c, b)| StmtKind::While { cond: c, body: b }),
         ]

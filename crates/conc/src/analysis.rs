@@ -5,7 +5,7 @@ use crate::merge::{merge, Merged};
 use crate::system::{system_conc, ConcParams};
 use getafix_boolprog::{BuildError, ConcProgram, Pc};
 use getafix_core::install_templates;
-use getafix_mucalc::{eq_const, Bdd, SolveError, Solver, SystemError};
+use getafix_mucalc::{eq_const, Bdd, SolveError, SolveOptions, SolveStats, Solver, SystemError};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,8 @@ pub struct ConcResult {
     pub solve_time: Duration,
     /// The bound used.
     pub switches: usize,
+    /// Full per-relation / per-SCC solver statistics.
+    pub stats: SolveStats,
 }
 
 /// Builds a ready-to-run solver for the merged program at bound `k`.
@@ -81,6 +83,21 @@ pub fn build_conc_solver(
     targets: &[Pc],
     switches: usize,
 ) -> Result<Solver, ConcError> {
+    build_conc_solver_with(merged, targets, switches, SolveOptions::default())
+}
+
+/// As [`build_conc_solver`], with explicit solver options (strategy,
+/// iteration bound).
+///
+/// # Errors
+///
+/// Propagates merge/system/encoding/option errors.
+pub fn build_conc_solver_with(
+    merged: &Merged,
+    targets: &[Pc],
+    switches: usize,
+    options: SolveOptions,
+) -> Result<Solver, ConcError> {
     if switches == 0 {
         return Err(ConcError::System(
             "a context-switch bound of 0 is a sequential question; \
@@ -90,7 +107,7 @@ pub fn build_conc_solver(
     }
     let params = ConcParams { switches, threads: merged.n_threads };
     let system = system_conc(&merged.cfg, params)?;
-    let mut solver = Solver::new(system)?;
+    let mut solver = Solver::with_options(system, options)?;
     install_templates(&mut solver, &merged.cfg, targets)
         .map_err(|e| ConcError::Solve(e.to_string()))?;
 
@@ -100,9 +117,7 @@ pub fn build_conc_solver(
     let t_inst = solver.alloc().formal("InitConf", 0).clone();
     let s_inst = solver.alloc().formal("InitConf", 1).clone();
     let t_vars = t_inst.all_vars();
-    let leaf = |name: &str| {
-        s_inst.leaves_under(&[name.to_string()])[0].vars.clone()
-    };
+    let leaf = |name: &str| s_inst.leaves_under(&[name.to_string()])[0].vars.clone();
     let (pc_v, cl_v, cg_v, ecl_v, ecg_v) =
         (leaf("pc"), leaf("cl"), leaf("cg"), leaf("ecl"), leaf("ecg"));
     let m = solver.manager();
@@ -138,12 +153,23 @@ pub fn check_conc_reachability(
     label: &str,
     switches: usize,
 ) -> Result<ConcResult, ConcError> {
+    check_conc_reachability_with(conc, label, switches, SolveOptions::default())
+}
+
+/// As [`check_conc_reachability`], with explicit solver options.
+///
+/// # Errors
+///
+/// Propagates merge/system/evaluation errors.
+pub fn check_conc_reachability_with(
+    conc: &ConcProgram,
+    label: &str,
+    switches: usize,
+    options: SolveOptions,
+) -> Result<ConcResult, ConcError> {
     let merged = merge(conc)?;
-    let pc = merged
-        .cfg
-        .label(label)
-        .ok_or_else(|| ConcError::NoSuchTarget(label.to_string()))?;
-    check_merged(&merged, &[pc], switches)
+    let pc = merged.cfg.label(label).ok_or_else(|| ConcError::NoSuchTarget(label.to_string()))?;
+    check_merged_with(&merged, &[pc], switches, options)
 }
 
 /// As [`check_conc_reachability`], over an already-merged program.
@@ -156,19 +182,35 @@ pub fn check_merged(
     targets: &[Pc],
     switches: usize,
 ) -> Result<ConcResult, ConcError> {
-    let mut solver = build_conc_solver(merged, targets, switches)?;
+    check_merged_with(merged, targets, switches, SolveOptions::default())
+}
+
+/// As [`check_merged`], with explicit solver options.
+///
+/// # Errors
+///
+/// Propagates system/evaluation errors.
+pub fn check_merged_with(
+    merged: &Merged,
+    targets: &[Pc],
+    switches: usize,
+    options: SolveOptions,
+) -> Result<ConcResult, ConcError> {
+    let mut solver = build_conc_solver_with(merged, targets, switches, options)?;
     let t0 = Instant::now();
     let reachable = solver.eval_query("reach")?;
     let solve_time = t0.elapsed();
     // Count over the canonicalized relation (unused ḡ/t̄ coordinates pinned).
     let reach_tuples = solver.tuple_count("ReachCanon")?;
-    let stats = solver.stats().relations.get("Reach").cloned().unwrap_or_default();
+    let stats = solver.stats().clone();
+    let main = stats.relations.get("Reach").cloned().unwrap_or_default();
     Ok(ConcResult {
         reachable,
         reach_tuples,
-        reach_nodes: stats.final_nodes,
-        iterations: stats.iterations,
+        reach_nodes: main.final_nodes,
+        iterations: main.iterations,
         solve_time,
         switches,
+        stats,
     })
 }

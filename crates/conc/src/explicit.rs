@@ -128,12 +128,7 @@ pub fn conc_explicit_reachable(
                     // First activation: start at the thread's main.
                     let entry = merged.thread_entries[next];
                     let proc = merged.cfg.proc_of(entry).id;
-                    c2.stacks[next].push(Frame {
-                        proc,
-                        pc: entry,
-                        locals: 0,
-                        on_return: None,
-                    });
+                    c2.stacks[next].push(Frame { proc, pc: entry, locals: 0, on_return: None });
                 }
                 successors.push(c2);
             }
@@ -216,8 +211,7 @@ fn step_active(
             for vals in enumerate_choices(&sets) {
                 let mut c2 = c.clone();
                 c2.stacks[c.active].pop();
-                let caller =
-                    c2.stacks[c.active].last_mut().expect("caller frame below callee");
+                let caller = c2.stacks[c.active].last_mut().expect("caller frame below callee");
                 caller.pc = *ret_to;
                 let mut g2 = c2.globals;
                 let mut l2 = caller.locals;

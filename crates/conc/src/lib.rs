@@ -47,7 +47,8 @@ mod merge;
 mod system;
 
 pub use analysis::{
-    build_conc_solver, check_conc_reachability, check_merged, ConcError, ConcResult,
+    build_conc_solver, build_conc_solver_with, check_conc_reachability,
+    check_conc_reachability_with, check_merged, check_merged_with, ConcError, ConcResult,
 };
 pub use explicit::{conc_explicit_reachable, ConcExplicitError, ConcLimits};
 pub use merge::{merge, Merged};

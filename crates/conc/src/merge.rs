@@ -8,9 +8,7 @@
 //! unique pcs across threads, so the concurrent `Reach` relation reuses the
 //! sequential template relations unchanged.
 
-use getafix_boolprog::{
-    BuildError, Cfg, ConcProgram, Expr, Pc, Proc, Program, Stmt, StmtKind,
-};
+use getafix_boolprog::{BuildError, Cfg, ConcProgram, Expr, Pc, Proc, Program, Stmt, StmtKind};
 use std::collections::BTreeSet;
 
 /// The merged view of a concurrent program.
@@ -45,8 +43,7 @@ pub fn merge(conc: &ConcProgram) -> Result<Merged, BuildError> {
 
     for (i, thread) in conc.threads.iter().enumerate() {
         let prefix = format!("t{i}__");
-        let thread_globals: BTreeSet<&str> =
-            thread.globals.iter().map(String::as_str).collect();
+        let thread_globals: BTreeSet<&str> = thread.globals.iter().map(String::as_str).collect();
         for g in &thread.globals {
             globals.push(format!("{prefix}{g}"));
         }
@@ -101,9 +98,7 @@ impl Renamer<'_> {
             Expr::Or(a, b) => Expr::Or(Box::new(self.expr(a)), Box::new(self.expr(b))),
             Expr::Eq(a, b) => Expr::Eq(Box::new(self.expr(a)), Box::new(self.expr(b))),
             Expr::Ne(a, b) => Expr::Ne(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Schoose(a, b) => {
-                Expr::Schoose(Box::new(self.expr(a)), Box::new(self.expr(b)))
-            }
+            Expr::Schoose(a, b) => Expr::Schoose(Box::new(self.expr(a)), Box::new(self.expr(b))),
         }
     }
 
@@ -140,10 +135,7 @@ impl Renamer<'_> {
             StmtKind::Goto(l) => StmtKind::Goto(format!("t{thread}__{l}")),
             StmtKind::Dead(vars) => StmtKind::Dead(vars.iter().map(|v| self.var(v)).collect()),
         };
-        Stmt {
-            label: s.label.as_ref().map(|l| format!("t{thread}__{l}")),
-            kind,
-        }
+        Stmt { label: s.label.as_ref().map(|l| format!("t{thread}__{l}")), kind }
     }
 }
 

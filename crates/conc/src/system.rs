@@ -67,10 +67,7 @@ fn cs_ty() -> Type {
 
 /// `x`'s entry fields match `s`'s.
 fn same_entry(x: &str, s: &str) -> Formula {
-    Formula::and(vec![
-        eq(fld(x, "ecl"), fld(s, "ecl")),
-        eq(fld(x, "ecg"), fld(s, "ecg")),
-    ])
+    Formula::and(vec![eq(fld(x, "ecl"), fld(s, "ecl")), eq(fld(x, "ecg"), fld(s, "ecg"))])
 }
 
 /// Generates the §5.1 system for `cfg` (a merged concurrent program).
@@ -108,8 +105,7 @@ pub fn system_conc(cfg: &Cfg, params: ConcParams) -> Result<System, SystemError>
         ("ts".to_string(), Type::named("TVec")),
     ];
     // Standard tail for recursive applications: same gs/ts vectors.
-    let reach =
-        |s: Term, ecs: Term, cs: Term| app("Reach", vec![s, ecs, cs, v("gs"), v("ts")]);
+    let reach = |s: Term, ecs: Term, cs: Term| app("Reach", vec![s, ecs, cs, v("gs"), v("ts")]);
 
     // --- ϕ_init -----------------------------------------------------------
     let phi_init = Formula::and(vec![
@@ -227,9 +223,7 @@ pub fn system_conc(cfg: &Cfg, params: ConcParams) -> Result<System, SystemError>
             eq(v("cs"), Term::int(j as u64)),
             eq(v("cs2"), Term::int((j - 1) as u64)),
             // First: t_j differs from every earlier context's thread.
-            Formula::and(
-                (0..j).map(|r| Formula::ne(t_at("ts", r), t_at("ts", j))).collect(),
-            ),
+            Formula::and((0..j).map(|r| Formula::ne(t_at("ts", r), t_at("ts", j))).collect()),
             // v.Global = g_cs = y.Global
             eq(fld("s", "cg"), g_at("gs", j)),
             eq(fld("x", "cg"), g_at("gs", j)),
@@ -241,10 +235,7 @@ pub fn system_conc(cfg: &Cfg, params: ConcParams) -> Result<System, SystemError>
         eq(v("ecs"), v("cs")),
         Formula::exists(
             vec![("x".into(), conf()), ("cs2".into(), cs_ty()), ("ecs2".into(), cs_ty())],
-            Formula::and(vec![
-                reach(v("x"), v("ecs2"), v("cs2")),
-                Formula::or(first_cases),
-            ]),
+            Formula::and(vec![reach(v("x"), v("ecs2"), v("cs2")), Formula::or(first_cases)]),
         ),
     ]);
 
@@ -314,10 +305,7 @@ pub fn system_conc(cfg: &Cfg, params: ConcParams) -> Result<System, SystemError>
     for j in 1..=k {
         canon.push(Formula::or(vec![
             Formula::le(Term::int(j as u64), v("cs")),
-            Formula::and(vec![
-                eq(g_at("gs", j), Term::int(0)),
-                eq(t_at("ts", j), Term::int(0)),
-            ]),
+            Formula::and(vec![eq(g_at("gs", j), Term::int(0)), eq(t_at("ts", j), Term::int(0))]),
         ]));
     }
     b.define(

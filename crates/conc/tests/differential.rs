@@ -3,9 +3,7 @@
 //! monotonicity invariant (reachable at k ⇒ reachable at k+1).
 
 use getafix_boolprog::parse_concurrent;
-use getafix_conc::{
-    check_conc_reachability, conc_explicit_reachable, merge, ConcLimits,
-};
+use getafix_conc::{check_conc_reachability, conc_explicit_reachable, merge, ConcLimits};
 
 fn compare(src: &str, label: &str, max_k: usize) {
     let conc = parse_concurrent(src).unwrap_or_else(|e| panic!("parse: {e}"));

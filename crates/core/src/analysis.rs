@@ -4,7 +4,7 @@
 use crate::encode::{install_templates, EncodeError};
 use crate::systems::{system_ef, system_efopt, system_simple};
 use getafix_boolprog::{Cfg, Pc};
-use getafix_mucalc::{SolveError, SolveOptions, Solver, System, SystemError};
+use getafix_mucalc::{SolveError, SolveOptions, SolveStats, Solver, System, SystemError};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -110,12 +110,18 @@ pub struct AnalysisResult {
     pub summary_nodes: usize,
     /// Outer fixpoint iterations of the main relation.
     pub iterations: usize,
+    /// Total relation re-evaluations (body compilations) across the whole
+    /// system — the scheduling-quality measure the worklist strategy
+    /// minimizes.
+    pub reevaluations: usize,
     /// Wall-clock time of evaluation (excluding parsing/encoding).
     pub solve_time: Duration,
     /// Wall-clock time of template encoding.
     pub encode_time: Duration,
     /// The algorithm used.
     pub algorithm: Algorithm,
+    /// Full per-relation / per-SCC solver statistics.
+    pub stats: SolveStats,
 }
 
 /// Generates the equation system for `algorithm` over `cfg` (exposed so
@@ -133,7 +139,8 @@ pub fn emit_system(cfg: &Cfg, algorithm: Algorithm) -> Result<System, AnalysisEr
     })
 }
 
-/// Builds a ready-to-run solver: system generated, templates installed.
+/// Builds a ready-to-run solver with default options: system generated,
+/// templates installed.
 ///
 /// # Errors
 ///
@@ -143,13 +150,29 @@ pub fn build_solver(
     targets: &[Pc],
     algorithm: Algorithm,
 ) -> Result<Solver, AnalysisError> {
+    build_solver_with(cfg, targets, algorithm, SolveOptions::default())
+}
+
+/// As [`build_solver`], with explicit solver options (strategy, iteration
+/// bound).
+///
+/// # Errors
+///
+/// Propagates generation, encoding and option-validation errors.
+pub fn build_solver_with(
+    cfg: &Cfg,
+    targets: &[Pc],
+    algorithm: Algorithm,
+    options: SolveOptions,
+) -> Result<Solver, AnalysisError> {
     let system = emit_system(cfg, algorithm)?;
-    let mut solver = Solver::with_options(system, SolveOptions::default())?;
+    let mut solver = Solver::with_options(system, options)?;
     install_templates(&mut solver, cfg, targets)?;
     Ok(solver)
 }
 
-/// Checks whether any pc in `targets` is reachable, using `algorithm`.
+/// Checks whether any pc in `targets` is reachable, using `algorithm` and
+/// the default solver options.
 ///
 /// # Errors
 ///
@@ -159,21 +182,38 @@ pub fn check_reachability(
     targets: &[Pc],
     algorithm: Algorithm,
 ) -> Result<AnalysisResult, AnalysisError> {
+    check_reachability_with(cfg, targets, algorithm, SolveOptions::default())
+}
+
+/// As [`check_reachability`], with explicit solver options.
+///
+/// # Errors
+///
+/// Propagates generation, encoding and evaluation errors.
+pub fn check_reachability_with(
+    cfg: &Cfg,
+    targets: &[Pc],
+    algorithm: Algorithm,
+    options: SolveOptions,
+) -> Result<AnalysisResult, AnalysisError> {
     let t0 = Instant::now();
-    let mut solver = build_solver(cfg, targets, algorithm)?;
+    let mut solver = build_solver_with(cfg, targets, algorithm, options)?;
     let encode_time = t0.elapsed();
     let t1 = Instant::now();
     let reachable = solver.eval_query("reach")?;
     let solve_time = t1.elapsed();
     let rel = algorithm.main_relation();
-    let stats = solver.stats().relations.get(rel).cloned().unwrap_or_default();
+    let stats = solver.stats().clone();
+    let main = stats.relations.get(rel).cloned().unwrap_or_default();
     Ok(AnalysisResult {
         reachable,
-        summary_nodes: stats.final_nodes,
-        iterations: stats.iterations,
+        summary_nodes: main.final_nodes,
+        iterations: main.iterations,
+        reevaluations: stats.total_reevaluations(),
         solve_time,
         encode_time,
         algorithm,
+        stats,
     })
 }
 

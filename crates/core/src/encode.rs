@@ -27,8 +27,8 @@
 //! `ite(v', can_true(e), can_false(e))` — exactly the relation the explicit
 //! oracle's `value_set` induces pointwise.
 
-use getafix_boolprog::{Cfg, Edge, LExpr, Pc, VarRef};
 use getafix_bdd::{Bdd, Manager, Var};
+use getafix_boolprog::{Cfg, Edge, LExpr, Pc, VarRef};
 use getafix_mucalc::{eq_const, Instance, SolveError, Solver};
 
 /// Errors raised while encoding a program.
@@ -203,7 +203,11 @@ fn zero_above(m: &mut Manager, vars: &[Var], width: usize) -> Bdd {
 ///
 /// Returns an error if an input relation is missing from the system — a
 /// sign the system and the encoder have drifted apart.
-pub fn install_templates(solver: &mut Solver, cfg: &Cfg, targets: &[Pc]) -> Result<(), EncodeError> {
+pub fn install_templates(
+    solver: &mut Solver,
+    cfg: &Cfg,
+    targets: &[Pc],
+) -> Result<(), EncodeError> {
     let n_globals = cfg.globals.len();
 
     // --- Init(s: Conf): the single all-false configuration at main entry.

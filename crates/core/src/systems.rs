@@ -120,10 +120,7 @@ fn conf() -> Type {
 
 /// `x`'s entry fields match `s`'s ("the entry state does not change").
 fn same_entry(x: &str, s: &str) -> Formula {
-    Formula::and(vec![
-        eq(fld(x, "ecl"), fld(s, "ecl")),
-        eq(fld(x, "ecg"), fld(s, "ecg")),
-    ])
+    Formula::and(vec![eq(fld(x, "ecl"), fld(s, "ecl")), eq(fld(x, "ecg"), fld(s, "ecg"))])
 }
 
 /// Internal-step clause: `∃t. R(t) ∧ t,s same entry ∧ ProgramInt(t → s)`.
@@ -210,10 +207,7 @@ fn clause_return_naive(
     if let Some(g) = relevance {
         parts.push(g);
     }
-    Formula::exists(
-        vec![("t".into(), conf()), ("u".into(), conf())],
-        Formula::and(parts),
-    )
+    Formula::exists(vec![("t".into(), conf()), ("u".into(), conf())], Formula::and(parts))
 }
 
 /// The *split* return clause from the appendix: extract `tpc`, `tcg`,
@@ -468,11 +462,7 @@ pub fn system_efopt(cfg: &Cfg) -> Result<System, SystemError> {
         vec![("s".into(), conf())],
         Formula::or(vec![
             // [7] calls from relevant call sites.
-            clause_call(
-                "SummaryEFopt",
-                args1,
-                Some(app("Relevant", vec![fld("t", "pc")])),
-            ),
+            clause_call("SummaryEFopt", args1, Some(app("Relevant", vec![fld("t", "pc")]))),
             // [8-11] returns where the caller or the exit is relevant —
             // requiring both would miss pairs discovered in different
             // rounds (the paper's clause-11 subtlety).

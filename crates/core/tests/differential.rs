@@ -6,8 +6,33 @@
 //! evaluated through the generic solver, checked pointwise against a
 //! dead-simple explicit worklist engine.
 
-use getafix_boolprog::{explicit_reachable, parse_program, Cfg};
-use getafix_core::{check_reachability, Algorithm};
+use getafix_boolprog::{explicit_reachable, parse_program, Cfg, Pc};
+use getafix_core::{build_solver_with, check_reachability, Algorithm};
+use getafix_mucalc::{SolveOptions, Strategy};
+
+/// Runs `algo` under one strategy and returns (verdict, the main relation's
+/// interpretation as an explicit model list, total re-evaluations). The two
+/// strategies use separate managers, so the interpretation is enumerated —
+/// equal BDD sizes would not prove equal *sets*.
+fn run_strategy(
+    cfg: &Cfg,
+    target: Pc,
+    algo: Algorithm,
+    strategy: Strategy,
+) -> (bool, Vec<Vec<bool>>, usize) {
+    let mut solver = build_solver_with(cfg, &[target], algo, SolveOptions::with_strategy(strategy))
+        .unwrap_or_else(|e| panic!("{algo} {strategy}: {e}"));
+    let verdict = solver.eval_query("reach").unwrap_or_else(|e| panic!("{algo} {strategy}: {e}"));
+    let rel = algo.main_relation();
+    let interp = solver.evaluate(rel).unwrap_or_else(|e| panic!("{algo} {strategy}: {e}"));
+    let nparams = solver.system().relation(rel).expect("main relation").params.len();
+    let mut vars = Vec::new();
+    for i in 0..nparams {
+        vars.extend(solver.alloc().formal(rel, i).all_vars());
+    }
+    let models = solver.manager().all_models(interp, &vars);
+    (verdict, models, solver.stats().total_reevaluations())
+}
 
 fn verdicts_agree(src: &str, label: &str) {
     let program = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
@@ -15,10 +40,19 @@ fn verdicts_agree(src: &str, label: &str) {
     let target = cfg.label(label).unwrap_or_else(|| panic!("no label {label}"));
     let oracle = explicit_reachable(&cfg, &[target], 5_000_000).expect("oracle").reachable;
     for algo in Algorithm::ALL {
-        let got = check_reachability(&cfg, &[target], algo)
-            .unwrap_or_else(|e| panic!("{algo}: {e}\n{src}"))
-            .reachable;
-        assert_eq!(got, oracle, "{algo} disagrees with oracle (oracle={oracle})\n{src}");
+        // Every algorithm under both solver strategies: same verdict as the
+        // oracle, the same summary *set* (enumerated — variable allocation
+        // is deterministic, so model vectors are comparable across the two
+        // solvers), and the worklist engine never doing more work.
+        let (rr_verdict, rr_set, rr_work) = run_strategy(&cfg, target, algo, Strategy::RoundRobin);
+        let (wl_verdict, wl_set, wl_work) = run_strategy(&cfg, target, algo, Strategy::Worklist);
+        assert_eq!(rr_verdict, oracle, "{algo} (round-robin) vs oracle\n{src}");
+        assert_eq!(wl_verdict, oracle, "{algo} (worklist) vs oracle\n{src}");
+        assert_eq!(rr_set, wl_set, "{algo}: strategies computed different summary sets\n{src}");
+        assert!(
+            wl_work <= rr_work,
+            "{algo}: worklist re-evaluated more ({wl_work} > {rr_work})\n{src}"
+        );
     }
 }
 

@@ -1,0 +1,137 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The workspace builds without network access, so the real crate cannot be
+//! fetched. This shim keeps the same call shapes the benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! `bench_function`, `finish`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — and implements them as a plain wall-clock
+//! harness: per benchmark it runs one warm-up iteration, then `sample_size`
+//! timed iterations, and prints min / mean / max.
+//!
+//! Use `CRITERION_SAMPLE_SIZE=<n>` to globally cap sample counts (handy in
+//! CI where the statistical quality of the original is not needed).
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing callback target.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `budget` runs of `f` (after one warm-up run).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.budget {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn env_sample_cap() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE").ok().and_then(|v| v.parse().ok())
+}
+
+fn report(group: &str, name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("nonempty");
+    let max = samples.iter().max().expect("nonempty");
+    println!(
+        "{group}/{name}: [{:>10.4?} {:>10.4?} {:>10.4?}]  ({} samples)",
+        min,
+        mean,
+        max,
+        samples.len()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let budget = env_sample_cap().unwrap_or(self.sample_size).max(1);
+        let mut b = Bencher { samples: Vec::new(), budget };
+        f(&mut b);
+        report(&self.name, &name, &b.samples);
+        self
+    }
+
+    /// Ends the group (prints nothing; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 { 20 } else { self.default_sample_size };
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -57,7 +57,12 @@ pub mod prelude {
         explicit_reachable, explicit_reachable_label, parse_concurrent, parse_program, Cfg,
         ConcProgram, Program,
     };
-    pub use getafix_conc::{check_conc_reachability, merge, ConcParams};
-    pub use getafix_core::{check_label, check_reachability, emit_system, Algorithm};
+    pub use getafix_conc::{
+        check_conc_reachability, check_conc_reachability_with, check_merged_with, merge, ConcParams,
+    };
+    pub use getafix_core::{
+        check_label, check_reachability, check_reachability_with, emit_system, Algorithm,
+    };
+    pub use getafix_mucalc::{SolveOptions, Strategy};
     pub use getafix_pds::{poststar, prestar};
 }

@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats]
 //! getafix check-conc <file.cbp> --label L --switches K
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
 
 use getafix::prelude::*;
 use getafix_core::AnalysisError;
+use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,14 +28,71 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  getafix check <file.bp> --label L [--algo ALGO]
-  getafix check-conc <file.cbp> --label L --switches K
+  getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N] [--stats]
+  getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N] [--stats]
   getafix emit-mu <file.bp> [--algo ALGO]
 
-ALGO: ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle";
+ALGO:  ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle
+STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses `--strategy` / `--max-iter` into validated solver options.
+fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
+    let mut options = SolveOptions::default();
+    if let Some(s) = flag_value(args, "--strategy") {
+        options.strategy = s.parse::<Strategy>()?;
+    }
+    if let Some(n) = flag_value(args, "--max-iter") {
+        let n: usize = n.parse().map_err(|e| format!("--max-iter: {e}"))?;
+        if n == 0 {
+            return Err("--max-iter: the iteration bound must be at least 1 \
+                        (0 would reject every fixpoint)"
+                .into());
+        }
+        options.max_iterations = n;
+    }
+    Ok(options)
+}
+
+/// Prints the per-relation and per-SCC solver statistics (`--stats`).
+fn print_stats(stats: &SolveStats) {
+    println!();
+    println!(
+        "{:<16} {:>6} {:>8} {:>10} {:>10} {:>5}",
+        "relation", "iters", "re-evals", "nodes", "peak", "scc"
+    );
+    for (name, r) in &stats.relations {
+        println!(
+            "{:<16} {:>6} {:>8} {:>10} {:>10} {:>5}",
+            name,
+            r.iterations,
+            r.reevaluations,
+            r.final_nodes,
+            r.peak_nodes,
+            r.scc.map(|s| s.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    println!();
+    println!("{:<5} {:<10} {:<9} {:>8}  members", "scc", "kind", "monotone", "evals");
+    for (i, scc) in stats.sccs.iter().enumerate() {
+        println!(
+            "{:<5} {:<10} {:<9} {:>8}  {}",
+            i,
+            if scc.recursive { "recursive" } else { "straight" },
+            if scc.monotone { "yes" } else { "no" },
+            scc.evaluations,
+            scc.members.join(", ")
+        );
+    }
+    println!();
+    println!("total re-evaluations: {}", stats.total_reevaluations());
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -42,10 +102,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = args.get(1).ok_or("missing input file")?;
             let label = flag_value(args, "--label").ok_or("missing --label")?;
             let algo = flag_value(args, "--algo").unwrap_or("ef-opt");
+            let options = parse_solve_options(args)?;
+            let solver_flags = has_flag(args, "--strategy") || has_flag(args, "--max-iter");
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
             let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
-            check_sequential(&cfg, label, algo)
+            check_sequential(&cfg, label, algo, options, has_flag(args, "--stats"), solver_flags)
         }
         "check-conc" => {
             let path = args.get(1).ok_or("missing input file")?;
@@ -54,9 +116,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("missing --switches")?
                 .parse()
                 .map_err(|e| format!("--switches: {e}"))?;
+            if switches == 0 {
+                return Err("--switches: the context-switch bound must be at least 1; \
+                            a bound of 0 is a sequential question — use `check` on the \
+                            first thread instead"
+                    .into());
+            }
+            let options = parse_solve_options(args)?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let conc = parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?;
-            let r = check_conc_reachability(&conc, label, switches).map_err(|e| e.to_string())?;
+            let r = check_conc_reachability_with(&conc, label, switches, options)
+                .map_err(|e| e.to_string())?;
             println!(
                 "{}: `{label}` within {switches} switches — Reach: {:.0} tuples, {} BDD nodes, {} iterations, {:.3}s",
                 if r.reachable { "REACHABLE" } else { "unreachable" },
@@ -65,10 +135,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 r.iterations,
                 r.solve_time.as_secs_f64()
             );
+            if has_flag(args, "--stats") {
+                print_stats(&r.stats);
+            }
             Ok(())
         }
         "emit-mu" => {
             let path = args.get(1).ok_or("missing input file")?;
+            if has_flag(args, "--strategy")
+                || has_flag(args, "--max-iter")
+                || has_flag(args, "--stats")
+            {
+                return Err("--strategy/--max-iter/--stats configure the fixed-point solver; \
+                            emit-mu only prints the formulae and never runs it"
+                    .into());
+            }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
@@ -91,20 +172,65 @@ fn parse_algo(name: &str) -> Result<Algorithm, String> {
     })
 }
 
-fn check_sequential(cfg: &Cfg, label: &str, algo: &str) -> Result<(), String> {
+fn check_sequential(
+    cfg: &Cfg,
+    label: &str,
+    algo: &str,
+    options: SolveOptions,
+    stats: bool,
+    solver_flags: bool,
+) -> Result<(), String> {
     let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+    let baseline = matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle");
+    if baseline && stats {
+        return Err(format!(
+            "--stats reports fixed-point solver statistics; the `{algo}` baseline \
+             does not run the solver (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
+        ));
+    }
+    if baseline && solver_flags {
+        return Err(format!(
+            "--strategy/--max-iter configure the fixed-point solver; the `{algo}` baseline \
+             does not run it (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
+        ));
+    }
+    let mut solver_stats = None;
     let (reachable, detail) = match algo {
         "bebop" => {
             let r = bebop_reachable(cfg, &[pc]).map_err(|e| e.to_string())?;
-            (r.reachable, format!("{} nodes, {} steps, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+            (
+                r.reachable,
+                format!(
+                    "{} nodes, {} steps, {:.3}s",
+                    r.set_nodes,
+                    r.iterations,
+                    r.time.as_secs_f64()
+                ),
+            )
         }
         "moped-fwd" => {
             let r = poststar(cfg, &[pc]).map_err(|e| e.to_string())?;
-            (r.reachable, format!("{} nodes, {} rounds, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+            (
+                r.reachable,
+                format!(
+                    "{} nodes, {} rounds, {:.3}s",
+                    r.set_nodes,
+                    r.iterations,
+                    r.time.as_secs_f64()
+                ),
+            )
         }
         "moped-bwd" => {
             let r = prestar(cfg, &[pc]).map_err(|e| e.to_string())?;
-            (r.reachable, format!("{} nodes, {} rounds, {:.3}s", r.set_nodes, r.iterations, r.time.as_secs_f64()))
+            (
+                r.reachable,
+                format!(
+                    "{} nodes, {} rounds, {:.3}s",
+                    r.set_nodes,
+                    r.iterations,
+                    r.time.as_secs_f64()
+                ),
+            )
         }
         "oracle" => {
             let r = explicit_reachable(cfg, &[pc], 50_000_000).map_err(|e| e.to_string())?;
@@ -112,22 +238,29 @@ fn check_sequential(cfg: &Cfg, label: &str, algo: &str) -> Result<(), String> {
         }
         formula => {
             let a = parse_algo(formula)?;
-            let r = check_reachability(cfg, &[pc], a).map_err(|e| e.to_string())?;
-            (
-                r.reachable,
-                format!(
-                    "{} summary nodes, {} iterations, encode {:.3}s, solve {:.3}s",
-                    r.summary_nodes,
-                    r.iterations,
-                    r.encode_time.as_secs_f64(),
-                    r.solve_time.as_secs_f64()
-                ),
-            )
+            let strategy = options.strategy;
+            let r = check_reachability_with(cfg, &[pc], a, options).map_err(|e| e.to_string())?;
+            let line = format!(
+                "{} summary nodes, {} iterations, {} re-evals ({strategy}), encode {:.3}s, solve {:.3}s",
+                r.summary_nodes,
+                r.iterations,
+                r.reevaluations,
+                r.encode_time.as_secs_f64(),
+                r.solve_time.as_secs_f64()
+            );
+            if stats {
+                solver_stats = Some(r.stats);
+            }
+            (r.reachable, line)
         }
     };
     println!(
         "{}: `{label}` ({algo}) — {detail}",
         if reachable { "REACHABLE" } else { "unreachable" }
     );
+    // Verdict line first, statistics after — same order as `check-conc`.
+    if let Some(s) = &solver_stats {
+        print_stats(s);
+    }
     Ok(())
 }

@@ -101,7 +101,12 @@ impl Allocation {
     /// Propagates type-flattening errors (which `System::build` should have
     /// already ruled out).
     pub fn build(manager: &mut Manager, system: &System) -> Result<Allocation, SystemError> {
-        let mut planner = Planner { system, instances: Vec::new(), formals: BTreeMap::new(), binders: BTreeMap::new() };
+        let mut planner = Planner {
+            system,
+            instances: Vec::new(),
+            formals: BTreeMap::new(),
+            binders: BTreeMap::new(),
+        };
 
         // 1. Relation formals.
         for rel in system.relations() {
@@ -356,8 +361,11 @@ pub(crate) struct BinderCounter {
 }
 
 impl BinderCounter {
-    pub(crate) fn new(owner: String) -> Self {
-        BinderCounter { owner, next: 0 }
+    /// A counter starting at binder sequence number `start` (0 for a whole
+    /// body; the disjunct's preorder offset when the worklist engine
+    /// compiles a top-level disjunct on its own).
+    pub(crate) fn new_at(owner: String, start: usize) -> Self {
+        BinderCounter { owner, next: start }
     }
 
     pub(crate) fn take<'a>(&mut self, alloc: &'a Allocation) -> &'a Instance {

@@ -220,6 +220,19 @@ impl Formula {
         out
     }
 
+    /// Total number of quantifier binders in the formula, counted in the
+    /// same preorder the allocator and compiler replay. Used to resume
+    /// binder numbering when a top-level disjunct is compiled on its own.
+    pub fn binder_count(&self) -> usize {
+        let mut n = 0usize;
+        self.walk(&mut |f| {
+            if let Formula::Exists(binders, _) | Formula::Forall(binders, _) = f {
+                n += binders.len();
+            }
+        });
+        n
+    }
+
     /// Does relation `name` occur under an odd number of negations?
     ///
     /// Implications and biconditionals count as the usual derived forms.
@@ -243,16 +256,19 @@ impl Formula {
             Formula::Const(_) | Formula::Atom(_) | Formula::Cmp(..) => (false, false),
             Formula::App(n, _) => {
                 if n == name {
-                    if negated { (false, true) } else { (true, false) }
+                    if negated {
+                        (false, true)
+                    } else {
+                        (true, false)
+                    }
                 } else {
                     (false, false)
                 }
             }
             Formula::Not(f) => f.polarity_scan(name, !negated),
-            Formula::And(fs) | Formula::Or(fs) => fs
-                .iter()
-                .map(|f| f.polarity_scan(name, negated))
-                .fold((false, false), merge),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.polarity_scan(name, negated)).fold((false, false), merge)
+            }
             Formula::Implies(a, b) => {
                 merge(a.polarity_scan(name, !negated), b.polarity_scan(name, negated))
             }
@@ -352,9 +368,6 @@ mod tests {
     fn term_display() {
         assert_eq!(Term::field("s", "pc").to_string(), "s.pc");
         assert_eq!(Term::int(3).to_string(), "3");
-        assert_eq!(
-            Term::path("s", vec!["a".into(), "b".into()]).to_string(),
-            "s.a.b"
-        );
+        assert_eq!(Term::path("s", vec!["a".into(), "b".into()]).to_string(), "s.a.b");
     }
 }

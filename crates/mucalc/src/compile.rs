@@ -12,6 +12,10 @@ use crate::system::System;
 use getafix_bdd::{Bdd, Manager, Var, VarMap};
 use std::collections::BTreeMap;
 
+/// One allocated leaf of a term: its BDD variables (LSB first) plus the
+/// `range` bound, if any.
+type TermLeaf = (Vec<Var>, Option<u64>);
+
 /// Compilation context: one formula body, one scope.
 pub(crate) struct CompileCtx<'a> {
     pub manager: &'a mut Manager,
@@ -35,12 +39,26 @@ impl<'a> CompileCtx<'a> {
         interp: &'a BTreeMap<String, Bdd>,
         owner: String,
     ) -> Self {
+        Self::with_binder_offset(manager, system, alloc, interp, owner, 0)
+    }
+
+    /// As [`CompileCtx::new`], but resuming binder numbering at `offset` —
+    /// for compiling a top-level disjunct in isolation (the worklist
+    /// engine's semi-naive path).
+    pub(crate) fn with_binder_offset(
+        manager: &'a mut Manager,
+        system: &'a System,
+        alloc: &'a Allocation,
+        interp: &'a BTreeMap<String, Bdd>,
+        owner: String,
+        offset: usize,
+    ) -> Self {
         CompileCtx {
             manager,
             system,
             alloc,
             interp,
-            counter: BinderCounter::new(owner),
+            counter: BinderCounter::new_at(owner, offset),
             scope: Vec::new(),
             instances: BTreeMap::new(),
         }
@@ -63,7 +81,7 @@ impl<'a> CompileCtx<'a> {
     }
 
     /// The allocated leaves a term denotes, in flattening order.
-    fn term_leaves(&self, term: &Term) -> Result<Vec<(Vec<Var>, Option<u64>)>, SolveError> {
+    fn term_leaves(&self, term: &Term) -> Result<Vec<TermLeaf>, SolveError> {
         match term {
             Term::Int(_) => Err(SolveError::Internal("term_leaves on an integer".into())),
             Term::Var { name, path } => {

@@ -1,0 +1,343 @@
+//! Static relation-dependency analysis of an equation system.
+//!
+//! The worklist solver (`worklist.rs`) schedules evaluation from the
+//! *dependency graph* of the system's fixpoint relations: relation `R`
+//! depends on `S` when `S` is applied somewhere in `R`'s defining body.
+//! This module extracts that graph, contracts it to strongly connected
+//! components (Tarjan), and orders the components topologically so that a
+//! component is only solved after everything it reads from is already
+//! fixed — the "dependency-ordered iteration over equation systems" of
+//! Kuncak–Leino, lifted from boolean equations to first-order relations.
+//!
+//! Each SCC is additionally classified:
+//!
+//! * **recursive** — more than one member, or a self-application; a
+//!   non-recursive component needs exactly one evaluation pass;
+//! * **monotone** — no member's body applies another member under an odd
+//!   number of negations. Monotone recursive components have a least fixed
+//!   point by Tarski–Knaster, so *any* fair chaotic iteration converges to
+//!   it; non-monotone components (the §4.3 `Relevant` pattern) only have
+//!   the paper's §3 operational semantics and must be iterated in the exact
+//!   nested order that semantics prescribes.
+
+use crate::system::{RelationKind, System};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One strongly connected component of the relation-dependency graph.
+#[derive(Debug, Clone)]
+pub struct Scc {
+    /// Member relation indices (into [`DepGraph::names`] order).
+    pub members: Vec<usize>,
+    /// Does any member depend on a member (including itself)?
+    pub recursive: bool,
+    /// Is every intra-component application positive?
+    pub monotone: bool,
+    /// Fixpoint relations outside the component that members apply.
+    pub external_deps: Vec<usize>,
+}
+
+/// The relation-dependency graph of a [`System`], with its condensation.
+#[derive(Debug)]
+pub struct DepGraph {
+    /// Fixpoint relation names, in system declaration order.
+    names: Vec<String>,
+    /// Name → index in `names`.
+    index: BTreeMap<String, usize>,
+    /// `deps[i]`: indices of fixpoint relations applied in the body of `i`.
+    deps: Vec<BTreeSet<usize>>,
+    /// `negative[i]`: the subset of `deps[i]` occurring under an odd number
+    /// of negations in the body of `i`.
+    negative: Vec<BTreeSet<usize>>,
+    /// Components in topological order: every dependency of a component
+    /// lives in an earlier (or the same) component.
+    sccs: Vec<Scc>,
+    /// Relation index → index of its component in `sccs`.
+    scc_of: Vec<usize>,
+}
+
+impl DepGraph {
+    /// Extracts the dependency graph of `system`'s fixpoint relations.
+    pub fn build(system: &System) -> DepGraph {
+        let mut names = Vec::new();
+        let mut index = BTreeMap::new();
+        for rel in system.relations() {
+            if rel.kind == RelationKind::Fixpoint {
+                index.insert(rel.name.clone(), names.len());
+                names.push(rel.name.clone());
+            }
+        }
+        let n = names.len();
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut negative: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (i, name) in names.iter().enumerate() {
+            let rel = system.relation(name).expect("indexed relation exists");
+            let body = rel.body.as_ref().expect("fixpoint relation has a body");
+            for applied in body.relations() {
+                if let Some(&j) = index.get(&applied) {
+                    deps[i].insert(j);
+                    if body.occurs_negatively(&applied) {
+                        negative[i].insert(j);
+                    }
+                }
+            }
+        }
+
+        let (sccs_members, scc_of) = tarjan(n, &deps);
+        let sccs = sccs_members
+            .into_iter()
+            .map(|members| {
+                let mset: BTreeSet<usize> = members.iter().copied().collect();
+                let recursive = members.len() > 1 || members.iter().any(|&i| deps[i].contains(&i));
+                let monotone =
+                    members.iter().all(|&i| negative[i].intersection(&mset).next().is_none());
+                let mut external: BTreeSet<usize> = BTreeSet::new();
+                for &i in &members {
+                    external.extend(deps[i].difference(&mset).copied());
+                }
+                Scc { members, recursive, monotone, external_deps: external.into_iter().collect() }
+            })
+            .collect();
+
+        DepGraph { names, index, deps, negative, sccs, scc_of }
+    }
+
+    /// Number of fixpoint relations.
+    pub fn relation_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of relation `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// The index of a fixpoint relation, if it is one.
+    pub fn relation_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Direct fixpoint dependencies of relation `i`.
+    pub fn deps(&self, i: usize) -> &BTreeSet<usize> {
+        &self.deps[i]
+    }
+
+    /// The subset of `deps(i)` applied under an odd number of negations.
+    pub fn negative_deps(&self, i: usize) -> &BTreeSet<usize> {
+        &self.negative[i]
+    }
+
+    /// The components in topological order (dependencies first).
+    pub fn sccs(&self) -> &[Scc] {
+        &self.sccs
+    }
+
+    /// The component index of relation `i`.
+    pub fn scc_of(&self, i: usize) -> usize {
+        self.scc_of[i]
+    }
+
+    /// The component index of a fixpoint relation by name.
+    pub fn scc_of_name(&self, name: &str) -> Option<usize> {
+        self.relation_index(name).map(|i| self.scc_of(i))
+    }
+
+    /// All relation indices transitively needed to evaluate `root`
+    /// (including `root` itself).
+    pub fn transitive_deps(&self, root: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            if seen.insert(i) {
+                stack.extend(self.deps[i].iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// Iterative Tarjan SCC. Edges point from a relation to its dependencies,
+/// so components are emitted dependencies-first — already the evaluation
+/// order the solver wants.
+fn tarjan(n: usize, deps: &[BTreeSet<usize>]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    const UNSET: usize = usize::MAX;
+    let mut indexes = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut scc_of = vec![UNSET; n];
+
+    // Explicit DFS frames: (node, iterator position over deps).
+    for start in 0..n {
+        if indexes[start] != UNSET {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = deps[start].iter().copied().collect();
+        indexes[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        frames.push((start, succs, 0));
+
+        while let Some(&mut (v, ref succs, ref mut pos)) = frames.last_mut() {
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if indexes[w] == UNSET {
+                    indexes[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wsuccs: Vec<usize> = deps[w].iter().copied().collect();
+                    frames.push((w, wsuccs, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(indexes[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == indexes[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.sort_unstable();
+                    sccs.push(members);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_system;
+
+    fn graph(src: &str) -> DepGraph {
+        DepGraph::build(&parse_system(src).unwrap())
+    }
+
+    #[test]
+    fn single_self_recursive_relation() {
+        let g = graph(
+            r#"
+            type S = range 4;
+            input Init(s: S);
+            input Trans(s: S, t: S);
+            mu Reach(u: S) :=
+                Init(u) | (exists x: S. Reach(x) & Trans(x, u));
+            "#,
+        );
+        assert_eq!(g.relation_count(), 1);
+        assert_eq!(g.sccs().len(), 1);
+        let scc = &g.sccs()[0];
+        assert!(scc.recursive && scc.monotone);
+        assert!(scc.external_deps.is_empty());
+    }
+
+    #[test]
+    fn stratified_chain_is_topologically_ordered() {
+        let g = graph(
+            r#"
+            type S = range 4;
+            input I(s: S);
+            mu A(s: S) := I(s) | A(s);
+            mu B(s: S) := A(s);
+            mu C(s: S) := B(s) | C(s);
+            "#,
+        );
+        assert_eq!(g.sccs().len(), 3);
+        // Dependencies first: A's component before B's before C's.
+        let pos = |name: &str| g.scc_of_name(name).unwrap();
+        assert!(pos("A") < pos("B"));
+        assert!(pos("B") < pos("C"));
+        // B is non-recursive; A and C are.
+        assert!(!g.sccs()[pos("B")].recursive);
+        assert!(g.sccs()[pos("A")].recursive);
+        // C's component reads B from outside.
+        assert_eq!(g.sccs()[pos("C")].external_deps, vec![g.relation_index("B").unwrap()]);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        let g = graph(
+            r#"
+            type N = range 4;
+            input Zero(n: N);
+            input Succ(n: N, m: N);
+            mu Even(n: N) := Zero(n) | (exists m: N. Odd(m) & Succ(m, n));
+            mu Odd(n: N) := exists m: N. Even(m) & Succ(m, n);
+            "#,
+        );
+        assert_eq!(g.sccs().len(), 1);
+        let scc = &g.sccs()[0];
+        assert_eq!(scc.members.len(), 2);
+        assert!(scc.recursive && scc.monotone);
+    }
+
+    #[test]
+    fn negative_intra_component_edge_is_nonmonotone() {
+        let g = graph(
+            r#"
+            type Fr = range 2;
+            type S = range 4;
+            input Init(s: S);
+            mu R(fr: Fr, s: S) := (fr = 1 & Init(s)) | R(1, s) | (fr = 1 & Frontier(s));
+            mu Frontier(s: S) := R(1, s) & !R(0, s);
+            "#,
+        );
+        assert_eq!(g.sccs().len(), 1, "R and Frontier are mutually recursive");
+        assert!(!g.sccs()[0].monotone);
+        let r = g.relation_index("Frontier").unwrap();
+        assert_eq!(g.negative_deps(r).len(), 1);
+    }
+
+    #[test]
+    fn negation_outside_the_component_keeps_monotonicity() {
+        let g = graph(
+            r#"
+            type S = range 4;
+            input I(s: S);
+            mu Base(s: S) := I(s) | Base(s);
+            mu Up(s: S) := (Base(s) & !Dead(s)) | Up(s);
+            mu Dead(s: S) := Base(s);
+            "#,
+        );
+        let up = g.scc_of_name("Up").unwrap();
+        assert!(g.sccs()[up].monotone, "negation of an earlier stratum is fine");
+        let dead = g.scc_of_name("Dead").unwrap();
+        assert!(dead < up);
+    }
+
+    #[test]
+    fn transitive_deps_cover_the_cone() {
+        let g = graph(
+            r#"
+            type S = range 4;
+            input I(s: S);
+            mu A(s: S) := I(s) | A(s);
+            mu B(s: S) := A(s);
+            mu C(s: S) := B(s);
+            mu Unrelated(s: S) := I(s);
+            "#,
+        );
+        let c = g.relation_index("C").unwrap();
+        let cone = g.transitive_deps(c);
+        assert_eq!(cone.len(), 3);
+        assert!(!cone.contains(&g.relation_index("Unrelated").unwrap()));
+    }
+}

@@ -9,9 +9,13 @@
 //!   with relation application over finite domains;
 //! * [`System`]: mutually recursive least-fixed-point equation systems with
 //!   *input* relations (the compiled program templates) and Boolean queries;
-//! * [`Solver`]: the paper's `Evaluate(R, Eq)` operational semantics (§3),
-//!   which also gives meaning to **non-monotone** systems such as the
-//!   optimized entry-forward algorithm (§4.3);
+//! * [`Solver`]: two evaluation [`Strategy`]s over the same equations —
+//!   the default demand-driven **worklist engine** (SCC stratification,
+//!   change-driven chaotic iteration, semi-naive disjunct propagation; see
+//!   `worklist.rs`/`deps.rs`) and the paper's `Evaluate(R, Eq)`
+//!   operational semantics (§3) as the **round-robin** reference, which
+//!   also gives meaning to **non-monotone** systems such as the optimized
+//!   entry-forward algorithm (§4.3);
 //! * a MUCKE-flavoured concrete syntax: [`parse_system`] and a
 //!   pretty-printer that round-trips with it.
 //!
@@ -60,16 +64,19 @@
 mod alloc;
 mod ast;
 mod compile;
+mod deps;
 mod parse;
 mod pretty;
 mod solve;
 mod system;
 mod types;
+mod worklist;
 
 pub use alloc::{eq_const, eq_vars, lt_const, lt_vars, Allocation, Instance, LeafAlloc};
 pub use ast::{CmpOp, Formula, Term};
+pub use deps::{DepGraph, Scc};
 pub use parse::{parse_system, ParseError};
-pub use solve::{RelationStats, SolveError, SolveOptions, SolveStats, Solver};
+pub use solve::{RelationStats, SccStats, SolveError, SolveOptions, SolveStats, Solver, Strategy};
 pub use system::{Query, RelationDef, RelationKind, System, SystemBuilder, SystemError};
 pub use types::{range_width, Leaf, Type, TypeError, TypeTable};
 

@@ -88,8 +88,8 @@ enum Tok {
     And,
     Or,
     Not,
-    Arrow,   // ->
-    DArrow,  // <->
+    Arrow,  // ->
+    DArrow, // <->
 }
 
 impl fmt::Display for Tok {

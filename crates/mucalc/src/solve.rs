@@ -1,7 +1,9 @@
-//! The fixed-point solver: the paper's `Evaluate(R, Eq)` operational
-//! semantics (§3), executed symbolically over BDDs.
+//! The fixed-point solver: two strategies over one equation system.
 //!
-//! To evaluate a relation `R` defined by `R = B`:
+//! # `Strategy::RoundRobin` — the paper's §3 operational semantics
+//!
+//! The reference evaluator is the paper's `Evaluate(R, Eq)`. To evaluate a
+//! relation `R` defined by `R = B`:
 //!
 //! 1. start with `S := ∅`;
 //! 2. in each round, freeze `R ↦ S`, evaluate every relation occurring in
@@ -9,18 +11,47 @@
 //!    procedure), then re-evaluate `B` to obtain the next `S`;
 //! 3. stop when `S` stabilizes.
 //!
-//! For positive systems this computes the least fixed point
+//! For *positive* systems this computes the least fixed point
 //! (Tarski–Knaster). For non-positive systems — the optimized entry-forward
-//! algorithm needs one — the procedure is still well-defined and the
+//! algorithm (§4.3) needs one — the procedure is still well-defined and the
 //! specific equations we run are written to terminate; a configurable
-//! iteration bound turns accidental divergence into an error.
+//! iteration bound turns accidental divergence into an error. Round-robin is
+//! kept unoptimized on purpose: it is the executable definition the fast
+//! path is differentially tested against.
+//!
+//! # `Strategy::Worklist` — dependency-ordered chaotic iteration
+//!
+//! The default strategy (see `worklist.rs` for the engine and `deps.rs` for
+//! the dependency analysis) stratifies the system into SCCs of the
+//! relation-dependency graph and solves them dependencies-first:
+//!
+//! * non-recursive relations are evaluated **exactly once**;
+//! * monotone recursive components run chaotic iteration from a worklist,
+//!   re-evaluating a relation only when something it reads has changed, and
+//!   re-compiling only the top-level disjuncts that mention a changed
+//!   relation (semi-naive propagation);
+//! * non-monotone components are detected and routed to the nested §3
+//!   semantics above, with already-solved outer strata memoized.
+//!
+//! **When do the strategies agree?** On every component that is monotone
+//! (all intra-component applications positive), both compute the unique
+//! least fixed point, so interpretations — as canonical BDDs — are
+//! *identical*. On non-monotone components the worklist strategy defers to
+//! the round-robin semantics wholesale, so results again coincide. The
+//! difference is purely how much work is re-done: round-robin re-evaluates
+//! every inner relation of a body from scratch every round (nested
+//! fixpoints multiply), the worklist engine never re-evaluates a relation
+//! whose inputs did not change. [`SolveStats::total_reevaluations`] makes
+//! the difference measurable.
 
 use crate::alloc::{owner_query, owner_rel, Allocation};
 use crate::compile::CompileCtx;
+use crate::deps::DepGraph;
 use crate::system::{RelationKind, System, SystemError};
 use getafix_bdd::{Bdd, Manager};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::str::FromStr;
 
 /// Errors produced while solving.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +67,8 @@ pub enum SolveError {
     Unknown(String),
     /// System-level error surfaced during setup.
     System(String),
+    /// Invalid solver options (e.g. a zero iteration bound).
+    Options(String),
     /// Invariant violation (a bug in the caller or in this crate).
     Internal(String),
 }
@@ -52,6 +85,7 @@ impl fmt::Display for SolveError {
             SolveError::OpenQuery(n) => write!(f, "query `{n}` has free variables"),
             SolveError::Unknown(n) => write!(f, "unknown relation or query `{n}`"),
             SolveError::System(msg) => write!(f, "{msg}"),
+            SolveError::Options(msg) => write!(f, "invalid solver options: {msg}"),
             SolveError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -65,48 +99,144 @@ impl From<SystemError> for SolveError {
     }
 }
 
+/// How the solver schedules fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// The paper's §3 `Evaluate(R, Eq)` nested semantics, unoptimized.
+    /// Every relation occurring in a body is fully re-evaluated each round.
+    /// Kept as the executable reference the fast path is tested against.
+    RoundRobin,
+    /// Dependency-ordered worklist iteration (the default): SCC strata,
+    /// change-driven re-evaluation, semi-naive disjunct propagation.
+    /// Non-monotone components fall back to the round-robin semantics.
+    #[default]
+    Worklist,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::RoundRobin => write!(f, "round-robin"),
+            Strategy::Worklist => write!(f, "worklist"),
+        }
+    }
+}
+
+impl FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "roundrobin" | "rr" => Ok(Strategy::RoundRobin),
+            "worklist" | "wl" => Ok(Strategy::Worklist),
+            other => {
+                Err(format!("unknown strategy `{other}` (expected `worklist` or `round-robin`)"))
+            }
+        }
+    }
+}
+
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Maximum rounds per relation before declaring divergence.
+    /// Zero is rejected by [`Solver::with_options`].
     pub max_iterations: usize,
+    /// Iteration scheduling strategy.
+    pub strategy: Strategy,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_iterations: 1_000_000 }
+        SolveOptions::new()
+    }
+}
+
+impl SolveOptions {
+    /// The default iteration bound.
+    pub const DEFAULT_MAX_ITERATIONS: usize = 1_000_000;
+
+    /// Default options with an explicit strategy.
+    pub fn with_strategy(strategy: Strategy) -> SolveOptions {
+        SolveOptions { strategy, ..SolveOptions::new() }
+    }
+
+    /// The default options (worklist strategy, 10⁶-round bound).
+    pub fn new() -> SolveOptions {
+        SolveOptions { max_iterations: Self::DEFAULT_MAX_ITERATIONS, strategy: Strategy::default() }
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        if self.max_iterations == 0 {
+            return Err(SolveError::Options(
+                "max_iterations must be at least 1 (0 would reject every fixpoint)".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
 /// Per-relation evaluation statistics.
 #[derive(Debug, Clone, Default)]
 pub struct RelationStats {
-    /// Outer rounds taken to stabilize (top-level evaluations only).
+    /// Outer rounds taken to stabilize (top-level evaluations only for
+    /// [`Strategy::RoundRobin`]; worklist passes for [`Strategy::Worklist`]).
     pub iterations: usize,
+    /// Total body compilations of this relation, **including** nested
+    /// re-evaluations — the work measure the worklist engine minimizes.
+    pub reevaluations: usize,
     /// DAG node count of the final interpretation.
     pub final_nodes: usize,
     /// Peak DAG node count of the interpretation across rounds.
     pub peak_nodes: usize,
+    /// Index of the relation's SCC in [`SolveStats::sccs`].
+    pub scc: Option<usize>,
+}
+
+/// Per-SCC statistics (components in dependency-topological order).
+#[derive(Debug, Clone, Default)]
+pub struct SccStats {
+    /// Member relation names.
+    pub members: Vec<String>,
+    /// Does the component contain a cycle (self-loops included)?
+    pub recursive: bool,
+    /// Are all intra-component applications positive?
+    pub monotone: bool,
+    /// Total body compilations attributed to members of this component.
+    pub evaluations: usize,
 }
 
 /// Aggregated solver statistics.
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {
-    /// Statistics per top-level-evaluated relation.
+    /// Statistics per evaluated relation.
     pub relations: BTreeMap<String, RelationStats>,
+    /// Statistics per dependency SCC, in topological (dependencies-first)
+    /// order. Populated at solver construction; `evaluations` grows as the
+    /// solver runs.
+    pub sccs: Vec<SccStats>,
+}
+
+impl SolveStats {
+    /// Total body compilations across all relations — the scheduler-quality
+    /// measure: `Worklist` must never exceed `RoundRobin` on it.
+    pub fn total_reevaluations(&self) -> usize {
+        self.relations.values().map(|r| r.reevaluations).sum()
+    }
 }
 
 /// The solver: owns the manager, the allocation and the interpretations.
 #[derive(Debug)]
 pub struct Solver {
-    manager: Manager,
-    system: System,
-    alloc: Allocation,
-    inputs: BTreeMap<String, Bdd>,
+    pub(crate) manager: Manager,
+    pub(crate) system: System,
+    pub(crate) alloc: Allocation,
+    pub(crate) deps: DepGraph,
+    pub(crate) inputs: BTreeMap<String, Bdd>,
     /// Memoized top-level (empty-frozen-environment) interpretations.
-    evaluated: BTreeMap<String, Bdd>,
-    options: SolveOptions,
-    stats: SolveStats,
+    pub(crate) evaluated: BTreeMap<String, Bdd>,
+    pub(crate) options: SolveOptions,
+    pub(crate) stats: SolveStats,
 }
 
 impl Solver {
@@ -123,18 +253,31 @@ impl Solver {
     ///
     /// # Errors
     ///
-    /// Propagates allocation failures (undeclared types).
+    /// Propagates allocation failures (undeclared types) and rejects
+    /// semantically invalid options ([`SolveError::Options`]).
     pub fn with_options(system: System, options: SolveOptions) -> Result<Solver, SolveError> {
+        options.validate()?;
         let mut manager = Manager::new();
         let alloc = Allocation::build(&mut manager, &system)?;
+        let deps = DepGraph::build(&system);
+        let mut stats = SolveStats::default();
+        for scc in deps.sccs() {
+            stats.sccs.push(SccStats {
+                members: scc.members.iter().map(|&i| deps.name(i).to_string()).collect(),
+                recursive: scc.recursive,
+                monotone: scc.monotone,
+                evaluations: 0,
+            });
+        }
         Ok(Solver {
             manager,
             system,
             alloc,
+            deps,
             inputs: BTreeMap::new(),
             evaluated: BTreeMap::new(),
             options,
-            stats: SolveStats::default(),
+            stats,
         })
     }
 
@@ -152,6 +295,16 @@ impl Solver {
     /// The system being solved.
     pub fn system(&self) -> &System {
         &self.system
+    }
+
+    /// The relation-dependency graph driving the worklist strategy.
+    pub fn deps(&self) -> &DepGraph {
+        &self.deps
+    }
+
+    /// The options the solver was built with.
+    pub fn options(&self) -> &SolveOptions {
+        &self.options
     }
 
     /// Statistics collected so far.
@@ -177,8 +330,9 @@ impl Solver {
         }
     }
 
-    /// Evaluates relation `name` per the operational semantics and returns
-    /// its interpretation (a BDD over the relation's formal variables).
+    /// Evaluates relation `name` under the configured [`Strategy`] and
+    /// returns its interpretation (a BDD over the relation's formal
+    /// variables).
     ///
     /// Top-level results are memoized until the next [`Solver::set_input`].
     ///
@@ -189,33 +343,63 @@ impl Solver {
         if let Some(&b) = self.evaluated.get(name) {
             return Ok(b);
         }
-        let frozen = BTreeMap::new();
-        let b = self.evaluate_rec(name, &frozen, true)?;
+        let b = match self.options.strategy {
+            Strategy::RoundRobin => {
+                let frozen = BTreeMap::new();
+                self.evaluate_nested(name, &frozen, true, None)?
+            }
+            Strategy::Worklist => self.evaluate_worklist(name)?,
+        };
         self.evaluated.insert(name.to_string(), b);
         Ok(b)
     }
 
+    /// Attributes one body compilation of `name` to the statistics.
+    pub(crate) fn note_reevaluation(&mut self, name: &str) {
+        let scc = self.deps.scc_of_name(name);
+        let entry = self.stats.relations.entry(name.to_string()).or_default();
+        entry.reevaluations += 1;
+        entry.scc = scc;
+        if let Some(s) = scc {
+            self.stats.sccs[s].evaluations += 1;
+        }
+    }
+
     /// The paper's `Evaluate(R, Eq)` with a frozen environment.
-    fn evaluate_rec(
+    ///
+    /// `memo_outside`: when `Some(members)`, fixpoint relations *outside*
+    /// `members` are resolved from the memoized top-level interpretations
+    /// instead of being re-evaluated — the worklist strategy's non-monotone
+    /// fallback, where every outer stratum is already fixed. `None` gives
+    /// the exact seed semantics (round-robin), which re-derives everything.
+    pub(crate) fn evaluate_nested(
         &mut self,
         name: &str,
         frozen: &BTreeMap<String, Bdd>,
         top_level: bool,
+        memo_outside: Option<&BTreeSet<String>>,
     ) -> Result<Bdd, SolveError> {
         if let Some(&b) = frozen.get(name) {
             return Ok(b);
         }
         let (body, param_names) = {
-            let rel = self
-                .system
-                .relation(name)
-                .ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+            let rel =
+                self.system.relation(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?;
             if rel.kind == RelationKind::Input {
                 return self
                     .inputs
                     .get(name)
                     .copied()
                     .ok_or_else(|| SolveError::MissingInterpretation(name.to_string()));
+            }
+            if let Some(members) = memo_outside {
+                if !members.contains(name) {
+                    return self.evaluated.get(name).copied().ok_or_else(|| {
+                        SolveError::Internal(format!(
+                            "worklist fallback: outer stratum `{name}` not pre-evaluated"
+                        ))
+                    });
+                }
             }
             let body = rel.body.clone().expect("fixpoint relation has a body");
             let names: Vec<String> = rel.params.iter().map(|(n, _)| n.clone()).collect();
@@ -251,10 +435,11 @@ impl Solver {
             let mut interp = env.clone();
             for r in &inner_relations {
                 if !interp.contains_key(r) {
-                    let v = self.evaluate_rec(r, &env, false)?;
+                    let v = self.evaluate_nested(r, &env, false, memo_outside)?;
                     interp.insert(r.clone(), v);
                 }
             }
+            self.note_reevaluation(&rel_name);
             let next = {
                 let mut ctx = CompileCtx::new(
                     &mut self.manager,
@@ -263,9 +448,9 @@ impl Solver {
                     &interp,
                     owner_rel(&rel_name),
                 );
-                for i in 0..nparams {
+                for (i, pname) in param_names.iter().enumerate().take(nparams) {
                     let inst = ctx.alloc.formal(&rel_name, i).clone();
-                    ctx.bind(&param_names[i], inst);
+                    ctx.bind(pname, inst);
                 }
                 let raw = ctx.compile(&body)?;
                 ctx.manager.and(raw, formals_domain)
@@ -292,11 +477,8 @@ impl Solver {
     /// Returns [`SolveError::OpenQuery`] if the query's formula does not
     /// reduce to a constant, plus any evaluation error.
     pub fn eval_query(&mut self, name: &str) -> Result<bool, SolveError> {
-        let q = self
-            .system
-            .query(name)
-            .ok_or_else(|| SolveError::Unknown(name.to_string()))?
-            .clone();
+        let q =
+            self.system.query(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?.clone();
         // Evaluate every relation the query mentions.
         let mut interp = BTreeMap::new();
         for r in q.body.relations() {
@@ -335,10 +517,8 @@ impl Solver {
     /// Evaluates the relation first; see [`Solver::evaluate`].
     pub fn tuple_count(&mut self, name: &str) -> Result<f64, SolveError> {
         let b = self.evaluate(name)?;
-        let rel = self
-            .system
-            .relation(name)
-            .ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+        let rel =
+            self.system.relation(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?;
         // Count over exactly the formal variables.
         let mut formal_vars = Vec::new();
         for i in 0..rel.params.len() {

@@ -167,11 +167,7 @@ impl SystemBuilder {
     }
 
     /// Declares an input relation (interpretation supplied to the solver).
-    pub fn input(
-        &mut self,
-        name: impl Into<String>,
-        params: Vec<(String, Type)>,
-    ) -> &mut Self {
+    pub fn input(&mut self, name: impl Into<String>, params: Vec<(String, Type)>) -> &mut Self {
         self.relations.push(RelationDef {
             name: name.into(),
             params,
@@ -219,7 +215,8 @@ impl SystemBuilder {
                 _ => return Err(SystemError::BadBody(rel.name.clone())),
             }
         }
-        let sys = System { types: self.types, relations: self.relations, by_name, queries: self.queries };
+        let sys =
+            System { types: self.types, relations: self.relations, by_name, queries: self.queries };
         // Scope/type check every body and query.
         for rel in &sys.relations {
             if let Some(body) = &rel.body {
@@ -236,7 +233,11 @@ impl SystemBuilder {
 }
 
 /// The type of a term in the environment, if well-formed.
-fn term_type(sys: &System, term: &Term, env: &[(String, Type)]) -> Result<Option<Type>, SystemError> {
+fn term_type(
+    sys: &System,
+    term: &Term,
+    env: &[(String, Type)],
+) -> Result<Option<Type>, SystemError> {
     match term {
         Term::Int(_) => Ok(None),
         Term::Var { name, path } => {
@@ -302,9 +303,8 @@ fn check_formula(
             }
         }
         Formula::App(name, args) => {
-            let rel = sys
-                .relation(name)
-                .ok_or_else(|| SystemError::UnknownRelation(name.clone()))?;
+            let rel =
+                sys.relation(name).ok_or_else(|| SystemError::UnknownRelation(name.clone()))?;
             if rel.params.len() != args.len() {
                 return Err(SystemError::Arity {
                     relation: name.clone(),
@@ -428,7 +428,11 @@ mod tests {
         let mut b = System::builder();
         b.declare_type("S", Type::Bool).unwrap();
         b.input("I", vec![("x".into(), Type::named("S"))]);
-        b.define("R", vec![("x".into(), Type::named("S"))], Formula::app("I", vec![Term::var("y")]));
+        b.define(
+            "R",
+            vec![("x".into(), Type::named("S"))],
+            Formula::app("I", vec![Term::var("y")]),
+        );
         assert_eq!(b.build().unwrap_err(), SystemError::UnboundVariable("y".into()));
     }
 
@@ -496,10 +500,11 @@ mod tests {
     fn ordered_cmp_requires_scalar() {
         let mut b = System::builder();
         b.declare_type("K", Type::Range(4)).unwrap();
-        b.declare_type("Pair", Type::Struct(vec![
-            ("a".into(), Type::named("K")),
-            ("b".into(), Type::named("K")),
-        ])).unwrap();
+        b.declare_type(
+            "Pair",
+            Type::Struct(vec![("a".into(), Type::named("K")), ("b".into(), Type::named("K"))]),
+        )
+        .unwrap();
         b.define(
             "R",
             vec![("p".into(), Type::named("Pair"))],

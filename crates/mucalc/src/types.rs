@@ -369,10 +369,7 @@ mod tests {
     #[test]
     fn unknown_rejected() {
         let mut t = TypeTable::new();
-        assert_eq!(
-            t.declare("Y", Type::named("Nope")),
-            Err(TypeError::Unknown("Nope".into()))
-        );
+        assert_eq!(t.declare("Y", Type::named("Nope")), Err(TypeError::Unknown("Nope".into())));
     }
 
     #[test]
@@ -422,10 +419,7 @@ mod tests {
         t.declare("Inner", Type::Struct(vec![("b".into(), Type::Bool)])).unwrap();
         t.declare(
             "Outer",
-            Type::Struct(vec![
-                ("x".into(), Type::named("Inner")),
-                ("y".into(), Type::Bool),
-            ]),
+            Type::Struct(vec![("x".into(), Type::named("Inner")), ("y".into(), Type::Bool)]),
         )
         .unwrap();
         let leaves = t.flatten(&Type::named("Outer")).unwrap();

@@ -1,0 +1,365 @@
+//! The demand-driven worklist strategy: dependency-ordered, change-driven
+//! fixed-point evaluation.
+//!
+//! Where the round-robin reference (`solve.rs`) re-derives every relation a
+//! body mentions on every round — nesting full fixpoint computations inside
+//! fixpoint computations — this engine schedules work from the static
+//! dependency graph (`deps.rs`):
+//!
+//! 1. **Demand.** Evaluating `R` only touches the cone of relations `R`
+//!    transitively applies; unrelated equations are never compiled.
+//! 2. **Stratification.** The cone's SCCs are solved dependencies-first.
+//!    A relation in a non-recursive component is compiled *exactly once*;
+//!    already-solved strata are read from the memo table, never re-derived.
+//! 3. **Chaotic iteration.** Inside a recursive *monotone* component, a
+//!    worklist keyed on "whose interpretation changed" drives re-evaluation:
+//!    a member is re-compiled only when one of its intra-component
+//!    dependencies actually changed since its last compilation.
+//! 4. **Semi-naive propagation.** Where the formula structure permits —
+//!    a body that is a top-level disjunction — only the disjuncts that
+//!    mention a changed relation are recompiled, and their result is
+//!    OR-accumulated into the previous interpretation. This is sound
+//!    exactly because the component is monotone: interpretations only grow
+//!    during the iteration, so a skipped disjunct's old contribution is
+//!    still below the accumulated value.
+//!
+//! # Correctness and the non-monotone rule
+//!
+//! For a **monotone** component (every intra-component application under an
+//! even number of negations) the accumulated chaotic iteration converges to
+//! the component's least fixed point over the product lattice: at
+//! quiescence every member's value is a pre-fixpoint, and by induction the
+//! accumulation never exceeds the least fixed point. That is the same set
+//! the nested §3 semantics computes (Bekić), so the two strategies produce
+//! *identical* canonical BDDs.
+//!
+//! A **non-monotone** component — the §4.3 `Relevant` pattern reads the
+//! complement of the summary's frontier — has no Tarski guarantee, and its
+//! meaning is *defined by* the nested evaluation order of §3. Reordering
+//! the iteration could change the answer, so the scheduler does not try:
+//! such components are detected ([`crate::deps::Scc::monotone`] is false)
+//! and routed wholesale to the round-robin semantics, restricted to the
+//! component (outer strata stay memoized). This is the documented rule:
+//! *worklist scheduling applies to monotone components; non-monotone
+//! components run the reference semantics, demand-driven per requested
+//! root.*
+
+use crate::alloc::owner_rel;
+use crate::ast::Formula;
+use crate::compile::CompileCtx;
+use crate::solve::{SolveError, Solver};
+use crate::system::RelationKind;
+use getafix_bdd::Bdd;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One top-level disjunct of a member's body, with the metadata needed to
+/// recompile it in isolation.
+struct Part {
+    formula: Formula,
+    /// Intra-component relations this disjunct applies.
+    scc_rels: BTreeSet<String>,
+    /// Binder-numbering offset of the disjunct within the whole body.
+    binder_offset: usize,
+}
+
+/// The compilation plan of one component member.
+struct MemberPlan {
+    name: String,
+    param_names: Vec<String>,
+    parts: Vec<Part>,
+    /// All intra-component relations the body applies (union over parts).
+    intra_deps: BTreeSet<String>,
+    formals_domain: Bdd,
+}
+
+impl Solver {
+    /// Worklist-strategy evaluation of `name` (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub(crate) fn evaluate_worklist(&mut self, name: &str) -> Result<Bdd, SolveError> {
+        {
+            let rel =
+                self.system.relation(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+            if rel.kind == RelationKind::Input {
+                return self
+                    .inputs
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SolveError::MissingInterpretation(name.to_string()));
+            }
+        }
+        let root = self
+            .deps
+            .relation_index(name)
+            .ok_or_else(|| SolveError::Internal(format!("`{name}` missing from dep graph")))?;
+
+        // Demand: the cone of relations `root` transitively applies, grouped
+        // into components. Component indices ascend in dependency order, so
+        // iterating the set ascending solves dependencies first.
+        let needed = self.deps.transitive_deps(root);
+        let mut demanded: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        demanded.entry(self.deps.scc_of(root)).or_default().insert(root);
+        for &i in &needed {
+            for &j in self.deps.deps(i) {
+                if self.deps.scc_of(j) != self.deps.scc_of(i) {
+                    demanded.entry(self.deps.scc_of(j)).or_default().insert(j);
+                }
+            }
+        }
+        let scc_order: BTreeSet<usize> = needed.iter().map(|&i| self.deps.scc_of(i)).collect();
+        for idx in scc_order {
+            let roots = demanded.get(&idx).cloned().unwrap_or_default();
+            self.solve_scc(idx, &roots)?;
+        }
+        self.evaluated
+            .get(name)
+            .copied()
+            .ok_or_else(|| SolveError::Internal(format!("`{name}` not solved by its component")))
+    }
+
+    /// Solves one component; `demanded` are the members read from outside
+    /// the component (or the evaluation root).
+    fn solve_scc(&mut self, idx: usize, demanded: &BTreeSet<usize>) -> Result<(), SolveError> {
+        let (members, recursive, monotone) = {
+            let scc = &self.deps.sccs()[idx];
+            let names: Vec<String> =
+                scc.members.iter().map(|&i| self.deps.name(i).to_string()).collect();
+            (names, scc.recursive, scc.monotone)
+        };
+
+        if !recursive {
+            let name = members[0].clone();
+            if self.evaluated.contains_key(&name) {
+                return Ok(());
+            }
+            let value = self.evaluate_once(&name)?;
+            let entry = self.stats.relations.entry(name.clone()).or_default();
+            entry.iterations = 1;
+            entry.final_nodes = self.manager.node_count(value);
+            entry.peak_nodes = entry.peak_nodes.max(self.manager.node_count(value));
+            self.evaluated.insert(name, value);
+            return Ok(());
+        }
+
+        if monotone {
+            if members.iter().all(|m| self.evaluated.contains_key(m)) {
+                return Ok(());
+            }
+            return self.solve_scc_chaotic(&members);
+        }
+
+        // Non-monotone: defer to the nested §3 semantics per demanded root;
+        // outer strata resolve through the memo table.
+        let member_set: BTreeSet<String> = members.iter().cloned().collect();
+        for &r in demanded {
+            let rname = self.deps.name(r).to_string();
+            if self.evaluated.contains_key(&rname) {
+                continue;
+            }
+            let frozen = BTreeMap::new();
+            let value = self.evaluate_nested(&rname, &frozen, true, Some(&member_set))?;
+            self.evaluated.insert(rname, value);
+        }
+        Ok(())
+    }
+
+    /// Compiles the body of a non-recursive relation exactly once under the
+    /// memoized environment.
+    fn evaluate_once(&mut self, name: &str) -> Result<Bdd, SolveError> {
+        let plan = self.member_plan(name, &BTreeSet::new())?;
+        let env = self.component_env(std::slice::from_ref(&plan.name))?;
+        self.note_reevaluation(name);
+        let mut acc = Bdd::FALSE;
+        for part in &plan.parts {
+            let raw = self.compile_part(&plan, part, &env)?;
+            let constrained = self.manager.and(raw, plan.formals_domain);
+            acc = self.manager.or(acc, constrained);
+        }
+        Ok(acc)
+    }
+
+    /// Chaotic iteration over a monotone recursive component.
+    fn solve_scc_chaotic(&mut self, members: &[String]) -> Result<(), SolveError> {
+        let member_set: BTreeSet<String> = members.iter().cloned().collect();
+        let plans: BTreeMap<String, MemberPlan> = members
+            .iter()
+            .map(|m| Ok((m.clone(), self.member_plan(m, &member_set)?)))
+            .collect::<Result<_, SolveError>>()?;
+
+        // Reverse intra-component edges: who must be rescheduled when `r`
+        // changes.
+        let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for plan in plans.values() {
+            for dep in &plan.intra_deps {
+                dependents.entry(dep.as_str()).or_default().push(plan.name.as_str());
+            }
+        }
+
+        let mut env = self.component_env(members)?;
+        let mut value: BTreeMap<&str, Bdd> =
+            members.iter().map(|m| (m.as_str(), Bdd::FALSE)).collect();
+        let mut first_pass: BTreeSet<&str> = members.iter().map(String::as_str).collect();
+        let mut dirty: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = members.iter().map(String::as_str).collect();
+        let mut queued: BTreeSet<&str> = queue.iter().copied().collect();
+        let mut passes: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut peak: BTreeMap<&str, usize> = BTreeMap::new();
+
+        while let Some(r) = queue.pop_front() {
+            queued.remove(r);
+            let first = first_pass.remove(r);
+            let dirty_now = dirty.remove(r).unwrap_or_default();
+            if !first && dirty_now.is_empty() {
+                continue;
+            }
+            let pass = passes.entry(r).or_insert(0);
+            *pass += 1;
+            if *pass > self.options.max_iterations {
+                return Err(SolveError::Diverged {
+                    relation: r.to_string(),
+                    bound: self.options.max_iterations,
+                });
+            }
+
+            let plan = &plans[r];
+            self.note_reevaluation(r);
+            // Semi-naive: recompile only disjuncts that read something that
+            // changed (all of them on the first pass).
+            let mut delta = Bdd::FALSE;
+            for part in &plan.parts {
+                if first || part.scc_rels.iter().any(|d| dirty_now.contains(d)) {
+                    let raw = self.compile_part(plan, part, &env)?;
+                    let constrained = self.manager.and(raw, plan.formals_domain);
+                    delta = self.manager.or(delta, constrained);
+                }
+            }
+            let old = value[r];
+            let new = self.manager.or(old, delta);
+            peak.entry(r)
+                .and_modify(|p| *p = (*p).max(self.manager.node_count(new)))
+                .or_insert_with(|| self.manager.node_count(new));
+            if new != old {
+                value.insert(r, new);
+                env.insert(r.to_string(), new);
+                if let Some(ds) = dependents.get(r) {
+                    for &d in ds {
+                        dirty.entry(d).or_default().insert(r.to_string());
+                        if queued.insert(d) {
+                            queue.push_back(d);
+                        }
+                    }
+                }
+            }
+        }
+
+        for m in members {
+            let v = value[m.as_str()];
+            let entry = self.stats.relations.entry(m.clone()).or_default();
+            entry.iterations = passes.get(m.as_str()).copied().unwrap_or(0);
+            entry.final_nodes = self.manager.node_count(v);
+            entry.peak_nodes = entry.peak_nodes.max(peak.get(m.as_str()).copied().unwrap_or(0));
+            self.evaluated.insert(m.clone(), v);
+        }
+        Ok(())
+    }
+
+    /// Builds the compilation plan of one member: top-level disjuncts with
+    /// their binder offsets and intra-component reads.
+    fn member_plan(
+        &mut self,
+        name: &str,
+        member_set: &BTreeSet<String>,
+    ) -> Result<MemberPlan, SolveError> {
+        let (body, param_names) = {
+            let rel =
+                self.system.relation(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?;
+            let body = rel
+                .body
+                .clone()
+                .ok_or_else(|| SolveError::Internal(format!("`{name}` has no body to plan")))?;
+            let params: Vec<String> = rel.params.iter().map(|(n, _)| n.clone()).collect();
+            (body, params)
+        };
+        let raw_parts: Vec<Formula> = match body {
+            Formula::Or(parts) => parts,
+            other => vec![other],
+        };
+        let mut parts = Vec::with_capacity(raw_parts.len());
+        let mut offset = 0usize;
+        for f in raw_parts {
+            let scc_rels = f.relations().into_iter().filter(|r| member_set.contains(r)).collect();
+            let binders = f.binder_count();
+            parts.push(Part { formula: f, scc_rels, binder_offset: offset });
+            offset += binders;
+        }
+        let intra_deps = parts.iter().flat_map(|p| p.scc_rels.iter().cloned()).collect();
+        let mut formals_domain = Bdd::TRUE;
+        for i in 0..param_names.len() {
+            let inst = self.alloc.formal(name, i).clone();
+            let d = self.alloc.domain(&mut self.manager, &inst);
+            formals_domain = self.manager.and(formals_domain, d);
+        }
+        Ok(MemberPlan { name: name.to_string(), param_names, parts, intra_deps, formals_domain })
+    }
+
+    /// The evaluation environment of a component: inputs and already-solved
+    /// outer strata for everything the members' bodies apply, plus `⊥` for
+    /// the members themselves.
+    fn component_env(&mut self, members: &[String]) -> Result<BTreeMap<String, Bdd>, SolveError> {
+        let member_set: BTreeSet<&str> = members.iter().map(String::as_str).collect();
+        let mut applied: BTreeSet<String> = BTreeSet::new();
+        for m in members {
+            let rel = self.system.relation(m).ok_or_else(|| SolveError::Unknown(m.clone()))?;
+            if let Some(body) = &rel.body {
+                applied.extend(body.relations());
+            }
+        }
+        let mut env = BTreeMap::new();
+        for r in applied {
+            if member_set.contains(r.as_str()) {
+                env.insert(r, Bdd::FALSE);
+                continue;
+            }
+            let rel = self.system.relation(&r).ok_or_else(|| SolveError::Unknown(r.clone()))?;
+            let value = match rel.kind {
+                RelationKind::Input => self
+                    .inputs
+                    .get(&r)
+                    .copied()
+                    .ok_or_else(|| SolveError::MissingInterpretation(r.clone()))?,
+                RelationKind::Fixpoint => self.evaluated.get(&r).copied().ok_or_else(|| {
+                    SolveError::Internal(format!(
+                        "stratification violated: `{r}` read before being solved"
+                    ))
+                })?,
+            };
+            env.insert(r, value);
+        }
+        Ok(env)
+    }
+
+    /// Compiles one disjunct of `plan` under `interp`, with the binder
+    /// numbering resumed at the disjunct's offset.
+    fn compile_part(
+        &mut self,
+        plan: &MemberPlan,
+        part: &Part,
+        interp: &BTreeMap<String, Bdd>,
+    ) -> Result<Bdd, SolveError> {
+        let mut ctx = CompileCtx::with_binder_offset(
+            &mut self.manager,
+            &self.system,
+            &self.alloc,
+            interp,
+            owner_rel(&plan.name),
+            part.binder_offset,
+        );
+        for i in 0..plan.param_names.len() {
+            let inst = ctx.alloc.formal(&plan.name, i).clone();
+            ctx.bind(&plan.param_names[i], inst);
+        }
+        ctx.compile(&part.formula)
+    }
+}

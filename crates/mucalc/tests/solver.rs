@@ -263,19 +263,35 @@ fn stats_are_collected() {
 
 #[test]
 fn divergence_detection() {
-    use getafix_mucalc::{SolveOptions, SolveError};
-    // Flip(s) := !Flip(s) never stabilizes; the bound must catch it.
-    let system = parse_system(
-        r#"
-        type S = range 2;
-        mu Flip(s: S) := !Flip(s);
-        "#,
+    use getafix_mucalc::{SolveError, SolveOptions, Strategy};
+    // Flip(s) := !Flip(s) never stabilizes; the bound must catch it under
+    // both strategies (the worklist engine routes the non-monotone
+    // component to the nested semantics, which hits the same bound).
+    for strategy in [Strategy::RoundRobin, Strategy::Worklist] {
+        let system = parse_system(
+            r#"
+            type S = range 2;
+            mu Flip(s: S) := !Flip(s);
+            "#,
+        )
+        .unwrap();
+        let mut solver =
+            Solver::with_options(system, SolveOptions { max_iterations: 50, strategy }).unwrap();
+        let err = solver.evaluate("Flip").unwrap_err();
+        assert!(matches!(err, SolveError::Diverged { .. }), "{strategy}: {err}");
+    }
+}
+
+#[test]
+fn zero_iteration_bound_rejected() {
+    use getafix_mucalc::{SolveError, SolveOptions, Strategy};
+    let system = parse_system(REACH_SRC).unwrap();
+    let err = Solver::with_options(
+        system,
+        SolveOptions { max_iterations: 0, strategy: Strategy::Worklist },
     )
-    .unwrap();
-    let mut solver =
-        Solver::with_options(system, SolveOptions { max_iterations: 50 }).unwrap();
-    let err = solver.evaluate("Flip").unwrap_err();
-    assert!(matches!(err, SolveError::Diverged { .. }), "{err}");
+    .unwrap_err();
+    assert!(matches!(err, SolveError::Options(_)), "{err}");
 }
 
 #[test]
@@ -285,10 +301,7 @@ fn programmatic_builder_equivalent_to_parsed() {
     let mut b = System::builder();
     b.declare_type("State", Type::Range(16)).unwrap();
     b.input("Init", vec![("s".into(), Type::named("State"))]);
-    b.input(
-        "Trans",
-        vec![("s".into(), Type::named("State")), ("t".into(), Type::named("State"))],
-    );
+    b.input("Trans", vec![("s".into(), Type::named("State")), ("t".into(), Type::named("State"))]);
     b.define(
         "Reach",
         vec![("u".into(), Type::named("State"))],

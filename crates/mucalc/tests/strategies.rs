@@ -1,0 +1,182 @@
+//! Differential testing of the two solver strategies: on randomly
+//! generated *positive* equation systems, the worklist engine must produce
+//! interpretations and query verdicts identical to the round-robin
+//! reference (both compute the unique least fixed point), while never
+//! doing more relation re-evaluations.
+
+use getafix_mucalc::{
+    eq_const, Bdd, Formula, SolveOptions, Solver, Strategy as SolveStrategy, System, Term, Type,
+};
+use proptest::prelude::*;
+
+/// A random positive-system specification. Indices are taken modulo the
+/// relevant bound at build time, so any tuple of small integers is valid.
+#[derive(Debug, Clone)]
+struct Spec {
+    /// Domain size of the single state type.
+    n: u64,
+    /// Bodies of the fixpoint relations `R0..`; each disjunct is
+    /// `(kind, relation index, constant)`.
+    bodies: Vec<Vec<(usize, usize, u64)>>,
+    /// Interpretation of the `Init` input.
+    init: Vec<u64>,
+    /// Interpretation of the `Edge` input.
+    edges: Vec<(u64, u64)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        4u64..9,
+        prop::collection::vec(prop::collection::vec((0usize..5, 0usize..4, 0u64..16), 1..4), 1..5),
+        prop::collection::vec(0u64..16, 1..3),
+        prop::collection::vec((0u64..16, 0u64..16), 1..9),
+    )
+        .prop_map(|(n, bodies, init, edges)| Spec { n, bodies, init, edges })
+}
+
+fn state() -> Type {
+    Type::named("S")
+}
+
+/// Builds the system of a spec: inputs `Init(s)`, `Edge(s, t)` and one
+/// positive fixpoint relation per body, plus one point query per relation.
+fn build_system(spec: &Spec) -> System {
+    let nrels = spec.bodies.len();
+    let rel = |i: usize| format!("R{}", i % nrels);
+    let mut b = System::builder();
+    b.declare_type("S", Type::Range(spec.n)).unwrap();
+    b.input("Init", vec![("s".into(), state())]);
+    b.input("Edge", vec![("s".into(), state()), ("t".into(), state())]);
+    for (i, disjuncts) in spec.bodies.iter().enumerate() {
+        let parts = disjuncts
+            .iter()
+            .map(|&(kind, j, c)| match kind {
+                // Seed from the input set.
+                0 => Formula::app("Init", vec![Term::var("s")]),
+                // Copy another relation (possibly itself).
+                1 => Formula::app(rel(j), vec![Term::var("s")]),
+                // Forward image along Edge.
+                2 => Formula::exists(
+                    vec![("x".into(), state())],
+                    Formula::and(vec![
+                        Formula::app(rel(j), vec![Term::var("x")]),
+                        Formula::app("Edge", vec![Term::var("x"), Term::var("s")]),
+                    ]),
+                ),
+                // Backward image along Edge.
+                3 => Formula::exists(
+                    vec![("x".into(), state())],
+                    Formula::and(vec![
+                        Formula::app(rel(j), vec![Term::var("x")]),
+                        Formula::app("Edge", vec![Term::var("s"), Term::var("x")]),
+                    ]),
+                ),
+                // A constant point.
+                _ => Formula::eq(Term::var("s"), Term::int(c % spec.n)),
+            })
+            .collect();
+        b.define(format!("R{i}"), vec![("s".into(), state())], Formula::or(parts));
+    }
+    for i in 0..nrels {
+        b.query(
+            format!("q{i}"),
+            Formula::exists(
+                vec![("s".into(), state())],
+                Formula::and(vec![
+                    Formula::app(format!("R{i}"), vec![Term::var("s")]),
+                    Formula::eq(Term::var("s"), Term::int(spec.init[0] % spec.n)),
+                ]),
+            ),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn make_solver(spec: &Spec, strategy: SolveStrategy) -> Solver {
+    let system = build_system(spec);
+    let mut solver = Solver::with_options(system, SolveOptions::with_strategy(strategy)).unwrap();
+    let init = {
+        let vars = solver.alloc().formal("Init", 0).all_vars();
+        let m = solver.manager();
+        let mut acc = Bdd::FALSE;
+        for &v in &spec.init {
+            let p = eq_const(m, &vars, v % spec.n);
+            acc = m.or(acc, p);
+        }
+        acc
+    };
+    solver.set_input("Init", init).unwrap();
+    let edges = {
+        let s = solver.alloc().formal("Edge", 0).all_vars();
+        let t = solver.alloc().formal("Edge", 1).all_vars();
+        let m = solver.manager();
+        let mut acc = Bdd::FALSE;
+        for &(a, c) in &spec.edges {
+            let fa = eq_const(m, &s, a % spec.n);
+            let fc = eq_const(m, &t, c % spec.n);
+            let e = m.and(fa, fc);
+            acc = m.or(acc, e);
+        }
+        acc
+    };
+    solver.set_input("Edge", edges).unwrap();
+    solver
+}
+
+/// The interpretation of `R{i}` as an explicit membership vector.
+fn membership(solver: &mut Solver, i: usize, n: u64) -> Vec<bool> {
+    let name = format!("R{i}");
+    let interp = solver.evaluate(&name).unwrap();
+    let vars = solver.alloc().formal(&name, 0).all_vars();
+    let m = solver.manager();
+    (0..n)
+        .map(|v| {
+            let p = eq_const(m, &vars, v);
+            let hit = m.and(interp, p);
+            !hit.is_false()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Both strategies compute identical interpretations and verdicts on
+    /// random positive systems, and the worklist engine never does more
+    /// body compilations than the reference.
+    #[test]
+    fn strategies_agree_on_random_positive_systems(spec in spec_strategy()) {
+        let nrels = spec.bodies.len();
+        let mut rr = make_solver(&spec, SolveStrategy::RoundRobin);
+        let mut wl = make_solver(&spec, SolveStrategy::Worklist);
+        for i in 0..nrels {
+            let mrr = membership(&mut rr, i, spec.n);
+            let mwl = membership(&mut wl, i, spec.n);
+            prop_assert_eq!(mrr, mwl, "interpretation of R{} differs", i);
+        }
+        for i in 0..nrels {
+            let q = format!("q{i}");
+            prop_assert_eq!(
+                rr.eval_query(&q).unwrap(),
+                wl.eval_query(&q).unwrap(),
+                "verdict of {} differs", q
+            );
+        }
+        let rr_work = rr.stats().total_reevaluations();
+        let wl_work = wl.stats().total_reevaluations();
+        prop_assert!(
+            wl_work <= rr_work,
+            "worklist did more work: {} > {}", wl_work, rr_work
+        );
+    }
+
+    /// Every system the generator produces really is positive (the
+    /// precondition of the identical-least-fixed-point argument).
+    #[test]
+    fn generated_systems_are_positive(spec in spec_strategy()) {
+        let system = build_system(&spec);
+        for i in 0..spec.bodies.len() {
+            prop_assert!(system.is_positive(&format!("R{i}")));
+        }
+    }
+}

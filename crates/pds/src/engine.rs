@@ -92,12 +92,7 @@ fn eager_summaries(sp: &mut Space, cfg: &Cfg) -> Result<(Bdd, usize), PdsError> 
 fn return_image(sp: &mut Space, callers: Bdd, summaries: Bdd) -> Bdd {
     // Callee summaries moved out of the caller's blocks:
     // entry (l0,g0) → (l4,g4); current (pc1,l1,g1) → (pc2,l2,g2).
-    let callee = sp.rename_parts(
-        summaries,
-        &[(1, 2)],
-        &[(0, 4), (1, 2)],
-        &[(0, 4), (1, 2)],
-    );
+    let callee = sp.rename_parts(summaries, &[(1, 2)], &[(0, 4), (1, 2)], &[(0, 4), (1, 2)]);
     // Args: callee entry locals (as l4) from the caller state; the callee
     // entry pc is dropped (the call site determines the callee, and
     // ret_rel re-ties call site to exit).
@@ -220,12 +215,7 @@ pub fn prestar(cfg: &Cfg, targets: &[Pc]) -> Result<PdsResult, PdsError> {
         let dropped = sp.m.exists(cr, cube);
         sp.rename_parts(dropped, &[], &[(2, 4)], &[])
     };
-    let callee_sum = sp.rename_parts(
-        summaries,
-        &[(1, 2)],
-        &[(0, 4), (1, 2)],
-        &[(0, 4), (1, 2)],
-    );
+    let callee_sum = sp.rename_parts(summaries, &[(1, 2)], &[(0, 4), (1, 2)], &[(0, 4), (1, 2)]);
     let link_g = sp.eq_g(4, 1);
     loop {
         rounds += 1;

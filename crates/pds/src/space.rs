@@ -90,7 +90,13 @@ fn zero_above(m: &mut Manager, vars: &[Var], width: usize) -> Bdd {
     acc
 }
 
-fn assign_bit(m: &mut Manager, target: Var, e: &getafix_boolprog::LExpr, l: &[Var], g: &[Var]) -> Bdd {
+fn assign_bit(
+    m: &mut Manager,
+    target: Var,
+    e: &getafix_boolprog::LExpr,
+    l: &[Var],
+    g: &[Var],
+) -> Bdd {
     let ct = can_value(m, e, l, g, true);
     let cf = can_value(m, e, l, g, false);
     let t = m.var(target);
@@ -219,11 +225,19 @@ impl Space {
                                 let a = assign_bit(&mut m, tvar, ex, &l[2], &g[2]);
                                 b = m.and(b, a);
                             }
-                            let keep_l =
-                                eq_except(&mut m, &l[1][..proc.n_locals()], &l[3][..proc.n_locals()], &local_targets);
+                            let keep_l = eq_except(
+                                &mut m,
+                                &l[1][..proc.n_locals()],
+                                &l[3][..proc.n_locals()],
+                                &local_targets,
+                            );
                             b = m.and(b, keep_l);
-                            let keep_g =
-                                eq_except(&mut m, &g[2][..n_globals], &g[3][..n_globals], &global_targets);
+                            let keep_g = eq_except(
+                                &mut m,
+                                &g[2][..n_globals],
+                                &g[3][..n_globals],
+                                &global_targets,
+                            );
                             b = m.and(b, keep_g);
                             let fu = zero_above(&mut m, &l[2], q.n_locals());
                             b = m.and(b, fu);
@@ -260,19 +274,7 @@ impl Space {
             m.and(b, zg)
         };
 
-        Space {
-            m,
-            pc,
-            l,
-            g,
-            int_rel,
-            call_rel,
-            skip_rel,
-            ret_rel,
-            proc_entry,
-            targets,
-            init,
-        }
+        Space { m, pc, l, g, int_rel, call_rel, skip_rel, ret_rel, proc_entry, targets, init }
     }
 
     /// Renames blocks: all (pc, l, g) triples `(from_i → to_i)`.
@@ -326,5 +328,4 @@ impl Space {
     pub fn eq_l(&mut self, a: usize, b: usize) -> Bdd {
         eq_blocks(&mut self.m, &self.l[a].clone(), &self.l[b].clone())
     }
-
 }

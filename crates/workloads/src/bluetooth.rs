@@ -149,12 +149,10 @@ mod tests {
         {
             let conc = bluetooth(adders, stoppers);
             let merged = merge(&conc).unwrap();
-            let targets: Vec<_> = (0..adders)
-                .map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR"))
-                .collect();
+            let targets: Vec<_> =
+                (0..adders).map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR")).collect();
             let max_k = 4;
-            let got = (1..=max_k)
-                .find(|&k| check_merged(&merged, &targets, k).unwrap().reachable);
+            let got = (1..=max_k).find(|&k| check_merged(&merged, &targets, k).unwrap().reachable);
             assert_eq!(got, expect, "{adders} adders + {stoppers} stoppers");
         }
     }

@@ -22,6 +22,4 @@ mod terminator;
 pub use bluetooth::{adder_err_label, bluetooth, FIGURE3_CONFIGS};
 pub use regression::{regression_suite, Case};
 pub use slam::{driver, slam_suites, DriverCase, DriverSpec};
-pub use terminator::{
-    terminator, terminator_suite, DeadStyle, TerminatorCase, TerminatorVariant,
-};
+pub use terminator::{terminator, terminator_suite, DeadStyle, TerminatorCase, TerminatorVariant};

@@ -40,9 +40,8 @@ fn call_chain(n: usize, positive: bool) -> String {
         } else {
             "r := a & !a;".to_string()
         };
-        procs.push_str(&format!(
-            "p{i}(a) returns 1 begin\n  decl r;\n  {next}\n  return r;\nend\n"
-        ));
+        procs
+            .push_str(&format!("p{i}(a) returns 1 begin\n  decl r;\n  {next}\n  return r;\nend\n"));
     }
     format!(
         "decl g;\nmain() begin\n  decl x;\n  x := p0(T);\n  if (x) then HIT: skip; fi;\nend\n{procs}"
@@ -67,9 +66,7 @@ fn loop_parity(iters: usize, positive: bool) -> String {
     for _ in 0..flips {
         flips_src.push_str("  g := !g;\n");
     }
-    format!(
-        "decl g;\nmain() begin\n  g := F;\n{flips_src}  if (g) then HIT: skip; fi;\nend\n"
-    )
+    format!("decl g;\nmain() begin\n  g := F;\n{flips_src}  if (g) then HIT: skip; fi;\nend\n")
 }
 
 /// Multi-value returns with swapping.
@@ -115,9 +112,7 @@ fn schoose_case(free: bool, positive: bool) -> String {
         (false, true) => "schoose [T, F]",  // forced T
         (false, false) => "schoose [g, T]", // g is F initially: forced F
     };
-    format!(
-        "decl g;\nmain() begin\n  decl x;\n  x := {expr};\n  if (x) then HIT: skip; fi;\nend\n"
-    )
+    format!("decl g;\nmain() begin\n  decl x;\n  x := {expr};\n  if (x) then HIT: skip; fi;\nend\n")
 }
 
 /// Goto over poisoning code.
@@ -144,7 +139,7 @@ fn parallel_assign(rounds: usize, positive: bool) -> String {
         swaps.push_str("  a, b := b, a;\n");
     }
     // After `rounds` swaps, T is in a iff rounds is even.
-    let guard = if (rounds % 2 == 0) == positive { "a" } else { "b" };
+    let guard = if rounds.is_multiple_of(2) == positive { "a" } else { "b" };
     let negguard = if positive { guard.to_string() } else { format!("{guard} & !{guard}") };
     format!(
         "decl a, b;\nmain() begin\n  a := T;\n  b := F;\n{swaps}  if ({negguard}) then HIT: skip; fi;\nend\n"
@@ -268,8 +263,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let (pos, neg) = regression_suite();
-        let mut names: Vec<&str> =
-            pos.iter().chain(&neg).map(|c| c.name.as_str()).collect();
+        let mut names: Vec<&str> = pos.iter().chain(&neg).map(|c| c.name.as_str()).collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

@@ -95,9 +95,8 @@ pub fn driver(name: &str, spec: DriverSpec) -> DriverCase {
             match rng.below(4) {
                 0 => src.push_str(&format!("  v{t} := v{a} & {gname};\n")),
                 1 => src.push_str(&format!("  v{t} := v{a} | !arg;\n")),
-                2 => src.push_str(&format!(
-                    "  if (v{a}) then v{t} := {gname}; else v{t} := *; fi;\n"
-                )),
+                2 => src
+                    .push_str(&format!("  if (v{a}) then v{t} := {gname}; else v{t} := *; fi;\n")),
                 _ => src.push_str(&format!("  {gname} := {gname} != v{a};\n")),
             }
         }
@@ -137,7 +136,11 @@ pub fn driver(name: &str, spec: DriverSpec) -> DriverCase {
 /// larger values approach the paper's program sizes).
 pub fn slam_suites(scale: usize) -> Vec<(String, Vec<DriverCase>)> {
     let s = scale.max(1);
-    let mk = |name: &str, count: usize, handlers: usize, globals: usize, locals: usize,
+    let mk = |name: &str,
+              count: usize,
+              handlers: usize,
+              globals: usize,
+              locals: usize,
               positive: bool|
      -> (String, Vec<DriverCase>) {
         let cases = (0..count)
@@ -176,19 +179,11 @@ mod tests {
         for positive in [true, false] {
             let c = driver(
                 "test",
-                DriverSpec {
-                    handlers: 3,
-                    globals: 2,
-                    locals: 3,
-                    filler: 2,
-                    positive,
-                    seed: 42,
-                },
+                DriverSpec { handlers: 3, globals: 2, locals: 3, filler: 2, positive, seed: 42 },
             );
             let cfg = Cfg::build(&c.program).unwrap();
-            let r = explicit_reachable_label(&cfg, &c.label, 5_000_000)
-                .unwrap()
-                .expect("ERR label");
+            let r =
+                explicit_reachable_label(&cfg, &c.label, 5_000_000).unwrap().expect("ERR label");
             assert_eq!(r.reachable, c.expect_reachable, "positive={positive}");
         }
     }
@@ -202,8 +197,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = driver("d", DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 });
-        let b = driver("d", DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 });
+        let a = driver(
+            "d",
+            DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 },
+        );
+        let b = driver(
+            "d",
+            DriverSpec { handlers: 4, globals: 3, locals: 4, filler: 3, positive: true, seed: 7 },
+        );
         assert_eq!(a.program, b.program);
     }
 

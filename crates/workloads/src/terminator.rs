@@ -135,9 +135,7 @@ fn gen_b(b: usize, style: DeadStyle) -> String {
         xs = xs.join(", "),
         ys = ys.join(", "),
         ts = tmp.join(", "),
-        reset = (0..b)
-            .map(|i| format!("  x{i} := F;\n  y{i} := F;\n"))
-            .collect::<String>(),
+        reset = (0..b).map(|i| format!("  x{i} := F;\n  y{i} := F;\n")).collect::<String>(),
         incx = increment("x", b),
         incy = increment("y", b),
         dead = dead_stmt(&tmp, style),
@@ -153,15 +151,11 @@ fn gen_c(b: usize, style: DeadStyle) -> String {
     let mut flips = String::new();
     for i in 0..b {
         let j = (i + 1) % b;
-        flips.push_str(&format!(
-            "    if (*) then g{i}, g{j} := !g{i}, !g{j}; fi;\n"
-        ));
+        flips.push_str(&format!("    if (*) then g{i}, g{j} := !g{i}, !g{j}; fi;\n"));
     }
     // Left-fold the parity xor with explicit parentheses (the expression
     // grammar does not chain `!=`).
-    let parity = gs[1..]
-        .iter()
-        .fold(gs[0].clone(), |acc, g| format!("({acc} != {g})"));
+    let parity = gs[1..].iter().fold(gs[0].clone(), |acc, g| format!("({acc} != {g})"));
     format!(
         "decl {gs};\nmain() begin\n  decl {ls};\n\
          \n  while (*) do\n{flips}{dead}  od;\n\

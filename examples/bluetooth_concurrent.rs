@@ -20,9 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             locals,
             merged.cfg.globals.len()
         );
-        let targets: Vec<_> = (0..adders)
-            .map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR"))
-            .collect();
+        let targets: Vec<_> =
+            (0..adders).map(|i| merged.cfg.label(&adder_err_label(i)).expect("ERR")).collect();
         for k in 1..=4 {
             let r = check_merged(&merged, &targets, k)?;
             println!(

@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(PROGRAM)?;
     let cfg = Cfg::build(&program)?;
 
-    println!("Program: {} procedures, {} pcs, {} globals", cfg.procs.len(), cfg.pc_count, cfg.globals.len());
+    println!(
+        "Program: {} procedures, {} pcs, {} globals",
+        cfg.procs.len(),
+        cfg.pc_count,
+        cfg.globals.len()
+    );
 
     // Every algorithm of §4 answers the same question; EF-opt is the one
     // the paper's evaluation leads with.

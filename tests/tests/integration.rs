@@ -6,9 +6,7 @@ use getafix_bebop::bebop_reachable;
 use getafix_boolprog::{explicit_reachable, Cfg};
 use getafix_core::{check_reachability, Algorithm};
 use getafix_pds::{poststar, prestar};
-use getafix_workloads::{
-    driver, regression_suite, terminator_suite, DriverSpec,
-};
+use getafix_workloads::{driver, regression_suite, terminator_suite, DriverSpec};
 
 /// Runs all engines on a case and asserts unanimity with the expectation.
 fn all_engines_agree(name: &str, program: &getafix_boolprog::Program, label: &str, expect: bool) {
@@ -21,8 +19,8 @@ fn all_engines_agree(name: &str, program: &getafix_boolprog::Program, label: &st
     assert_eq!(oracle, expect, "{name}: oracle vs construction");
 
     for algo in Algorithm::ALL {
-        let r = check_reachability(&cfg, &[pc], algo)
-            .unwrap_or_else(|e| panic!("{name} {algo}: {e}"));
+        let r =
+            check_reachability(&cfg, &[pc], algo).unwrap_or_else(|e| panic!("{name} {algo}: {e}"));
         assert_eq!(r.reachable, expect, "{name} ({algo})");
     }
     assert_eq!(poststar(&cfg, &[pc]).unwrap().reachable, expect, "{name} (post*)");
