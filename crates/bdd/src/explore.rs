@@ -5,8 +5,19 @@ use crate::manager::{Bdd, Manager, Var};
 /// Iterator over the satisfying *cubes* of a BDD.
 ///
 /// Each item is a partial assignment — the variables actually tested on one
-/// root-to-TRUE path, in level order. Variables absent from a cube may take
-/// either value.
+/// root-to-TRUE path. Variables absent from a cube may take either value.
+///
+/// # Ordering guarantees
+///
+/// * **Within a cube** the `(Var, bool)` pairs appear in ascending *level*
+///   order (the manager's variable order), top of the diagram first.
+/// * **Across cubes** the iterator yields root-to-TRUE paths in depth-first
+///   order taking the 0-branch before the 1-branch at every node, i.e.
+///   cubes come out in lexicographic order of their branch choices along
+///   the variable order. Two different cubes are disjoint as sets of
+///   models (they diverge at the first node where their paths split).
+/// * The union of the yielded cubes covers exactly the satisfying
+///   assignments of the function.
 ///
 /// Produced by [`Manager::cubes`].
 ///
@@ -61,6 +72,125 @@ impl Manager {
     /// Iterates over the satisfying cubes of `f` (root-to-TRUE paths).
     pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
         CubeIter { manager: self, stack: vec![(f, Vec::new())] }
+    }
+
+    /// Picks a single *shortest* satisfying cube of `f`: a partial
+    /// assignment with the fewest tested variables among all root-to-TRUE
+    /// paths (ties broken toward the 0-branch). Variables absent from the
+    /// cube may take either value; filling them arbitrarily yields a model.
+    ///
+    /// Returns `None` iff `f` is unsatisfiable. Pairs are in ascending
+    /// level order, like [`Manager::cubes`].
+    ///
+    /// Unlike [`Manager::pick_one`] (which greedily follows the 1-branch
+    /// and may test many variables), `sat_one` minimizes the number of
+    /// constrained variables — the "smallest" witness of satisfiability.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use getafix_bdd::Manager;
+    /// let mut m = Manager::new();
+    /// let x = m.new_var();
+    /// let y = m.new_var();
+    /// let z = m.new_var();
+    /// // f = (x ∧ y) ∨ (x ∧ z). The two root-to-TRUE paths are
+    /// // {x=1, y=1} and {x=1, y=0, z=1}; the shorter one wins.
+    /// let f = {
+    ///     let (fx, fy, fz) = (m.var(x), m.var(y), m.var(z));
+    ///     let xy = m.and(fx, fy);
+    ///     let xz = m.and(fx, fz);
+    ///     m.or(xy, xz)
+    /// };
+    /// assert_eq!(m.sat_one(f), Some(vec![(x, true), (y, true)]));
+    /// assert_eq!(m.sat_one(m.constant(false)), None);
+    /// assert_eq!(m.sat_one(m.constant(true)), Some(vec![]));
+    /// ```
+    pub fn sat_one(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        // DP over the DAG: depth(node) = length of its shortest path to
+        // TRUE (∞ when TRUE is unreachable, i.e. the node is FALSE).
+        let mut depth: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        fn measure(
+            m: &Manager,
+            f: Bdd,
+            depth: &mut std::collections::HashMap<u32, usize>,
+        ) -> usize {
+            if f.is_true() {
+                return 0;
+            }
+            if f.is_false() {
+                return usize::MAX;
+            }
+            if let Some(&d) = depth.get(&f.index()) {
+                return d;
+            }
+            let lo = measure(m, m.lo(f), depth);
+            let hi = measure(m, m.hi(f), depth);
+            let d = lo.min(hi).saturating_add(1);
+            depth.insert(f.index(), d);
+            d
+        }
+        measure(self, f, &mut depth);
+        // Walk greedily along the shortest side; prefer lo on ties.
+        let mut cube = Vec::new();
+        let mut cur = f;
+        while !cur.is_true() {
+            let v = self.root_var(cur).expect("non-terminal");
+            let (lo, hi) = (self.lo(cur), self.hi(cur));
+            let d = |n: Bdd| -> usize {
+                if n.is_true() {
+                    0
+                } else if n.is_false() {
+                    usize::MAX
+                } else {
+                    depth[&n.index()]
+                }
+            };
+            if d(lo) <= d(hi) {
+                cube.push((v, false));
+                cur = lo;
+            } else {
+                cube.push((v, true));
+                cur = hi;
+            }
+        }
+        Some(cube)
+    }
+
+    /// Constrained extraction: a shortest satisfying cube of `f` *under*
+    /// the partial assignment `fixed`. The returned cube starts with every
+    /// pair of `fixed` (in the given order) followed by the shortest cube
+    /// of the restricted function, so it is always consistent with `fixed`.
+    ///
+    /// Returns `None` when `f ∧ fixed` is unsatisfiable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use getafix_bdd::Manager;
+    /// let mut m = Manager::new();
+    /// let x = m.new_var();
+    /// let y = m.new_var();
+    /// // f = x ∨ y. Under x = 0, the witness must set y = 1.
+    /// let f = {
+    ///     let (fx, fy) = (m.var(x), m.var(y));
+    ///     m.or(fx, fy)
+    /// };
+    /// assert_eq!(m.sat_one_under(f, &[(x, false)]), Some(vec![(x, false), (y, true)]));
+    /// assert_eq!(m.sat_one_under(f, &[(x, true)]), Some(vec![(x, true)]));
+    /// ```
+    pub fn sat_one_under(&mut self, f: Bdd, fixed: &[(Var, bool)]) -> Option<Vec<(Var, bool)>> {
+        let mut g = f;
+        for &(v, b) in fixed {
+            g = self.restrict(g, v, b);
+        }
+        let rest = self.sat_one(g)?;
+        let mut cube: Vec<(Var, bool)> = fixed.to_vec();
+        cube.extend(rest);
+        Some(cube)
     }
 
     /// Enumerates *total* satisfying assignments of `f` over the variables
@@ -128,6 +258,61 @@ mod tests {
         }
         expect.sort();
         assert_eq!(models, expect);
+    }
+
+    #[test]
+    fn sat_one_is_shortest_and_satisfying() {
+        let mut m = Manager::new();
+        let v = m.new_vars(4);
+        // f = (v0 ∧ v1 ∧ v2) ∨ (v1 ∧ v3) ∨ v2 — shortest cube is {v2 = 1}.
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            let c = m.var(v[2]);
+            let d = m.var(v[3]);
+            let ab = m.and(a, b);
+            let abc = m.and(ab, c);
+            let bd = m.and(b, d);
+            let x = m.or(abc, bd);
+            m.or(x, c)
+        };
+        let cube = m.sat_one(f).expect("satisfiable");
+        // Every cube of the function has ≥ 1 literal; ours must be minimal
+        // across all cubes the iterator yields.
+        let min = m.cubes(f).map(|c| c.len()).min().unwrap();
+        assert_eq!(cube.len(), min);
+        // Filling don't-cares with false is a model.
+        let mut env = vec![false; 4];
+        for &(var, val) in &cube {
+            env[var.level() as usize] = val;
+        }
+        assert!(m.eval(f, &env));
+    }
+
+    #[test]
+    fn sat_one_under_respects_fixed_bits() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        // f = (v0 ∧ v1) ∨ (¬v0 ∧ v2)
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            let na = m.nvar(v[0]);
+            let c = m.var(v[2]);
+            let p = m.and(a, b);
+            let q = m.and(na, c);
+            m.or(p, q)
+        };
+        let cube = m.sat_one_under(f, &[(v[0], false)]).expect("satisfiable under v0=0");
+        assert!(cube.contains(&(v[0], false)));
+        let mut env = vec![false; 3];
+        for &(var, val) in &cube {
+            env[var.level() as usize] = val;
+        }
+        assert!(m.eval(f, &env));
+        // Unsatisfiable restriction.
+        let g = m.var(v[0]);
+        assert_eq!(m.sat_one_under(g, &[(v[0], false)]), None);
     }
 
     #[test]

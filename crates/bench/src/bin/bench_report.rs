@@ -1,0 +1,136 @@
+//! Machine-readable benchmark report: runs the Figure 2 workload families
+//! under both solver strategies and writes `BENCH_fig2.json` — per-workload
+//! wall times and relation re-evaluation counts — so the performance
+//! trajectory of the scheduler can be tracked across commits by tooling
+//! instead of eyeballs.
+//!
+//! ```text
+//! cargo run --release -p getafix-bench --bin bench-report [-- --out PATH] [--scale N] [--bits N]
+//! ```
+//!
+//! The JSON is hand-rolled (the workspace builds offline, without serde):
+//!
+//! ```json
+//! {
+//!   "schema": "getafix-bench-fig2/1",
+//!   "workloads": [
+//!     { "name": "regression-positive", "cases": 9, "algorithm": "ef-opt",
+//!       "strategies": {
+//!         "worklist":    { "wall_ms": 12.3, "reevaluations": 150 },
+//!         "round-robin": { "wall_ms": 45.6, "reevaluations": 510 } } },
+//!     …
+//!   ]
+//! }
+//! ```
+
+use getafix_bench::{regression_cases, slam_cases, terminator_cases, SeqCase};
+use getafix_boolprog::Cfg;
+use getafix_core::{check_reachability_with, Algorithm};
+use getafix_mucalc::{SolveOptions, Strategy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// One strategy's aggregate over a workload.
+struct StrategyNumbers {
+    wall_ms: f64,
+    reevaluations: usize,
+}
+
+fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> StrategyNumbers {
+    let t0 = Instant::now();
+    let mut reevaluations = 0usize;
+    for case in cases {
+        let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let pc = cfg
+            .label(&case.label)
+            .unwrap_or_else(|| panic!("{}: no label {}", case.name, case.label));
+        let r =
+            check_reachability_with(&cfg, &[pc], algorithm, SolveOptions::with_strategy(strategy))
+                .unwrap_or_else(|e| panic!("{} ({strategy}): {e}", case.name));
+        assert_eq!(
+            r.reachable, case.expect,
+            "{} ({strategy}): wrong verdict — a benchmark that measures wrong answers is worthless",
+            case.name
+        );
+        reevaluations += r.reevaluations;
+    }
+    StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, reevaluations }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fig2.json".into());
+    let scale: usize = flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bits: usize = flag_value(&args, "--bits").and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let mut workloads: Vec<(String, Vec<SeqCase>)> = Vec::new();
+    let (pos, neg) = regression_cases();
+    workloads.push(("regression-positive".into(), pos));
+    workloads.push(("regression-negative".into(), neg));
+    for (name, cases) in slam_cases(scale) {
+        workloads.push((format!("driver-{}", slug(&name)), cases));
+    }
+    workloads.push((format!("terminator-{bits}bit"), terminator_cases(bits)));
+
+    // `ef` is a monotone fixpoint (the worklist scheduler shows its win
+    // in the re-evaluation counts); `ef-opt` runs the non-monotone §4.3
+    // fallback, so its counts must be *identical* across strategies — both
+    // facts are part of the trajectory worth tracking.
+    let algorithms = [Algorithm::EntryForward, Algorithm::EntryForwardOpt];
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"getafix-bench-fig2/1\",\n");
+    let _ = writeln!(json, "  \"driver_scale\": {scale},");
+    let _ = writeln!(json, "  \"terminator_bits\": {bits},");
+    json.push_str("  \"workloads\": [\n");
+    let total = workloads.len() * algorithms.len();
+    let mut emitted = 0usize;
+    for (name, cases) in &workloads {
+        for algorithm in algorithms {
+            let wl = run_strategy(cases, algorithm, Strategy::Worklist);
+            let rr = run_strategy(cases, algorithm, Strategy::RoundRobin);
+            emitted += 1;
+            eprintln!(
+                "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals, \
+                 round-robin {:.1} ms / {} re-evals",
+                cases.len(),
+                wl.wall_ms,
+                wl.reevaluations,
+                rr.wall_ms,
+                rr.reevaluations
+            );
+            let _ = writeln!(
+                json,
+                "    {{ \"name\": \"{name}\", \"algorithm\": \"{algorithm}\", \"cases\": {},",
+                cases.len()
+            );
+            json.push_str("      \"strategies\": {\n");
+            let _ = writeln!(
+                json,
+                "        \"worklist\":    {{ \"wall_ms\": {:.3}, \"reevaluations\": {} }},",
+                wl.wall_ms, wl.reevaluations
+            );
+            let _ = writeln!(
+                json,
+                "        \"round-robin\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {} }} }} }}{}",
+                rr.wall_ms,
+                rr.reevaluations,
+                if emitted < total { "," } else { "" }
+            );
+        }
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
+/// Lower-cased, space-free workload slug for stable JSON names.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}

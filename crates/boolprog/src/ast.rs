@@ -141,17 +141,27 @@ pub struct Stmt {
     pub label: Option<String>,
     /// The statement proper.
     pub kind: StmtKind,
+    /// 1-based source line of the statement, when parsed from text
+    /// (`None` for programmatically built ASTs). Witness traces use it to
+    /// point back into the source.
+    pub line: Option<u32>,
 }
 
 impl Stmt {
     /// An unlabeled statement.
     pub fn new(kind: StmtKind) -> Stmt {
-        Stmt { label: None, kind }
+        Stmt { label: None, kind, line: None }
     }
 
     /// A labeled statement.
     pub fn labeled(label: impl Into<String>, kind: StmtKind) -> Stmt {
-        Stmt { label: Some(label.into()), kind }
+        Stmt { label: Some(label.into()), kind, line: None }
+    }
+
+    /// The same statement pinned to a source line.
+    pub fn at_line(mut self, line: u32) -> Stmt {
+        self.line = Some(line);
+        self
     }
 }
 
@@ -211,6 +221,30 @@ impl Program {
     /// Looks up a procedure by name.
     pub fn proc(&self, name: &str) -> Option<&Proc> {
         self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// The same program with all source-line metadata dropped — the
+    /// normal form for comparing a parsed AST against a programmatically
+    /// built or pretty-print-round-tripped one (the printer re-lays-out
+    /// the program, so positions legitimately differ).
+    pub fn without_lines(mut self) -> Program {
+        fn strip(stmts: &mut [Stmt]) {
+            for s in stmts {
+                s.line = None;
+                match &mut s.kind {
+                    StmtKind::If { then_branch, else_branch, .. } => {
+                        strip(then_branch);
+                        strip(else_branch);
+                    }
+                    StmtKind::While { body, .. } => strip(body),
+                    _ => {}
+                }
+            }
+        }
+        for proc in &mut self.procs {
+            strip(&mut proc.body);
+        }
+        self
     }
 
     /// Non-blank source lines of the pretty-printed program — the paper's

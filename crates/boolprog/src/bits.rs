@@ -1,0 +1,125 @@
+//! Packed-valuation helpers shared by every concrete engine (the explicit
+//! oracles, the trace replayer, the witness extractor): one definition of
+//! how a [`VarRef`] reads from / writes into `(globals, locals)` bit
+//! vectors, and the nondeterministic-choice enumeration over
+//! [`LExpr::value_set`]s.
+
+use crate::cfg::{LExpr, VarRef};
+
+/// Packed valuation of up to 64 Boolean variables.
+pub type Bits = u64;
+
+/// Reads variable `v` from the packed valuations.
+pub fn read_var(globals: Bits, locals: Bits, v: VarRef) -> bool {
+    match v {
+        VarRef::Global(i) => (globals >> i) & 1 == 1,
+        VarRef::Local(i) => (locals >> i) & 1 == 1,
+    }
+}
+
+/// Writes `value` into variable `v` of the packed valuations.
+pub fn write_var(globals: &mut Bits, locals: &mut Bits, v: VarRef, value: bool) {
+    let (bits, i) = match v {
+        VarRef::Global(i) => (globals, i),
+        VarRef::Local(i) => (locals, i),
+    };
+    if value {
+        *bits |= 1 << i;
+    } else {
+        *bits &= !(1 << i);
+    }
+}
+
+/// The low `n` bits set — the legal-bit mask of an `n`-variable frame.
+pub fn frame_mask(n: usize) -> Bits {
+    if n >= 64 {
+        Bits::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Is `value` a possible outcome of `e` in the given state?
+pub fn admits(e: &LExpr, globals: Bits, locals: Bits, value: bool) -> bool {
+    let (can_t, can_f) = e.value_set(&|v| read_var(globals, locals, v));
+    if value {
+        can_t
+    } else {
+        can_f
+    }
+}
+
+/// Cartesian product of per-slot `(can_true, can_false)` value sets: every
+/// choice vector the slots admit jointly.
+pub fn enumerate_choices(sets: &[(bool, bool)]) -> Vec<Vec<bool>> {
+    let mut out: Vec<Vec<bool>> = vec![Vec::new()];
+    for &(can_true, can_false) in sets {
+        let mut next = Vec::new();
+        for prefix in &out {
+            if can_true {
+                let mut p = prefix.clone();
+                p.push(true);
+                next.push(p);
+            }
+            if can_false {
+                let mut p = prefix.clone();
+                p.push(false);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All post-valuations of a parallel assignment, each right-hand side
+/// ranging over its value set independently.
+pub fn next_states(globals: Bits, locals: Bits, assigns: &[(VarRef, LExpr)]) -> Vec<(Bits, Bits)> {
+    let sets: Vec<(bool, bool)> =
+        assigns.iter().map(|(_, e)| e.value_set(&|v| read_var(globals, locals, v))).collect();
+    enumerate_choices(&sets)
+        .into_iter()
+        .map(|vals| {
+            let (mut g2, mut l2) = (globals, locals);
+            for ((t, _), val) in assigns.iter().zip(vals) {
+                write_var(&mut g2, &mut l2, *t, val);
+            }
+            (g2, l2)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (mut g, mut l) = (0, 0);
+        write_var(&mut g, &mut l, VarRef::Global(3), true);
+        write_var(&mut g, &mut l, VarRef::Local(1), true);
+        assert!(read_var(g, l, VarRef::Global(3)));
+        assert!(read_var(g, l, VarRef::Local(1)));
+        assert!(!read_var(g, l, VarRef::Global(0)));
+        write_var(&mut g, &mut l, VarRef::Global(3), false);
+        assert_eq!(g, 0);
+        assert_eq!(l, 0b10);
+    }
+
+    #[test]
+    fn frame_mask_widths() {
+        assert_eq!(frame_mask(0), 0);
+        assert_eq!(frame_mask(3), 0b111);
+        assert_eq!(frame_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn enumerate_choices_product() {
+        // (T|F) × (T only) × (F only) = 2 vectors.
+        let out = enumerate_choices(&[(true, true), (true, false), (false, true)]);
+        assert_eq!(out.len(), 2);
+        for v in out {
+            assert!(v[1] && !v[2]);
+        }
+    }
+}

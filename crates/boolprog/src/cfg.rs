@@ -233,6 +233,9 @@ pub struct Cfg {
     pub pc_count: u32,
     /// Label → pc map (reachability targets).
     pub labels: BTreeMap<String, Pc>,
+    /// pc → 1-based source line, for statements whose AST carried one
+    /// (parsed programs; programmatically built ASTs leave this empty).
+    pub lines: BTreeMap<Pc, u32>,
 }
 
 impl Cfg {
@@ -289,6 +292,11 @@ impl Cfg {
         self.labels.get(name).copied()
     }
 
+    /// The 1-based source line of the statement at `pc`, if known.
+    pub fn line_of(&self, pc: Pc) -> Option<u32> {
+        self.lines.get(&pc).copied()
+    }
+
     /// Widest local frame across procedures.
     pub fn max_locals(&self) -> usize {
         self.procs.iter().map(|p| p.n_locals()).max().unwrap_or(0)
@@ -300,6 +308,7 @@ struct Builder<'a> {
     proc_ids: BTreeMap<String, ProcId>,
     next_pc: Pc,
     labels: BTreeMap<String, Pc>,
+    lines: BTreeMap<Pc, u32>,
     /// Error sink of the procedure currently being lowered.
     current_error_pc: Option<Pc>,
 }
@@ -331,6 +340,7 @@ impl<'a> Builder<'a> {
             proc_ids,
             next_pc: 0,
             labels: BTreeMap::new(),
+            lines: BTreeMap::new(),
             current_error_pc: None,
         })
     }
@@ -456,6 +466,7 @@ impl<'a> Builder<'a> {
             procs,
             pc_count: self.next_pc,
             labels: self.labels,
+            lines: self.lines,
         })
     }
 
@@ -474,6 +485,9 @@ impl<'a> Builder<'a> {
         // refer forward.
         let pcs: Vec<Pc> = stmts.iter().map(|_| self.fresh_pc()).collect();
         for (i, s) in stmts.iter().enumerate() {
+            if let Some(line) = s.line {
+                self.lines.insert(pcs[i], line);
+            }
             if let Some(label) = &s.label {
                 if self.labels.insert(label.clone(), pcs[i]).is_some() {
                     return Err(BuildError(format!("label `{label}` declared twice")));
@@ -846,6 +860,35 @@ mod tests {
         let edges = &main.edges[&main.entry];
         let Edge::Internal { to, .. } = &edges[0] else { panic!() };
         assert_eq!(*to, target);
+    }
+
+    #[test]
+    fn lines_flow_from_parser_and_at_line_into_the_cfg() {
+        // Parsed statements carry positions into the pc → line map…
+        let cfg = build(
+            r#"decl g;
+main() begin
+  g := T;
+  HIT: skip;
+end"#,
+        );
+        let hit = cfg.label("HIT").unwrap();
+        assert_eq!(cfg.line_of(hit), Some(4));
+        assert_eq!(cfg.line_of(cfg.procs[cfg.main].entry), Some(3));
+        // …and programmatically built ASTs can pin lines via `at_line`.
+        use crate::ast::{Proc, Program};
+        let program = Program {
+            globals: vec![],
+            procs: vec![Proc {
+                name: "main".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec![],
+                body: vec![crate::ast::Stmt::labeled("L", StmtKind::Skip).at_line(42)],
+            }],
+        };
+        let cfg = Cfg::build(&program).unwrap();
+        assert_eq!(cfg.line_of(cfg.label("L").unwrap()), Some(42));
     }
 
     #[test]

@@ -10,12 +10,10 @@
 //! Intended for small programs (the regression suite); the `max_states`
 //! limit turns state explosion into an error instead of a hang.
 
-use crate::cfg::{Cfg, Edge, LExpr, Pc, ProcId, VarRef};
+use crate::bits::{enumerate_choices, next_states, read_var, write_var, Bits};
+use crate::cfg::{Cfg, Edge, Pc, ProcId, VarRef};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-
-/// Packed valuation of up to 64 Boolean variables.
-pub type Bits = u64;
 
 /// Errors from the explicit engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -247,71 +245,6 @@ pub fn explicit_reachable_label(
         Some(pc) => explicit_reachable(cfg, &[pc], max_states).map(Some),
         None => Ok(None),
     }
-}
-
-fn read_var(globals: Bits, locals: Bits, v: VarRef) -> bool {
-    match v {
-        VarRef::Global(i) => (globals >> i) & 1 == 1,
-        VarRef::Local(i) => (locals >> i) & 1 == 1,
-    }
-}
-
-fn write_var(globals: &mut Bits, locals: &mut Bits, v: VarRef, value: bool) {
-    match v {
-        VarRef::Global(i) => {
-            if value {
-                *globals |= 1 << i;
-            } else {
-                *globals &= !(1 << i);
-            }
-        }
-        VarRef::Local(i) => {
-            if value {
-                *locals |= 1 << i;
-            } else {
-                *locals &= !(1 << i);
-            }
-        }
-    }
-}
-
-/// All next (globals, locals) valuations of a parallel assignment, with each
-/// right-hand side ranging over its value set independently.
-fn next_states(globals: Bits, locals: Bits, assigns: &[(VarRef, LExpr)]) -> Vec<(Bits, Bits)> {
-    let read = |v: VarRef| read_var(globals, locals, v);
-    let sets: Vec<(bool, bool)> = assigns.iter().map(|(_, e)| e.value_set(&read)).collect();
-    enumerate_choices(&sets)
-        .into_iter()
-        .map(|vals| {
-            let (mut g2, mut l2) = (globals, locals);
-            for ((target, _), v) in assigns.iter().zip(vals) {
-                write_var(&mut g2, &mut l2, *target, v);
-            }
-            (g2, l2)
-        })
-        .collect()
-}
-
-/// Cartesian product of per-slot value sets.
-fn enumerate_choices(sets: &[(bool, bool)]) -> Vec<Vec<bool>> {
-    let mut out: Vec<Vec<bool>> = vec![Vec::new()];
-    for &(can_true, can_false) in sets {
-        let mut next = Vec::new();
-        for prefix in &out {
-            if can_true {
-                let mut p = prefix.clone();
-                p.push(true);
-                next.push(p);
-            }
-            if can_false {
-                let mut p = prefix.clone();
-                p.push(false);
-                next.push(p);
-            }
-        }
-        out = next;
-    }
-    out
 }
 
 /// States the caller resumes in when `callee` exits in `exit_state`.

@@ -37,13 +37,15 @@
 //! ```
 
 mod ast;
+mod bits;
 mod cfg;
 mod interp;
 mod parse;
+mod replay;
 
 pub use ast::{ConcProgram, Expr, Proc, Program, ProgramMetadata, Stmt, StmtKind};
+pub use bits::{admits, enumerate_choices, frame_mask, next_states, read_var, write_var, Bits};
 pub use cfg::{BuildError, Cfg, Edge, ExitPoint, LExpr, Pc, ProcCfg, ProcId, VarRef};
-pub use interp::{
-    explicit_reachable, explicit_reachable_label, Bits, ExplicitError, ExplicitResult,
-};
+pub use interp::{explicit_reachable, explicit_reachable_label, ExplicitError, ExplicitResult};
 pub use parse::{parse_concurrent, parse_program, ParseError};
+pub use replay::{replay, ReplayError, ReplayStep};

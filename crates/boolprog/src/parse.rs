@@ -393,6 +393,7 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.tokens.get(self.pos).map(|s| s.line as u32);
         // Optional label: IDENT ':' not followed by '='.
         let label = if matches!(self.peek(), Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()))
             && matches!(self.peek2(), Some(Tok::Sym(":")))
@@ -404,7 +405,7 @@ impl Parser {
             None
         };
         let kind = self.parse_stmt_kind()?;
-        Ok(Stmt { label, kind })
+        Ok(Stmt { label, kind, line })
     }
 
     fn parse_stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
@@ -633,7 +634,21 @@ mod tests {
         let p1 = parse_program(EXAMPLE).unwrap();
         let printed = p1.to_string();
         let p2 = parse_program(&printed).expect("pretty output must re-parse");
-        assert_eq!(p1, p2, "parse ∘ print is the identity on the AST");
+        assert_eq!(
+            p1.without_lines(),
+            p2.without_lines(),
+            "parse ∘ print is the identity on the AST (modulo line metadata)"
+        );
+    }
+
+    #[test]
+    fn statements_carry_source_lines() {
+        let p = parse_program(EXAMPLE).unwrap();
+        let main = p.proc("main").unwrap();
+        // EXAMPLE is a raw string: line 1 is the empty line after r#".
+        let lines: Vec<Option<u32>> = main.body.iter().map(|s| s.line).collect();
+        assert!(lines.iter().all(Option::is_some), "every parsed stmt has a line");
+        assert!(lines.windows(2).all(|w| w[0] < w[1]), "lines ascend: {lines:?}");
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Concrete trace replay: the validation oracle for extracted witnesses.
+//!
+//! A witness extractor (see the `getafix-witness` crate) turns solved
+//! summary BDDs into a claimed error path. This module *re-executes* that
+//! path in the concrete small-step semantics of §2 — stack and all — and
+//! accepts it only if every step is a legal transition and the final pc is
+//! a target. Replay is deliberately independent of every symbolic engine:
+//! it shares no BDD code, so a trace that replays is evidence against bugs
+//! in the solver, the encoding *and* the extractor at once.
+//!
+//! Nondeterminism (`*`, `schoose`) means a program state can have several
+//! successors; a [`ReplayStep`] therefore records the chosen *post-state*
+//! (pc plus the resulting global/local valuations), and replay checks the
+//! choice is within the expression's value set rather than recomputing it.
+
+use crate::bits::{admits, frame_mask, Bits};
+use crate::cfg::{Cfg, Edge, Pc, ProcId, VarRef};
+use std::fmt;
+
+/// One step of a concrete interprocedural trace, recording the post-state.
+///
+/// `globals` is the shared valuation after the step; `locals` is the
+/// valuation of the *then-current* frame after the step (the callee frame
+/// for a `Call`, the caller frame for a `Return`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStep {
+    /// An intra-procedural edge to `to`.
+    Internal {
+        /// Destination pc.
+        to: Pc,
+        /// Globals after the parallel assignment.
+        globals: Bits,
+        /// Current-frame locals after the parallel assignment.
+        locals: Bits,
+    },
+    /// A call: control enters the callee at `entry`.
+    Call {
+        /// The callee's entry pc.
+        entry: Pc,
+        /// Globals at entry (calls do not change globals).
+        globals: Bits,
+        /// The callee frame's locals (parameters from the arguments, the
+        /// rest `false`).
+        locals: Bits,
+    },
+    /// A return from the current frame's exit point back to `ret_to`.
+    Return {
+        /// The caller pc control resumes at.
+        ret_to: Pc,
+        /// Globals after return-value assignment.
+        globals: Bits,
+        /// Caller locals after return-value assignment.
+        locals: Bits,
+    },
+}
+
+/// Why a replay was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index of the offending step (`steps.len()` for end-of-trace
+    /// failures such as "final pc is not a target").
+    pub step: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replay step {}: {}", self.step, self.message)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    proc: ProcId,
+    pc: Pc,
+    locals: Bits,
+    /// Return-value targets and resume pc, captured at the call.
+    on_return: Option<(Vec<VarRef>, Pc)>,
+}
+
+fn bit(bits: Bits, i: usize) -> bool {
+    (bits >> i) & 1 == 1
+}
+
+/// Replays `steps` from the initial configuration (main entry, all
+/// variables `false`) and checks that the final pc is in `targets`.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] naming the first step that is not a legal
+/// concrete transition — no matching CFG edge, an unsatisfiable guard, a
+/// chosen value outside an expression's value set, a clobbered frame
+/// variable — or an end-of-trace failure (final pc not a target). Programs
+/// with more than 64 globals or locals per frame are rejected up front.
+pub fn replay(cfg: &Cfg, steps: &[ReplayStep], targets: &[Pc]) -> Result<(), ReplayError> {
+    let fail = |step: usize, message: String| Err(ReplayError { step, message });
+    if cfg.globals.len() > 64 {
+        return fail(0, format!("{} globals exceed the 64-bit replay frame", cfg.globals.len()));
+    }
+    for p in &cfg.procs {
+        if p.n_locals() > 64 {
+            return fail(0, format!("procedure `{}` has more than 64 locals", p.name));
+        }
+    }
+
+    let main = &cfg.procs[cfg.main];
+    let mut globals: Bits = 0;
+    let mut stack: Vec<Frame> =
+        vec![Frame { proc: cfg.main, pc: main.entry, locals: 0, on_return: None }];
+
+    for (i, step) in steps.iter().enumerate() {
+        let frame = stack.last().expect("non-empty stack");
+        let proc = &cfg.procs[frame.proc];
+        let n_globals = cfg.globals.len();
+        match *step {
+            ReplayStep::Internal { to, globals: g2, locals: l2 } => {
+                let edges = proc.edges.get(&frame.pc).map(Vec::as_slice).unwrap_or(&[]);
+                let mut matched = false;
+                'edges: for e in edges {
+                    let Edge::Internal { to: eto, guard, assigns } = e else { continue };
+                    if *eto != to || !admits(guard, globals, frame.locals, true) {
+                        continue;
+                    }
+                    // Assigned bits must be admissible, unassigned bits
+                    // unchanged.
+                    let mut assigned_l: u64 = 0;
+                    let mut assigned_g: u64 = 0;
+                    for (tv, expr) in assigns {
+                        let new = match tv {
+                            VarRef::Local(j) => {
+                                assigned_l |= 1 << j;
+                                bit(l2, *j)
+                            }
+                            VarRef::Global(j) => {
+                                assigned_g |= 1 << j;
+                                bit(g2, *j)
+                            }
+                        };
+                        if !admits(expr, globals, frame.locals, new) {
+                            continue 'edges;
+                        }
+                    }
+                    let lmask = frame_mask(proc.n_locals()) & !assigned_l;
+                    let gmask = frame_mask(n_globals) & !assigned_g;
+                    if (l2 & lmask) != (frame.locals & lmask)
+                        || (g2 & gmask) != (globals & gmask)
+                        || l2 & !frame_mask(proc.n_locals()) != 0
+                        || g2 & !frame_mask(n_globals) != 0
+                    {
+                        continue;
+                    }
+                    matched = true;
+                    break;
+                }
+                if !matched {
+                    return fail(
+                        i,
+                        format!(
+                            "no internal edge {} -> {to} admits globals={g2:b} locals={l2:b}",
+                            frame.pc
+                        ),
+                    );
+                }
+                globals = g2;
+                let top = stack.last_mut().expect("non-empty stack");
+                top.pc = to;
+                top.locals = l2;
+            }
+            ReplayStep::Call { entry, globals: g2, locals: l2 } => {
+                let edges = proc.edges.get(&frame.pc).map(Vec::as_slice).unwrap_or(&[]);
+                let mut pushed = None;
+                'calls: for e in edges {
+                    let Edge::Call { callee, args, rets, ret_to } = e else { continue };
+                    let q = &cfg.procs[*callee];
+                    if q.entry != entry || g2 != globals {
+                        continue;
+                    }
+                    for (j, arg) in args.iter().enumerate() {
+                        if !admits(arg, globals, frame.locals, bit(l2, j)) {
+                            continue 'calls;
+                        }
+                    }
+                    // Non-parameter callee locals start false.
+                    if l2 & !frame_mask(args.len()) != 0 {
+                        continue;
+                    }
+                    pushed = Some(Frame {
+                        proc: *callee,
+                        pc: entry,
+                        locals: l2,
+                        on_return: Some((rets.clone(), *ret_to)),
+                    });
+                    break;
+                }
+                let Some(new_frame) = pushed else {
+                    return fail(
+                        i,
+                        format!("no call edge at {} enters {entry} with locals={l2:b}", frame.pc),
+                    );
+                };
+                stack.push(new_frame);
+            }
+            ReplayStep::Return { ret_to, globals: g2, locals: l2 } => {
+                let Some((rets, saved_ret_to)) = frame.on_return.clone() else {
+                    return fail(i, "return from the initial frame".into());
+                };
+                if saved_ret_to != ret_to {
+                    return fail(
+                        i,
+                        format!("return resumes at {ret_to}, the call expected {saved_ret_to}"),
+                    );
+                }
+                let Some(exit) = proc.exits.iter().find(|e| e.pc == frame.pc) else {
+                    return fail(i, format!("pc {} is not an exit of `{}`", frame.pc, proc.name));
+                };
+                let exit_globals = globals;
+                let exit_locals = frame.locals;
+                let caller = stack[stack.len() - 2].clone();
+                let caller_proc = &cfg.procs[caller.proc];
+                let mut assigned_l: u64 = 0;
+                let mut assigned_g: u64 = 0;
+                for (target, expr) in rets.iter().zip(&exit.ret_exprs) {
+                    let new = match target {
+                        VarRef::Local(j) => {
+                            assigned_l |= 1 << j;
+                            bit(l2, *j)
+                        }
+                        VarRef::Global(j) => {
+                            assigned_g |= 1 << j;
+                            bit(g2, *j)
+                        }
+                    };
+                    if !admits(expr, exit_globals, exit_locals, new) {
+                        return fail(
+                            i,
+                            format!("return value {new} not admitted by the exit expression"),
+                        );
+                    }
+                }
+                let lmask = frame_mask(caller_proc.n_locals()) & !assigned_l;
+                let gmask = frame_mask(n_globals) & !assigned_g;
+                if (l2 & lmask) != (caller.locals & lmask) {
+                    return fail(i, "caller locals clobbered across the call".into());
+                }
+                if (g2 & gmask) != (exit_globals & gmask) {
+                    return fail(i, "globals changed by the return itself".into());
+                }
+                if l2 & !frame_mask(caller_proc.n_locals()) != 0 || g2 & !frame_mask(n_globals) != 0
+                {
+                    return fail(i, "out-of-frame bits set".into());
+                }
+                stack.pop();
+                globals = g2;
+                let top = stack.last_mut().expect("caller frame");
+                top.pc = ret_to;
+                top.locals = l2;
+            }
+        }
+    }
+
+    let final_pc = stack.last().expect("non-empty stack").pc;
+    if targets.contains(&final_pc) {
+        Ok(())
+    } else {
+        Err(ReplayError {
+            step: steps.len(),
+            message: format!("final pc {final_pc} is not a target"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn build(src: &str) -> Cfg {
+        Cfg::build(&parse_program(src).unwrap()).unwrap()
+    }
+
+    /// A hand-written trace through a call with a return value.
+    #[test]
+    fn call_return_trace_replays() {
+        let cfg = build(
+            r#"
+            decl g;
+            main() begin
+              decl x;
+              x := id(T);
+              if (x) then HIT: skip; fi;
+            end
+            id(a) returns 1 begin
+              return a;
+            end
+            "#,
+        );
+        let target = cfg.label("HIT").unwrap();
+        let main = &cfg.procs[cfg.main];
+        let id = cfg.proc_by_name("id").unwrap();
+        let Edge::Call { ret_to, .. } = &main.edges[&main.entry][0] else { panic!("call edge") };
+        let ret_exit = id.exits[0].pc;
+        let _ = ret_exit;
+        let steps = vec![
+            // call id(T): callee locals a = T.
+            ReplayStep::Call { entry: id.entry, globals: 0, locals: 1 },
+            // return a (= T) into x.
+            ReplayStep::Return { ret_to: *ret_to, globals: 0, locals: 1 },
+            // if (x) then -> HIT
+            ReplayStep::Internal { to: target, globals: 0, locals: 1 },
+        ];
+        replay(&cfg, &steps, &[target]).unwrap();
+    }
+
+    #[test]
+    fn wrong_choice_is_rejected() {
+        let cfg = build(
+            r#"
+            decl g;
+            main() begin
+              g := F;
+              if (g) then HIT: skip; fi;
+            end
+            "#,
+        );
+        let target = cfg.label("HIT").unwrap();
+        let main = &cfg.procs[cfg.main];
+        let Edge::Internal { to, .. } = &main.edges[&main.entry][0] else { panic!() };
+        // Claim g := F produced g = T: not admitted.
+        let steps = vec![ReplayStep::Internal { to: *to, globals: 1, locals: 0 }];
+        let err = replay(&cfg, &steps, &[target]).unwrap_err();
+        assert_eq!(err.step, 0, "{err}");
+    }
+
+    #[test]
+    fn missing_target_is_rejected() {
+        let cfg = build(
+            r#"
+            main() begin
+              HIT: skip;
+            end
+            "#,
+        );
+        let target = cfg.label("HIT").unwrap();
+        // Empty trace: initial pc *is* HIT (first statement).
+        assert_eq!(cfg.procs[cfg.main].entry, target);
+        replay(&cfg, &[], &[target]).unwrap();
+        // But not some other pc.
+        let err = replay(&cfg, &[], &[target + 1]).unwrap_err();
+        assert!(err.message.contains("not a target"), "{err}");
+    }
+
+    #[test]
+    fn caller_locals_must_be_preserved() {
+        let cfg = build(
+            r#"
+            main() begin
+              decl x;
+              x := T;
+              call noop();
+              HIT: skip;
+            end
+            noop() begin
+              skip;
+            end
+            "#,
+        );
+        let target = cfg.label("HIT").unwrap();
+        let main = &cfg.procs[cfg.main];
+        let noop = cfg.proc_by_name("noop").unwrap();
+        // Find the pcs: entry --x:=T--> call_pc --call--> ...
+        let Edge::Internal { to: call_pc, .. } = &main.edges[&main.entry][0] else { panic!() };
+        let Edge::Call { ret_to, .. } = &main.edges[call_pc][0] else { panic!() };
+        let noop_exit = noop.exits[0].pc;
+        let good = vec![
+            ReplayStep::Internal { to: *call_pc, globals: 0, locals: 1 },
+            ReplayStep::Call { entry: noop.entry, globals: 0, locals: 0 },
+            // noop entry -> skip -> exit
+            ReplayStep::Internal {
+                to: match &noop.edges[&noop.entry][0] {
+                    Edge::Internal { to, .. } => *to,
+                    _ => panic!(),
+                },
+                globals: 0,
+                locals: 0,
+            },
+            ReplayStep::Return { ret_to: *ret_to, globals: 0, locals: 1 },
+        ];
+        let _ = noop_exit;
+        replay(&cfg, &good, &[target]).unwrap();
+        // Same trace, but the return claims x flipped to F.
+        let mut bad = good;
+        let last = bad.len() - 1;
+        bad[last] = ReplayStep::Return { ret_to: *ret_to, globals: 0, locals: 0 };
+        let err = replay(&cfg, &bad, &[target]).unwrap_err();
+        assert!(err.message.contains("clobbered"), "{err}");
+    }
+}

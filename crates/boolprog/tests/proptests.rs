@@ -87,13 +87,14 @@ fn program_strategy() -> impl Strategy<Value = Program> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Pretty-printing then parsing reproduces the AST exactly.
+    /// Pretty-printing then parsing reproduces the AST exactly (up to
+    /// source-line metadata, which parsing fills in and generation omits).
     #[test]
     fn print_parse_roundtrip(p in program_strategy()) {
         let printed = p.to_string();
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("{e}\n{printed}"));
-        prop_assert_eq!(p, reparsed);
+        prop_assert_eq!(p, reparsed.without_lines());
     }
 
     /// CFG lowering succeeds on every generated (valid) program, covers

@@ -197,6 +197,18 @@ pub fn check_merged_with(
     options: SolveOptions,
 ) -> Result<ConcResult, ConcError> {
     let mut solver = build_conc_solver_with(merged, targets, switches, options)?;
+    check_conc_solver(&mut solver, switches)
+}
+
+/// Evaluates the `reach` query of an already-built concurrent solver (see
+/// [`build_conc_solver_with`]) and reports the Figure 3 metrics. The
+/// solver's memoized interpretations stay available afterwards — witness
+/// extraction can reuse them instead of re-solving.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn check_conc_solver(solver: &mut Solver, switches: usize) -> Result<ConcResult, ConcError> {
     let t0 = Instant::now();
     let reachable = solver.eval_query("reach")?;
     let solve_time = t0.elapsed();

@@ -8,7 +8,7 @@
 //! use it on finite-stack programs only.
 
 use crate::merge::Merged;
-use getafix_boolprog::{Bits, Edge, Pc, ProcId, VarRef};
+use getafix_boolprog::{enumerate_choices, read_var, write_var, Bits, Edge, Pc, ProcId, VarRef};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -22,6 +22,9 @@ pub enum ConcExplicitError {
     StackLimit(usize),
     /// Frame too wide for the explicit engine.
     TooManyVariables(String),
+    /// A replay schedule that is not even shaped like a schedule (empty,
+    /// or naming a thread the program does not have).
+    MalformedSchedule(String),
 }
 
 impl fmt::Display for ConcExplicitError {
@@ -30,6 +33,7 @@ impl fmt::Display for ConcExplicitError {
             ConcExplicitError::StateLimit(n) => write!(f, "state limit {n} exceeded"),
             ConcExplicitError::StackLimit(n) => write!(f, "stack depth limit {n} exceeded"),
             ConcExplicitError::TooManyVariables(m) => write!(f, "{m}"),
+            ConcExplicitError::MalformedSchedule(m) => write!(f, "{m}"),
         }
     }
 }
@@ -142,51 +146,121 @@ pub fn conc_explicit_reachable(
     Ok(false)
 }
 
-fn read_var(globals: Bits, locals: Bits, v: VarRef) -> bool {
-    match v {
-        VarRef::Global(i) => (globals >> i) & 1 == 1,
-        VarRef::Local(i) => (locals >> i) & 1 == 1,
-    }
-}
+/// One round of a context-switch schedule: the active thread and the
+/// shared-global valuation the round is entered with (round 0 always starts
+/// from the all-`false` valuation).
+pub type ScheduleRound = (usize, Bits);
 
-fn write_var(globals: &mut Bits, locals: &mut Bits, v: VarRef, value: bool) {
-    match v {
-        VarRef::Global(i) => {
-            if value {
-                *globals |= 1 << i;
-            } else {
-                *globals &= !(1 << i);
-            }
-        }
-        VarRef::Local(i) => {
-            if value {
-                *locals |= 1 << i;
-            } else {
-                *locals &= !(1 << i);
-            }
-        }
+/// Replays a *fixed schedule* — the witness the symbolic engine extracts —
+/// against the explicit semantics: exploration is restricted to exactly the
+/// per-round active threads of `schedule`, and a switch from round `j` to
+/// round `j + 1` is only taken when the shared globals equal the valuation
+/// the schedule recorded for that switch point. Returns `true` iff a target
+/// pc is reachable in the **final** round under those constraints — i.e.
+/// the schedule really is executable, switch valuations and all.
+///
+/// This is the concurrent analogue of sequential trace replay: the schedule
+/// fixes the only unbounded choices (who runs when, what the globals were
+/// at each hand-over), and the explicit engine fills in the intra-round
+/// steps.
+///
+/// # Errors
+///
+/// See [`ConcExplicitError`]. A malformed schedule (empty, or naming a
+/// thread out of range) is an error; a well-formed but infeasible schedule
+/// returns `Ok(false)`.
+pub fn conc_replay_schedule(
+    merged: &Merged,
+    targets: &[Pc],
+    schedule: &[ScheduleRound],
+    limits: ConcLimits,
+) -> Result<bool, ConcExplicitError> {
+    let cfg = &merged.cfg;
+    if cfg.globals.len() > 64 {
+        return Err(ConcExplicitError::TooManyVariables(format!(
+            "{} merged globals exceed 64",
+            cfg.globals.len()
+        )));
     }
-}
+    if schedule.is_empty()
+        || schedule.iter().any(|&(t, _)| t >= merged.n_threads)
+        || schedule[0].1 != 0
+    {
+        return Err(ConcExplicitError::MalformedSchedule(format!(
+            "malformed schedule {schedule:?} for {} threads \
+             (round 0 must start from the all-false valuation)",
+            merged.n_threads
+        )));
+    }
+    let target_set: BTreeSet<Pc> = targets.iter().copied().collect();
+    let last_round = schedule.len() - 1;
 
-fn enumerate_choices(sets: &[(bool, bool)]) -> Vec<Vec<bool>> {
-    let mut out: Vec<Vec<bool>> = vec![Vec::new()];
-    for &(t, f) in sets {
-        let mut next = Vec::new();
-        for p in &out {
-            if t {
-                let mut q = p.clone();
-                q.push(true);
-                next.push(q);
-            }
-            if f {
-                let mut q = p.clone();
-                q.push(false);
-                next.push(q);
+    /// A configuration pinned to a schedule round.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct Timed {
+        round: usize,
+        config: Config,
+    }
+
+    let first = schedule[0].0;
+    let mut stacks: Vec<Vec<Frame>> = vec![Vec::new(); merged.n_threads];
+    let entry = merged.thread_entries[first];
+    stacks[first].push(Frame {
+        proc: cfg.proc_of(entry).id,
+        pc: entry,
+        locals: 0,
+        on_return: None,
+    });
+    let init =
+        Timed { round: 0, config: Config { switches_used: 0, active: first, globals: 0, stacks } };
+
+    let mut visited: BTreeSet<Timed> = BTreeSet::new();
+    let mut queue: VecDeque<Timed> = VecDeque::new();
+    visited.insert(init.clone());
+    queue.push_back(init);
+
+    while let Some(t) = queue.pop_front() {
+        if visited.len() > limits.max_states {
+            return Err(ConcExplicitError::StateLimit(limits.max_states));
+        }
+        if t.round == last_round {
+            if let Some(top) = t.config.stacks[t.config.active].last() {
+                if target_set.contains(&top.pc) {
+                    return Ok(true);
+                }
             }
         }
-        out = next;
+        let mut successors: Vec<Config> = Vec::new();
+        step_active(merged, &t.config, limits.max_stack, &mut successors)?;
+        let mut timed: Vec<Timed> =
+            successors.into_iter().map(|c| Timed { round: t.round, config: c }).collect();
+        // The one permitted switch: to the next scheduled round, only when
+        // the globals match the recorded hand-over valuation.
+        if t.round < last_round {
+            let (next_thread, entry_globals) = schedule[t.round + 1];
+            if t.config.globals == entry_globals {
+                let mut c2 = t.config.clone();
+                c2.switches_used += 1;
+                c2.active = next_thread;
+                if c2.stacks[next_thread].is_empty() {
+                    let entry = merged.thread_entries[next_thread];
+                    c2.stacks[next_thread].push(Frame {
+                        proc: cfg.proc_of(entry).id,
+                        pc: entry,
+                        locals: 0,
+                        on_return: None,
+                    });
+                }
+                timed.push(Timed { round: t.round + 1, config: c2 });
+            }
+        }
+        for s in timed {
+            if visited.insert(s.clone()) {
+                queue.push_back(s);
+            }
+        }
     }
-    out
+    Ok(false)
 }
 
 fn step_active(
@@ -315,6 +389,29 @@ mod tests {
         // Thread 0 sees flag only if thread 1 ran first: 1 switch when
         // thread 1 starts, or 2 when thread 0 starts.
         assert!(reach(HANDSHAKE, "t0__HIT", 1));
+    }
+
+    #[test]
+    fn schedule_replay_follows_the_script() {
+        let conc = parse_concurrent(HANDSHAKE).unwrap();
+        let merged = merge(&conc).unwrap();
+        let pc = merged.cfg.label("t0__HIT").unwrap();
+        // Thread 1 runs first (sets flag = bit 0), hands over with flag=T.
+        let good = [(1, 0), (0, 1)];
+        assert!(conc_replay_schedule(&merged, &[pc], &good, ConcLimits::default()).unwrap());
+        // Wrong hand-over valuation: switch point never matches.
+        let bad_globals = [(1, 0), (0, 0)];
+        assert!(!conc_replay_schedule(&merged, &[pc], &bad_globals, ConcLimits::default()).unwrap());
+        // Wrong thread order: thread 0 alone never sees the flag.
+        let bad_order = [(0, 0), (1, 1)];
+        assert!(!conc_replay_schedule(&merged, &[pc], &bad_order, ConcLimits::default()).unwrap());
+        // Malformed schedules are errors: empty, unknown thread, or a
+        // round-0 valuation that contradicts the all-false start.
+        assert!(conc_replay_schedule(&merged, &[pc], &[], ConcLimits::default()).is_err());
+        assert!(conc_replay_schedule(&merged, &[pc], &[(7, 0)], ConcLimits::default()).is_err());
+        assert!(
+            conc_replay_schedule(&merged, &[pc], &[(1, 7), (0, 1)], ConcLimits::default()).is_err()
+        );
     }
 
     #[test]

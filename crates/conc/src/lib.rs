@@ -48,8 +48,11 @@ mod system;
 
 pub use analysis::{
     build_conc_solver, build_conc_solver_with, check_conc_reachability,
-    check_conc_reachability_with, check_merged, check_merged_with, ConcError, ConcResult,
+    check_conc_reachability_with, check_conc_solver, check_merged, check_merged_with, ConcError,
+    ConcResult,
 };
-pub use explicit::{conc_explicit_reachable, ConcExplicitError, ConcLimits};
+pub use explicit::{
+    conc_explicit_reachable, conc_replay_schedule, ConcExplicitError, ConcLimits, ScheduleRound,
+};
 pub use merge::{merge, Merged};
 pub use system::{system_conc, ConcParams};

@@ -135,7 +135,7 @@ impl Renamer<'_> {
             StmtKind::Goto(l) => StmtKind::Goto(format!("t{thread}__{l}")),
             StmtKind::Dead(vars) => StmtKind::Dead(vars.iter().map(|v| self.var(v)).collect()),
         };
-        Stmt { label: s.label.as_ref().map(|l| format!("t{thread}__{l}")), kind }
+        Stmt { label: s.label.as_ref().map(|l| format!("t{thread}__{l}")), kind, line: s.line }
     }
 }
 

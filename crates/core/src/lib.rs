@@ -47,4 +47,4 @@ pub use analysis::{
     emit_system, Algorithm, AnalysisError, AnalysisResult,
 };
 pub use encode::{can_value, install_templates, EncodeError};
-pub use systems::{system_ef, system_efopt, system_simple};
+pub use systems::{system_ef, system_ef_witness, system_efopt, system_simple};

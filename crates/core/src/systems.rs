@@ -369,6 +369,24 @@ pub fn system_simple(cfg: &Cfg) -> Result<System, SystemError> {
 ///
 /// Propagates [`SystemError`]s (none expected for a well-formed CFG).
 pub fn system_ef(cfg: &Cfg, split_return: bool) -> Result<System, SystemError> {
+    build_ef(cfg, split_return, true)
+}
+
+/// The entry-forward system *without* the early-termination disjunct: the
+/// fixpoint of `Reachable` is then exactly the entry-annotated reachable
+/// set, which is what witness extraction peels backwards. (With early
+/// termination, the relation saturates to the whole `Conf` domain the
+/// moment a target is found — correct for the Boolean verdict, useless as
+/// a provenance structure.) Always uses the split return clause.
+///
+/// # Errors
+///
+/// Propagates [`SystemError`]s (none expected for a well-formed CFG).
+pub fn system_ef_witness(cfg: &Cfg) -> Result<System, SystemError> {
+    build_ef(cfg, true, false)
+}
+
+fn build_ef(cfg: &Cfg, split_return: bool, early_exit: bool) -> Result<System, SystemError> {
     let mut b = base_builder(cfg)?;
     let args = |x: &str| vec![v(x)];
     let ret_clause = if split_return {
@@ -376,25 +394,22 @@ pub fn system_ef(cfg: &Cfg, split_return: bool) -> Result<System, SystemError> {
     } else {
         clause_return_naive("Reachable", args, None)
     };
-    b.define(
-        "Reachable",
-        vec![("s".into(), conf())],
-        Formula::or(vec![
-            // Early termination (appendix): once a target is reachable the
-            // relation saturates and the iteration stops immediately.
-            Formula::exists(
-                vec![("t".into(), conf())],
-                Formula::and(vec![
-                    app("Target", vec![fld("t", "pc")]),
-                    app("Reachable", vec![v("t")]),
-                ]),
-            ),
-            app("Init", vec![v("s")]),
-            clause_internal("Reachable", args),
-            clause_call("Reachable", args, None),
-            ret_clause,
-        ]),
-    );
+    let mut clauses = Vec::new();
+    if early_exit {
+        // Early termination (appendix): once a target is reachable the
+        // relation saturates and the iteration stops immediately.
+        clauses.push(Formula::exists(
+            vec![("t".into(), conf())],
+            Formula::and(vec![app("Target", vec![fld("t", "pc")]), app("Reachable", vec![v("t")])]),
+        ));
+    }
+    clauses.extend([
+        app("Init", vec![v("s")]),
+        clause_internal("Reachable", args),
+        clause_call("Reachable", args, None),
+        ret_clause,
+    ]);
+    b.define("Reachable", vec![("s".into(), conf())], Formula::or(clauses));
     b.query("reach", reach_query("Reachable", vec![v("s")]));
     b.build()
 }

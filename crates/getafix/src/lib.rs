@@ -16,6 +16,7 @@
 //! | algorithms | [`core`] | templates + the three algorithms as formulae (§4) |
 //! | concurrency | [`conc`] | bounded context-switch `Reach` fixpoint (§5) |
 //! | baselines | [`pds`], [`bebop`] | hand-coded MOPED / BEBOP stand-ins |
+//! | witnesses | [`witness`] | error-trace extraction + replay validation |
 //! | workloads | [`workloads`] | Figure 2 / Figure 3 benchmark generators |
 //!
 //! # Quick start
@@ -48,6 +49,7 @@ pub use getafix_conc as conc;
 pub use getafix_core as core;
 pub use getafix_mucalc as mucalc;
 pub use getafix_pds as pds;
+pub use getafix_witness as witness;
 pub use getafix_workloads as workloads;
 
 /// The most common imports, for examples and quick scripts.
@@ -58,11 +60,13 @@ pub mod prelude {
         ConcProgram, Program,
     };
     pub use getafix_conc::{
-        check_conc_reachability, check_conc_reachability_with, check_merged_with, merge, ConcParams,
+        build_conc_solver_with, check_conc_reachability, check_conc_reachability_with,
+        check_conc_solver, check_merged_with, merge, ConcParams,
     };
     pub use getafix_core::{
         check_label, check_reachability, check_reachability_with, emit_system, Algorithm,
     };
     pub use getafix_mucalc::{SolveOptions, Strategy};
     pub use getafix_pds::{poststar, prestar};
+    pub use getafix_witness::{concurrent_witness, concurrent_witness_from, sequential_witness};
 }

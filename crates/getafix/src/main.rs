@@ -3,37 +3,58 @@
 //!
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
 //! getafix check-conc <file.cbp> --label L --switches K
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
+//!
+//! Exit codes distinguish verdicts so scripts can branch: `0` unreachable
+//! (or no verdict asked for, as with `emit-mu`), `1` reachable, `2` error.
 
+use getafix::conc::{conc_replay_schedule, ConcExplicitError, ConcLimits};
 use getafix::prelude::*;
 use getafix_core::AnalysisError;
 use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
 use std::process::ExitCode;
 
+/// What a run concluded — mapped onto the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// A target is reachable (exit 1 — the interesting verdict).
+    Reachable,
+    /// No target is reachable (exit 0).
+    Unreachable,
+    /// The command produces no verdict (`emit-mu`, `help`; exit 0).
+    NoVerdict,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Unreachable) | Ok(Outcome::NoVerdict) => ExitCode::SUCCESS,
+        Ok(Outcome::Reachable) => ExitCode::from(1),
         Err(msg) => {
             eprintln!("getafix: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
 const USAGE: &str = "usage:
-  getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N] [--stats]
-  getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N] [--stats]
+  getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N] [--stats] [--trace]
+  getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N] [--stats] [--trace]
   getafix emit-mu <file.bp> [--algo ALGO]
+  getafix help
 
 ALGO:  ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle
-STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy";
+STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy
+--trace: on a REACHABLE verdict, print a concrete witness — a replay-validated
+         error trace (check) or a bounded-round schedule (check-conc)
+
+exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -95,7 +116,7 @@ fn print_stats(stats: &SolveStats) {
     println!("total re-evaluations: {}", stats.total_reevaluations());
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "check" => {
@@ -107,7 +128,15 @@ fn run(args: &[String]) -> Result<(), String> {
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
             let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
-            check_sequential(&cfg, label, algo, options, has_flag(args, "--stats"), solver_flags)
+            check_sequential(
+                &cfg,
+                label,
+                algo,
+                options,
+                has_flag(args, "--stats"),
+                solver_flags,
+                has_flag(args, "--trace"),
+            )
         }
         "check-conc" => {
             let path = args.get(1).ok_or("missing input file")?;
@@ -125,8 +154,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let options = parse_solve_options(args)?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let conc = parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?;
-            let r = check_conc_reachability_with(&conc, label, switches, options)
+            let merged = merge(&conc).map_err(|e| e.to_string())?;
+            let pc = merged.cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+            // One solver for verdict *and* (with --trace) witness: the
+            // extraction reuses the memoized `Reach` interpretation.
+            let mut solver = build_conc_solver_with(&merged, &[pc], switches, options)
                 .map_err(|e| e.to_string())?;
+            let r = check_conc_solver(&mut solver, switches).map_err(|e| e.to_string())?;
             println!(
                 "{}: `{label}` within {switches} switches — Reach: {:.0} tuples, {} BDD nodes, {} iterations, {:.3}s",
                 if r.reachable { "REACHABLE" } else { "unreachable" },
@@ -135,19 +169,52 @@ fn run(args: &[String]) -> Result<(), String> {
                 r.iterations,
                 r.solve_time.as_secs_f64()
             );
+            if has_flag(args, "--trace") && r.reachable {
+                let schedule = concurrent_witness_from(&mut solver, &merged, &[pc], switches)
+                    .map_err(|e| e.to_string())?
+                    .ok_or("witness extraction disagreed with the verdict")?;
+                // Replay-validate under the exact thread/valuation script.
+                // The explicit replayer materializes stacks, so unbounded
+                // recursion exhausts its limits — degrade to the structural
+                // guarantee in that case instead of failing the command.
+                let validation = match conc_replay_schedule(
+                    &merged,
+                    &[pc],
+                    &schedule.to_replay(),
+                    ConcLimits::default(),
+                ) {
+                    Ok(true) => "replay-validated",
+                    Ok(false) => {
+                        return Err("extracted schedule does not replay in the explicit \
+                                    engine — witness extractor bug"
+                            .into())
+                    }
+                    Err(ConcExplicitError::StackLimit(_) | ConcExplicitError::StateLimit(_)) => {
+                        "structurally validated; explicit replay exceeded its limits"
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
+                println!();
+                println!(
+                    "schedule ({} of ≤ {switches} context switches, {validation}):",
+                    schedule.switches()
+                );
+                print!("{}", schedule.render(&merged.cfg));
+            }
             if has_flag(args, "--stats") {
                 print_stats(&r.stats);
             }
-            Ok(())
+            Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
         }
         "emit-mu" => {
             let path = args.get(1).ok_or("missing input file")?;
             if has_flag(args, "--strategy")
                 || has_flag(args, "--max-iter")
                 || has_flag(args, "--stats")
+                || has_flag(args, "--trace")
             {
-                return Err("--strategy/--max-iter/--stats configure the fixed-point solver; \
-                            emit-mu only prints the formulae and never runs it"
+                return Err("--strategy/--max-iter/--stats/--trace configure the fixed-point \
+                            solver; emit-mu only prints the formulae and never runs it"
                     .into());
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
@@ -156,7 +223,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
             let system = emit_system(&cfg, algo).map_err(|e: AnalysisError| e.to_string())?;
             println!("{system}");
-            Ok(())
+            Ok(Outcome::NoVerdict)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(Outcome::NoVerdict)
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -179,7 +250,8 @@ fn check_sequential(
     options: SolveOptions,
     stats: bool,
     solver_flags: bool,
-) -> Result<(), String> {
+    trace: bool,
+) -> Result<Outcome, String> {
     let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
     let baseline = matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle");
     if baseline && stats {
@@ -195,6 +267,7 @@ fn check_sequential(
         ));
     }
     let mut solver_stats = None;
+    let witness_options = options.clone();
     let (reachable, detail) = match algo {
         "bebop" => {
             let r = bebop_reachable(cfg, &[pc]).map_err(|e| e.to_string())?;
@@ -258,9 +331,20 @@ fn check_sequential(
         "{}: `{label}` ({algo}) — {detail}",
         if reachable { "REACHABLE" } else { "unreachable" }
     );
+    if trace && reachable {
+        // The witness engine solves its own (entry-forward) system, so the
+        // trace is available whichever algorithm produced the verdict; it
+        // is replay-validated in the concrete interpreter before printing.
+        let t = sequential_witness(cfg, &[pc], witness_options)
+            .map_err(|e| e.to_string())?
+            .ok_or("witness extraction disagreed with the verdict")?;
+        println!();
+        println!("trace ({} steps, replay-validated):", t.steps.len());
+        print!("{}", t.render(cfg));
+    }
     // Verdict line first, statistics after — same order as `check-conc`.
     if let Some(s) = &solver_stats {
         print_stats(s);
     }
-    Ok(())
+    Ok(if reachable { Outcome::Reachable } else { Outcome::Unreachable })
 }

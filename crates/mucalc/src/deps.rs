@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// One strongly connected component of the relation-dependency graph.
 #[derive(Debug, Clone)]
 pub struct Scc {
-    /// Member relation indices (into [`DepGraph::names`] order).
+    /// Member relation indices (resolve with [`DepGraph::name`]).
     pub members: Vec<usize>,
     /// Does any member depend on a member (including itself)?
     pub recursive: bool,

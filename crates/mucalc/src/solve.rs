@@ -144,6 +144,14 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Iteration scheduling strategy.
     pub strategy: Strategy,
+    /// Record per-iteration *frontier snapshots* of every top-level
+    /// fixpoint evaluation (see [`Solver::frontiers`]). This is the
+    /// provenance layer witness extraction peels backwards: frontier `i`
+    /// holds the relation's interpretation after its `i`-th value change,
+    /// so the first index at which a tuple appears is a well-founded rank
+    /// for onion-peeling. Off by default — snapshots pin intermediate BDDs
+    /// and cost memory proportional to the iteration count.
+    pub record_frontiers: bool,
 }
 
 impl Default for SolveOptions {
@@ -161,9 +169,14 @@ impl SolveOptions {
         SolveOptions { strategy, ..SolveOptions::new() }
     }
 
-    /// The default options (worklist strategy, 10⁶-round bound).
+    /// The default options (worklist strategy, 10⁶-round bound, no
+    /// frontier recording).
     pub fn new() -> SolveOptions {
-        SolveOptions { max_iterations: Self::DEFAULT_MAX_ITERATIONS, strategy: Strategy::default() }
+        SolveOptions {
+            max_iterations: Self::DEFAULT_MAX_ITERATIONS,
+            strategy: Strategy::default(),
+            record_frontiers: false,
+        }
     }
 
     fn validate(&self) -> Result<(), SolveError> {
@@ -237,6 +250,8 @@ pub struct Solver {
     pub(crate) evaluated: BTreeMap<String, Bdd>,
     pub(crate) options: SolveOptions,
     pub(crate) stats: SolveStats,
+    /// Frontier snapshots per relation (see [`SolveOptions::record_frontiers`]).
+    pub(crate) frontiers: BTreeMap<String, Vec<Bdd>>,
 }
 
 impl Solver {
@@ -278,12 +293,19 @@ impl Solver {
             evaluated: BTreeMap::new(),
             options,
             stats,
+            frontiers: BTreeMap::new(),
         })
     }
 
     /// The underlying manager (input relations are built against it).
     pub fn manager(&mut self) -> &mut Manager {
         &mut self.manager
+    }
+
+    /// Read-only view of the manager, for non-mutating operations
+    /// (`eval`, `cubes`, `sat_one`, node counts).
+    pub fn manager_ref(&self) -> &Manager {
+        &self.manager
     }
 
     /// The variable allocation (to look up formal-parameter variables when
@@ -312,6 +334,33 @@ impl Solver {
         &self.stats
     }
 
+    /// The frontier snapshots of a *top-level* fixpoint evaluation of
+    /// `name`, recorded when [`SolveOptions::record_frontiers`] is set.
+    ///
+    /// Snapshots are ⊆-increasing and the last one equals the final
+    /// interpretation. The **rank property** witness extraction relies on:
+    /// a tuple first appearing in snapshot `i` is derivable (by one
+    /// application of the relation's body) from tuples that already appear
+    /// in snapshots `< i` — under the round-robin semantics because round
+    /// `i` is computed from round `i - 1`'s value, and under the worklist
+    /// strategy for *single-member* monotone components because each
+    /// semi-naive delta is compiled against the previously recorded value.
+    /// (For multi-member components the per-relation sequences are still
+    /// increasing, but ranks are not comparable across members.)
+    ///
+    /// `None` when the relation was never evaluated at the top level or
+    /// recording was off.
+    pub fn frontiers(&self, name: &str) -> Option<&[Bdd]> {
+        self.frontiers.get(name).map(Vec::as_slice)
+    }
+
+    /// Pushes a frontier snapshot for `name` (no-op unless recording).
+    pub(crate) fn note_frontier(&mut self, name: &str, value: Bdd) {
+        if self.options.record_frontiers {
+            self.frontiers.entry(name.to_string()).or_default().push(value);
+        }
+    }
+
     /// Supplies the interpretation of an input relation.
     ///
     /// # Errors
@@ -323,6 +372,7 @@ impl Solver {
                 self.inputs.insert(name.to_string(), bdd);
                 // Interpretations downstream may change.
                 self.evaluated.clear();
+                self.frontiers.clear();
                 Ok(())
             }
             Some(_) => Err(SolveError::System(format!("`{name}` is not an input relation"))),
@@ -460,6 +510,9 @@ impl Solver {
                 break;
             }
             s = next;
+            if top_level {
+                self.note_frontier(name, s);
+            }
         }
         if top_level {
             let entry = self.stats.relations.entry(rel_name).or_default();

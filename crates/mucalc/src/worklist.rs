@@ -135,6 +135,7 @@ impl Solver {
                 return Ok(());
             }
             let value = self.evaluate_once(&name)?;
+            self.note_frontier(&name, value);
             let entry = self.stats.relations.entry(name.clone()).or_default();
             entry.iterations = 1;
             entry.final_nodes = self.manager.node_count(value);
@@ -243,6 +244,7 @@ impl Solver {
             if new != old {
                 value.insert(r, new);
                 env.insert(r.to_string(), new);
+                self.note_frontier(r, new);
                 if let Some(ds) = dependents.get(r) {
                     for &d in ds {
                         dirty.entry(d).or_default().insert(r.to_string());

@@ -275,8 +275,11 @@ fn divergence_detection() {
             "#,
         )
         .unwrap();
-        let mut solver =
-            Solver::with_options(system, SolveOptions { max_iterations: 50, strategy }).unwrap();
+        let mut solver = Solver::with_options(
+            system,
+            SolveOptions { max_iterations: 50, strategy, ..SolveOptions::new() },
+        )
+        .unwrap();
         let err = solver.evaluate("Flip").unwrap_err();
         assert!(matches!(err, SolveError::Diverged { .. }), "{strategy}: {err}");
     }
@@ -288,7 +291,7 @@ fn zero_iteration_bound_rejected() {
     let system = parse_system(REACH_SRC).unwrap();
     let err = Solver::with_options(
         system,
-        SolveOptions { max_iterations: 0, strategy: Strategy::Worklist },
+        SolveOptions { max_iterations: 0, strategy: Strategy::Worklist, ..SolveOptions::new() },
     )
     .unwrap_err();
     assert!(matches!(err, SolveError::Options(_)), "{err}");
@@ -319,4 +322,31 @@ fn programmatic_builder_equivalent_to_parsed() {
     let built = b.build().unwrap();
     let parsed = parse_system(REACH_SRC).unwrap();
     assert_eq!(built.to_string(), parsed.to_string());
+}
+
+#[test]
+fn frontier_snapshots_are_increasing_and_end_at_fixpoint() {
+    use getafix_mucalc::{SolveOptions, Strategy};
+    for strategy in [Strategy::RoundRobin, Strategy::Worklist] {
+        let system = parse_system(REACH_SRC).unwrap();
+        let options = SolveOptions { strategy, record_frontiers: true, ..SolveOptions::new() };
+        let mut solver = Solver::with_options(system, options).unwrap();
+        // Chain 0 -> 1 -> 2 -> 3: the fixpoint grows one state per round.
+        let init = set_to_bdd(&mut solver, "Init", &[0]);
+        solver.set_input("Init", init).unwrap();
+        let trans = edges_to_bdd(&mut solver, "Trans", &[(0, 1), (1, 2), (2, 3)]);
+        solver.set_input("Trans", trans).unwrap();
+        let fixpoint = solver.evaluate("Reach").unwrap();
+        let frontiers: Vec<_> = solver.frontiers("Reach").expect("recorded").to_vec();
+        assert!(!frontiers.is_empty(), "{strategy}: no snapshots");
+        assert_eq!(*frontiers.last().unwrap(), fixpoint, "{strategy}: last != final");
+        // ⊆-increasing and strictly growing: f[i] ∧ ¬f[i+1] = ⊥, f[i] ≠ f[i+1].
+        for w in frontiers.windows(2) {
+            let outside = solver.manager().diff(w[0], w[1]);
+            assert!(outside.is_false(), "{strategy}: snapshots not increasing");
+            assert_ne!(w[0], w[1], "{strategy}: duplicate snapshot");
+        }
+        // The chain needs one discovery per state: 4 strictly-growing values.
+        assert_eq!(frontiers.len(), 4, "{strategy}");
+    }
 }

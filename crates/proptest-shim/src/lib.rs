@@ -5,7 +5,8 @@
 //! workspace's property tests use, with the same names and call shapes:
 //!
 //! * [`Strategy`] with `prop_map`, `prop_recursive` and `boxed`;
-//! * [`any`]`::<T>()`, [`Just`], integer ranges and tuples as strategies;
+//! * [`strategy::any`]`::<T>()`, [`strategy::Just`], integer ranges and
+//!   tuples as strategies;
 //! * `prop::collection::vec`;
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
 //!   [`prop_assert_eq!`] macros;

@@ -1,0 +1,56 @@
+//! Witness extraction and trace replay: from fixed-point summaries to
+//! concrete, replayable error traces.
+//!
+//! The checkers in this workspace answer *reachable / unreachable*; this
+//! crate answers **why**. The paper's summary relations contain exactly
+//! the entry→configuration provenance needed to reconstruct an
+//! interprocedural error path, and the solver's frontier snapshots
+//! ([`getafix_mucalc::SolveOptions::record_frontiers`]) make the
+//! reconstruction well-founded (onion-peeling by first-appearance rank).
+//!
+//! * [`sequential_witness`] — a concrete [`Trace`] through a recursive
+//!   Boolean program: internal steps, calls, summary-justified returns.
+//!   Every trace is re-executed in the concrete interpreter
+//!   ([`getafix_boolprog::replay`]) before being returned, making
+//!   witnesses a second differential oracle against the symbolic engines.
+//! * [`concurrent_witness`] — a bounded-round [`Schedule`] for the §5
+//!   engine: who runs in each context and the shared-global valuation at
+//!   every switch, replayable with
+//!   [`getafix_conc::conc_replay_schedule`].
+//!
+//! # Example
+//!
+//! ```
+//! use getafix_boolprog::{parse_program, Cfg};
+//! use getafix_mucalc::SolveOptions;
+//! use getafix_witness::sequential_witness;
+//!
+//! let program = parse_program(r#"
+//!     decl g;
+//!     main() begin
+//!       decl x;
+//!       x := f(T);
+//!       if (x) then HIT: skip; fi;
+//!     end
+//!     f(a) returns 1 begin
+//!       return a;
+//!     end
+//! "#)?;
+//! let cfg = Cfg::build(&program)?;
+//! let target = cfg.label("HIT").expect("label exists");
+//! let trace = sequential_witness(&cfg, &[target], SolveOptions::default())?
+//!     .expect("HIT is reachable");
+//! assert_eq!(trace.target, target);
+//! // The trace ends at HIT and replays in the concrete interpreter —
+//! // sequential_witness already validated that before returning.
+//! println!("{}", trace.render(&cfg));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod conc;
+mod seq;
+mod trace;
+
+pub use conc::{concurrent_witness, concurrent_witness_from};
+pub use seq::{sequential_witness, sequential_witness_with, WitnessError, WitnessLimits};
+pub use trace::{Round, Schedule, Step, StepKind, Trace};

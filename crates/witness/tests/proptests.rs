@@ -1,0 +1,130 @@
+//! Property-based witness testing: on randomly generated programs, a
+//! reachable target always yields a trace that replays to the target in
+//! the concrete interpreter, and an unreachable target always yields
+//! `None` — under both solver strategies.
+
+use getafix_boolprog::{explicit_reachable, replay, Cfg, Expr, Proc, Program, Stmt, StmtKind};
+use getafix_mucalc::{SolveOptions, Strategy as SolverStrategy};
+use getafix_witness::sequential_witness;
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["g0", "g1", "x", "y"];
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        Just(Expr::Nondet),
+        (0..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let base = prop_oneof![
+        Just(StmtKind::Skip),
+        (0..VARS.len(), expr_strategy())
+            .prop_map(|(i, e)| StmtKind::Assign { targets: vec![VARS[i].into()], exprs: vec![e] }),
+        expr_strategy().prop_map(StmtKind::Assume),
+        expr_strategy().prop_map(|e| StmtKind::CallAssign {
+            targets: vec!["x".into()],
+            callee: "f".into(),
+            args: vec![e],
+        }),
+    ];
+    let kinds = base.prop_recursive(2, 8, 2, |inner| {
+        let stmt = inner.prop_map(Stmt::new);
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(stmt.clone(), 1..3),
+                prop::collection::vec(stmt.clone(), 0..2)
+            )
+                .prop_map(|(c, t, e)| StmtKind::If {
+                    cond: c,
+                    then_branch: t,
+                    else_branch: e
+                }),
+            (expr_strategy(), prop::collection::vec(stmt, 1..2))
+                .prop_map(|(c, b)| StmtKind::While { cond: Expr::and(c, Expr::Nondet), body: b }),
+        ]
+    });
+    kinds.prop_map(Stmt::new)
+}
+
+/// A random program whose `main` ends with `if (guard) then HIT: skip; fi`.
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (prop::collection::vec(stmt_strategy(), 1..5), expr_strategy()).prop_map(|(mut body, guard)| {
+        body.push(Stmt::new(StmtKind::If {
+            cond: guard,
+            then_branch: vec![Stmt::labeled("HIT", StmtKind::Skip)],
+            else_branch: vec![],
+        }));
+        Program {
+            globals: vec!["g0".into(), "g1".into()],
+            procs: vec![
+                Proc {
+                    name: "main".into(),
+                    params: vec![],
+                    returns: 0,
+                    locals: vec!["x".into(), "y".into()],
+                    body,
+                },
+                Proc {
+                    name: "f".into(),
+                    params: vec!["x".into()],
+                    returns: 1,
+                    locals: vec!["y".into()],
+                    body: vec![
+                        Stmt::new(StmtKind::If {
+                            cond: Expr::Nondet,
+                            then_branch: vec![Stmt::new(StmtKind::Assign {
+                                targets: vec!["g0".into()],
+                                exprs: vec![Expr::var("x")],
+                            })],
+                            else_branch: vec![Stmt::new(StmtKind::CallAssign {
+                                targets: vec!["y".into()],
+                                callee: "f".into(),
+                                args: vec![Expr::not(Expr::var("x"))],
+                            })],
+                        }),
+                        Stmt::new(StmtKind::Return(vec![Expr::var("y")])),
+                    ],
+                },
+            ],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reachable ⇒ the extracted trace replays to the target;
+    /// unreachable ⇒ `witness()` returns `None`. Both strategies.
+    #[test]
+    fn witnesses_match_the_oracle(p in program_strategy()) {
+        let cfg = Cfg::build(&p).unwrap_or_else(|e| panic!("{e}\n{p}"));
+        let target = cfg.label("HIT").expect("generated label");
+        let oracle = explicit_reachable(&cfg, &[target], 5_000_000)
+            .expect("oracle within budget")
+            .reachable;
+        for strategy in [SolverStrategy::Worklist, SolverStrategy::RoundRobin] {
+            let witness = sequential_witness(&cfg, &[target], SolveOptions::with_strategy(strategy))
+                .unwrap_or_else(|e| panic!("{strategy}: {e}\n{p}"));
+            match witness {
+                Some(trace) => {
+                    prop_assert!(oracle, "witness for unreachable target\n{}", p);
+                    let check = replay(&cfg, &trace.to_replay(), &[target]);
+                    prop_assert!(check.is_ok(), "replay rejected: {:?}\n{}", check, p);
+                }
+                None => prop_assert!(!oracle, "reachable but no witness\n{}", p),
+            }
+        }
+    }
+}
