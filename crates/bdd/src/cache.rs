@@ -25,6 +25,7 @@ pub(crate) struct Caches {
     exists: FxHashMap<(u32, u32), u32>,
     and_exists: FxHashMap<(u32, u32, u32), u32>,
     rename: FxHashMap<(u32, u64), u32>,
+    rename_and_exists: FxHashMap<(u32, u64, u32, u32), u32>,
     restrict: FxHashMap<(u32, u32, bool), u32>,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
@@ -38,6 +39,7 @@ impl Caches {
         self.exists.clear();
         self.and_exists.clear();
         self.rename.clear();
+        self.rename_and_exists.clear();
         self.restrict.clear();
     }
 
@@ -119,6 +121,23 @@ impl Caches {
     #[inline]
     pub(crate) fn rename_put(&mut self, f: Bdd, map_id: u64, r: Bdd) {
         self.rename.insert((f.0, map_id), r.0);
+    }
+
+    #[inline]
+    pub(crate) fn rename_and_exists_get(
+        &mut self,
+        f: Bdd,
+        map_id: u64,
+        g: Bdd,
+        cube: Bdd,
+    ) -> Option<Bdd> {
+        let hit = self.rename_and_exists.get(&(f.0, map_id, g.0, cube.0)).map(|&r| Bdd(r));
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn rename_and_exists_put(&mut self, f: Bdd, map_id: u64, g: Bdd, cube: Bdd, r: Bdd) {
+        self.rename_and_exists.insert((f.0, map_id, g.0, cube.0), r.0);
     }
 
     #[inline]

@@ -540,6 +540,28 @@ impl Manager {
         count
     }
 
+    /// The number of distinct DAG nodes reachable from any of `roots`
+    /// (shared structure counted once, terminals included). This is the
+    /// honest memory footprint of a *set* of functions — summing
+    /// [`Manager::node_count`] per root would double-count shared subgraphs.
+    pub fn node_count_many(&self, roots: &[Bdd]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        let mut count = 0usize;
+        while let Some(i) = stack.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            count += 1;
+            if i > 1 {
+                let n = self.nodes[i as usize];
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
     /// The set of variables appearing in `f`, in increasing level order.
     pub fn support(&self, f: Bdd) -> Vec<Var> {
         let mut seen = std::collections::HashSet::new();

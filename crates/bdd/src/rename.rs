@@ -126,6 +126,106 @@ impl Manager {
         r
     }
 
+    /// The fused image operation `∃ cube. rename(f, map) ∧ g`.
+    ///
+    /// Relation application is exactly this shape: a stored relation is
+    /// renamed from its formal columns onto argument/scratch columns,
+    /// constrained by equalities `g`, and the scratch columns are
+    /// quantified away. Fusing the three steps never materializes the
+    /// renamed intermediate when the substitution is order-preserving on
+    /// `f`'s support — the common case under interleaved allocation. An
+    /// order-scrambling map falls back to [`Manager::rename`] followed by
+    /// [`Manager::and_exists`], so the result is identical either way.
+    pub fn rename_and_exists(&mut self, f: Bdd, map: &VarMap, g: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(cube), "rename_and_exists: last argument must be a cube");
+        if map.is_identity() {
+            return self.and_exists(f, g, cube);
+        }
+        if !self.map_is_monotone_on(f, map) {
+            let r = self.rename(f, map);
+            return self.and_exists(r, g, cube);
+        }
+        let id = self.intern_map(map);
+        self.rename_and_exists_rec(f, map, id, g, cube)
+    }
+
+    /// Is `map` strictly order-preserving over the support of `f` (so a
+    /// source-order traversal of `f` visits target levels in order)?
+    fn map_is_monotone_on(&self, f: Bdd, map: &VarMap) -> bool {
+        let mut last: Option<u32> = None;
+        for v in self.support(f) {
+            let t = map.apply(v).0;
+            if last.is_some_and(|p| t <= p) {
+                return false;
+            }
+            last = Some(t);
+        }
+        true
+    }
+
+    fn rename_and_exists_rec(
+        &mut self,
+        f: Bdd,
+        map: &VarMap,
+        id: u64,
+        g: Bdd,
+        mut cube: Bdd,
+    ) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return self.exists(g, cube);
+        }
+        if g.is_true() {
+            let r = self.rename_rec(f, map, id);
+            return self.exists(r, cube);
+        }
+        // `f`'s effective level is its root variable *after* renaming;
+        // monotonicity of the map on f's support keeps the traversal
+        // consistent with the target order.
+        let ftop = map.apply(Var(self.level(f))).0;
+        let top = ftop.min(self.level(g));
+        while !cube.is_true() && self.level(cube) < top {
+            cube = self.hi(cube);
+        }
+        if cube.is_true() {
+            let r = self.rename_rec(f, map, id);
+            return self.and(r, g);
+        }
+        if let Some(r) = self.caches.rename_and_exists_get(f, id, g, cube) {
+            return r;
+        }
+        let (f0, f1) = if ftop == top {
+            let n = self.nodes[f.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if self.level(g) == top {
+            let n = self.nodes[g.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (g, g)
+        };
+        let r = if self.level(cube) == top {
+            let rest = self.hi(cube);
+            let lo = self.rename_and_exists_rec(f0, map, id, g0, rest);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.rename_and_exists_rec(f1, map, id, g1, rest);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.rename_and_exists_rec(f0, map, id, g0, cube);
+            let hi = self.rename_and_exists_rec(f1, map, id, g1, cube);
+            self.mk(top, lo, hi)
+        };
+        self.caches.rename_and_exists_put(f, id, g, cube, r);
+        r
+    }
+
     /// Interns a map so renames can be cached by a stable small id.
     fn intern_map(&mut self, map: &VarMap) -> u64 {
         if let Some(&id) = self.map_registry.get(map.key()) {
@@ -235,6 +335,53 @@ mod tests {
         let map = VarMap::new([(v[0], v[0])]);
         assert!(map.is_identity());
         assert_eq!(m.rename(a, &map), a);
+    }
+
+    #[test]
+    fn rename_and_exists_matches_unfused() {
+        // ∃s. rename(f)[x→s] ∧ (s = y)  ==  f with x renamed to y.
+        let mut m = Manager::new();
+        let v = m.new_vars(6);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.nvar(v[1]);
+            m.and(a, b)
+        };
+        // Monotone map v0→v2, v1→v3 (the fused fast path).
+        let map = VarMap::new([(v[0], v[2]), (v[1], v[3])]);
+        let eqs = {
+            let a2 = m.var(v[2]);
+            let a4 = m.var(v[4]);
+            let e1 = m.iff(a2, a4);
+            let a3 = m.var(v[3]);
+            let a5 = m.var(v[5]);
+            let e2 = m.iff(a3, a5);
+            m.and(e1, e2)
+        };
+        let cube = m.cube(&[v[2], v[3]]);
+        let fused = m.rename_and_exists(f, &map, eqs, cube);
+        let renamed = m.rename(f, &map);
+        let unfused = m.and_exists(renamed, eqs, cube);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn rename_and_exists_scrambled_map_falls_back() {
+        // An order-reversing map must still produce the unfused result.
+        let mut m = Manager::new();
+        let v = m.new_vars(5);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            m.xor(a, b)
+        };
+        let map = VarMap::new([(v[0], v[3]), (v[1], v[2])]);
+        let g = m.var(v[4]);
+        let cube = m.cube(&[v[3]]);
+        let fused = m.rename_and_exists(f, &map, g, cube);
+        let renamed = m.rename(f, &map);
+        let unfused = m.and_exists(renamed, g, cube);
+        assert_eq!(fused, unfused);
     }
 
     #[test]

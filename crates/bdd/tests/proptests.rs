@@ -203,6 +203,54 @@ proptest! {
         }
     }
 
+    /// The fused image operation `∃cube. rename(f) ∧ g` equals the
+    /// three-step pipeline — for arbitrary (monotone *and* scrambled)
+    /// permutation maps, so both the fast path and the fallback are hit.
+    #[test]
+    fn rename_and_exists_fused(a in expr_strategy(), b in expr_strategy(),
+                               keys in prop::collection::vec(
+                                   0u64..1_000_000, 2 * NVARS..2 * NVARS + 1),
+                               mask in 0u32..(1 << (2 * NVARS))) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(2 * NVARS);
+        let fa = a.build(&mut m, &vars[..NVARS]);
+        let fb = b.build(&mut m, &vars[NVARS..]);
+        // Map the first block onto an arbitrary injective target sequence
+        // (indices ranked by random keys), so monotone *and* scrambled
+        // maps both occur — exercising the fused path and the fallback.
+        let mut order: Vec<usize> = (0..2 * NVARS).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let map = VarMap::new(
+            (0..NVARS).map(|i| vars[i]).zip(order.iter().map(|&j| vars[j]))
+                .filter(|(s, t)| s != t)
+                .collect::<Vec<_>>(),
+        );
+        let quantified: Vec<Var> = (0..2 * NVARS)
+            .filter(|i| (mask >> i) & 1 == 1)
+            .map(|i| vars[i])
+            .collect();
+        let cube = m.cube(&quantified);
+        let fused = m.rename_and_exists(fa, &map, fb, cube);
+        let renamed = m.rename(fa, &map);
+        let unfused = m.and_exists(renamed, fb, cube);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    /// Multi-root node counting never exceeds the per-root sum and equals
+    /// it exactly when the roots share nothing but terminals.
+    #[test]
+    fn node_count_many_shares(a in expr_strategy(), b in expr_strategy()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(NVARS);
+        let fa = a.build(&mut m, &vars);
+        let fb = b.build(&mut m, &vars);
+        let many = m.node_count_many(&[fa, fb]);
+        let each = m.node_count(fa) + m.node_count(fb);
+        prop_assert!(many <= each);
+        prop_assert!(many >= m.node_count(fa).max(m.node_count(fb)));
+        prop_assert_eq!(m.node_count_many(&[fa]), m.node_count(fa));
+    }
+
     /// GC preserves the semantics of every root.
     #[test]
     fn gc_preserves_roots(a in expr_strategy(), b in expr_strategy()) {

@@ -8,16 +8,20 @@
 //! cargo run --release -p getafix-bench --bin bench-report [-- --out PATH] [--scale N] [--bits N]
 //! ```
 //!
-//! The JSON is hand-rolled (the workspace builds offline, without serde):
+//! The JSON is hand-rolled (the workspace builds offline, without serde),
+//! and every per-strategy entry embeds the solver's own
+//! [`SolveStats::to_json`] serialization — the same object `getafix …
+//! --stats-json` prints — so this reporter *consumes* solver statistics
+//! instead of re-deriving numbers:
 //!
 //! ```json
 //! {
-//!   "schema": "getafix-bench-fig2/1",
+//!   "schema": "getafix-bench-fig2/2",
 //!   "workloads": [
 //!     { "name": "regression-positive", "cases": 9, "algorithm": "ef-opt",
 //!       "strategies": {
-//!         "worklist":    { "wall_ms": 12.3, "reevaluations": 150 },
-//!         "round-robin": { "wall_ms": 45.6, "reevaluations": 510 } } },
+//!         "worklist":    { "wall_ms": 12.3, "reevaluations": 150, "stats": { … } },
+//!         "round-robin": { "wall_ms": 45.6, "reevaluations": 510, "stats": { … } } } },
 //!     …
 //!   ]
 //! }
@@ -26,7 +30,7 @@
 use getafix_bench::{regression_cases, slam_cases, terminator_cases, SeqCase};
 use getafix_boolprog::Cfg;
 use getafix_core::{check_reachability_with, Algorithm};
-use getafix_mucalc::{SolveOptions, Strategy};
+use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -34,15 +38,16 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
-/// One strategy's aggregate over a workload.
+/// One strategy's aggregate over a workload: wall time plus the absorbed
+/// solver statistics of every case.
 struct StrategyNumbers {
     wall_ms: f64,
-    reevaluations: usize,
+    stats: SolveStats,
 }
 
 fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> StrategyNumbers {
     let t0 = Instant::now();
-    let mut reevaluations = 0usize;
+    let mut stats = SolveStats::default();
     for case in cases {
         let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         let pc = cfg
@@ -56,9 +61,9 @@ fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> 
             "{} ({strategy}): wrong verdict — a benchmark that measures wrong answers is worthless",
             case.name
         );
-        reevaluations += r.reevaluations;
+        stats.absorb(&r.stats);
     }
-    StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, reevaluations }
+    StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, stats }
 }
 
 fn main() {
@@ -76,32 +81,48 @@ fn main() {
     }
     workloads.push((format!("terminator-{bits}bit"), terminator_cases(bits)));
 
-    // `ef` is a monotone fixpoint (the worklist scheduler shows its win
-    // in the re-evaluation counts); `ef-opt` runs the non-monotone §4.3
-    // fallback, so its counts must be *identical* across strategies — both
-    // facts are part of the trajectory worth tracking.
+    // `ef` is a monotone fixpoint; `ef-opt` is the non-monotone §4.3
+    // system running the ordered change-driven schedule — under the
+    // worklist strategy *both* must now show strictly fewer re-evaluations
+    // than round-robin, which the guard below enforces on every run.
     let algorithms = [Algorithm::EntryForward, Algorithm::EntryForwardOpt];
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"getafix-bench-fig2/1\",\n");
+    json.push_str("{\n  \"schema\": \"getafix-bench-fig2/2\",\n");
     let _ = writeln!(json, "  \"driver_scale\": {scale},");
     let _ = writeln!(json, "  \"terminator_bits\": {bits},");
     json.push_str("  \"workloads\": [\n");
     let total = workloads.len() * algorithms.len();
     let mut emitted = 0usize;
+    let mut guard_failures: Vec<String> = Vec::new();
     for (name, cases) in &workloads {
         for algorithm in algorithms {
             let wl = run_strategy(cases, algorithm, Strategy::Worklist);
             let rr = run_strategy(cases, algorithm, Strategy::RoundRobin);
+            let (wl_re, rr_re) = (wl.stats.total_reevaluations(), rr.stats.total_reevaluations());
             emitted += 1;
             eprintln!(
-                "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals, \
-                 round-robin {:.1} ms / {} re-evals",
+                "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals \
+                 ({} on ordered schedules), round-robin {:.1} ms / {} re-evals",
                 cases.len(),
                 wl.wall_ms,
-                wl.reevaluations,
+                wl_re,
+                wl.stats.ordered_reevaluations,
                 rr.wall_ms,
-                rr.reevaluations
+                rr_re
             );
+            // Regression guard: the scheduler must never do more work, and
+            // must do *strictly less* on ef-opt — the ordered non-monotone
+            // schedule's whole point. (Plain `ef` is a single-relation
+            // monotone component, where both strategies run the same
+            // rounds; equality is expected there.)
+            if wl_re > rr_re {
+                guard_failures.push(format!("{name} ({algorithm}): {wl_re} > {rr_re}"));
+            } else if algorithm == Algorithm::EntryForwardOpt && wl_re >= rr_re {
+                guard_failures.push(format!(
+                    "{name} ({algorithm}): ordered schedule lost its strict reduction \
+                     ({wl_re} >= {rr_re})"
+                ));
+            }
             let _ = writeln!(
                 json,
                 "    {{ \"name\": \"{name}\", \"algorithm\": \"{algorithm}\", \"cases\": {},",
@@ -110,14 +131,19 @@ fn main() {
             json.push_str("      \"strategies\": {\n");
             let _ = writeln!(
                 json,
-                "        \"worklist\":    {{ \"wall_ms\": {:.3}, \"reevaluations\": {} }},",
-                wl.wall_ms, wl.reevaluations
+                "        \"worklist\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {}, \
+                 \"stats\": {} }},",
+                wl.wall_ms,
+                wl_re,
+                wl.stats.to_json()
             );
             let _ = writeln!(
                 json,
-                "        \"round-robin\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {} }} }} }}{}",
+                "        \"round-robin\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {}, \
+                 \"stats\": {} }} }} }}{}",
                 rr.wall_ms,
-                rr.reevaluations,
+                rr_re,
+                rr.stats.to_json(),
                 if emitted < total { "," } else { "" }
             );
         }
@@ -126,6 +152,11 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
     eprintln!("wrote {out_path}");
+    assert!(
+        guard_failures.is_empty(),
+        "worklist scheduling regressed (no strict re-evaluation reduction) on:\n  {}",
+        guard_failures.join("\n  ")
+    );
 }
 
 /// Lower-cased, space-free workload slug for stable JSON names.

@@ -91,14 +91,22 @@ fn worklist_strictly_reduces_on_the_conc_engine() {
 }
 
 #[test]
-fn ef_opt_is_routed_to_the_reference_semantics() {
-    // The EF-opt system is one non-monotone component; the worklist
-    // scheduler must not reorder it — identical work, identical answers.
+fn ef_opt_ordered_schedule_strictly_reduces() {
+    // The EF-opt system is one non-monotone component fitting the §4.3
+    // frontier pattern: the worklist engine runs it on the ordered
+    // change-driven schedule — identical answers (it reproduces the
+    // reference rounds exactly), strictly less recompilation (the nested
+    // reference re-derives `Relevant`/`New1`/`New2` from scratch inside
+    // every round). This is the fig2 regression guard: a scheduler change
+    // that loses the reduction fails CI here.
     let cases = sample_cases();
-    let cmp = compare_strategies(&cases[..3.min(cases.len())], Algorithm::EntryForwardOpt);
+    let cmp = compare_strategies(&cases, Algorithm::EntryForwardOpt);
     assert!(cmp.verdict_mismatches.is_empty(), "{:?}", cmp.verdict_mismatches);
-    assert_eq!(
-        cmp.worklist, cmp.round_robin,
-        "non-monotone components must run the reference schedule verbatim"
+    assert!(
+        cmp.worklist < cmp.round_robin,
+        "expected the ordered schedule to strictly reduce ef-opt re-evaluations, \
+         got {} vs {}",
+        cmp.worklist,
+        cmp.round_robin
     );
 }

@@ -2,7 +2,7 @@
 //! get a reachability verdict plus the statistics Figure 2 reports.
 
 use crate::encode::{install_templates, EncodeError};
-use crate::systems::{system_ef, system_efopt, system_simple};
+use crate::systems::{system_ef, system_ef_trace, system_efopt, system_simple};
 use getafix_boolprog::{Cfg, Pc};
 use getafix_mucalc::{SolveError, SolveOptions, SolveStats, Solver, System, SystemError};
 use std::fmt;
@@ -137,6 +137,56 @@ pub fn emit_system(cfg: &Cfg, algorithm: Algorithm) -> Result<System, AnalysisEr
         Algorithm::EntryForward => system_ef(cfg, true)?,
         Algorithm::EntryForwardOpt => system_efopt(cfg)?,
     })
+}
+
+/// The *trace-capable* variant of an algorithm's system: one whose main
+/// relation, solved with provenance recording, can be onion-peeled into a
+/// concrete witness by `getafix-witness` — so a `--trace` run performs
+/// exactly **one** solve for verdict and evidence.
+///
+/// * `ef-opt` is trace-capable as-is: the frontier-bit construction has no
+///   early-termination clause, so `SummaryEFopt(1, ·)` at the fixpoint is
+///   the precise entry-annotated reachable set.
+/// * `ef` / `ef-naive` drop their early-termination disjunct
+///   ([`system_ef_trace`]): same verdict, a few more rounds, and a
+///   `Reachable` fixpoint that *is* the provenance structure.
+/// * `simple` returns `None`: its all-entries seeding explores unreachable
+///   invocations, so its summaries carry no entry-reachability provenance
+///   to peel — callers fall back to a dedicated witness solve.
+///
+/// # Errors
+///
+/// Propagates formula-generation errors.
+pub fn emit_trace_system(cfg: &Cfg, algorithm: Algorithm) -> Result<Option<System>, AnalysisError> {
+    Ok(match algorithm {
+        Algorithm::SummarySimple => None,
+        Algorithm::EntryForwardNaive => Some(system_ef_trace(cfg, false)?),
+        Algorithm::EntryForward => Some(system_ef_trace(cfg, true)?),
+        Algorithm::EntryForwardOpt => Some(system_efopt(cfg)?),
+    })
+}
+
+/// Builds a ready-to-run solver for a single-solve `--trace` run: the
+/// trace-capable system of `algorithm` (see [`emit_trace_system`]) with
+/// provenance recording forced on and templates installed. `None` when the
+/// algorithm has no trace-capable formulation.
+///
+/// # Errors
+///
+/// Propagates generation, encoding and option-validation errors.
+pub fn build_trace_solver_with(
+    cfg: &Cfg,
+    targets: &[Pc],
+    algorithm: Algorithm,
+    options: SolveOptions,
+) -> Result<Option<Solver>, AnalysisError> {
+    let Some(system) = emit_trace_system(cfg, algorithm)? else {
+        return Ok(None);
+    };
+    let options = SolveOptions { record_provenance: true, ..options };
+    let mut solver = Solver::with_options(system, options)?;
+    install_templates(&mut solver, cfg, targets)?;
+    Ok(Some(solver))
 }
 
 /// Builds a ready-to-run solver with default options: system generated,

@@ -43,8 +43,9 @@ pub mod systems;
 mod analysis;
 
 pub use analysis::{
-    build_solver, build_solver_with, check_label, check_reachability, check_reachability_with,
-    emit_system, Algorithm, AnalysisError, AnalysisResult,
+    build_solver, build_solver_with, build_trace_solver_with, check_label, check_reachability,
+    check_reachability_with, emit_system, emit_trace_system, Algorithm, AnalysisError,
+    AnalysisResult,
 };
 pub use encode::{can_value, install_templates, EncodeError};
-pub use systems::{system_ef, system_ef_witness, system_efopt, system_simple};
+pub use systems::{system_ef, system_ef_trace, system_ef_witness, system_efopt, system_simple};

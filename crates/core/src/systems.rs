@@ -374,16 +374,29 @@ pub fn system_ef(cfg: &Cfg, split_return: bool) -> Result<System, SystemError> {
 
 /// The entry-forward system *without* the early-termination disjunct: the
 /// fixpoint of `Reachable` is then exactly the entry-annotated reachable
-/// set, which is what witness extraction peels backwards. (With early
-/// termination, the relation saturates to the whole `Conf` domain the
-/// moment a target is found — correct for the Boolean verdict, useless as
-/// a provenance structure.) Always uses the split return clause.
+/// set. (With early termination, the relation saturates to the whole
+/// `Conf` domain the moment a target is found — correct for the Boolean
+/// verdict, useless as a provenance structure.)
+///
+/// # Errors
+///
+/// Propagates [`SystemError`]s (none expected for a well-formed CFG).
+pub fn system_ef_trace(cfg: &Cfg, split_return: bool) -> Result<System, SystemError> {
+    build_ef(cfg, split_return, false)
+}
+
+/// The historical dedicated witness system: split-return entry-forward
+/// without early termination. **Demoted to a test oracle** — production
+/// trace extraction peels the *verdict solver's* provenance
+/// ([`crate::emit_trace_system`] + `getafix-witness`), performing exactly
+/// one solve; this second system survives so the differential suites can
+/// cross-check that path against an independent solve.
 ///
 /// # Errors
 ///
 /// Propagates [`SystemError`]s (none expected for a well-formed CFG).
 pub fn system_ef_witness(cfg: &Cfg) -> Result<System, SystemError> {
-    build_ef(cfg, true, false)
+    system_ef_trace(cfg, true)
 }
 
 fn build_ef(cfg: &Cfg, split_return: bool, early_exit: bool) -> Result<System, SystemError> {

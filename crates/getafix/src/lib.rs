@@ -64,9 +64,13 @@ pub mod prelude {
         check_conc_solver, check_merged_with, merge, ConcParams,
     };
     pub use getafix_core::{
-        check_label, check_reachability, check_reachability_with, emit_system, Algorithm,
+        build_trace_solver_with, check_label, check_reachability, check_reachability_with,
+        emit_system, emit_trace_system, Algorithm,
     };
     pub use getafix_mucalc::{SolveOptions, Strategy};
     pub use getafix_pds::{poststar, prestar};
-    pub use getafix_witness::{concurrent_witness, concurrent_witness_from, sequential_witness};
+    pub use getafix_witness::{
+        concurrent_witness, concurrent_witness_from, sequential_witness, sequential_witness_from,
+        WitnessLimits,
+    };
 }

@@ -44,15 +44,22 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N] [--stats] [--trace]
-  getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N] [--stats] [--trace]
+  getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
+                          [--stats] [--stats-json] [--trace]
+  getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
+                          [--stats] [--stats-json] [--trace]
   getafix emit-mu <file.bp> [--algo ALGO]
   getafix help
 
 ALGO:  ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle
 STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy
 --trace: on a REACHABLE verdict, print a concrete witness — a replay-validated
-         error trace (check) or a bounded-round schedule (check-conc)
+         error trace (check) or a bounded-round schedule (check-conc). Verdict and
+         witness come from ONE solve: the trace is onion-peeled from the verdict
+         solver's rank provenance (for ef/ef-naive this drops the early-termination
+         clause, same verdict; `simple` falls back to a dedicated witness solve)
+--stats-json: print the full solver statistics as machine-readable JSON
+         (re-evaluations, ordered-schedule work, provenance memory, GC reclaim)
 
 exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error";
 
@@ -82,6 +89,32 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
     Ok(options)
 }
 
+/// Which statistics outputs a run asked for.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatsOutput {
+    /// `--stats`: the human-readable tables.
+    human: bool,
+    /// `--stats-json`: the machine-readable JSON object
+    /// ([`SolveStats::to_json`] — the same serialization the bench
+    /// reporter and CI artifacts consume).
+    json: bool,
+}
+
+impl StatsOutput {
+    fn wanted(self) -> bool {
+        self.human || self.json
+    }
+
+    fn emit(self, stats: &SolveStats) {
+        if self.human {
+            print_stats(stats);
+        }
+        if self.json {
+            println!("{}", stats.to_json());
+        }
+    }
+}
+
 /// Prints the per-relation and per-SCC solver statistics (`--stats`).
 fn print_stats(stats: &SolveStats) {
     println!();
@@ -101,19 +134,39 @@ fn print_stats(stats: &SolveStats) {
         );
     }
     println!();
-    println!("{:<5} {:<10} {:<9} {:>8}  members", "scc", "kind", "monotone", "evals");
+    println!(
+        "{:<5} {:<10} {:<9} {:<8} {:>8}  members",
+        "scc", "kind", "monotone", "schedule", "evals"
+    );
     for (i, scc) in stats.sccs.iter().enumerate() {
+        let schedule = if scc.ordered {
+            "ordered"
+        } else if !scc.recursive {
+            "once"
+        } else if scc.monotone {
+            "chaotic"
+        } else {
+            "nested"
+        };
         println!(
-            "{:<5} {:<10} {:<9} {:>8}  {}",
+            "{:<5} {:<10} {:<9} {:<8} {:>8}  {}",
             i,
             if scc.recursive { "recursive" } else { "straight" },
             if scc.monotone { "yes" } else { "no" },
+            schedule,
             scc.evaluations,
             scc.members.join(", ")
         );
     }
     println!();
     println!("total re-evaluations: {}", stats.total_reevaluations());
+    println!("ordered-schedule re-evaluations: {}", stats.ordered_reevaluations);
+    if stats.provenance_nodes > 0 {
+        println!("provenance memory: {} BDD nodes", stats.provenance_nodes);
+    }
+    if stats.gcs > 0 {
+        println!("gc: {} collections, {} nodes reclaimed", stats.gcs, stats.gc_reclaimed_nodes);
+    }
 }
 
 fn run(args: &[String]) -> Result<Outcome, String> {
@@ -133,7 +186,10 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 label,
                 algo,
                 options,
-                has_flag(args, "--stats"),
+                StatsOutput {
+                    human: has_flag(args, "--stats"),
+                    json: has_flag(args, "--stats-json"),
+                },
                 solver_flags,
                 has_flag(args, "--trace"),
             )
@@ -201,8 +257,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 );
                 print!("{}", schedule.render(&merged.cfg));
             }
-            if has_flag(args, "--stats") {
-                print_stats(&r.stats);
+            let stats_out = StatsOutput {
+                human: has_flag(args, "--stats"),
+                json: has_flag(args, "--stats-json"),
+            };
+            if stats_out.wanted() {
+                stats_out.emit(&r.stats);
             }
             Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
         }
@@ -211,11 +271,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             if has_flag(args, "--strategy")
                 || has_flag(args, "--max-iter")
                 || has_flag(args, "--stats")
+                || has_flag(args, "--stats-json")
                 || has_flag(args, "--trace")
             {
-                return Err("--strategy/--max-iter/--stats/--trace configure the fixed-point \
-                            solver; emit-mu only prints the formulae and never runs it"
-                    .into());
+                return Err("--strategy/--max-iter/--stats/--stats-json/--trace configure the \
+                            fixed-point solver; emit-mu only prints the formulae and never runs \
+                            it"
+                .into());
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -248,15 +310,15 @@ fn check_sequential(
     label: &str,
     algo: &str,
     options: SolveOptions,
-    stats: bool,
+    stats_out: StatsOutput,
     solver_flags: bool,
     trace: bool,
 ) -> Result<Outcome, String> {
     let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
     let baseline = matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle");
-    if baseline && stats {
+    if baseline && stats_out.wanted() {
         return Err(format!(
-            "--stats reports fixed-point solver statistics; the `{algo}` baseline \
+            "--stats/--stats-json report fixed-point solver statistics; the `{algo}` baseline \
              does not run the solver (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
         ));
     }
@@ -266,6 +328,43 @@ fn check_sequential(
              does not run it (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
         ));
     }
+
+    // The single-solve trace path: for trace-capable formula algorithms
+    // the verdict solver records provenance and the witness is peeled
+    // straight out of it — exactly one solve answers "reachable?" and
+    // "why?". (`simple` and the baselines fall through to the legacy
+    // two-solve extraction below.)
+    if trace && !baseline {
+        let a = parse_algo(algo)?;
+        if let Some(mut solver) =
+            build_trace_solver_with(cfg, &[pc], a, options.clone()).map_err(|e| e.to_string())?
+        {
+            let strategy = options.strategy;
+            let t0 = std::time::Instant::now();
+            let reachable = solver.eval_query("reach").map_err(|e| e.to_string())?;
+            let solve_time = t0.elapsed();
+            let stats = solver.stats().clone();
+            println!(
+                "{}: `{label}` ({algo}) — {} re-evals ({strategy}), \
+                 provenance {} nodes, solve {:.3}s [single-solve trace]",
+                if reachable { "REACHABLE" } else { "unreachable" },
+                stats.total_reevaluations(),
+                stats.provenance_nodes,
+                solve_time.as_secs_f64(),
+            );
+            if reachable {
+                let t = sequential_witness_from(&mut solver, cfg, &[pc], WitnessLimits::default())
+                    .map_err(|e| e.to_string())?
+                    .ok_or("witness extraction disagreed with the verdict")?;
+                println!();
+                println!("trace ({} steps, replay-validated):", t.steps.len());
+                print!("{}", t.render(cfg));
+            }
+            stats_out.emit(&stats);
+            return Ok(if reachable { Outcome::Reachable } else { Outcome::Unreachable });
+        }
+    }
+
     let mut solver_stats = None;
     let witness_options = options.clone();
     let (reachable, detail) = match algo {
@@ -321,7 +420,7 @@ fn check_sequential(
                 r.encode_time.as_secs_f64(),
                 r.solve_time.as_secs_f64()
             );
-            if stats {
+            if stats_out.wanted() {
                 solver_stats = Some(r.stats);
             }
             (r.reachable, line)
@@ -332,9 +431,10 @@ fn check_sequential(
         if reachable { "REACHABLE" } else { "unreachable" }
     );
     if trace && reachable {
-        // The witness engine solves its own (entry-forward) system, so the
-        // trace is available whichever algorithm produced the verdict; it
-        // is replay-validated in the concrete interpreter before printing.
+        // Legacy fallback (baselines and `simple`): the witness engine
+        // solves its own entry-forward system, so the trace is available
+        // whichever algorithm produced the verdict; it is replay-validated
+        // in the concrete interpreter before printing.
         let t = sequential_witness(cfg, &[pc], witness_options)
             .map_err(|e| e.to_string())?
             .ok_or("witness extraction disagreed with the verdict")?;
@@ -344,7 +444,7 @@ fn check_sequential(
     }
     // Verdict line first, statistics after — same order as `check-conc`.
     if let Some(s) = &solver_stats {
-        print_stats(s);
+        stats_out.emit(s);
     }
     Ok(if reachable { Outcome::Reachable } else { Outcome::Unreachable })
 }

@@ -225,6 +225,13 @@ impl Allocation {
         acc
     }
 
+    /// Drops the cached domain constraints. Called after a manager GC:
+    /// cached handles may point at reclaimed nodes. The constraints are
+    /// cheap `lt_const` chains and rebuild lazily on next use.
+    pub(crate) fn clear_domain_cache(&self) {
+        self.domains.borrow_mut().clear();
+    }
+
     /// Number of allocated instances (diagnostics).
     pub fn instance_count(&self) -> usize {
         self.instances.len()

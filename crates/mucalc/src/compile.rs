@@ -318,23 +318,23 @@ impl<'a> CompileCtx<'a> {
         }
 
         let map = VarMap::new(pairs);
-        let mut r = self.manager.rename(stored, &map);
-
-        if !scratch_eqs.is_empty() {
-            let mut cube_vars = Vec::new();
-            let mut eqs = Bdd::TRUE;
-            for (svars, target) in &scratch_eqs {
-                cube_vars.extend(svars.iter().copied());
-                let eq = match target {
-                    ScratchTarget::Vars(t) => eq_vars(self.manager, svars, t),
-                    ScratchTarget::Const(v) => eq_const(self.manager, svars, *v),
-                };
-                eqs = self.manager.and(eqs, eq);
-            }
-            let cube = self.manager.cube(&cube_vars);
-            r = self.manager.and_exists(r, eqs, cube);
+        if scratch_eqs.is_empty() {
+            return Ok(self.manager.rename(stored, &map));
         }
-        Ok(r)
+        let mut cube_vars = Vec::new();
+        let mut eqs = Bdd::TRUE;
+        for (svars, target) in &scratch_eqs {
+            cube_vars.extend(svars.iter().copied());
+            let eq = match target {
+                ScratchTarget::Vars(t) => eq_vars(self.manager, svars, t),
+                ScratchTarget::Const(v) => eq_const(self.manager, svars, *v),
+            };
+            eqs = self.manager.and(eqs, eq);
+        }
+        let cube = self.manager.cube(&cube_vars);
+        // One fused image step: the renamed relation is never materialized
+        // before the scratch equalities shrink it.
+        Ok(self.manager.rename_and_exists(stored, &map, eqs, cube))
     }
 
     fn take_scratch(

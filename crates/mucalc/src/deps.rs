@@ -36,6 +36,27 @@ pub struct Scc {
     pub external_deps: Vec<usize>,
 }
 
+/// The evaluation plan of a non-monotone component that fits the §4.3
+/// **frontier pattern** (see [`DepGraph::ordered_plan`]): one *anchor*
+/// relation plays the role of the frozen outer fixpoint, and the remaining
+/// members — which form a DAG modulo self-loops once the anchor is removed
+/// — are re-derived from it in dependency-rank order each round. Iterating
+/// on this plan reproduces the §3 nested semantics round for round while
+/// letting the engine skip every recompilation whose inputs did not
+/// change.
+#[derive(Debug, Clone)]
+pub struct OrderedPlan {
+    /// The anchor relation (the evaluation root; its value is the frozen
+    /// environment of each round).
+    pub anchor: usize,
+    /// Non-anchor members in dependency order (dependencies first): the
+    /// rank order one round of the schedule evaluates them in.
+    pub ranks: Vec<usize>,
+    /// `self_recursive[i]`: does `ranks[i]` apply itself (and therefore
+    /// need an inner fixpoint from `⊥` each round)?
+    pub self_recursive: Vec<bool>,
+}
+
 /// The relation-dependency graph of a [`System`], with its condensation.
 #[derive(Debug)]
 pub struct DepGraph {
@@ -139,6 +160,58 @@ impl DepGraph {
     /// The component index of a fixpoint relation by name.
     pub fn scc_of_name(&self, name: &str) -> Option<usize> {
         self.relation_index(name).map(|i| self.scc_of(i))
+    }
+
+    /// Classifies component `scc` as an instance of the §4.3 **frontier
+    /// pattern** anchored at `anchor` (which must be a member): the
+    /// component minus the anchor must be acyclic apart from self-loops.
+    /// Under that shape, each §3 round of `Evaluate(anchor)` derives every
+    /// other member as a *function of the frozen anchor value* — single
+    /// compilations for DAG members, an inner fixpoint from `⊥` for
+    /// self-recursive ones — so an ordered change-driven schedule
+    /// reproduces the nested reference semantics exactly (the argument
+    /// does not depend on edge polarities at all; negative edges are
+    /// simply reads of already-fixed values).
+    ///
+    /// Returns the plan (non-anchor members topologically sorted,
+    /// dependencies first), or `None` when two non-anchor members are
+    /// mutually recursive — then only the nested semantics applies.
+    pub fn ordered_plan(&self, scc: usize, anchor: usize) -> Option<OrderedPlan> {
+        let members = &self.sccs[scc].members;
+        if !members.contains(&anchor) {
+            return None;
+        }
+        let rest: Vec<usize> = members.iter().copied().filter(|&m| m != anchor).collect();
+        let in_rest: BTreeSet<usize> = rest.iter().copied().collect();
+        // Kahn's algorithm over intra-component edges, anchor and
+        // self-loops removed.
+        let mut indegree: BTreeMap<usize, usize> = rest.iter().map(|&m| (m, 0)).collect();
+        for &m in &rest {
+            for &d in &self.deps[m] {
+                if d != m && in_rest.contains(&d) {
+                    *indegree.get_mut(&m).expect("member") += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = rest.iter().copied().filter(|m| indegree[m] == 0).collect();
+        let mut ranks = Vec::with_capacity(rest.len());
+        while let Some(m) = ready.pop() {
+            ranks.push(m);
+            for &n in &rest {
+                if n != m && self.deps[n].contains(&m) {
+                    let e = indegree.get_mut(&n).expect("member");
+                    *e -= 1;
+                    if *e == 0 {
+                        ready.push(n);
+                    }
+                }
+            }
+        }
+        if ranks.len() != rest.len() {
+            return None; // a cycle among non-anchor members
+        }
+        let self_recursive = ranks.iter().map(|&m| self.deps[m].contains(&m)).collect();
+        Some(OrderedPlan { anchor, ranks, self_recursive })
     }
 
     /// All relation indices transitively needed to evaluate `root`
@@ -321,6 +394,60 @@ mod tests {
         assert!(g.sccs()[up].monotone, "negation of an earlier stratum is fine");
         let dead = g.scc_of_name("Dead").unwrap();
         assert!(dead < up);
+    }
+
+    #[test]
+    fn frontier_pattern_is_classified_and_ranked() {
+        // The ef-opt shape: anchor R; Frontier/New form a DAG (New reads
+        // Frontier) with a self-loop on New.
+        let g = graph(
+            r#"
+            type Fr = range 2;
+            type S = range 4;
+            input Init(s: S);
+            input Edge(s: S, t: S);
+            mu R(fr: Fr, s: S) := (fr = 1 & Init(s)) | R(1, s) | (fr = 1 & New(s));
+            mu Frontier(s: S) := R(1, s) & !R(0, s);
+            mu New(s: S) :=
+                Frontier(s) | (exists x: S. New(x) & Edge(x, s));
+            "#,
+        );
+        assert_eq!(g.sccs().len(), 1);
+        assert!(!g.sccs()[0].monotone);
+        let r = g.relation_index("R").unwrap();
+        let plan = g.ordered_plan(0, r).expect("frontier pattern anchored at R");
+        assert_eq!(plan.anchor, r);
+        // Dependencies first: Frontier before New.
+        let names: Vec<&str> = plan.ranks.iter().map(|&i| g.name(i)).collect();
+        assert_eq!(names, vec!["Frontier", "New"]);
+        assert_eq!(plan.self_recursive, vec![false, true]);
+        // Anchored at Frontier the rest (R ↔ New through each other's
+        // bodies? R reads New, New reads Frontier only) is still a DAG:
+        // R → New is the only edge, so a plan exists there too.
+        let f = g.relation_index("Frontier").unwrap();
+        let plan_f = g.ordered_plan(0, f).expect("anchored at Frontier");
+        let names_f: Vec<&str> = plan_f.ranks.iter().map(|&i| g.name(i)).collect();
+        assert_eq!(names_f, vec!["New", "R"]);
+    }
+
+    #[test]
+    fn mutually_recursive_satellites_defeat_the_pattern() {
+        // Removing the anchor leaves A ↔ B mutually recursive: no ordered
+        // plan, the nested reference semantics is the only meaning.
+        let g = graph(
+            r#"
+            type S = range 4;
+            input I(s: S);
+            mu Anchor(s: S) := I(s) | A(s) | (Anchor(s) & !B(s));
+            mu A(s: S) := B(s) | Anchor(s);
+            mu B(s: S) := A(s);
+            "#,
+        );
+        assert_eq!(g.sccs().len(), 1);
+        let anchor = g.relation_index("Anchor").unwrap();
+        assert!(g.ordered_plan(0, anchor).is_none());
+        // A non-member anchor is rejected outright.
+        assert!(g.ordered_plan(0, 99).is_none());
     }
 
     #[test]

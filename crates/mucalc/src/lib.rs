@@ -67,6 +67,7 @@ mod compile;
 mod deps;
 mod parse;
 mod pretty;
+mod provenance;
 mod solve;
 mod system;
 mod types;
@@ -74,8 +75,9 @@ mod worklist;
 
 pub use alloc::{eq_const, eq_vars, lt_const, lt_vars, Allocation, Instance, LeafAlloc};
 pub use ast::{CmpOp, Formula, Term};
-pub use deps::{DepGraph, Scc};
+pub use deps::{DepGraph, OrderedPlan, Scc};
 pub use parse::{parse_system, ParseError};
+pub use provenance::Provenance;
 pub use solve::{RelationStats, SccStats, SolveError, SolveOptions, SolveStats, Solver, Strategy};
 pub use system::{Query, RelationDef, RelationKind, System, SystemBuilder, SystemError};
 pub use types::{range_width, Leaf, Type, TypeError, TypeTable};

@@ -30,27 +30,34 @@
 //!   re-evaluating a relation only when something it reads has changed, and
 //!   re-compiling only the top-level disjuncts that mention a changed
 //!   relation (semi-naive propagation);
-//! * non-monotone components are detected and routed to the nested §3
-//!   semantics above, with already-solved outer strata memoized.
+//! * non-monotone components fitting the §4.3 **frontier pattern**
+//!   ([`crate::DepGraph::ordered_plan`]) run an *ordered change-driven
+//!   schedule* that reproduces the nested §3 round sequence exactly while
+//!   recompiling only disjuncts whose reads changed; the rest are routed
+//!   to the nested §3 semantics above, with already-solved outer strata
+//!   memoized.
 //!
 //! **When do the strategies agree?** On every component that is monotone
 //! (all intra-component applications positive), both compute the unique
 //! least fixed point, so interpretations — as canonical BDDs — are
-//! *identical*. On non-monotone components the worklist strategy defers to
-//! the round-robin semantics wholesale, so results again coincide. The
-//! difference is purely how much work is re-done: round-robin re-evaluates
-//! every inner relation of a body from scratch every round (nested
-//! fixpoints multiply), the worklist engine never re-evaluates a relation
-//! whose inputs did not change. [`SolveStats::total_reevaluations`] makes
-//! the difference measurable.
+//! *identical*. On non-monotone components the worklist strategy either
+//! replays the round-robin round sequence bit for bit (ordered schedule)
+//! or defers to it wholesale (nested fallback), so results again coincide.
+//! The difference is purely how much work is re-done: round-robin
+//! re-evaluates every inner relation of a body from scratch every round
+//! (nested fixpoints multiply), the worklist engine never re-evaluates a
+//! relation — or a disjunct — whose inputs did not change.
+//! [`SolveStats::total_reevaluations`] makes the difference measurable.
 
 use crate::alloc::{owner_query, owner_rel, Allocation};
 use crate::compile::CompileCtx;
 use crate::deps::DepGraph;
+use crate::provenance::Provenance;
 use crate::system::{RelationKind, System, SystemError};
 use getafix_bdd::{Bdd, Manager};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::fmt::Write as _;
 use std::str::FromStr;
 
 /// Errors produced while solving.
@@ -108,7 +115,9 @@ pub enum Strategy {
     RoundRobin,
     /// Dependency-ordered worklist iteration (the default): SCC strata,
     /// change-driven re-evaluation, semi-naive disjunct propagation.
-    /// Non-monotone components fall back to the round-robin semantics.
+    /// Non-monotone frontier-pattern components run an ordered
+    /// change-driven schedule (exact w.r.t. the reference rounds); other
+    /// non-monotone components fall back to the round-robin semantics.
     #[default]
     Worklist,
 }
@@ -144,14 +153,20 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Iteration scheduling strategy.
     pub strategy: Strategy,
-    /// Record per-iteration *frontier snapshots* of every top-level
-    /// fixpoint evaluation (see [`Solver::frontiers`]). This is the
-    /// provenance layer witness extraction peels backwards: frontier `i`
-    /// holds the relation's interpretation after its `i`-th value change,
-    /// so the first index at which a tuple appears is a well-founded rank
-    /// for onion-peeling. Off by default — snapshots pin intermediate BDDs
-    /// and cost memory proportional to the iteration count.
-    pub record_frontiers: bool,
+    /// Record the [`Provenance`] of every top-level fixpoint evaluation
+    /// (see [`Solver::provenance`]): the relation's value after each
+    /// change, so the first snapshot containing a tuple is a well-founded
+    /// rank witness extraction can onion-peel — directly from the verdict
+    /// solve, no second system. Off by default — snapshots pin
+    /// intermediate BDDs and cost memory proportional to the iteration
+    /// count ([`SolveStats::provenance_nodes`] reports how much).
+    pub record_provenance: bool,
+    /// Garbage-collect the node arena between SCC strata once it exceeds
+    /// this many nodes, keeping exactly the live roots (inputs, memoized
+    /// interpretations, provenance snapshots). `None` disables collection.
+    /// Only the worklist strategy has strata boundaries to collect at; the
+    /// round-robin reference never collects.
+    pub gc_threshold: Option<usize>,
 }
 
 impl Default for SolveOptions {
@@ -164,18 +179,23 @@ impl SolveOptions {
     /// The default iteration bound.
     pub const DEFAULT_MAX_ITERATIONS: usize = 1_000_000;
 
+    /// The default GC threshold: collect between strata once the arena
+    /// holds this many nodes (~tens of MB of node storage).
+    pub const DEFAULT_GC_THRESHOLD: usize = 1 << 21;
+
     /// Default options with an explicit strategy.
     pub fn with_strategy(strategy: Strategy) -> SolveOptions {
         SolveOptions { strategy, ..SolveOptions::new() }
     }
 
     /// The default options (worklist strategy, 10⁶-round bound, no
-    /// frontier recording).
+    /// provenance recording, inter-stratum GC at the default threshold).
     pub fn new() -> SolveOptions {
         SolveOptions {
             max_iterations: Self::DEFAULT_MAX_ITERATIONS,
             strategy: Strategy::default(),
-            record_frontiers: false,
+            record_provenance: false,
+            gc_threshold: Some(Self::DEFAULT_GC_THRESHOLD),
         }
     }
 
@@ -217,6 +237,9 @@ pub struct SccStats {
     pub monotone: bool,
     /// Total body compilations attributed to members of this component.
     pub evaluations: usize,
+    /// Did the worklist engine run this (non-monotone) component on the
+    /// ordered change-driven schedule instead of the nested §3 fallback?
+    pub ordered: bool,
 }
 
 /// Aggregated solver statistics.
@@ -228,6 +251,17 @@ pub struct SolveStats {
     /// order. Populated at solver construction; `evaluations` grows as the
     /// solver runs.
     pub sccs: Vec<SccStats>,
+    /// Body compilations spent inside ordered non-monotone schedules (a
+    /// subset of [`SolveStats::total_reevaluations`]); zero when every
+    /// non-monotone component ran the nested reference fallback.
+    pub ordered_reevaluations: usize,
+    /// Distinct BDD nodes pinned by the recorded provenance snapshots
+    /// (0 when recording is off) — the memory price of rank provenance.
+    pub provenance_nodes: usize,
+    /// Inter-stratum garbage collections performed.
+    pub gcs: usize,
+    /// Total nodes reclaimed by those collections.
+    pub gc_reclaimed_nodes: usize,
 }
 
 impl SolveStats {
@@ -235,6 +269,80 @@ impl SolveStats {
     /// measure: `Worklist` must never exceed `RoundRobin` on it.
     pub fn total_reevaluations(&self) -> usize {
         self.relations.values().map(|r| r.reevaluations).sum()
+    }
+
+    /// Renders the statistics as a self-contained JSON object — the single
+    /// serialization consumed by `getafix … --stats-json`, the bench
+    /// reporter and CI artifacts, so no tool re-derives numbers by hand.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"total_reevaluations\": {},", self.total_reevaluations());
+        let _ = writeln!(s, "  \"ordered_reevaluations\": {},", self.ordered_reevaluations);
+        let _ = writeln!(s, "  \"provenance_nodes\": {},", self.provenance_nodes);
+        let _ = writeln!(s, "  \"gcs\": {},", self.gcs);
+        let _ = writeln!(s, "  \"gc_reclaimed_nodes\": {},", self.gc_reclaimed_nodes);
+        s.push_str("  \"relations\": [\n");
+        let nrel = self.relations.len();
+        for (i, (name, r)) in self.relations.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{ \"name\": \"{name}\", \"iterations\": {}, \"reevaluations\": {}, \
+                 \"final_nodes\": {}, \"peak_nodes\": {}, \"scc\": {} }}{}",
+                r.iterations,
+                r.reevaluations,
+                r.final_nodes,
+                r.peak_nodes,
+                r.scc.map_or("null".to_string(), |x| x.to_string()),
+                if i + 1 < nrel { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n  \"sccs\": [\n");
+        let nscc = self.sccs.len();
+        for (i, scc) in self.sccs.iter().enumerate() {
+            let members: Vec<String> = scc.members.iter().map(|m| format!("\"{m}\"")).collect();
+            let _ = writeln!(
+                s,
+                "    {{ \"members\": [{}], \"recursive\": {}, \"monotone\": {}, \
+                 \"ordered\": {}, \"evaluations\": {} }}{}",
+                members.join(", "),
+                scc.recursive,
+                scc.monotone,
+                scc.ordered,
+                scc.evaluations,
+                if i + 1 < nscc { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+
+    /// Accumulates another run's statistics into this one — used by the
+    /// bench reporter to aggregate a workload into one JSON object. All
+    /// runs of one workload share an algorithm, hence a system shape, so
+    /// SCC tables of equal length merge positionally; mismatched shapes
+    /// concatenate instead.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        for (name, r) in &other.relations {
+            let e = self.relations.entry(name.clone()).or_default();
+            e.iterations += r.iterations;
+            e.reevaluations += r.reevaluations;
+            e.final_nodes = e.final_nodes.max(r.final_nodes);
+            e.peak_nodes = e.peak_nodes.max(r.peak_nodes);
+            e.scc = e.scc.or(r.scc);
+        }
+        if self.sccs.len() == other.sccs.len() {
+            for (mine, theirs) in self.sccs.iter_mut().zip(&other.sccs) {
+                mine.evaluations += theirs.evaluations;
+                mine.ordered |= theirs.ordered;
+            }
+        } else {
+            self.sccs.extend(other.sccs.iter().cloned());
+        }
+        self.ordered_reevaluations += other.ordered_reevaluations;
+        self.provenance_nodes = self.provenance_nodes.max(other.provenance_nodes);
+        self.gcs += other.gcs;
+        self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
     }
 }
 
@@ -250,8 +358,9 @@ pub struct Solver {
     pub(crate) evaluated: BTreeMap<String, Bdd>,
     pub(crate) options: SolveOptions,
     pub(crate) stats: SolveStats,
-    /// Frontier snapshots per relation (see [`SolveOptions::record_frontiers`]).
-    pub(crate) frontiers: BTreeMap<String, Vec<Bdd>>,
+    /// Rank provenance of every top-level fixpoint evaluation (see
+    /// [`SolveOptions::record_provenance`]).
+    pub(crate) provenance: Provenance,
 }
 
 impl Solver {
@@ -282,6 +391,7 @@ impl Solver {
                 recursive: scc.recursive,
                 monotone: scc.monotone,
                 evaluations: 0,
+                ordered: false,
             });
         }
         Ok(Solver {
@@ -293,7 +403,7 @@ impl Solver {
             evaluated: BTreeMap::new(),
             options,
             stats,
-            frontiers: BTreeMap::new(),
+            provenance: Provenance::default(),
         })
     }
 
@@ -334,30 +444,29 @@ impl Solver {
         &self.stats
     }
 
-    /// The frontier snapshots of a *top-level* fixpoint evaluation of
-    /// `name`, recorded when [`SolveOptions::record_frontiers`] is set.
+    /// The rank provenance recorded so far (see
+    /// [`SolveOptions::record_provenance`]).
     ///
     /// Snapshots are ⊆-increasing and the last one equals the final
     /// interpretation. The **rank property** witness extraction relies on:
     /// a tuple first appearing in snapshot `i` is derivable (by one
     /// application of the relation's body) from tuples that already appear
     /// in snapshots `< i` — under the round-robin semantics because round
-    /// `i` is computed from round `i - 1`'s value, and under the worklist
+    /// `i` is computed from round `i - 1`'s value, under the worklist
     /// strategy for *single-member* monotone components because each
-    /// semi-naive delta is compiled against the previously recorded value.
-    /// (For multi-member components the per-relation sequences are still
-    /// increasing, but ranks are not comparable across members.)
-    ///
-    /// `None` when the relation was never evaluated at the top level or
-    /// recording was off.
-    pub fn frontiers(&self, name: &str) -> Option<&[Bdd]> {
-        self.frontiers.get(name).map(Vec::as_slice)
+    /// semi-naive delta is compiled against the previously recorded value,
+    /// and under the ordered non-monotone schedule because it reproduces
+    /// the reference round sequence exactly. (For multi-member monotone
+    /// components the per-relation sequences are still increasing, but
+    /// ranks are not comparable across members.)
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
     }
 
-    /// Pushes a frontier snapshot for `name` (no-op unless recording).
-    pub(crate) fn note_frontier(&mut self, name: &str, value: Bdd) {
-        if self.options.record_frontiers {
-            self.frontiers.entry(name.to_string()).or_default().push(value);
+    /// Pushes a provenance snapshot for `name` (no-op unless recording).
+    pub(crate) fn note_provenance(&mut self, name: &str, value: Bdd) {
+        if self.options.record_provenance {
+            self.provenance.note(name, value);
         }
     }
 
@@ -370,9 +479,10 @@ impl Solver {
         match self.system.relation(name) {
             Some(rel) if rel.kind == RelationKind::Input => {
                 self.inputs.insert(name.to_string(), bdd);
-                // Interpretations downstream may change.
+                // Interpretations downstream may change, and every
+                // recorded rank with them.
                 self.evaluated.clear();
-                self.frontiers.clear();
+                self.provenance.clear();
                 Ok(())
             }
             Some(_) => Err(SolveError::System(format!("`{name}` is not an input relation"))),
@@ -385,6 +495,13 @@ impl Solver {
     /// variables).
     ///
     /// Top-level results are memoized until the next [`Solver::set_input`].
+    ///
+    /// **Handle lifetime:** when inter-stratum GC is enabled
+    /// ([`SolveOptions::gc_threshold`], on by default), a *later* call to
+    /// `evaluate`/[`Solver::eval_query`] may compact the arena, remapping
+    /// only the solver's own tables. Do not hold a returned [`Bdd`] across
+    /// another evaluation — re-read it (it stays memoized, remapped, under
+    /// the same name).
     ///
     /// # Errors
     ///
@@ -401,7 +518,39 @@ impl Solver {
             Strategy::Worklist => self.evaluate_worklist(name)?,
         };
         self.evaluated.insert(name.to_string(), b);
+        if self.options.record_provenance {
+            self.stats.provenance_nodes = self.provenance.node_footprint(&self.manager);
+        }
         Ok(b)
+    }
+
+    /// Garbage-collects the node arena if it has outgrown the configured
+    /// threshold, keeping exactly the live roots: input relations,
+    /// memoized interpretations and provenance snapshots. Called by the
+    /// worklist engine between SCC strata, where no intermediate handles
+    /// are live. The allocation's lazily cached domain constraints are
+    /// dropped (they rebuild on demand and re-deduplicate by hash-consing).
+    pub(crate) fn maybe_gc(&mut self) {
+        let Some(threshold) = self.options.gc_threshold else { return };
+        if self.manager.stats().nodes <= threshold {
+            return;
+        }
+        let mut roots: Vec<Bdd> = Vec::new();
+        roots.extend(self.inputs.values().copied());
+        roots.extend(self.evaluated.values().copied());
+        roots.extend(self.provenance.roots());
+        let result = self.manager.gc(&roots);
+        let mut remapped = result.roots.iter().copied();
+        for v in self.inputs.values_mut() {
+            *v = remapped.next().expect("gc root count mismatch");
+        }
+        for v in self.evaluated.values_mut() {
+            *v = remapped.next().expect("gc root count mismatch");
+        }
+        self.provenance.remap(remapped);
+        self.alloc.clear_domain_cache();
+        self.stats.gcs += 1;
+        self.stats.gc_reclaimed_nodes += result.reclaimed();
     }
 
     /// Attributes one body compilation of `name` to the statistics.
@@ -511,7 +660,7 @@ impl Solver {
             }
             s = next;
             if top_level {
-                self.note_frontier(name, s);
+                self.note_provenance(name, s);
             }
         }
         if top_level {
@@ -532,10 +681,19 @@ impl Solver {
     pub fn eval_query(&mut self, name: &str) -> Result<bool, SolveError> {
         let q =
             self.system.query(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?.clone();
-        // Evaluate every relation the query mentions.
+        // Evaluate every relation the query mentions — all of them BEFORE
+        // collecting handles: a later evaluation may garbage-collect the
+        // arena, and only the memo table (and provenance) are remapped. The
+        // memo table therefore is the one safe place to read handles from.
+        for r in q.body.relations() {
+            self.evaluate(&r)?;
+        }
         let mut interp = BTreeMap::new();
         for r in q.body.relations() {
-            let v = self.evaluate(&r)?;
+            let v = *self
+                .evaluated
+                .get(&r)
+                .ok_or_else(|| SolveError::Internal(format!("`{r}` evaluated but not memoized")))?;
             interp.insert(r, v);
         }
         let result = {

@@ -35,18 +35,30 @@
 //!
 //! A **non-monotone** component — the §4.3 `Relevant` pattern reads the
 //! complement of the summary's frontier — has no Tarski guarantee, and its
-//! meaning is *defined by* the nested evaluation order of §3. Reordering
-//! the iteration could change the answer, so the scheduler does not try:
-//! such components are detected ([`crate::deps::Scc::monotone`] is false)
-//! and routed wholesale to the round-robin semantics, restricted to the
-//! component (outer strata stay memoized). This is the documented rule:
-//! *worklist scheduling applies to monotone components; non-monotone
-//! components run the reference semantics, demand-driven per requested
-//! root.*
+//! meaning is *defined by* the nested evaluation order of §3. The scheduler
+//! therefore never *reorders* such a component; what it can do is run the
+//! reference rounds **without the reference's redundancy**. Most
+//! non-monotone systems that arise in practice (the `ef-opt` algorithm
+//! chief among them) fit the **frontier pattern**
+//! ([`crate::deps::DepGraph::ordered_plan`]): anchored at the evaluation
+//! root, the remaining members form a DAG modulo self-loops. One §3 round
+//! of the root then derives every other member as a *pure function of the
+//! frozen root value* — so [`Solver::solve_scc_ordered`] walks the members
+//! in dependency-rank order, once per round, with per-disjunct
+//! change-tracking: a disjunct is recompiled only when a relation it reads
+//! changed version since it was last compiled. Because a disjunct's value
+//! is a function of the interpretations it reads, this caching is *exact*
+//! — no monotonicity assumption — and the ordered schedule reproduces the
+//! nested semantics round for round while skipping the nested evaluator's
+//! rediscovery of unchanged inner fixpoints. Non-monotone components that
+//! do **not** fit the pattern (mutual recursion among two non-anchor
+//! members) still run the nested §3 semantics verbatim, demand-driven per
+//! requested root.
 
 use crate::alloc::owner_rel;
 use crate::ast::Formula;
 use crate::compile::CompileCtx;
+use crate::deps::OrderedPlan;
 use crate::solve::{SolveError, Solver};
 use crate::system::RelationKind;
 use getafix_bdd::Bdd;
@@ -70,6 +82,15 @@ struct MemberPlan {
     /// All intra-component relations the body applies (union over parts).
     intra_deps: BTreeSet<String>,
     formals_domain: Bdd,
+}
+
+/// One disjunct's cached compilation in the ordered schedule: its value
+/// plus the version of every intra-component relation it read. Exact by
+/// construction — a disjunct's value is a pure function of the
+/// interpretations it reads, so equal read versions imply an equal value.
+struct PartCache {
+    value: Bdd,
+    read_versions: BTreeMap<String, u64>,
 }
 
 impl Solver {
@@ -112,6 +133,10 @@ impl Solver {
         for idx in scc_order {
             let roots = demanded.get(&idx).cloned().unwrap_or_default();
             self.solve_scc(idx, &roots)?;
+            // Stratum boundary: nothing intermediate is live, so the arena
+            // can be compacted around the inputs, the memoized
+            // interpretations and the provenance snapshots.
+            self.maybe_gc();
         }
         self.evaluated
             .get(name)
@@ -135,7 +160,7 @@ impl Solver {
                 return Ok(());
             }
             let value = self.evaluate_once(&name)?;
-            self.note_frontier(&name, value);
+            self.note_provenance(&name, value);
             let entry = self.stats.relations.entry(name.clone()).or_default();
             entry.iterations = 1;
             entry.final_nodes = self.manager.node_count(value);
@@ -151,19 +176,177 @@ impl Solver {
             return self.solve_scc_chaotic(&members);
         }
 
-        // Non-monotone: defer to the nested §3 semantics per demanded root;
-        // outer strata resolve through the memo table.
+        // Non-monotone: per demanded root, run the ordered change-driven
+        // schedule when the component fits the §4.3 frontier pattern with
+        // that root as the anchor; otherwise defer to the nested §3
+        // semantics (outer strata resolve through the memo table either
+        // way). Only the root's value is memoized: other members' §3
+        // meanings are anchored at *their own* top-level evaluation, so
+        // caching intermediates would change later answers.
         let member_set: BTreeSet<String> = members.iter().cloned().collect();
         for &r in demanded {
             let rname = self.deps.name(r).to_string();
             if self.evaluated.contains_key(&rname) {
                 continue;
             }
-            let frozen = BTreeMap::new();
-            let value = self.evaluate_nested(&rname, &frozen, true, Some(&member_set))?;
+            let value = match self.deps.ordered_plan(idx, r) {
+                Some(plan) => self.solve_scc_ordered(idx, &plan)?,
+                None => {
+                    let frozen = BTreeMap::new();
+                    self.evaluate_nested(&rname, &frozen, true, Some(&member_set))?
+                }
+            };
             self.evaluated.insert(rname, value);
         }
         Ok(())
+    }
+
+    /// The ordered change-driven schedule for a frontier-pattern component
+    /// (see the module docs and [`crate::deps::DepGraph::ordered_plan`]).
+    ///
+    /// Each outer round freezes the anchor's value, re-derives the
+    /// non-anchor members in dependency-rank order — a single compilation
+    /// for DAG members, an inner fixpoint from `⊥` for self-recursive ones
+    /// — and then recomputes the anchor's body once. Per-disjunct
+    /// version-keyed caching makes every step incremental: a disjunct
+    /// whose reads did not change is reused, not recompiled. The computed
+    /// round sequence is *identical* to the nested §3 reference, so the
+    /// returned value (and the recorded provenance ranks) are too; only
+    /// the amount of recompilation differs.
+    fn solve_scc_ordered(&mut self, idx: usize, plan: &OrderedPlan) -> Result<Bdd, SolveError> {
+        let anchor = self.deps.name(plan.anchor).to_string();
+        let rank_names: Vec<String> =
+            plan.ranks.iter().map(|&i| self.deps.name(i).to_string()).collect();
+        let mut all_members = rank_names.clone();
+        all_members.push(anchor.clone());
+        let member_set: BTreeSet<String> = all_members.iter().cloned().collect();
+        let plans: BTreeMap<String, MemberPlan> = all_members
+            .iter()
+            .map(|m| Ok((m.clone(), self.member_plan(m, &member_set)?)))
+            .collect::<Result<_, SolveError>>()?;
+
+        let mut env = self.component_env(&all_members)?;
+        let mut version: BTreeMap<String, u64> =
+            all_members.iter().map(|m| (m.clone(), 0u64)).collect();
+        let mut cache: BTreeMap<String, Vec<Option<PartCache>>> = all_members
+            .iter()
+            .map(|m| (m.clone(), (0..plans[m].parts.len()).map(|_| None).collect()))
+            .collect();
+
+        let bound = self.options.max_iterations;
+        let mut anchor_val = Bdd::FALSE;
+        let mut rounds = 0usize;
+        let mut peak_nodes = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > bound {
+                return Err(SolveError::Diverged { relation: anchor, bound });
+            }
+            // Phase 1: the non-anchor members, dependencies first. Each is
+            // a function of the frozen anchor (and earlier ranks), exactly
+            // as one §3 round derives them.
+            for (i, m) in rank_names.iter().enumerate() {
+                if plan.self_recursive[i] {
+                    // Inner fixpoint from ⊥, as the nested semantics
+                    // prescribes (restarting is required for exactness:
+                    // the member's other inputs may have *shrunk*).
+                    Self::ordered_assign(&mut env, &mut version, m, Bdd::FALSE);
+                    let mut passes = 0usize;
+                    loop {
+                        passes += 1;
+                        if passes > bound {
+                            return Err(SolveError::Diverged { relation: m.clone(), bound });
+                        }
+                        let val = self.ordered_eval(&plans[m], &env, &version, &mut cache)?;
+                        if val == env[m] {
+                            break;
+                        }
+                        Self::ordered_assign(&mut env, &mut version, m, val);
+                    }
+                } else {
+                    let val = self.ordered_eval(&plans[m], &env, &version, &mut cache)?;
+                    if val != env[m] {
+                        Self::ordered_assign(&mut env, &mut version, m, val);
+                    }
+                }
+            }
+            // Phase 2: one recomputation of the anchor's body.
+            let next = self.ordered_eval(&plans[&anchor], &env, &version, &mut cache)?;
+            peak_nodes = peak_nodes.max(self.manager.node_count(next));
+            if next == anchor_val {
+                break;
+            }
+            anchor_val = next;
+            Self::ordered_assign(&mut env, &mut version, &anchor, next);
+            self.note_provenance(&anchor, next);
+        }
+
+        self.stats.sccs[idx].ordered = true;
+        let entry = self.stats.relations.entry(anchor).or_default();
+        entry.iterations = rounds;
+        entry.final_nodes = self.manager.node_count(anchor_val);
+        entry.peak_nodes = entry.peak_nodes.max(peak_nodes);
+        Ok(anchor_val)
+    }
+
+    /// Writes `value` into the ordered schedule's environment, bumping the
+    /// relation's version so dependent disjuncts see the change.
+    fn ordered_assign(
+        env: &mut BTreeMap<String, Bdd>,
+        version: &mut BTreeMap<String, u64>,
+        name: &str,
+        value: Bdd,
+    ) {
+        if env[name] != value {
+            env.insert(name.to_string(), value);
+            *version.get_mut(name).expect("member version") += 1;
+        }
+    }
+
+    /// One body evaluation under the ordered schedule: OR of the member's
+    /// disjuncts, recompiling only those whose intra-component reads
+    /// changed version since their cached compilation.
+    fn ordered_eval(
+        &mut self,
+        plan: &MemberPlan,
+        env: &BTreeMap<String, Bdd>,
+        version: &BTreeMap<String, u64>,
+        cache: &mut BTreeMap<String, Vec<Option<PartCache>>>,
+    ) -> Result<Bdd, SolveError> {
+        let slots = cache.get_mut(&plan.name).expect("member cache");
+        let mut acc = Bdd::FALSE;
+        let mut recompiled = false;
+        for (pi, part) in plan.parts.iter().enumerate() {
+            let cached = slots[pi].as_ref().and_then(|pc| {
+                part.scc_rels
+                    .iter()
+                    .all(|d| pc.read_versions.get(d) == version.get(d))
+                    .then_some(pc.value)
+            });
+            let value = match cached {
+                Some(v) => v,
+                None => {
+                    recompiled = true;
+                    let raw = self.compile_part(plan, part, env)?;
+                    let v = self.manager.and(raw, plan.formals_domain);
+                    slots[pi] = Some(PartCache {
+                        value: v,
+                        read_versions: part
+                            .scc_rels
+                            .iter()
+                            .map(|d| (d.clone(), version[d]))
+                            .collect(),
+                    });
+                    v
+                }
+            };
+            acc = self.manager.or(acc, value);
+        }
+        if recompiled {
+            self.note_reevaluation(&plan.name);
+            self.stats.ordered_reevaluations += 1;
+        }
+        Ok(acc)
     }
 
     /// Compiles the body of a non-recursive relation exactly once under the
@@ -244,7 +427,7 @@ impl Solver {
             if new != old {
                 value.insert(r, new);
                 env.insert(r.to_string(), new);
-                self.note_frontier(r, new);
+                self.note_provenance(r, new);
                 if let Some(ds) = dependents.get(r) {
                     for &d in ds {
                         dirty.entry(d).or_default().insert(r.to_string());

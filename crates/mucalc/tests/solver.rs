@@ -325,11 +325,67 @@ fn programmatic_builder_equivalent_to_parsed() {
 }
 
 #[test]
-fn frontier_snapshots_are_increasing_and_end_at_fixpoint() {
+fn inter_stratum_gc_preserves_results_and_reports_reclaim() {
+    use getafix_mucalc::{SolveOptions, Strategy};
+    // Two strata (Reach2 reads Reach), so the worklist engine crosses a
+    // stratum boundary and a 0-node threshold forces a collection there.
+    let src = r#"
+        type State = range 16;
+        input Init(s: State);
+        input Trans(s: State, t: State);
+        mu Reach(u: State) :=
+            Init(u) | (exists x: State. Reach(x) & Trans(x, u));
+        mu Reach2(u: State) :=
+            Reach(u) | (exists x: State. Reach2(x) & Trans(x, u));
+        query hit := exists u: State. Reach2(u) & u = 3;
+    "#;
+    let run = |gc_threshold: Option<usize>| {
+        let system = parse_system(src).unwrap();
+        let options = SolveOptions {
+            strategy: Strategy::Worklist,
+            record_provenance: true,
+            gc_threshold,
+            ..SolveOptions::new()
+        };
+        let mut solver = Solver::with_options(system, options).unwrap();
+        let init = set_to_bdd(&mut solver, "Init", &[0]);
+        solver.set_input("Init", init).unwrap();
+        let trans = edges_to_bdd(&mut solver, "Trans", &[(0, 1), (1, 2), (2, 3)]);
+        solver.set_input("Trans", trans).unwrap();
+        let verdict = solver.eval_query("hit").unwrap();
+        // Post-GC handles must still answer membership queries correctly.
+        let vars = solver.alloc().formal("Reach2", 0).all_vars();
+        let interp = solver.evaluate("Reach2").unwrap();
+        let members: Vec<bool> = (0u64..16)
+            .map(|v| {
+                let mut env = vec![false; solver.manager_ref().var_count()];
+                for (i, var) in vars.iter().enumerate() {
+                    env[var.level() as usize] = (v >> i) & 1 == 1;
+                }
+                solver.manager_ref().eval(interp, &env)
+            })
+            .collect();
+        let ranks = solver.provenance().rank_count("Reach2");
+        let stats = solver.stats().clone();
+        (verdict, members, ranks, stats)
+    };
+    let (v_gc, m_gc, r_gc, s_gc) = run(Some(0));
+    let (v_no, m_no, r_no, s_no) = run(None);
+    assert_eq!(v_gc, v_no);
+    assert_eq!(m_gc, m_no);
+    assert_eq!(r_gc, r_no, "provenance snapshots must survive collection");
+    assert!(s_gc.gcs > 0, "a 0-node threshold must force collections");
+    assert!(s_gc.gc_reclaimed_nodes > 0, "dead intermediates should be reclaimed");
+    assert_eq!(s_no.gcs, 0);
+    assert_eq!(s_no.gc_reclaimed_nodes, 0);
+}
+
+#[test]
+fn provenance_snapshots_are_increasing_and_end_at_fixpoint() {
     use getafix_mucalc::{SolveOptions, Strategy};
     for strategy in [Strategy::RoundRobin, Strategy::Worklist] {
         let system = parse_system(REACH_SRC).unwrap();
-        let options = SolveOptions { strategy, record_frontiers: true, ..SolveOptions::new() };
+        let options = SolveOptions { strategy, record_provenance: true, ..SolveOptions::new() };
         let mut solver = Solver::with_options(system, options).unwrap();
         // Chain 0 -> 1 -> 2 -> 3: the fixpoint grows one state per round.
         let init = set_to_bdd(&mut solver, "Init", &[0]);
@@ -337,7 +393,7 @@ fn frontier_snapshots_are_increasing_and_end_at_fixpoint() {
         let trans = edges_to_bdd(&mut solver, "Trans", &[(0, 1), (1, 2), (2, 3)]);
         solver.set_input("Trans", trans).unwrap();
         let fixpoint = solver.evaluate("Reach").unwrap();
-        let frontiers: Vec<_> = solver.frontiers("Reach").expect("recorded").to_vec();
+        let frontiers: Vec<_> = solver.provenance().snapshots("Reach").expect("recorded").to_vec();
         assert!(!frontiers.is_empty(), "{strategy}: no snapshots");
         assert_eq!(*frontiers.last().unwrap(), fixpoint, "{strategy}: last != final");
         // ⊆-increasing and strictly growing: f[i] ∧ ¬f[i+1] = ⊥, f[i] ≠ f[i+1].
@@ -348,5 +404,26 @@ fn frontier_snapshots_are_increasing_and_end_at_fixpoint() {
         }
         // The chain needs one discovery per state: 4 strictly-growing values.
         assert_eq!(frontiers.len(), 4, "{strategy}");
+        assert_eq!(solver.provenance().rank_count("Reach"), 4, "{strategy}");
+        // The provenance memory measure is populated and nonzero.
+        assert!(solver.stats().provenance_nodes > 0, "{strategy}");
+        // Rank queries agree with a linear scan.
+        let vars = solver.alloc().formal("Reach", 0).all_vars();
+        for state in 0u64..4 {
+            let mut env = vec![false; solver.manager_ref().var_count()];
+            for (i, v) in vars.iter().enumerate() {
+                env[v.level() as usize] = (state >> i) & 1 == 1;
+            }
+            let rank = solver.provenance().rank_of(solver.manager_ref(), "Reach", &env);
+            assert_eq!(rank, Some(state as usize), "{strategy}: state {state}");
+            // `below` excludes the tuple at its own rank…
+            let below = solver.provenance().below("Reach", state as usize);
+            let m = solver.manager_ref();
+            assert!(!m.eval(below, &env), "{strategy}: below({state}) contains the tuple");
+        }
+        // …and inputs invalidate everything.
+        let init2 = set_to_bdd(&mut solver, "Init", &[1]);
+        solver.set_input("Init", init2).unwrap();
+        assert!(solver.provenance().is_empty(), "{strategy}: stale provenance survived");
     }
 }

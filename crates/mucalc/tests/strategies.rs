@@ -180,3 +180,234 @@ proptest! {
         }
     }
 }
+
+// --- random NON-MONOTONE (frontier-pattern) systems -----------------------
+
+/// A random ef-opt-shaped specification: a frontier-bit relation `R`, the
+/// non-monotone projection `F = R(1,·) ∧ ¬R(0,·)`, a discovery relation
+/// `New` with random extra disjuncts, and a monotone downstream stratum
+/// `Down` reading `R`.
+#[derive(Debug, Clone)]
+struct NmSpec {
+    n: u64,
+    init: Vec<u64>,
+    edges: Vec<(u64, u64)>,
+    /// Extra disjuncts of `New`: `(kind, constant)`. Kind 1 adds a
+    /// self-loop; kind 2 makes `New` read `R(1, ·)` directly, which
+    /// defeats the ordered plan for the `F`/`New` anchors (cycle among
+    /// non-anchor members) and exercises the nested fallback.
+    extra: Vec<(usize, u64)>,
+}
+
+fn nm_spec_strategy() -> impl Strategy<Value = NmSpec> {
+    (
+        3u64..7,
+        prop::collection::vec(0u64..16, 1..3),
+        prop::collection::vec((0u64..16, 0u64..16), 1..8),
+        prop::collection::vec((0usize..4, 0u64..16), 0..3),
+    )
+        .prop_map(|(n, init, edges, extra)| NmSpec { n, init, edges, extra })
+}
+
+fn build_nm_system(spec: &NmSpec) -> System {
+    let mut b = System::builder();
+    b.declare_type("Fr", Type::Range(2)).unwrap();
+    b.declare_type("S", Type::Range(spec.n)).unwrap();
+    b.input("Init", vec![("s".into(), state())]);
+    b.input("Edge", vec![("s".into(), state()), ("t".into(), state())]);
+    let fwd = |rel: &str| {
+        Formula::exists(
+            vec![("x".into(), state())],
+            Formula::and(vec![
+                Formula::app(rel, vec![Term::var("x")]),
+                Formula::app("Edge", vec![Term::var("x"), Term::var("s")]),
+            ]),
+        )
+    };
+    // R(fr, s): the frontier-bit summary, mirroring §4.3's clauses [1-3].
+    b.define(
+        "R",
+        vec![("fr".into(), Type::named("Fr")), ("s".into(), state())],
+        Formula::or(vec![
+            Formula::and(vec![
+                Formula::eq(Term::var("fr"), Term::int(1)),
+                Formula::app("Init", vec![Term::var("s")]),
+            ]),
+            Formula::app("R", vec![Term::int(1), Term::var("s")]),
+            Formula::and(vec![
+                Formula::eq(Term::var("fr"), Term::int(1)),
+                Formula::app("New", vec![Term::var("s")]),
+            ]),
+        ]),
+    );
+    // F(s): the frontier projection — the non-monotone clause [4].
+    b.define(
+        "F",
+        vec![("s".into(), state())],
+        Formula::and(vec![
+            Formula::app("R", vec![Term::int(1), Term::var("s")]),
+            Formula::not(Formula::app("R", vec![Term::int(0), Term::var("s")])),
+        ]),
+    );
+    // New(s): one image round from the frontier, plus random extras.
+    let mut new_parts = vec![fwd("F")];
+    for &(kind, c) in &spec.extra {
+        new_parts.push(match kind {
+            0 => Formula::app("F", vec![Term::var("s")]),
+            1 => fwd("New"),
+            2 => Formula::app("R", vec![Term::int(1), Term::var("s")]),
+            _ => Formula::eq(Term::var("s"), Term::int(c % spec.n)),
+        });
+    }
+    b.define("New", vec![("s".into(), state())], Formula::or(new_parts));
+    // Down(s): a monotone stratum downstream of the non-monotone SCC.
+    b.define(
+        "Down",
+        vec![("s".into(), state())],
+        Formula::or(vec![Formula::app("R", vec![Term::int(1), Term::var("s")]), fwd("Down")]),
+    );
+    for (q, body) in [
+        ("q_r", Formula::app("R", vec![Term::int(1), Term::var("s")])),
+        ("q_f", Formula::app("F", vec![Term::var("s")])),
+        ("q_new", Formula::app("New", vec![Term::var("s")])),
+        ("q_down", Formula::app("Down", vec![Term::var("s")])),
+    ] {
+        b.query(
+            q,
+            Formula::exists(
+                vec![("s".into(), state())],
+                Formula::and(vec![body, Formula::eq(Term::var("s"), Term::int(0))]),
+            ),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn make_nm_solver(spec: &NmSpec, strategy: SolveStrategy) -> Solver {
+    let system = build_nm_system(spec);
+    let options = SolveOptions {
+        strategy,
+        // Small enough to turn a genuinely oscillating instance into a
+        // `Diverged` error quickly — both strategies must then produce the
+        // *same* error, because the ordered schedule reproduces the
+        // reference round sequence exactly.
+        max_iterations: 300,
+        ..SolveOptions::new()
+    };
+    let mut solver = Solver::with_options(system, options).unwrap();
+    let init = {
+        let vars = solver.alloc().formal("Init", 0).all_vars();
+        let m = solver.manager();
+        let mut acc = Bdd::FALSE;
+        for &v in &spec.init {
+            let p = eq_const(m, &vars, v % spec.n);
+            acc = m.or(acc, p);
+        }
+        acc
+    };
+    solver.set_input("Init", init).unwrap();
+    let edges = {
+        let s = solver.alloc().formal("Edge", 0).all_vars();
+        let t = solver.alloc().formal("Edge", 1).all_vars();
+        let m = solver.manager();
+        let mut acc = Bdd::FALSE;
+        for &(a, c) in &spec.edges {
+            let fa = eq_const(m, &s, a % spec.n);
+            let fc = eq_const(m, &t, c % spec.n);
+            let e = m.and(fa, fc);
+            acc = m.or(acc, e);
+        }
+        acc
+    };
+    solver.set_input("Edge", edges).unwrap();
+    solver
+}
+
+/// The interpretation of a single-`S`-parameter relation as a membership
+/// vector, or the error text when evaluation fails.
+fn nm_membership(solver: &mut Solver, name: &str, n: u64) -> Result<Vec<bool>, String> {
+    let interp = solver.evaluate(name).map_err(|e| e.to_string())?;
+    let nvars = solver.manager_ref().var_count();
+    let vars = solver.alloc().formal(name, 0).all_vars();
+    let m = solver.manager_ref();
+    Ok((0..n)
+        .map(|v| {
+            let mut env = vec![false; nvars];
+            for (i, var) in vars.iter().enumerate() {
+                env[var.level() as usize] = (v >> i) & 1 == 1;
+            }
+            m.eval(interp, &env)
+        })
+        .collect())
+}
+
+/// `R`'s interpretation over both frontier-bit values.
+fn nm_membership_r(solver: &mut Solver, n: u64) -> Result<Vec<bool>, String> {
+    let interp = solver.evaluate("R").map_err(|e| e.to_string())?;
+    let nvars = solver.manager_ref().var_count();
+    let fr_vars = solver.alloc().formal("R", 0).all_vars();
+    let s_vars = solver.alloc().formal("R", 1).all_vars();
+    let m = solver.manager_ref();
+    let mut out = Vec::new();
+    for fr in 0u64..2 {
+        for v in 0..n {
+            let mut env = vec![false; nvars];
+            for (i, var) in fr_vars.iter().enumerate() {
+                env[var.level() as usize] = (fr >> i) & 1 == 1;
+            }
+            for (i, var) in s_vars.iter().enumerate() {
+                env[var.level() as usize] = (v >> i) & 1 == 1;
+            }
+            out.push(m.eval(interp, &env));
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On random frontier-pattern systems — non-monotone SCCs included —
+    /// the worklist engine's ordered schedule (and its nested fallback)
+    /// must agree with the round-robin reference on every demanded
+    /// interpretation, every query verdict and every error, while never
+    /// doing more body compilations.
+    #[test]
+    fn strategies_agree_on_random_nonmonotone_systems(spec in nm_spec_strategy()) {
+        let mut rr = make_nm_solver(&spec, SolveStrategy::RoundRobin);
+        let mut wl = make_nm_solver(&spec, SolveStrategy::Worklist);
+        // The system really contains a non-monotone SCC.
+        {
+            let g = wl.deps();
+            let scc = g.scc_of_name("F").expect("F is a fixpoint relation");
+            prop_assert!(!g.sccs()[scc].monotone, "F's component must be non-monotone");
+        }
+        let mut all_ok = true;
+        // Demand every member at top level: each anchors its own run
+        // (ordered where the pattern holds, nested otherwise) and must
+        // match the reference's per-root evaluation exactly.
+        let r_rr = nm_membership_r(&mut rr, spec.n);
+        let r_wl = nm_membership_r(&mut wl, spec.n);
+        all_ok &= r_rr.is_ok();
+        prop_assert_eq!(r_rr, r_wl, "interpretation of R differs");
+        for name in ["F", "New", "Down"] {
+            let m_rr = nm_membership(&mut rr, name, spec.n);
+            let m_wl = nm_membership(&mut wl, name, spec.n);
+            all_ok &= m_rr.is_ok();
+            prop_assert_eq!(m_rr, m_wl, "interpretation of {} differs", name);
+        }
+        for q in ["q_r", "q_f", "q_new", "q_down"] {
+            let v_rr = rr.eval_query(q).map_err(|e| e.to_string());
+            let v_wl = wl.eval_query(q).map_err(|e| e.to_string());
+            prop_assert_eq!(v_rr, v_wl, "verdict of {} differs", q);
+        }
+        if all_ok {
+            let rr_work = rr.stats().total_reevaluations();
+            let wl_work = wl.stats().total_reevaluations();
+            prop_assert!(
+                wl_work <= rr_work,
+                "worklist did more work: {} > {}", wl_work, rr_work
+            );
+        }
+    }
+}

@@ -1,14 +1,17 @@
 //! Concurrent witness extraction: a bounded-round *schedule* out of the
-//! solved §5.1 `Reach` relation.
+//! solved §5.1 `Reach` relation — like the sequential path, evidence from
+//! the **verdict solver itself**, never a second solve.
 //!
 //! A `Reach` tuple already carries the whole interleaving skeleton: the
 //! per-context active threads `t̄ = t0 … tk` and the shared-global
-//! valuations `ḡ = g1 … gk` recorded at each context switch. Extraction is
-//! therefore a single constrained cube pick ([`Manager::sat_one`]) on
-//! `Reach ∧ Target(s.pc)` followed by decoding — no peeling needed. The
-//! result is the concurrency analogue of a trace: it resolves every
-//! *scheduler* choice, and the explicit engine replays the intra-round
-//! steps ([`getafix_conc::conc_replay_schedule`]).
+//! valuations `ḡ = g1 … gk` recorded at each context switch — provenance
+//! baked into the relation, so no rank snapshots are required here.
+//! Extraction is a single constrained cube pick ([`Manager::sat_one`]) on
+//! `Reach ∧ Target(s.pc)` against the solver's memoized interpretation
+//! ([`concurrent_witness_from`]), followed by decoding. The result is the
+//! concurrency analogue of a trace: it resolves every *scheduler* choice,
+//! and the explicit engine replays the intra-round steps
+//! ([`getafix_conc::conc_replay_schedule`]).
 
 use crate::seq::{read_bits, WitnessError};
 use crate::trace::{Round, Schedule};

@@ -4,13 +4,16 @@
 //! The checkers in this workspace answer *reachable / unreachable*; this
 //! crate answers **why**. The paper's summary relations contain exactly
 //! the entry→configuration provenance needed to reconstruct an
-//! interprocedural error path, and the solver's frontier snapshots
-//! ([`getafix_mucalc::SolveOptions::record_frontiers`]) make the
+//! interprocedural error path, and the solver's rank provenance
+//! ([`getafix_mucalc::SolveOptions::record_provenance`]) makes the
 //! reconstruction well-founded (onion-peeling by first-appearance rank).
 //!
-//! * [`sequential_witness`] — a concrete [`Trace`] through a recursive
-//!   Boolean program: internal steps, calls, summary-justified returns.
-//!   Every trace is re-executed in the concrete interpreter
+//! * [`sequential_witness_from`] — a concrete [`Trace`] through a
+//!   recursive Boolean program, peeled **directly from the verdict
+//!   solver's provenance** (one solve answers *reachable?* and *why*);
+//!   [`sequential_witness`] is the demoted two-solve oracle variant.
+//!   Traces carry internal steps, calls and summary-justified returns,
+//!   and every one is re-executed in the concrete interpreter
 //!   ([`getafix_boolprog::replay`]) before being returned, making
 //!   witnesses a second differential oracle against the symbolic engines.
 //! * [`concurrent_witness`] — a bounded-round [`Schedule`] for the §5
@@ -52,5 +55,8 @@ mod seq;
 mod trace;
 
 pub use conc::{concurrent_witness, concurrent_witness_from};
-pub use seq::{sequential_witness, sequential_witness_with, WitnessError, WitnessLimits};
+pub use seq::{
+    sequential_witness, sequential_witness_from, sequential_witness_with, WitnessError,
+    WitnessLimits,
+};
 pub use trace::{Round, Schedule, Step, StepKind, Trace};

@@ -1,17 +1,34 @@
 //! Sequential witness extraction: onion-peeling a solved entry-forward
 //! summary relation into a concrete interprocedural error path.
 //!
+//! # One solve, not two
+//!
+//! [`sequential_witness_from`] peels the **verdict solver's own
+//! provenance** ([`getafix_mucalc::Provenance`]): the solver that just
+//! answered *reachable* already holds ⊆-increasing rank snapshots
+//! `F₀ ⊆ F₁ ⊆ … ⊆ F_n` of its summary relation, and the **rank** of a
+//! tuple — the first snapshot containing it — is well-founded provenance:
+//! a tuple of rank `r` is derivable by one clause application from tuples
+//! of rank `< r` (see [`Solver::provenance`]). Both trace-capable summary
+//! shapes are understood:
+//!
+//! * `ef-opt`'s `SummaryEFopt(fr, s)` — the extractor restricts the
+//!   frontier bit to `fr = 1`, leaving the precise entry-annotated
+//!   reachable set (the §4.3 construction has no early-exit clause, and
+//!   its call/return clauses draw from the previous round's frozen value,
+//!   so the rank bound argument below goes through unchanged);
+//! * the entry-forward `Reachable` *without* the early-termination
+//!   disjunct ([`getafix_core::system_ef_trace`]).
+//!
+//! The legacy [`sequential_witness`] entry point still performs a
+//! dedicated solve of [`getafix_core::system_ef_witness`] — demoted to a
+//! differential oracle against the single-solve path (and a fallback for
+//! the `simple` algorithm, whose all-entries summaries carry no
+//! entry-reachability provenance).
+//!
 //! # How the peeling works
 //!
-//! The extractor solves the entry-forward system *without* the
-//! early-termination clause ([`getafix_core::system_ef_witness`]) with
-//! [`SolveOptions::record_frontiers`] on, so it gets the ⊆-increasing
-//! frontier snapshots `F₀ ⊆ F₁ ⊆ … ⊆ F_n = Reachable`. The **rank** of a
-//! tuple — the first snapshot containing it — is well-founded provenance: a
-//! tuple of rank `r` is derivable by one clause application from tuples of
-//! rank `< r` (see [`Solver::frontiers`]).
-//!
-//! Extraction then works per *invocation* (a procedure entered with
+//! Extraction works per *invocation* (a procedure entered with
 //! concrete entry valuations `(ecl, ecg)`):
 //!
 //! 1. **Target.** Constrain the solved relation to the target pcs and
@@ -100,12 +117,15 @@ struct Conf {
 }
 
 /// Extracts a concrete error trace for `targets`, or `None` when no target
-/// is reachable. The trace is replay-validated before being returned.
+/// is reachable, by solving the **dedicated witness system**
+/// ([`getafix_core::system_ef_witness`]). The trace is replay-validated
+/// before being returned.
 ///
-/// The `options`' strategy and iteration bound are honoured (frontier
-/// recording is forced on); the witness system is always the split-return
-/// entry-forward formulation, independent of which algorithm produced the
-/// original verdict — any of them would yield the same reachable set.
+/// This is the demoted oracle path: it pays a full second solve, so
+/// production callers that already hold a provenance-recording verdict
+/// solver should use [`sequential_witness_from`] instead. The `options`'
+/// strategy and iteration bound are honoured (provenance recording is
+/// forced on).
 ///
 /// # Errors
 ///
@@ -129,6 +149,33 @@ pub fn sequential_witness_with(
     options: SolveOptions,
     limits: WitnessLimits,
 ) -> Result<Option<Trace>, WitnessError> {
+    let system = system_ef_witness(cfg).map_err(|e| WitnessError::Solve(e.to_string()))?;
+    let options = SolveOptions { record_provenance: true, ..options };
+    let mut solver =
+        Solver::with_options(system, options).map_err(|e| WitnessError::Solve(e.to_string()))?;
+    install_templates(&mut solver, cfg, targets).map_err(|e| WitnessError::Solve(e.to_string()))?;
+    sequential_witness_from(&mut solver, cfg, targets, limits)
+}
+
+/// Extracts a concrete error trace for `targets` **directly from a solved
+/// verdict solver** — no second system, no re-solve. The solver must have
+/// been built with [`SolveOptions::record_provenance`] on (see
+/// [`getafix_core::build_trace_solver_with`]) and its system must contain
+/// a trace-capable summary relation: `ef-opt`'s `SummaryEFopt` (the
+/// frontier bit is restricted to 1) or an early-exit-free entry-forward
+/// `Reachable`. Returns `None` when no target is reachable; any returned
+/// trace has been re-executed in the concrete interpreter.
+///
+/// # Errors
+///
+/// See [`WitnessError`]; in particular [`WitnessError::Solve`] when the
+/// solver records no provenance or contains no trace-capable relation.
+pub fn sequential_witness_from(
+    solver: &mut Solver,
+    cfg: &Cfg,
+    targets: &[Pc],
+    limits: WitnessLimits,
+) -> Result<Option<Trace>, WitnessError> {
     if cfg.globals.len() > 64 {
         return Err(WitnessError::TooManyVariables(format!(
             "{} globals exceed the 64-bit extraction frame",
@@ -138,17 +185,45 @@ pub fn sequential_witness_with(
     if cfg.max_locals() > 64 {
         return Err(WitnessError::TooManyVariables("a procedure has more than 64 locals".into()));
     }
+    if !solver.options().record_provenance {
+        return Err(WitnessError::Solve(
+            "witness extraction peels rank provenance, but the solver was built \
+             without `SolveOptions::record_provenance`"
+                .into(),
+        ));
+    }
+    let (rel, conf_formal, has_fr) = if solver.system().relation("SummaryEFopt").is_some() {
+        ("SummaryEFopt", 1, true)
+    } else if solver.system().relation("Reachable").is_some() {
+        ("Reachable", 0, false)
+    } else {
+        return Err(WitnessError::Solve(
+            "no trace-capable summary relation (`SummaryEFopt` or `Reachable`) \
+             in the solved system"
+                .into(),
+        ));
+    };
 
-    let system = system_ef_witness(cfg).map_err(|e| WitnessError::Solve(e.to_string()))?;
-    let options = SolveOptions { record_frontiers: true, ..options };
-    let mut solver =
-        Solver::with_options(system, options).map_err(|e| WitnessError::Solve(e.to_string()))?;
-    install_templates(&mut solver, cfg, targets).map_err(|e| WitnessError::Solve(e.to_string()))?;
-    let reachable = solver.evaluate("Reachable").map_err(|e| WitnessError::Solve(e.to_string()))?;
-    let frontiers: Vec<Bdd> =
-        solver.frontiers("Reachable").map(<[Bdd]>::to_vec).unwrap_or_default();
+    let raw = solver.evaluate(rel).map_err(|e| WitnessError::Solve(e.to_string()))?;
+    // For ef-opt, project onto the fr = 1 slice: the entry-annotated
+    // reachable set. The snapshots restrict the same way; consecutive
+    // restricted snapshots may coincide (a round that only aged fresh
+    // tuples), which the plateau-tolerant rank search handles.
+    let fr_vars: Vec<Var> =
+        if has_fr { solver.alloc().formal(rel, 0).all_vars() } else { Vec::new() };
+    let restrict_fresh = |solver: &mut Solver, f: Bdd| -> Bdd {
+        let mut g = f;
+        for &v in &fr_vars {
+            g = solver.manager().restrict(g, v, true);
+        }
+        g
+    };
+    let reachable = restrict_fresh(solver, raw);
+    let snaps: Vec<Bdd> =
+        solver.provenance().snapshots(rel).map(<[Bdd]>::to_vec).unwrap_or_default();
+    let frontiers: Vec<Bdd> = snaps.into_iter().map(|s| restrict_fresh(solver, s)).collect();
 
-    let mut ex = Extractor::new(cfg, solver, frontiers, limits);
+    let mut ex = Extractor::new(cfg, solver, rel, conf_formal, frontiers, limits);
 
     // Constrain to the target pcs and find the earliest frontier hitting one.
     let target_bdd = {
@@ -190,7 +265,7 @@ struct ConfVars {
 
 struct Extractor<'a> {
     cfg: &'a Cfg,
-    solver: Solver,
+    solver: &'a mut Solver,
     frontiers: Vec<Bdd>,
     vars: ConfVars,
     limits: WitnessLimits,
@@ -209,8 +284,15 @@ enum Move {
 }
 
 impl<'a> Extractor<'a> {
-    fn new(cfg: &'a Cfg, solver: Solver, frontiers: Vec<Bdd>, limits: WitnessLimits) -> Self {
-        let inst = solver.alloc().formal("Reachable", 0).clone();
+    fn new(
+        cfg: &'a Cfg,
+        solver: &'a mut Solver,
+        rel: &str,
+        conf_formal: usize,
+        frontiers: Vec<Bdd>,
+        limits: WitnessLimits,
+    ) -> Self {
+        let inst = solver.alloc().formal(rel, conf_formal).clone();
         let leaf = |name: &str| -> Vec<Var> {
             inst.leaves_under(&[name.to_string()])
                 .first()
