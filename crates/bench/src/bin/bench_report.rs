@@ -2,10 +2,16 @@
 //! under both solver strategies and writes `BENCH_fig2.json` — per-workload
 //! wall times and relation re-evaluation counts — so the performance
 //! trajectory of the scheduler can be tracked across commits by tooling
-//! instead of eyeballs.
+//! instead of eyeballs. A second, Figure 3 group runs the concurrent
+//! pipeline end to end — merge, bounded-context-switch solve, witness
+//! extraction, statement refinement, guided replay — and writes
+//! `BENCH_fig3.json` with per-phase wall times plus the explicit-search
+//! vs guided-replay step counts (the work the guided replayer does *not*
+//! repeat).
 //!
 //! ```text
-//! cargo run --release -p getafix-bench --bin bench-report [-- --out PATH] [--scale N] [--bits N]
+//! cargo run --release -p getafix-bench --bin bench-report \
+//!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N]
 //! ```
 //!
 //! The JSON is hand-rolled (the workspace builds offline, without serde),
@@ -28,9 +34,14 @@
 //! ```
 
 use getafix_bench::{regression_cases, slam_cases, terminator_cases, SeqCase};
-use getafix_boolprog::Cfg;
+use getafix_boolprog::{parse_concurrent, Cfg, Pc};
+use getafix_conc::{
+    build_conc_solver_with, check_conc_solver, conc_refine_schedule, conc_replay_guided, merge,
+    ConcLimits, Merged,
+};
 use getafix_core::{check_reachability_with, Algorithm};
 use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
+use getafix_witness::concurrent_witness_from;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -66,9 +77,157 @@ fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> 
     StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, stats }
 }
 
+/// One strategy's end-to-end numbers on a concurrent workload.
+struct ConcNumbers {
+    reachable: bool,
+    solve_ms: f64,
+    /// Witness pipeline wall time: schedule extraction + statement
+    /// refinement + guided replay (zero on unreachable verdicts).
+    witness_ms: f64,
+    /// Configurations the schedule-constrained *explicit search* visited
+    /// while refining (0 when unreachable).
+    explicit_search_states: usize,
+    /// Steps in the refined script — the guided replayer visits exactly
+    /// this many successor configurations, no more.
+    guided_steps: usize,
+    stats: SolveStats,
+}
+
+fn run_conc(merged: &Merged, targets: &[Pc], switches: usize, strategy: Strategy) -> ConcNumbers {
+    let t0 = Instant::now();
+    let mut solver =
+        build_conc_solver_with(merged, targets, switches, SolveOptions::with_strategy(strategy))
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+    let r = check_conc_solver(&mut solver, switches).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+    let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let schedule = concurrent_witness_from(&mut solver, merged, targets, switches)
+        .unwrap_or_else(|e| panic!("{strategy}: witness: {e}"));
+    assert_eq!(
+        r.reachable,
+        schedule.is_some(),
+        "{strategy}: witness extraction disagreed with the verdict"
+    );
+    let (explicit_search_states, guided_steps) = match &schedule {
+        Some(s) => {
+            let rounds = s.to_replay();
+            let refined = conc_refine_schedule(merged, targets, &rounds, ConcLimits::default())
+                .unwrap_or_else(|e| panic!("{strategy}: refine: {e}"))
+                .unwrap_or_else(|| panic!("{strategy}: schedule does not refine"));
+            conc_replay_guided(merged, targets, &rounds, &refined.steps, ConcLimits::default())
+                .unwrap_or_else(|e| panic!("{strategy}: guided replay: {e}"));
+            (refined.search_states, refined.steps.len())
+        }
+        None => (0, 0),
+    };
+    let witness_ms = t1.elapsed().as_secs_f64() * 1e3;
+    ConcNumbers {
+        reachable: r.reachable,
+        solve_ms,
+        witness_ms,
+        explicit_search_states,
+        guided_steps,
+        stats: r.stats,
+    }
+}
+
+/// The quickstart handshake model — the same file the README walkthrough
+/// and CI artifacts drive, so the bench measures exactly that program.
+const HANDSHAKE: &str = include_str!("../../../../examples/handshake.cbp");
+
+/// The Figure 3 concurrent group: `(name, program, target labels,
+/// switches, expected verdict)`. The Bluetooth cases are
+/// [`getafix_workloads::FIG3_WITNESS_CASES`] — the thresholds the witness
+/// differential suite asserts too.
+fn fig3_workloads() -> Vec<(String, getafix_boolprog::ConcProgram, Vec<String>, usize, bool)> {
+    use getafix_workloads::{adder_err_label, bluetooth, FIG3_WITNESS_CASES};
+    let mut out = Vec::new();
+    let handshake = parse_concurrent(HANDSHAKE).expect("handshake parses");
+    out.push(("handshake".into(), handshake.clone(), vec!["t0__HIT".into()], 1, true));
+    out.push(("handshake".into(), handshake, vec!["t0__HIT".into()], 2, true));
+    for (adders, stoppers, k, expect) in FIG3_WITNESS_CASES {
+        let labels: Vec<String> = (0..adders).map(adder_err_label).collect();
+        out.push((
+            format!("bluetooth-{adders}a{stoppers}s"),
+            bluetooth(adders, stoppers),
+            labels,
+            k,
+            expect,
+        ));
+    }
+    out
+}
+
+/// Runs the Figure 3 concurrent group and returns the `BENCH_fig3.json`
+/// payload. Verdicts are asserted against the documented thresholds —
+/// a benchmark that measures wrong answers is worthless — and every
+/// reachable case must refine and guided-replay.
+fn fig3_report() -> String {
+    let workloads = fig3_workloads();
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"getafix-bench-fig3/1\",\n");
+    json.push_str("  \"workloads\": [\n");
+    let total = workloads.len();
+    for (i, (name, program, labels, switches, expect)) in workloads.into_iter().enumerate() {
+        let t0 = Instant::now();
+        let merged = merge(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let targets: Vec<Pc> = labels
+            .iter()
+            .map(|l| merged.cfg.label(l).unwrap_or_else(|| panic!("{name}: no label {l}")))
+            .collect();
+        let wl = run_conc(&merged, &targets, switches, Strategy::Worklist);
+        let rr = run_conc(&merged, &targets, switches, Strategy::RoundRobin);
+        for (strategy, n) in [("worklist", &wl), ("round-robin", &rr)] {
+            assert_eq!(
+                n.reachable, expect,
+                "{name} k={switches} ({strategy}): wrong verdict — a benchmark that \
+                 measures wrong answers is worthless"
+            );
+        }
+        eprintln!(
+            "{name} k={switches}: {} — worklist solve {:.1} ms + witness {:.1} ms \
+             (explicit search {} states, guided {} steps), round-robin solve {:.1} ms",
+            if expect { "REACHABLE" } else { "unreachable" },
+            wl.solve_ms,
+            wl.witness_ms,
+            wl.explicit_search_states,
+            wl.guided_steps,
+            rr.solve_ms,
+        );
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{name}\", \"switches\": {switches}, \"reachable\": {expect}, \
+             \"merge_ms\": {merge_ms:.3},"
+        );
+        json.push_str("      \"strategies\": {\n");
+        for (j, (strategy, n)) in [("worklist", &wl), ("round-robin", &rr)].into_iter().enumerate()
+        {
+            let _ = writeln!(
+                json,
+                "        \"{strategy}\": {{ \"solve_ms\": {:.3}, \"witness_ms\": {:.3}, \
+                 \"reevaluations\": {}, \"explicit_search_states\": {}, \"guided_steps\": {}, \
+                 \"stats\": {} }}{}",
+                n.solve_ms,
+                n.witness_ms,
+                n.stats.total_reevaluations(),
+                n.explicit_search_states,
+                n.guided_steps,
+                n.stats.to_json(),
+                if j == 0 { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      }} }}{}", if i + 1 < total { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fig2.json".into());
+    let fig3_path = flag_value(&args, "--out-fig3").unwrap_or_else(|| "BENCH_fig3.json".into());
     let scale: usize = flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1);
     let bits: usize = flag_value(&args, "--bits").and_then(|s| s.parse().ok()).unwrap_or(3);
 
@@ -152,6 +311,11 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    let fig3 = fig3_report();
+    std::fs::write(&fig3_path, &fig3).unwrap_or_else(|e| panic!("{fig3_path}: {e}"));
+    eprintln!("wrote {fig3_path}");
+
     assert!(
         guard_failures.is_empty(),
         "worklist scheduling regressed (no strict re-evaluation reduction) on:\n  {}",

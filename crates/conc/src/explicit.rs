@@ -1,15 +1,33 @@
 //! Explicit-state bounded-context-switch exploration: the concurrent
-//! ground-truth oracle.
+//! ground-truth oracle, schedule-constrained refinement, and the guided
+//! step replayer.
 //!
 //! A full configuration — shared globals plus one call stack per thread —
 //! is explored by BFS with a context-switch budget. Unlike the symbolic
 //! engine this cannot handle unbounded recursion (stacks are materialized),
 //! so a stack-depth limit turns runaway recursion into an error; the tests
 //! use it on finite-stack programs only.
+//!
+//! Three progressively more constrained modes share one stepping function:
+//!
+//! 1. [`conc_explicit_reachable`] — free exploration, the differential
+//!    oracle;
+//! 2. [`conc_refine_schedule`] — exploration pinned to a fixed context-
+//!    switch schedule (who runs each round, the shared globals at each
+//!    hand-over), which *records* the statement-granular step sequence
+//!    reaching the target — the refinement from a round-level witness to a
+//!    concrete interleaved trace;
+//! 3. [`conc_replay_guided`] — no exploration at all: a scripted step
+//!    sequence is *followed* deterministically, one successor per step,
+//!    each step checked against the concrete semantics and rejected on any
+//!    disagreement in thread, pc, or valuation.
 
 use crate::merge::Merged;
-use getafix_boolprog::{enumerate_choices, read_var, write_var, Bits, Edge, Pc, ProcId, VarRef};
-use std::collections::{BTreeSet, VecDeque};
+use getafix_boolprog::{
+    admits, enumerate_choices, frame_mask, read_var, write_var, Bits, Edge, Pc, ProcId, ReplayStep,
+    VarRef,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Errors from the explicit concurrent engine.
@@ -25,6 +43,20 @@ pub enum ConcExplicitError {
     /// A replay schedule that is not even shaped like a schedule (empty,
     /// or naming a thread the program does not have).
     MalformedSchedule(String),
+    /// A configuration that violates the engine's structural invariants —
+    /// a frame whose pc lies outside its procedure, a return frame with no
+    /// caller below it, an active thread out of range. These indicate a
+    /// corrupted input, never a user program error.
+    MalformedConfiguration(String),
+    /// Guided replay rejected a scripted step: its thread, pc, or
+    /// valuation disagrees with the engine's concrete semantics.
+    ScriptRejected {
+        /// Index of the offending step (`steps.len()` for end-of-script
+        /// failures such as "final pc is not a target").
+        step: usize,
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 impl fmt::Display for ConcExplicitError {
@@ -34,6 +66,12 @@ impl fmt::Display for ConcExplicitError {
             ConcExplicitError::StackLimit(n) => write!(f, "stack depth limit {n} exceeded"),
             ConcExplicitError::TooManyVariables(m) => write!(f, "{m}"),
             ConcExplicitError::MalformedSchedule(m) => write!(f, "{m}"),
+            ConcExplicitError::MalformedConfiguration(m) => {
+                write!(f, "malformed configuration: {m}")
+            }
+            ConcExplicitError::ScriptRejected { step, message } => {
+                write!(f, "guided replay rejected step {step}: {message}")
+            }
         }
     }
 }
@@ -117,8 +155,9 @@ pub fn conc_explicit_reachable(
                 return Ok(true);
             }
         }
-        let mut successors: Vec<Config> = Vec::new();
-        step_active(merged, &c, limits.max_stack, &mut successors)?;
+        let mut stepped: Vec<(Config, ReplayStep)> = Vec::new();
+        step_active(merged, &c, limits.max_stack, &mut stepped)?;
+        let mut successors: Vec<Config> = stepped.into_iter().map(|(c2, _)| c2).collect();
         // Context switches.
         if c.switches_used < switches {
             for next in 0..merged.n_threads {
@@ -182,16 +221,7 @@ pub fn conc_replay_schedule(
             cfg.globals.len()
         )));
     }
-    if schedule.is_empty()
-        || schedule.iter().any(|&(t, _)| t >= merged.n_threads)
-        || schedule[0].1 != 0
-    {
-        return Err(ConcExplicitError::MalformedSchedule(format!(
-            "malformed schedule {schedule:?} for {} threads \
-             (round 0 must start from the all-false valuation)",
-            merged.n_threads
-        )));
-    }
+    check_schedule_shape(merged, schedule)?;
     let target_set: BTreeSet<Pc> = targets.iter().copied().collect();
     let last_round = schedule.len() - 1;
 
@@ -202,17 +232,7 @@ pub fn conc_replay_schedule(
         config: Config,
     }
 
-    let first = schedule[0].0;
-    let mut stacks: Vec<Vec<Frame>> = vec![Vec::new(); merged.n_threads];
-    let entry = merged.thread_entries[first];
-    stacks[first].push(Frame {
-        proc: cfg.proc_of(entry).id,
-        pc: entry,
-        locals: 0,
-        on_return: None,
-    });
-    let init =
-        Timed { round: 0, config: Config { switches_used: 0, active: first, globals: 0, stacks } };
+    let init = Timed { round: 0, config: initial_config(merged, schedule[0].0) };
 
     let mut visited: BTreeSet<Timed> = BTreeSet::new();
     let mut queue: VecDeque<Timed> = VecDeque::new();
@@ -230,10 +250,10 @@ pub fn conc_replay_schedule(
                 }
             }
         }
-        let mut successors: Vec<Config> = Vec::new();
-        step_active(merged, &t.config, limits.max_stack, &mut successors)?;
+        let mut stepped: Vec<(Config, ReplayStep)> = Vec::new();
+        step_active(merged, &t.config, limits.max_stack, &mut stepped)?;
         let mut timed: Vec<Timed> =
-            successors.into_iter().map(|c| Timed { round: t.round, config: c }).collect();
+            stepped.into_iter().map(|(c, _)| Timed { round: t.round, config: c }).collect();
         // The one permitted switch: to the next scheduled round, only when
         // the globals match the recorded hand-over valuation.
         if t.round < last_round {
@@ -263,21 +283,514 @@ pub fn conc_replay_schedule(
     Ok(false)
 }
 
+/// One scripted step of a statement-granular concurrent trace: which
+/// thread moved, in which schedule round, and the transition's post-state
+/// (the same [`ReplayStep`] shape sequential replay uses — destination pc,
+/// shared globals, and the active frame's locals after the step).
+///
+/// Context switches are not steps: the `round` field places every step in
+/// a schedule round, and [`conc_replay_guided`] performs the hand-overs
+/// between rounds itself, checking the recorded valuations. This makes
+/// zero-step rounds (a thread that switches in and immediately out, or a
+/// target already at the handed-over pc) representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuidedStep {
+    /// Index of the schedule round the step executes in.
+    pub round: usize,
+    /// The thread taking the step — must equal the round's scheduled
+    /// thread.
+    pub thread: usize,
+    /// The transition, recording the post-state.
+    pub step: ReplayStep,
+}
+
+/// A statement-granular refinement of a context-switch schedule: the step
+/// script plus how much searching it took to find.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinedTrace {
+    /// The steps, in execution order across all rounds.
+    pub steps: Vec<GuidedStep>,
+    /// Distinct configurations the schedule-constrained search visited —
+    /// the work [`conc_replay_guided`] does *not* repeat (it visits
+    /// exactly `steps.len() + 1` configurations).
+    pub search_states: usize,
+}
+
+/// Refines a fixed schedule into a **statement-granular step sequence**:
+/// explores under exactly the schedule's per-round threads and hand-over
+/// valuations (as [`conc_replay_schedule`] does), but records predecessor
+/// links, and on reaching a target pc in the final round reconstructs the
+/// concrete interleaved path as a [`GuidedStep`] script. Returns
+/// `Ok(None)` when the schedule is well-formed but infeasible.
+///
+/// The returned script resolves *every* choice left open by the schedule —
+/// which statement runs next, and the value taken at each
+/// nondeterministic assign, call-argument, and return site
+/// ([`enumerate_choices`] pinning) — so [`conc_replay_guided`] can follow
+/// it with no search at all.
+///
+/// # Errors
+///
+/// See [`ConcExplicitError`]; schedule-shape requirements match
+/// [`conc_replay_schedule`].
+pub fn conc_refine_schedule(
+    merged: &Merged,
+    targets: &[Pc],
+    schedule: &[ScheduleRound],
+    limits: ConcLimits,
+) -> Result<Option<RefinedTrace>, ConcExplicitError> {
+    let cfg = &merged.cfg;
+    if cfg.globals.len() > 64 {
+        return Err(ConcExplicitError::TooManyVariables(format!(
+            "{} merged globals exceed 64",
+            cfg.globals.len()
+        )));
+    }
+    check_schedule_shape(merged, schedule)?;
+    let target_set: BTreeSet<Pc> = targets.iter().copied().collect();
+    let last_round = schedule.len() - 1;
+
+    /// A configuration pinned to a schedule round.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct Timed {
+        round: usize,
+        config: Config,
+    }
+
+    let init = Timed { round: 0, config: initial_config(merged, schedule[0].0) };
+    // States are interned: `index` deduplicates, `links` holds the
+    // predecessor id and the step taken into each state by discovery id —
+    // configurations are stored once, and path reconstruction follows
+    // `usize` links instead of cloning configuration chains. A switch edge
+    // carries no step (the guided replayer re-derives hand-overs from the
+    // schedule itself); the initial state has no predecessor.
+    let mut index: BTreeMap<Timed, usize> = BTreeMap::new();
+    let mut links: Vec<(Option<usize>, Option<GuidedStep>)> = Vec::new();
+    index.insert(init.clone(), 0);
+    links.push((None, None));
+    let mut queue: VecDeque<(usize, Timed)> = VecDeque::from([(0, init)]);
+
+    let mut goal: Option<usize> = None;
+    'bfs: while let Some((id, t)) = queue.pop_front() {
+        if links.len() > limits.max_states {
+            return Err(ConcExplicitError::StateLimit(limits.max_states));
+        }
+        if t.round == last_round {
+            if let Some(top) = t.config.stacks[t.config.active].last() {
+                if target_set.contains(&top.pc) {
+                    goal = Some(id);
+                    break 'bfs;
+                }
+            }
+        }
+        let mut stepped: Vec<(Config, ReplayStep)> = Vec::new();
+        step_active(merged, &t.config, limits.max_stack, &mut stepped)?;
+        let mut timed: Vec<(Timed, Option<GuidedStep>)> = stepped
+            .into_iter()
+            .map(|(c, step)| {
+                let gs = GuidedStep { round: t.round, thread: t.config.active, step };
+                (Timed { round: t.round, config: c }, Some(gs))
+            })
+            .collect();
+        if t.round < last_round {
+            let (next_thread, entry_globals) = schedule[t.round + 1];
+            if t.config.globals == entry_globals {
+                let mut c2 = t.config.clone();
+                c2.switches_used += 1;
+                c2.active = next_thread;
+                if c2.stacks[next_thread].is_empty() {
+                    let entry = merged.thread_entries[next_thread];
+                    c2.stacks[next_thread].push(Frame {
+                        proc: cfg.proc_of(entry).id,
+                        pc: entry,
+                        locals: 0,
+                        on_return: None,
+                    });
+                }
+                timed.push((Timed { round: t.round + 1, config: c2 }, None));
+            }
+        }
+        for (s, gs) in timed {
+            if let std::collections::btree_map::Entry::Vacant(v) = index.entry(s.clone()) {
+                let sid = links.len();
+                v.insert(sid);
+                links.push((Some(id), gs));
+                queue.push_back((sid, s));
+            }
+        }
+    }
+
+    let Some(mut at) = goal else { return Ok(None) };
+    let search_states = links.len();
+    let mut steps: Vec<GuidedStep> = Vec::new();
+    loop {
+        let (parent, step) = links[at];
+        if let Some(s) = step {
+            steps.push(s);
+        }
+        match parent {
+            Some(p) => at = p,
+            None => break,
+        }
+    }
+    steps.reverse();
+    Ok(Some(RefinedTrace { steps, search_states }))
+}
+
+/// **Follows** a step script deterministically — the validation mode the
+/// statement-granular witness pipeline rests on. Unlike
+/// [`conc_replay_schedule`], which re-explores the intra-round steps, this
+/// maintains exactly one configuration and advances it one scripted step
+/// at a time: hand-overs between rounds are taken from `schedule`
+/// (rejecting a switch whose shared globals disagree with the recorded
+/// valuation), and each [`GuidedStep`] is checked against the concrete
+/// semantics — legal edge, admissible guard and chosen values, untouched
+/// frame bits — before being applied. Zero search states beyond the
+/// scripted path are visited.
+///
+/// # Errors
+///
+/// [`ConcExplicitError::ScriptRejected`] names the first step whose
+/// thread, pc, or valuation disagrees with the engine (or an end-of-script
+/// failure: trailing hand-over mismatch, final pc not a target). Schedule
+/// shape errors and width/depth limits surface as in
+/// [`conc_replay_schedule`].
+pub fn conc_replay_guided(
+    merged: &Merged,
+    targets: &[Pc],
+    schedule: &[ScheduleRound],
+    steps: &[GuidedStep],
+    limits: ConcLimits,
+) -> Result<(), ConcExplicitError> {
+    let cfg = &merged.cfg;
+    if cfg.globals.len() > 64 {
+        return Err(ConcExplicitError::TooManyVariables(format!(
+            "{} merged globals exceed 64",
+            cfg.globals.len()
+        )));
+    }
+    check_schedule_shape(merged, schedule)?;
+    let last_round = schedule.len() - 1;
+    let reject =
+        |step: usize, message: String| Err(ConcExplicitError::ScriptRejected { step, message });
+
+    let mut c = initial_config(merged, schedule[0].0);
+    let mut round = 0usize;
+    // Takes the scheduled hand-over into round `round + 1`, checking the
+    // recorded valuation.
+    let hand_over = |c: &mut Config, round: &mut usize, at_step: usize| {
+        let (next_thread, entry_globals) = schedule[*round + 1];
+        if c.globals != entry_globals {
+            return Err(ConcExplicitError::ScriptRejected {
+                step: at_step,
+                message: format!(
+                    "hand-over into round {} recorded globals {:#b}, the engine has {:#b}",
+                    *round + 1,
+                    entry_globals,
+                    c.globals
+                ),
+            });
+        }
+        *round += 1;
+        c.switches_used += 1;
+        c.active = next_thread;
+        if c.stacks[next_thread].is_empty() {
+            let entry = merged.thread_entries[next_thread];
+            c.stacks[next_thread].push(Frame {
+                proc: merged.cfg.proc_of(entry).id,
+                pc: entry,
+                locals: 0,
+                on_return: None,
+            });
+        }
+        Ok(())
+    };
+
+    for (i, gs) in steps.iter().enumerate() {
+        if gs.round < round {
+            return reject(
+                i,
+                format!("step belongs to round {}, but round {round} is already active", gs.round),
+            );
+        }
+        if gs.round > last_round {
+            return reject(
+                i,
+                format!(
+                    "step belongs to round {}, beyond the schedule's {} rounds",
+                    gs.round,
+                    schedule.len()
+                ),
+            );
+        }
+        while round < gs.round {
+            hand_over(&mut c, &mut round, i)?;
+        }
+        if gs.thread != c.active {
+            return reject(
+                i,
+                format!(
+                    "step names thread {}, round {round} schedules thread {}",
+                    gs.thread, c.active
+                ),
+            );
+        }
+        if let Err(message) = apply_guided(merged, &mut c, &gs.step, limits.max_stack) {
+            return reject(i, message);
+        }
+    }
+    // Trailing zero-step rounds still hand over (and check valuations).
+    while round < last_round {
+        hand_over(&mut c, &mut round, steps.len())?;
+    }
+    match c.stacks[c.active].last() {
+        Some(top) if targets.contains(&top.pc) => Ok(()),
+        Some(top) => reject(steps.len(), format!("final pc {} is not a target", top.pc)),
+        None => reject(steps.len(), "final round's thread never started".into()),
+    }
+}
+
+/// The shared schedule-shape validation of the replay entry points.
+fn check_schedule_shape(
+    merged: &Merged,
+    schedule: &[ScheduleRound],
+) -> Result<(), ConcExplicitError> {
+    if schedule.is_empty()
+        || schedule.iter().any(|&(t, _)| t >= merged.n_threads)
+        || schedule[0].1 != 0
+    {
+        return Err(ConcExplicitError::MalformedSchedule(format!(
+            "malformed schedule {schedule:?} for {} threads \
+             (round 0 must start from the all-false valuation)",
+            merged.n_threads
+        )));
+    }
+    Ok(())
+}
+
+/// The initial configuration: `first` active at its thread entry, every
+/// variable `false`, all other threads not yet started.
+fn initial_config(merged: &Merged, first: usize) -> Config {
+    let mut stacks: Vec<Vec<Frame>> = vec![Vec::new(); merged.n_threads];
+    let entry = merged.thread_entries[first];
+    stacks[first].push(Frame {
+        proc: merged.cfg.proc_of(entry).id,
+        pc: entry,
+        locals: 0,
+        on_return: None,
+    });
+    Config { switches_used: 0, active: first, globals: 0, stacks }
+}
+
+/// Applies one scripted step to `c` in place, validating it is a legal
+/// transition of the active thread under the concrete semantics (the
+/// concurrent analogue of [`getafix_boolprog::replay`]'s per-step checks).
+/// Returns a rejection message naming the disagreement.
+fn apply_guided(
+    merged: &Merged,
+    c: &mut Config,
+    step: &ReplayStep,
+    max_stack: usize,
+) -> Result<(), String> {
+    let cfg = &merged.cfg;
+    let n_globals = cfg.globals.len();
+    let Some(top) = c.stacks[c.active].last().cloned() else {
+        return Err(format!("thread {} has halted (empty stack)", c.active));
+    };
+    let proc = &cfg.procs[top.proc];
+    let bit = |bits: Bits, i: usize| (bits >> i) & 1 == 1;
+    match *step {
+        ReplayStep::Internal { to, globals: g2, locals: l2 } => {
+            let edges = proc.edges.get(&top.pc).map(Vec::as_slice).unwrap_or(&[]);
+            let mut matched = false;
+            'edges: for e in edges {
+                let Edge::Internal { to: eto, guard, assigns } = e else { continue };
+                if *eto != to || !admits(guard, c.globals, top.locals, true) {
+                    continue;
+                }
+                let mut assigned_l: u64 = 0;
+                let mut assigned_g: u64 = 0;
+                for (tv, expr) in assigns {
+                    let new = match tv {
+                        VarRef::Local(j) => {
+                            assigned_l |= 1 << j;
+                            bit(l2, *j)
+                        }
+                        VarRef::Global(j) => {
+                            assigned_g |= 1 << j;
+                            bit(g2, *j)
+                        }
+                    };
+                    if !admits(expr, c.globals, top.locals, new) {
+                        continue 'edges;
+                    }
+                }
+                let lmask = frame_mask(proc.n_locals()) & !assigned_l;
+                let gmask = frame_mask(n_globals) & !assigned_g;
+                if (l2 & lmask) != (top.locals & lmask)
+                    || (g2 & gmask) != (c.globals & gmask)
+                    || l2 & !frame_mask(proc.n_locals()) != 0
+                    || g2 & !frame_mask(n_globals) != 0
+                {
+                    continue;
+                }
+                matched = true;
+                break;
+            }
+            if !matched {
+                return Err(format!(
+                    "no internal edge {} -> {to} of `{}` admits globals={g2:#b} locals={l2:#b}",
+                    top.pc, proc.name
+                ));
+            }
+            c.globals = g2;
+            let fi = c.stacks[c.active].len() - 1;
+            let f = &mut c.stacks[c.active][fi];
+            f.pc = to;
+            f.locals = l2;
+        }
+        ReplayStep::Call { entry, globals: g2, locals: l2 } => {
+            if c.stacks[c.active].len() >= max_stack {
+                return Err(format!("stack depth limit {max_stack} exceeded"));
+            }
+            let edges = proc.edges.get(&top.pc).map(Vec::as_slice).unwrap_or(&[]);
+            let mut pushed = None;
+            'calls: for e in edges {
+                let Edge::Call { callee, args, rets, ret_to } = e else { continue };
+                let q = &cfg.procs[*callee];
+                if q.entry != entry || g2 != c.globals {
+                    continue;
+                }
+                for (j, arg) in args.iter().enumerate() {
+                    if !admits(arg, c.globals, top.locals, bit(l2, j)) {
+                        continue 'calls;
+                    }
+                }
+                // Non-parameter callee locals start false.
+                if l2 & !frame_mask(args.len()) != 0 {
+                    continue;
+                }
+                pushed = Some(Frame {
+                    proc: *callee,
+                    pc: entry,
+                    locals: l2,
+                    on_return: Some((rets.clone(), *ret_to)),
+                });
+                break;
+            }
+            let Some(frame) = pushed else {
+                return Err(format!(
+                    "no call edge at pc {} of `{}` enters {entry} with locals={l2:#b}",
+                    top.pc, proc.name
+                ));
+            };
+            c.stacks[c.active].push(frame);
+        }
+        ReplayStep::Return { ret_to, globals: g2, locals: l2 } => {
+            let Some((rets, saved_ret_to)) = top.on_return.clone() else {
+                return Err(format!("return from thread {}'s initial frame", c.active));
+            };
+            if saved_ret_to != ret_to {
+                return Err(format!(
+                    "return resumes at {ret_to}, the call expected {saved_ret_to}"
+                ));
+            }
+            let Some(exit) = proc.exits.iter().find(|e| e.pc == top.pc) else {
+                return Err(format!("pc {} is not an exit of `{}`", top.pc, proc.name));
+            };
+            let stack = &c.stacks[c.active];
+            if stack.len() < 2 {
+                return Err("a return frame records a caller, but no frame lies below it \
+                     on the stack"
+                    .into());
+            }
+            let caller = stack[stack.len() - 2].clone();
+            let caller_proc = &cfg.procs[caller.proc];
+            let mut assigned_l: u64 = 0;
+            let mut assigned_g: u64 = 0;
+            for (target, expr) in rets.iter().zip(&exit.ret_exprs) {
+                let new = match target {
+                    VarRef::Local(j) => {
+                        assigned_l |= 1 << j;
+                        bit(l2, *j)
+                    }
+                    VarRef::Global(j) => {
+                        assigned_g |= 1 << j;
+                        bit(g2, *j)
+                    }
+                };
+                if !admits(expr, c.globals, top.locals, new) {
+                    return Err(format!("return value {new} not admitted by the exit expression"));
+                }
+            }
+            let lmask = frame_mask(caller_proc.n_locals()) & !assigned_l;
+            let gmask = frame_mask(n_globals) & !assigned_g;
+            if (l2 & lmask) != (caller.locals & lmask) {
+                return Err("caller locals clobbered across the call".into());
+            }
+            if (g2 & gmask) != (c.globals & gmask) {
+                return Err("globals changed by the return itself".into());
+            }
+            if l2 & !frame_mask(caller_proc.n_locals()) != 0 || g2 & !frame_mask(n_globals) != 0 {
+                return Err("out-of-frame bits set".into());
+            }
+            c.stacks[c.active].pop();
+            c.globals = g2;
+            let fi = c.stacks[c.active].len() - 1;
+            let f = &mut c.stacks[c.active][fi];
+            f.pc = ret_to;
+            f.locals = l2;
+        }
+    }
+    Ok(())
+}
+
+/// Computes the successor configurations of the active thread, each paired
+/// with the [`ReplayStep`] (post-state pc/globals/locals) that produced it.
+///
+/// Configurations built by this module always satisfy the engine's
+/// structural invariants; callers feeding externally constructed state get
+/// [`ConcExplicitError::MalformedConfiguration`] instead of a panic —
+/// the CLI's exit-code-2 contract must hold even on corrupted input.
 fn step_active(
     merged: &Merged,
     c: &Config,
     max_stack: usize,
-    out: &mut Vec<Config>,
+    out: &mut Vec<(Config, ReplayStep)>,
 ) -> Result<(), ConcExplicitError> {
     let cfg = &merged.cfg;
-    let Some(top) = c.stacks[c.active].last().cloned() else {
+    let Some(stack) = c.stacks.get(c.active) else {
+        return Err(ConcExplicitError::MalformedConfiguration(format!(
+            "active thread {} out of range ({} threads)",
+            c.active,
+            c.stacks.len()
+        )));
+    };
+    let Some(top) = stack.last().cloned() else {
         return Ok(());
     };
-    let proc = &cfg.procs[top.proc];
+    let Some(proc) = cfg.procs.get(top.proc) else {
+        return Err(ConcExplicitError::MalformedConfiguration(format!(
+            "frame names procedure id {} of {}",
+            top.proc,
+            cfg.procs.len()
+        )));
+    };
+    if !proc.contains(top.pc) {
+        return Err(ConcExplicitError::MalformedConfiguration(format!(
+            "frame pc {} lies outside its procedure `{}`",
+            top.pc, proc.name
+        )));
+    }
 
     // Return from an exit pc.
     if proc.is_exit(top.pc) {
-        let exit = proc.exits.iter().find(|e| e.pc == top.pc).expect("exit");
+        let Some(exit) = proc.exits.iter().find(|e| e.pc == top.pc) else {
+            return Err(ConcExplicitError::MalformedConfiguration(format!(
+                "pc {} is flagged as an exit of `{}` but has no exit point",
+                top.pc, proc.name
+            )));
+        };
         if let Some((rets, ret_to)) = &top.on_return {
             let read = |v: VarRef| read_var(c.globals, top.locals, v);
             let sets: Vec<(bool, bool)> =
@@ -285,7 +798,13 @@ fn step_active(
             for vals in enumerate_choices(&sets) {
                 let mut c2 = c.clone();
                 c2.stacks[c.active].pop();
-                let caller = c2.stacks[c.active].last_mut().expect("caller frame below callee");
+                let Some(caller) = c2.stacks[c.active].last_mut() else {
+                    return Err(ConcExplicitError::MalformedConfiguration(
+                        "a return frame records a caller, but no frame lies below it \
+                         on the stack"
+                            .into(),
+                    ));
+                };
                 caller.pc = *ret_to;
                 let mut g2 = c2.globals;
                 let mut l2 = caller.locals;
@@ -294,7 +813,8 @@ fn step_active(
                 }
                 c2.globals = g2;
                 caller.locals = l2;
-                out.push(c2);
+                let step = ReplayStep::Return { ret_to: *ret_to, globals: g2, locals: l2 };
+                out.push((c2, step));
             }
         } else {
             // Thread main finished: the thread halts (no successor states
@@ -316,7 +836,11 @@ fn step_active(
                     assigns.iter().map(|(_, e)| e.value_set(&read)).collect();
                 for vals in enumerate_choices(&sets) {
                     let mut c2 = c.clone();
-                    let f = c2.stacks[c.active].last_mut().expect("frame");
+                    let Some(f) = c2.stacks[c.active].last_mut() else {
+                        return Err(ConcExplicitError::MalformedConfiguration(
+                            "active thread's stack emptied mid-step".into(),
+                        ));
+                    };
                     f.pc = *to;
                     let mut g2 = c2.globals;
                     let mut l2 = f.locals;
@@ -325,7 +849,8 @@ fn step_active(
                     }
                     c2.globals = g2;
                     f.locals = l2;
-                    out.push(c2);
+                    let step = ReplayStep::Internal { to: *to, globals: g2, locals: l2 };
+                    out.push((c2, step));
                 }
             }
             Edge::Call { callee, args, rets, ret_to } => {
@@ -349,7 +874,8 @@ fn step_active(
                         locals,
                         on_return: Some((rets.clone(), *ret_to)),
                     });
-                    out.push(c2);
+                    let step = ReplayStep::Call { entry: q.entry, globals: c.globals, locals };
+                    out.push((c2, step));
                 }
             }
         }
@@ -466,6 +992,139 @@ mod tests {
         "#;
         // x:=T in T0, switch to T1 (s:=T), switch back: x still T.
         assert!(reach(src, "t0__HIT", 2));
+    }
+
+    /// The engine's structural invariants, violated deliberately: each
+    /// malformed configuration must surface as a structured error (the
+    /// CLI's exit-code-2 contract), never a panic. These drive the paths
+    /// that previously aborted via `expect`.
+    #[test]
+    fn malformed_configurations_error_instead_of_panicking() {
+        let conc = parse_concurrent(HANDSHAKE).unwrap();
+        let merged = merge(&conc).unwrap();
+        let cfg = &merged.cfg;
+        let step = |c: &Config| {
+            let mut out = Vec::new();
+            step_active(&merged, c, 12, &mut out).map(|()| out.len())
+        };
+        let malformed = |r: Result<usize, ConcExplicitError>| {
+            assert!(
+                matches!(r, Err(ConcExplicitError::MalformedConfiguration(_))),
+                "expected MalformedConfiguration, got {r:?}"
+            );
+        };
+
+        // Active thread out of range.
+        let c = Config { switches_used: 0, active: 9, globals: 0, stacks: vec![Vec::new(); 2] };
+        malformed(step(&c));
+
+        // A frame naming a procedure id the program does not have.
+        let mut stacks = vec![Vec::new(); 2];
+        stacks[0].push(Frame { proc: 99, pc: 0, locals: 0, on_return: None });
+        let c = Config { switches_used: 0, active: 0, globals: 0, stacks };
+        malformed(step(&c));
+
+        // A frame whose pc lies outside its procedure — the class the old
+        // `expect("exit")` lookup would have aborted on.
+        let other = cfg.proc_by_name("t1__main").unwrap();
+        let mut stacks = vec![Vec::new(); 2];
+        stacks[0].push(Frame { proc: cfg.main, pc: other.entry, locals: 0, on_return: None });
+        let c = Config { switches_used: 0, active: 0, globals: 0, stacks };
+        malformed(step(&c));
+
+        // A return frame with no caller below it — the class the old
+        // `expect("caller frame below callee")` aborted on.
+        let t0 = cfg.proc_by_name("t0__main").unwrap();
+        let exit = t0.exits[0].pc;
+        let mut stacks = vec![Vec::new(); 2];
+        stacks[0].push(Frame {
+            proc: t0.id,
+            pc: exit,
+            locals: 0,
+            on_return: Some((Vec::new(), t0.entry)),
+        });
+        let c = Config { switches_used: 0, active: 0, globals: 0, stacks };
+        malformed(step(&c));
+
+        // Well-formed configurations still step fine.
+        let c = initial_config(&merged, 0);
+        assert!(step(&c).is_ok());
+    }
+
+    #[test]
+    fn guided_replay_follows_a_refined_script() {
+        let conc = parse_concurrent(HANDSHAKE).unwrap();
+        let merged = merge(&conc).unwrap();
+        let pc = merged.cfg.label("t0__HIT").unwrap();
+        let schedule = [(1, 0), (0, 1)];
+        let refined = conc_refine_schedule(&merged, &[pc], &schedule, ConcLimits::default())
+            .unwrap()
+            .expect("feasible schedule refines");
+        assert!(!refined.steps.is_empty());
+        // Every step sits in a schedule round and names that round's thread.
+        for s in &refined.steps {
+            assert_eq!(s.thread, schedule[s.round].0);
+        }
+        conc_replay_guided(&merged, &[pc], &schedule, &refined.steps, ConcLimits::default())
+            .expect("the refined script replays deterministically");
+        // An infeasible schedule refines to nothing.
+        assert_eq!(
+            conc_refine_schedule(&merged, &[pc], &[(0, 0), (1, 0)], ConcLimits::default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn guided_replay_rejects_mutated_scripts() {
+        let conc = parse_concurrent(HANDSHAKE).unwrap();
+        let merged = merge(&conc).unwrap();
+        let pc = merged.cfg.label("t0__HIT").unwrap();
+        let schedule = [(1, 0), (0, 1)];
+        let limits = ConcLimits::default();
+        let steps = conc_refine_schedule(&merged, &[pc], &schedule, limits).unwrap().unwrap().steps;
+        let rejected = |r: Result<(), ConcExplicitError>| {
+            assert!(
+                matches!(r, Err(ConcExplicitError::ScriptRejected { .. })),
+                "expected ScriptRejected, got {r:?}"
+            );
+        };
+
+        // Wrong thread on a step.
+        let mut bad = steps.clone();
+        bad[0].thread = 0;
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+
+        // Wrong round (skipping ahead disagrees with the hand-over check
+        // or the per-round thread).
+        let mut bad = steps.clone();
+        bad[0].round = 1;
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+
+        // Perturbed globals on a step.
+        let mut bad = steps.clone();
+        let i = bad
+            .iter()
+            .position(|s| matches!(s.step, ReplayStep::Internal { .. }))
+            .expect("an internal step");
+        if let ReplayStep::Internal { globals, .. } = &mut bad[i].step {
+            *globals ^= 1;
+        }
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+
+        // Reordered steps.
+        if steps.len() >= 2 {
+            let mut bad = steps.clone();
+            bad.swap(0, 1);
+            rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+        }
+
+        // Truncated script: the final pc is no longer a target.
+        let mut bad = steps.clone();
+        bad.pop();
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+
+        // The pristine script still replays.
+        conc_replay_guided(&merged, &[pc], &schedule, &steps, limits).unwrap();
     }
 
     #[test]

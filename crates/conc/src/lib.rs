@@ -14,7 +14,11 @@
 //!   `g_cs`/`t_cs` expand into finite disjunctions;
 //! * [`check_conc_reachability`] runs the pipeline end to end;
 //! * [`conc_explicit_reachable`] is the explicit-state oracle for
-//!   differential testing.
+//!   differential testing;
+//! * [`conc_refine_schedule`] refines a bounded-round witness schedule
+//!   into a statement-granular step script, and [`conc_replay_guided`]
+//!   follows such a script deterministically (one successor per step, no
+//!   search), rejecting any disagreement with the concrete semantics.
 //!
 //! # Example
 //!
@@ -52,7 +56,8 @@ pub use analysis::{
     ConcResult,
 };
 pub use explicit::{
-    conc_explicit_reachable, conc_replay_schedule, ConcExplicitError, ConcLimits, ScheduleRound,
+    conc_explicit_reachable, conc_refine_schedule, conc_replay_guided, conc_replay_schedule,
+    ConcExplicitError, ConcLimits, GuidedStep, RefinedTrace, ScheduleRound,
 };
 pub use merge::{merge, Merged};
 pub use system::{system_conc, ConcParams};

@@ -12,8 +12,9 @@
 //! Exit codes distinguish verdicts so scripts can branch: `0` unreachable
 //! (or no verdict asked for, as with `emit-mu`), `1` reachable, `2` error.
 
-use getafix::conc::{conc_replay_schedule, ConcExplicitError, ConcLimits};
+use getafix::conc::ConcLimits;
 use getafix::prelude::*;
+use getafix::witness::{concurrent_trace_from_schedule, WitnessError};
 use getafix_core::AnalysisError;
 use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
 use std::process::ExitCode;
@@ -53,8 +54,13 @@ const USAGE: &str = "usage:
 
 ALGO:  ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle
 STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy
---trace: on a REACHABLE verdict, print a concrete witness — a replay-validated
-         error trace (check) or a bounded-round schedule (check-conc). Verdict and
+--trace: on a REACHABLE verdict, print a concrete witness. For `check`: a
+         replay-validated error trace. For `check-conc`: a statement-granular
+         interleaved trace — per round, every `(thread, pc, statement)` step with
+         procedure names, labels, source lines and valuations, in the sequential
+         trace's format — accepted by the deterministic guided replayer (one
+         successor per step, no search) before printing; programs whose witnesses
+         need unbounded recursion degrade to the round-level schedule. Verdict and
          witness come from ONE solve: the trace is onion-peeled from the verdict
          solver's rank provenance (for ef/ef-naive this drops the early-termination
          clause, same verdict; `simple` falls back to a dedicated witness solve)
@@ -229,33 +235,39 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 let schedule = concurrent_witness_from(&mut solver, &merged, &[pc], switches)
                     .map_err(|e| e.to_string())?
                     .ok_or("witness extraction disagreed with the verdict")?;
-                // Replay-validate under the exact thread/valuation script.
-                // The explicit replayer materializes stacks, so unbounded
-                // recursion exhausts its limits — degrade to the structural
-                // guarantee in that case instead of failing the command.
-                let validation = match conc_replay_schedule(
+                println!();
+                // Statement-granular refinement materializes call stacks,
+                // so witnesses needing unbounded recursion exceed the
+                // explicit engine's limits — degrade to the round-level
+                // schedule (structural guarantee only) instead of failing
+                // the command.
+                match concurrent_trace_from_schedule(
                     &merged,
                     &[pc],
-                    &schedule.to_replay(),
+                    &schedule,
                     ConcLimits::default(),
                 ) {
-                    Ok(true) => "replay-validated",
-                    Ok(false) => {
-                        return Err("extracted schedule does not replay in the explicit \
-                                    engine — witness extractor bug"
-                            .into())
+                    Ok(trace) => {
+                        println!(
+                            "trace ({} statement steps over {} rounds, {} of ≤ {switches} \
+                             context switches, guided-replay-validated):",
+                            trace.steps.len(),
+                            schedule.rounds.len(),
+                            schedule.switches()
+                        );
+                        print!("{}", trace.render(&merged.cfg));
                     }
-                    Err(ConcExplicitError::StackLimit(_) | ConcExplicitError::StateLimit(_)) => {
-                        "structurally validated; explicit replay exceeded its limits"
+                    Err(WitnessError::Limit(_) | WitnessError::TooManyVariables(_)) => {
+                        println!(
+                            "schedule ({} of ≤ {switches} context switches, structurally \
+                             validated; statement refinement exceeded the explicit engine's \
+                             limits):",
+                            schedule.switches()
+                        );
+                        print!("{}", schedule.render(&merged.cfg));
                     }
                     Err(e) => return Err(e.to_string()),
-                };
-                println!();
-                println!(
-                    "schedule ({} of ≤ {switches} context switches, {validation}):",
-                    schedule.switches()
-                );
-                print!("{}", schedule.render(&merged.cfg));
+                }
             }
             let stats_out = StatsOutput {
                 human: has_flag(args, "--stats"),

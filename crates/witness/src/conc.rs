@@ -14,10 +14,13 @@
 //! ([`getafix_conc::conc_replay_schedule`]).
 
 use crate::seq::{read_bits, WitnessError};
-use crate::trace::{Round, Schedule};
+use crate::trace::{ConcTrace, Round, Schedule};
 use getafix_bdd::{Bdd, Var};
 use getafix_boolprog::Pc;
-use getafix_conc::{build_conc_solver_with, Merged};
+use getafix_conc::{
+    build_conc_solver_with, conc_refine_schedule, conc_replay_guided, ConcExplicitError,
+    ConcLimits, Merged,
+};
 use getafix_mucalc::{eq_const, SolveOptions, Solver};
 
 /// Extracts a schedule reaching `targets` within `switches` context
@@ -120,6 +123,80 @@ pub fn concurrent_witness_from(
         )));
     }
     Ok(Some(schedule))
+}
+
+/// Extracts a **statement-granular** concurrent witness: the schedule of
+/// [`concurrent_witness`] refined into an explicit interleaved step
+/// sequence (every scheduler choice and every nondeterministic value
+/// pinned), validated by the deterministic guided replayer before being
+/// returned. Returns `None` when the target is unreachable.
+///
+/// The refinement materializes call stacks, so programs whose witnesses
+/// need unbounded recursion exceed `limits` —
+/// [`WitnessError::Limit`] — and callers should degrade to the
+/// round-level [`Schedule`] (the CLI does).
+///
+/// # Errors
+///
+/// See [`WitnessError`].
+pub fn concurrent_trace(
+    merged: &Merged,
+    targets: &[Pc],
+    switches: usize,
+    options: SolveOptions,
+    limits: ConcLimits,
+) -> Result<Option<ConcTrace>, WitnessError> {
+    match concurrent_witness(merged, targets, switches, options)? {
+        None => Ok(None),
+        Some(schedule) => {
+            concurrent_trace_from_schedule(merged, targets, &schedule, limits).map(Some)
+        }
+    }
+}
+
+/// Refines an already-extracted [`Schedule`] into a [`ConcTrace`]: the
+/// explicit engine searches *within* the schedule's script
+/// ([`getafix_conc::conc_refine_schedule`]) for the statement-granular
+/// interleaving, and the result must survive deterministic guided replay
+/// ([`getafix_conc::conc_replay_guided`]) — an extracted trace is
+/// evidence, not a claim.
+///
+/// # Errors
+///
+/// [`WitnessError::Limit`] when the explicit refinement exceeds its state
+/// or stack budget (unbounded recursion), [`WitnessError::Internal`] when
+/// the schedule does not refine or the refined script fails guided replay
+/// (both extractor bugs, kept dead by the differential suites).
+pub fn concurrent_trace_from_schedule(
+    merged: &Merged,
+    targets: &[Pc],
+    schedule: &Schedule,
+    limits: ConcLimits,
+) -> Result<ConcTrace, WitnessError> {
+    let rounds = schedule.to_replay();
+    let refined = conc_refine_schedule(merged, targets, &rounds, limits)
+        .map_err(map_explicit)?
+        .ok_or_else(|| {
+            WitnessError::Internal(format!(
+                "extracted schedule does not refine into statement steps \
+                 (infeasible under the explicit semantics): {schedule:?}"
+            ))
+        })?;
+    conc_replay_guided(merged, targets, &rounds, &refined.steps, limits)
+        .map_err(|e| WitnessError::Internal(format!("refined trace failed guided replay: {e}")))?;
+    Ok(ConcTrace::from_guided(schedule.clone(), &refined.steps))
+}
+
+/// Explicit-engine failures as witness errors: resource exhaustion keeps
+/// its budget (callers degrade on it), everything else is internal.
+fn map_explicit(e: ConcExplicitError) -> WitnessError {
+    match e {
+        ConcExplicitError::StateLimit(n) | ConcExplicitError::StackLimit(n) => {
+            WitnessError::Limit(n)
+        }
+        ConcExplicitError::TooManyVariables(m) => WitnessError::TooManyVariables(m),
+        other => WitnessError::Internal(other.to_string()),
+    }
 }
 
 /// Schedule decoding packs the shared globals into a `u64`

@@ -20,6 +20,12 @@
 //!   engine: who runs in each context and the shared-global valuation at
 //!   every switch, replayable with
 //!   [`getafix_conc::conc_replay_schedule`].
+//! * [`concurrent_trace`] — the schedule refined into a
+//!   **statement-granular** interleaved [`ConcTrace`]: an explicit
+//!   `(round, thread, pc, valuation)` step sequence with every
+//!   nondeterministic choice pinned, validated by the *deterministic*
+//!   guided replayer ([`getafix_conc::conc_replay_guided`] — one
+//!   successor per step, no frontier search) before being returned.
 //!
 //! # Example
 //!
@@ -54,9 +60,11 @@ mod conc;
 mod seq;
 mod trace;
 
-pub use conc::{concurrent_witness, concurrent_witness_from};
+pub use conc::{
+    concurrent_trace, concurrent_trace_from_schedule, concurrent_witness, concurrent_witness_from,
+};
 pub use seq::{
     sequential_witness, sequential_witness_from, sequential_witness_with, WitnessError,
     WitnessLimits,
 };
-pub use trace::{Round, Schedule, Step, StepKind, Trace};
+pub use trace::{ConcStep, ConcTrace, Round, Schedule, Step, StepKind, Trace};

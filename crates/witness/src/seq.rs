@@ -203,6 +203,7 @@ pub fn sequential_witness_from(
                 .into(),
         ));
     };
+    check_formal(solver, rel, conf_formal)?;
 
     let raw = solver.evaluate(rel).map_err(|e| WitnessError::Solve(e.to_string()))?;
     // For ef-opt, project onto the fr = 1 slice: the entry-annotated
@@ -223,7 +224,7 @@ pub fn sequential_witness_from(
         solver.provenance().snapshots(rel).map(<[Bdd]>::to_vec).unwrap_or_default();
     let frontiers: Vec<Bdd> = snaps.into_iter().map(|s| restrict_fresh(solver, s)).collect();
 
-    let mut ex = Extractor::new(cfg, solver, rel, conf_formal, frontiers, limits);
+    let mut ex = Extractor::new(cfg, solver, rel, conf_formal, frontiers, limits)?;
 
     // Constrain to the target pcs and find the earliest frontier hitting one.
     let target_bdd = {
@@ -252,6 +253,22 @@ pub fn sequential_witness_from(
     replay(cfg, &trace.to_replay(), targets)
         .map_err(|e| WitnessError::Internal(format!("extracted trace failed replay: {e}")))?;
     Ok(Some(trace))
+}
+
+/// Validates that `rel` has a formal parameter `i` before touching the
+/// allocation — [`getafix_mucalc::Allocation::formal`] panics on a
+/// mismatch, and a system/solver mismatch must surface as a structured
+/// error on the witness path.
+fn check_formal(solver: &Solver, rel: &str, i: usize) -> Result<(), WitnessError> {
+    let n = solver.system().relation(rel).map(|d| d.params.len()).unwrap_or(0);
+    if i >= n {
+        return Err(WitnessError::Solve(format!(
+            "relation `{rel}` has {n} formal parameters, the extractor expects at least {}; \
+             the solver's system does not match this extractor",
+            i + 1
+        )));
+    }
+    Ok(())
 }
 
 /// Variable blocks of `Reachable`'s single `Conf`-typed formal.
@@ -291,23 +308,30 @@ impl<'a> Extractor<'a> {
         conf_formal: usize,
         frontiers: Vec<Bdd>,
         limits: WitnessLimits,
-    ) -> Self {
+    ) -> Result<Self, WitnessError> {
         let inst = solver.alloc().formal(rel, conf_formal).clone();
-        let leaf = |name: &str| -> Vec<Var> {
-            inst.leaves_under(&[name.to_string()])
-                .first()
-                .unwrap_or_else(|| panic!("Conf field `{name}` missing"))
-                .vars
-                .clone()
+        // A missing field is a system/solver mismatch (a hand-built system
+        // whose `Conf` does not match the templates) — a structured error,
+        // never a panic: the witness path honours the CLI's exit-code-2
+        // contract.
+        let leaf = |name: &str| -> Result<Vec<Var>, WitnessError> {
+            inst.leaves_under(&[name.to_string()]).first().map(|l| l.vars.clone()).ok_or_else(
+                || {
+                    WitnessError::Solve(format!(
+                        "relation `{rel}`'s configuration type has no `{name}` field; \
+                         the solver's system does not match this extractor"
+                    ))
+                },
+            )
         };
         let vars = ConfVars {
-            pc: leaf("pc"),
-            cl: leaf("cl"),
-            cg: leaf("cg"),
-            ecl: leaf("ecl"),
-            ecg: leaf("ecg"),
+            pc: leaf("pc")?,
+            cl: leaf("cl")?,
+            cg: leaf("cg")?,
+            ecl: leaf("ecl")?,
+            ecg: leaf("ecg")?,
         };
-        Extractor { cfg, solver, frontiers, vars, limits }
+        Ok(Extractor { cfg, solver, frontiers, vars, limits })
     }
 
     /// Membership of a concrete tuple in a BDD over the formal blocks.
@@ -766,4 +790,65 @@ fn read_model(model: &[bool], offset: usize, width: usize) -> Bits {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_boolprog::parse_program;
+    use getafix_mucalc::parse_system;
+
+    fn toy_cfg() -> Cfg {
+        let program = parse_program(
+            r#"
+            decl g;
+            main() begin
+              g := T;
+              if (g) then HIT: skip; fi;
+            end
+            "#,
+        )
+        .unwrap();
+        Cfg::build(&program).unwrap()
+    }
+
+    /// A solver whose system mimics the summary relations in *name* but
+    /// not in shape must produce a [`WitnessError`], never a panic —
+    /// the regression for the old `Conf field `{name}` missing` abort.
+    #[test]
+    fn system_solver_mismatch_is_an_error_not_a_panic() {
+        let cfg = toy_cfg();
+        let target = cfg.label("HIT").unwrap();
+        let limits = WitnessLimits::default();
+        let options = SolveOptions { record_provenance: true, ..SolveOptions::default() };
+
+        // `Reachable` exists but its configuration type has no Conf fields.
+        let src = r#"
+            type Conf = struct { b: bool };
+            mu Reachable(s: Conf) := Reachable(s);
+            query reach := exists s: Conf. Reachable(s);
+        "#;
+        let system = parse_system(src).unwrap();
+        let mut solver = Solver::with_options(system, options.clone()).unwrap();
+        let err = sequential_witness_from(&mut solver, &cfg, &[target], limits).unwrap_err();
+        assert!(
+            matches!(&err, WitnessError::Solve(m) if m.contains("no `pc` field")),
+            "wrong error: {err}"
+        );
+
+        // `SummaryEFopt` exists but with too few formals for the
+        // extractor's `(fr, s)` shape.
+        let src = r#"
+            type Conf = struct { b: bool };
+            mu SummaryEFopt(s: Conf) := SummaryEFopt(s);
+            query reach := exists s: Conf. SummaryEFopt(s);
+        "#;
+        let system = parse_system(src).unwrap();
+        let mut solver = Solver::with_options(system, options).unwrap();
+        let err = sequential_witness_from(&mut solver, &cfg, &[target], limits).unwrap_err();
+        assert!(
+            matches!(&err, WitnessError::Solve(m) if m.contains("formal parameters")),
+            "wrong error: {err}"
+        );
+    }
 }

@@ -2,6 +2,7 @@
 //! the CLI's `--trace` flag prints.
 
 use getafix_boolprog::{Bits, Cfg, Pc, ReplayStep};
+use getafix_conc::{GuidedStep, ScheduleRound};
 use std::fmt::Write as _;
 
 /// What kind of transition a [`Step`] records.
@@ -183,21 +184,160 @@ impl Schedule {
     pub fn render(&self, cfg: &Cfg) -> String {
         let mut out = String::new();
         for (j, r) in self.rounds.iter().enumerate() {
-            let vals: Vec<String> = cfg
-                .globals
-                .iter()
-                .enumerate()
-                .map(|(i, g)| format!("{g}={}", (r.globals_at_entry >> i) & 1))
-                .collect();
-            let how = if j == 0 { "starts" } else { "takes over" };
-            let _ =
-                writeln!(out, "  round {j}: thread {} {how} with [{}]", r.thread, vals.join(" "));
+            out.push_str(&round_line(cfg, j, r));
         }
         let _ = writeln!(
             out,
             "  target reached in round {}: {}",
             self.rounds.len() - 1,
             describe_pc(cfg, self.target)
+        );
+        out
+    }
+}
+
+/// `  round 2: thread 1 takes over with [flag=1]\n` — one schedule round.
+fn round_line(cfg: &Cfg, j: usize, r: &Round) -> String {
+    let vals: Vec<String> = cfg
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| format!("{g}={}", (r.globals_at_entry >> i) & 1))
+        .collect();
+    let how = if j == 0 { "starts" } else { "takes over" };
+    format!("  round {j}: thread {} {how} with [{}]\n", r.thread, vals.join(" "))
+}
+
+/// One statement-granular step of a concurrent witness trace, recording —
+/// like the sequential [`Step`] — the *post*-state: the pc the active
+/// thread's control reaches, the shared globals, and the locals of that
+/// thread's then-current frame. `round` places the step in its schedule
+/// round (whose scheduled thread is `thread`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcStep {
+    /// Index into the schedule's rounds.
+    pub round: usize,
+    /// The thread taking the step.
+    pub thread: usize,
+    /// Transition kind.
+    pub kind: StepKind,
+    /// Post-state pc.
+    pub pc: Pc,
+    /// Post-state shared-global valuation.
+    pub globals: Bits,
+    /// Post-state locals of the stepping thread's current frame.
+    pub locals: Bits,
+}
+
+/// A statement-granular concurrent witness: the round-level [`Schedule`]
+/// refined into an explicit interleaved sequence of statement steps —
+/// every scheduler choice *and* every intra-round step and
+/// nondeterministic value pinned. Validated by the deterministic guided
+/// replayer ([`getafix_conc::conc_replay_guided`]) via
+/// [`ConcTrace::to_guided`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcTrace {
+    /// The round-level skeleton: who runs each round and the shared
+    /// globals at every hand-over.
+    pub schedule: Schedule,
+    /// The steps, in execution order across all rounds.
+    pub steps: Vec<ConcStep>,
+}
+
+impl ConcTrace {
+    /// Builds a trace from the explicit engine's refined step script.
+    pub fn from_guided(schedule: Schedule, steps: &[GuidedStep]) -> ConcTrace {
+        let steps = steps
+            .iter()
+            .map(|g| {
+                let (kind, pc, globals, locals) = match g.step {
+                    ReplayStep::Internal { to, globals, locals } => {
+                        (StepKind::Internal, to, globals, locals)
+                    }
+                    ReplayStep::Call { entry, globals, locals } => {
+                        (StepKind::Call, entry, globals, locals)
+                    }
+                    ReplayStep::Return { ret_to, globals, locals } => {
+                        (StepKind::Return, ret_to, globals, locals)
+                    }
+                };
+                ConcStep { round: g.round, thread: g.thread, kind, pc, globals, locals }
+            })
+            .collect();
+        ConcTrace { schedule, steps }
+    }
+
+    /// The trace as the guided replayer's step script.
+    pub fn to_guided(&self) -> Vec<GuidedStep> {
+        self.steps
+            .iter()
+            .map(|s| {
+                let step = match s.kind {
+                    StepKind::Internal => {
+                        ReplayStep::Internal { to: s.pc, globals: s.globals, locals: s.locals }
+                    }
+                    StepKind::Call => {
+                        ReplayStep::Call { entry: s.pc, globals: s.globals, locals: s.locals }
+                    }
+                    StepKind::Return => {
+                        ReplayStep::Return { ret_to: s.pc, globals: s.globals, locals: s.locals }
+                    }
+                };
+                GuidedStep { round: s.round, thread: s.thread, step }
+            })
+            .collect()
+    }
+
+    /// The round skeleton in the round-level replayer's format — must
+    /// agree with what [`getafix_conc::conc_replay_schedule`] accepts.
+    pub fn round_skeleton(&self) -> Vec<ScheduleRound> {
+        self.schedule.to_replay()
+    }
+
+    /// Pretty-prints the interleaved trace: one header per round, then
+    /// that round's statement steps in the sequential trace's format
+    /// (procedure names, labels, source lines, valuations), indented by
+    /// the stepping thread's call depth.
+    pub fn render(&self, cfg: &Cfg) -> String {
+        let mut out = String::new();
+        // Call depth per thread, grown on demand.
+        let mut depth: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        for (j, r) in self.schedule.rounds.iter().enumerate() {
+            out.push_str(&round_line(cfg, j, r));
+            if depth.len() <= r.thread {
+                depth.resize(r.thread + 1, 0);
+            }
+            while i < self.steps.len() && self.steps[i].round == j {
+                let s = &self.steps[i];
+                let proc = cfg.proc_of(s.pc);
+                let verb = match s.kind {
+                    StepKind::Internal => "step",
+                    StepKind::Call => {
+                        depth[s.thread] += 1;
+                        "call"
+                    }
+                    StepKind::Return => {
+                        depth[s.thread] = depth[s.thread].saturating_sub(1);
+                        "return"
+                    }
+                };
+                let indent = "  ".repeat(depth[s.thread]);
+                let state = render_state(cfg, proc, s.globals, s.locals);
+                let _ = writeln!(
+                    out,
+                    "  #{i:<4} {indent}{verb:<6} in {:<12} {} {state}",
+                    proc.name,
+                    describe_pc(cfg, s.pc),
+                );
+                i += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  target reached in round {}: {}",
+            self.schedule.rounds.len() - 1,
+            describe_pc(cfg, self.schedule.target)
         );
         out
     }

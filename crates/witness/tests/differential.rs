@@ -12,9 +12,9 @@
 //! evidence here.
 
 use getafix_boolprog::{explicit_reachable, parse_concurrent, parse_program, replay, Cfg};
-use getafix_conc::{conc_replay_schedule, merge, ConcLimits};
+use getafix_conc::{conc_replay_guided, conc_replay_schedule, merge, ConcLimits};
 use getafix_mucalc::{SolveOptions, Strategy};
-use getafix_witness::{concurrent_witness, sequential_witness};
+use getafix_witness::{concurrent_trace_from_schedule, concurrent_witness, sequential_witness};
 
 /// Extract under one strategy and cross-check against the explicit oracle.
 fn check_seq(src: &str, label: &str) {
@@ -85,6 +85,42 @@ fn check_conc(src: &str, label: &str, max_k: usize, replayable: bool) {
                 )
                 .unwrap_or_else(|e| panic!("k={k} {strategy}: replay: {e}\n{src}"));
                 assert!(ok, "k={k} {strategy}: schedule does not replay: {schedule:?}\n{src}");
+
+                // Statement-granular refinement: the schedule must refine
+                // into an explicit interleaved step sequence that the
+                // *guided* replayer accepts — and its round skeleton must
+                // be exactly the schedule the round-level replayer just
+                // validated.
+                let trace = concurrent_trace_from_schedule(
+                    &merged,
+                    &[pc],
+                    &schedule,
+                    ConcLimits::default(),
+                )
+                .unwrap_or_else(|e| panic!("k={k} {strategy}: refine: {e}\n{src}"));
+                assert_eq!(trace.round_skeleton(), schedule.to_replay(), "{src}");
+                // concurrent_trace_from_schedule validates internally;
+                // re-run the guided replayer so the *test* holds the
+                // evidence too.
+                conc_replay_guided(
+                    &merged,
+                    &[pc],
+                    &trace.round_skeleton(),
+                    &trace.to_guided(),
+                    ConcLimits::default(),
+                )
+                .unwrap_or_else(|e| panic!("k={k} {strategy}: guided replay rejected: {e}\n{src}"));
+                // Every step names its round's scheduled thread, and the
+                // steps are round-ordered.
+                for w in trace.steps.windows(2) {
+                    assert!(w[0].round <= w[1].round, "steps out of round order\n{src}");
+                }
+                for s in &trace.steps {
+                    assert_eq!(s.thread, trace.schedule.rounds[s.round].thread, "{src}");
+                }
+                // Render must not panic and should mention the target.
+                let shown = trace.render(&merged.cfg);
+                assert!(shown.contains("target reached"), "{shown}");
             }
         }
     }
@@ -656,6 +692,138 @@ fn conc_mutual_flags_need_two_visits() {
         endthread
     "#;
     check_conc(src, "t0__HIT", 3, true);
+}
+
+/// The Figure 3 Bluetooth-driver corpus: every reachable bug threshold
+/// must yield a statement-granular trace the guided replayer accepts, and
+/// the guided round skeleton must agree with the round-level replayer —
+/// under both strategies. Multi-target extraction (one `ERR` per adder) is
+/// exercised too.
+#[test]
+fn conc_bluetooth_statement_traces() {
+    use getafix_workloads::{adder_err_label, bluetooth, FIG3_WITNESS_CASES};
+    // (adders, stoppers, k, reachable) — the Figure 3 bug thresholds,
+    // shared with the bench reporter's fig3 group.
+    for (adders, stoppers, k, expect) in FIG3_WITNESS_CASES {
+        let conc = bluetooth(adders, stoppers);
+        let merged = merge(&conc).unwrap();
+        let targets: Vec<_> =
+            (0..adders).map(|i| merged.cfg.label(&adder_err_label(i)).unwrap()).collect();
+        for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+            let options = SolveOptions::with_strategy(strategy);
+            let witness = concurrent_witness(&merged, &targets, k, options)
+                .unwrap_or_else(|e| panic!("{adders}a{stoppers}s k={k} {strategy}: {e}"));
+            let Some(schedule) = witness else {
+                assert!(!expect, "{adders}a{stoppers}s k={k} {strategy}: no schedule");
+                continue;
+            };
+            assert!(expect, "{adders}a{stoppers}s k={k} {strategy}: unexpected witness");
+            let ok = conc_replay_schedule(
+                &merged,
+                &targets,
+                &schedule.to_replay(),
+                ConcLimits::default(),
+            )
+            .unwrap();
+            assert!(ok, "{adders}a{stoppers}s k={k} {strategy}: schedule does not replay");
+            let trace =
+                concurrent_trace_from_schedule(&merged, &targets, &schedule, ConcLimits::default())
+                    .unwrap_or_else(|e| panic!("{adders}a{stoppers}s k={k} {strategy}: {e}"));
+            assert_eq!(trace.round_skeleton(), schedule.to_replay());
+            conc_replay_guided(
+                &merged,
+                &targets,
+                &trace.round_skeleton(),
+                &trace.to_guided(),
+                ConcLimits::default(),
+            )
+            .unwrap_or_else(|e| panic!("{adders}a{stoppers}s k={k} {strategy}: guided: {e}"));
+        }
+    }
+}
+
+// --- the seeded random concurrent corpus ----------------------------------
+
+fn rand_conc_stmts(rng: &mut Rng, vars: &[&str], budget: &mut usize, depth: usize) -> String {
+    let mut out = String::new();
+    let n = 1 + rng.below(2);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        let choice = if depth == 0 { rng.below(3) } else { rng.below(5) };
+        match choice {
+            0 | 1 => {
+                let target = vars[rng.below(vars.len() as u64) as usize];
+                out.push_str(&format!("{target} := {};\n", rand_expr(rng, vars, 2)));
+            }
+            2 => {
+                out.push_str("call poke();\n");
+            }
+            3 => {
+                out.push_str(&format!(
+                    "if ({}) then\n{}else\n{}fi;\n",
+                    rand_expr(rng, vars, 2),
+                    rand_conc_stmts(rng, vars, budget, depth - 1),
+                    rand_conc_stmts(rng, vars, budget, depth - 1)
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "while ({} & *) do\n{}od;\n",
+                    rand_expr(rng, vars, 1),
+                    rand_conc_stmts(rng, vars, budget, depth - 1)
+                ));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("skip;\n");
+    }
+    out
+}
+
+/// Random finite-stack two-thread programs: every reachable verdict must
+/// refine into a guided-replayable statement trace whose round skeleton
+/// the round-level replayer also accepts (via `check_conc`), at every
+/// bound and under both strategies.
+#[test]
+fn randomized_concurrent_programs_yield_guided_traces() {
+    for seed in 1..=12u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let vars = ["a", "b", "x"];
+        let mut budget = 5usize;
+        let body0 = rand_conc_stmts(&mut rng, &vars, &mut budget, 2);
+        let guard = rand_expr(&mut rng, &["a", "b"], 2);
+        let mut budget = 5usize;
+        let body1 = rand_conc_stmts(&mut rng, &vars, &mut budget, 2);
+        let src = format!(
+            r#"
+            shared a, b;
+            thread
+              main() begin
+                decl x;
+                {body0}
+                if ({guard}) then HIT: skip; fi;
+              end
+              poke() begin
+                a := !a;
+              end
+            endthread
+            thread
+              main() begin
+                decl x;
+                {body1}
+              end
+              poke() begin
+                b := !b;
+              end
+            endthread
+            "#
+        );
+        check_conc(&src, "t0__HIT", 2, true);
+    }
 }
 
 #[test]

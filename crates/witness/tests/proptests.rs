@@ -1,11 +1,21 @@
 //! Property-based witness testing: on randomly generated programs, a
 //! reachable target always yields a trace that replays to the target in
 //! the concrete interpreter, and an unreachable target always yields
-//! `None` — under both solver strategies.
+//! `None` — under both solver strategies. The concurrent properties mirror
+//! this for statement-granular traces: every reachable verdict refines
+//! into a script the deterministic guided replayer accepts, mutated
+//! scripts are rejected, and the guided round skeleton agrees with the
+//! round-level schedule replayer.
 
-use getafix_boolprog::{explicit_reachable, replay, Cfg, Expr, Proc, Program, Stmt, StmtKind};
+use getafix_boolprog::{
+    explicit_reachable, replay, Cfg, ConcProgram, Expr, Proc, Program, Stmt, StmtKind,
+};
+use getafix_conc::{
+    conc_explicit_reachable, conc_replay_guided, conc_replay_schedule, merge, ConcExplicitError,
+    ConcLimits,
+};
 use getafix_mucalc::{SolveOptions, Strategy as SolverStrategy};
-use getafix_witness::sequential_witness;
+use getafix_witness::{concurrent_trace_from_schedule, concurrent_witness, sequential_witness};
 use proptest::prelude::*;
 
 const VARS: [&str; 4] = ["g0", "g1", "x", "y"];
@@ -102,6 +112,85 @@ fn program_strategy() -> impl Strategy<Value = Program> {
     })
 }
 
+/// Statements for concurrent threads: like [`stmt_strategy`] but with no
+/// recursive calls (guided replay materializes stacks, so the generated
+/// programs must have finite stacks) — `poke` is a per-thread straight-line
+/// helper instead.
+fn conc_stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let base = prop_oneof![
+        Just(StmtKind::Skip),
+        (0..VARS.len(), expr_strategy())
+            .prop_map(|(i, e)| StmtKind::Assign { targets: vec![VARS[i].into()], exprs: vec![e] }),
+        Just(StmtKind::Call { callee: "poke".into(), args: vec![] }),
+    ];
+    let kinds = base.prop_recursive(2, 8, 2, |inner| {
+        let stmt = inner.prop_map(Stmt::new);
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(stmt.clone(), 1..3),
+                prop::collection::vec(stmt.clone(), 0..2)
+            )
+                .prop_map(|(c, t, e)| StmtKind::If {
+                    cond: c,
+                    then_branch: t,
+                    else_branch: e
+                }),
+            (expr_strategy(), prop::collection::vec(stmt, 1..2))
+                .prop_map(|(c, b)| StmtKind::While { cond: Expr::and(c, Expr::Nondet), body: b }),
+        ]
+    });
+    kinds.prop_map(Stmt::new)
+}
+
+/// A thread: a `main` over shared `g0`/`g1` and locals `x`/`y`, plus a
+/// non-recursive `poke` helper toggling one shared variable.
+fn thread_program(body: Vec<Stmt>, poke_target: &str) -> Program {
+    Program {
+        globals: vec![],
+        procs: vec![
+            Proc {
+                name: "main".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec!["x".into(), "y".into()],
+                body,
+            },
+            Proc {
+                name: "poke".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec![],
+                body: vec![Stmt::new(StmtKind::Assign {
+                    targets: vec![poke_target.into()],
+                    exprs: vec![Expr::not(Expr::var(poke_target))],
+                })],
+            },
+        ],
+    }
+}
+
+/// A random two-thread program whose first thread ends with
+/// `if (guard) then HIT: skip; fi`.
+fn conc_program_strategy() -> impl Strategy<Value = ConcProgram> {
+    (
+        prop::collection::vec(conc_stmt_strategy(), 1..4),
+        prop::collection::vec(conc_stmt_strategy(), 1..4),
+        expr_strategy(),
+    )
+        .prop_map(|(mut body0, body1, guard)| {
+            body0.push(Stmt::new(StmtKind::If {
+                cond: guard,
+                then_branch: vec![Stmt::labeled("HIT", StmtKind::Skip)],
+                else_branch: vec![],
+            }));
+            ConcProgram {
+                shared: vec!["g0".into(), "g1".into()],
+                threads: vec![thread_program(body0, "g0"), thread_program(body1, "g1")],
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -124,6 +213,108 @@ proptest! {
                     prop_assert!(check.is_ok(), "replay rejected: {:?}\n{}", check, p);
                 }
                 None => prop_assert!(!oracle, "reachable but no witness\n{}", p),
+            }
+        }
+    }
+
+    /// The guided-replayer contract on random concurrent programs:
+    /// (a) every reachable verdict yields a statement-granular trace the
+    ///     guided replayer accepts deterministically;
+    /// (b) mutated scripts — wrong thread, wrong pc, perturbed globals,
+    ///     reordered steps — are rejected;
+    /// (c) the guided trace's round skeleton agrees with
+    ///     `conc_replay_schedule`.
+    /// Both solver strategies; unreachable verdicts must match the
+    /// explicit oracle.
+    #[test]
+    fn guided_replay_matches_the_oracle(p in conc_program_strategy()) {
+        let merged = merge(&p).unwrap();
+        let target = merged.cfg.label("t0__HIT").expect("generated label");
+        let limits = ConcLimits::default();
+        let switches = 2usize;
+        let oracle = conc_explicit_reachable(&merged, &[target], switches, limits)
+            .expect("oracle within budget");
+        for strategy in [SolverStrategy::Worklist, SolverStrategy::RoundRobin] {
+            let options = SolveOptions::with_strategy(strategy);
+            let witness = concurrent_witness(&merged, &[target], switches, options)
+                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            let Some(schedule) = witness else {
+                prop_assert!(!oracle, "{strategy}: reachable but no schedule");
+                continue;
+            };
+            prop_assert!(oracle, "{strategy}: schedule for unreachable target");
+
+            // (a) refinement succeeds and the guided replayer accepts it.
+            let trace = concurrent_trace_from_schedule(&merged, &[target], &schedule, limits)
+                .unwrap_or_else(|e| panic!("{strategy}: refine: {e}"));
+            let rounds = trace.round_skeleton();
+            let steps = trace.to_guided();
+            let accepted = conc_replay_guided(&merged, &[target], &rounds, &steps, limits);
+            prop_assert!(accepted.is_ok(), "{strategy}: guided replay rejected: {accepted:?}");
+
+            // (c) the round skeleton is exactly the schedule, and the
+            // round-level replayer agrees it is executable.
+            prop_assert_eq!(&rounds, &schedule.to_replay());
+            let round_ok = conc_replay_schedule(&merged, &[target], &rounds, limits)
+                .unwrap_or_else(|e| panic!("{strategy}: round replay: {e}"));
+            prop_assert!(round_ok, "{strategy}: round-level replay disagrees with guided");
+
+            // (b) mutations are rejected. Each mutation below violates an
+            // invariant the replayer *must* check, independently of what
+            // the program's nondeterminism would otherwise admit.
+            let rejected = |r: Result<(), ConcExplicitError>| {
+                matches!(r, Err(ConcExplicitError::ScriptRejected { .. }))
+            };
+            if !steps.is_empty() {
+                // Wrong thread: the round's scheduled thread is unique.
+                let mut bad = steps.clone();
+                bad[0].thread = (bad[0].thread + 1) % merged.n_threads;
+                prop_assert!(
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    "{strategy}: wrong-thread mutation accepted"
+                );
+
+                // Wrong pc: no edge targets a pc outside the program.
+                let mut bad = steps.clone();
+                let off = merged.cfg.pc_count;
+                bad[0].step = match bad[0].step {
+                    getafix_boolprog::ReplayStep::Internal { to, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Internal { to: to + off, globals, locals },
+                    getafix_boolprog::ReplayStep::Call { entry, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Call { entry: entry + off, globals, locals },
+                    getafix_boolprog::ReplayStep::Return { ret_to, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Return { ret_to: ret_to + off, globals, locals },
+                };
+                prop_assert!(
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    "{strategy}: wrong-pc mutation accepted"
+                );
+
+                // Perturbed globals: an out-of-frame bit can never be set.
+                let mut bad = steps.clone();
+                bad[0].step = match bad[0].step {
+                    getafix_boolprog::ReplayStep::Internal { to, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Internal { to, globals: globals | 1 << 63, locals },
+                    getafix_boolprog::ReplayStep::Call { entry, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Call { entry, globals: globals | 1 << 63, locals },
+                    getafix_boolprog::ReplayStep::Return { ret_to, globals, locals } =>
+                        getafix_boolprog::ReplayStep::Return { ret_to, globals: globals | 1 << 63, locals },
+                };
+                prop_assert!(
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    "{strategy}: perturbed-globals mutation accepted"
+                );
+            }
+            // Reordered steps: moving a later round's step before an
+            // earlier round's regresses the round counter — always
+            // rejected, whatever the intra-round semantics would admit.
+            if let Some(j) = steps.iter().position(|s| s.round > steps[0].round) {
+                let mut bad = steps.clone();
+                bad.swap(0, j);
+                prop_assert!(
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    "{strategy}: reordered-steps mutation accepted"
+                );
             }
         }
     }

@@ -102,6 +102,13 @@ pub const FIGURE3_CONFIGS: [(&str, usize, usize); 4] = [
     ("two adders and two stoppers", 2, 2),
 ];
 
+/// The Figure 3 witness-pipeline cases — `(adders, stoppers, switches,
+/// reachable)` straddling the documented bug thresholds — shared by the
+/// `bench-report` fig3 group and the witness differential suite so the
+/// two always assert the same corpus.
+pub const FIG3_WITNESS_CASES: [(usize, usize, usize, bool); 4] =
+    [(1, 1, 3, false), (1, 2, 2, false), (1, 2, 3, true), (2, 2, 3, true)];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@ mod regression;
 mod slam;
 mod terminator;
 
-pub use bluetooth::{adder_err_label, bluetooth, FIGURE3_CONFIGS};
+pub use bluetooth::{adder_err_label, bluetooth, FIG3_WITNESS_CASES, FIGURE3_CONFIGS};
 pub use regression::{regression_suite, Case};
 pub use slam::{driver, slam_suites, DriverCase, DriverSpec};
 pub use terminator::{terminator, terminator_suite, DeadStyle, TerminatorCase, TerminatorVariant};
