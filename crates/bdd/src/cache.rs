@@ -1,50 +1,274 @@
-//! Operation caches (computed tables) for the manager.
+//! Lossy computed tables (operation caches) for the manager.
 //!
-//! Every recursive BDD operation memoizes its results keyed on operand
-//! handles. Canonicity of the arena makes the keys exact: equal keys always
-//! denote equal results. Caches survive until [`crate::Manager::gc`] or
-//! [`crate::Manager::clear_caches`] runs.
+//! Every recursive BDD operation memoizes results keyed on operand handles.
+//! Unlike the previous growable `FxHashMap`s, each table here is a
+//! **fixed-size direct-mapped array**: a key hashes to exactly one slot, a
+//! colliding insert overwrites whatever lived there, and a lookup compares
+//! the stored key exactly before returning the stored result.
+//!
+//! # Why lossiness is sound
+//!
+//! Canonicity of the arena makes cache keys *exact*: equal keys always
+//! denote equal results, so a hit can never return a wrong value — only a
+//! stale-generation or overwritten entry can be *missed*, in which case the
+//! operation simply recomputes (and, being deterministic over a canonical
+//! arena, recomputes the identical handle). Lossiness therefore affects
+//! throughput, never results.
+//!
+//! # Generations instead of `clear()`
+//!
+//! Invalidating after a GC (cached results may reference reclaimed nodes)
+//! does not touch the arrays at all: a single generation counter is bumped,
+//! and every slot stamped with an older generation reads as empty. This
+//! makes [`Caches::clear`] O(1) — important now that GC can run in the
+//! middle of a long stratum.
 
-use crate::hasher::FxHashMap;
 use crate::manager::{Bdd, Var};
+use crate::table::hash_node;
 
-/// The binary Boolean connectives handled by the generic `apply`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum BinOp {
-    And,
-    Or,
-    Xor,
+/// Sizing knobs for the computed tables, as log₂ slot counts.
+///
+/// Set at [`crate::Manager`] construction ([`crate::Manager::with_config`]);
+/// each table is allocated lazily at its configured size on first use and
+/// never grows — a bigger table trades memory for fewer collision
+/// evictions. The defaults total a few MiB when fully populated; managers
+/// that never touch an operation never pay for its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// log₂ slots of the conjunction cache (disjunction is derived from it
+    /// via complement edges, negation is free).
+    pub and_bits: u32,
+    /// log₂ slots of the exclusive-or cache.
+    pub xor_bits: u32,
+    /// log₂ slots of the if-then-else cache.
+    pub ite_bits: u32,
+    /// log₂ slots of the existential-quantification cache.
+    pub exists_bits: u32,
+    /// log₂ slots of the fused `∃·∧` relational-product cache.
+    pub and_exists_bits: u32,
+    /// log₂ slots of the variable-renaming cache.
+    pub rename_bits: u32,
+    /// log₂ slots of the fused `∃·(rename ∧ ·)` image cache.
+    pub rename_and_exists_bits: u32,
+    /// log₂ slots of the single-variable restriction cache.
+    pub restrict_bits: u32,
+    /// log₂ slots of the cube-cofactor ([`crate::Manager::restrict_cube`])
+    /// cache.
+    pub cofactor_bits: u32,
 }
 
-/// All computed tables, grouped so they can be cleared at once.
-#[derive(Debug, Default)]
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            and_bits: 14,
+            xor_bits: 12,
+            ite_bits: 12,
+            exists_bits: 13,
+            and_exists_bits: 15,
+            rename_bits: 12,
+            rename_and_exists_bits: 15,
+            restrict_bits: 12,
+            cofactor_bits: 12,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration giving every table `bits` log₂ slots.
+    pub fn uniform(bits: u32) -> CacheConfig {
+        CacheConfig {
+            and_bits: bits,
+            xor_bits: bits,
+            ite_bits: bits,
+            exists_bits: bits,
+            and_exists_bits: bits,
+            rename_bits: bits,
+            rename_and_exists_bits: bits,
+            restrict_bits: bits,
+            cofactor_bits: bits,
+        }
+    }
+}
+
+/// A two-key direct-mapped entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot2 {
+    a: u32,
+    b: u32,
+    r: u32,
+    gen: u32,
+}
+
+/// A three-key direct-mapped entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot3 {
+    a: u32,
+    b: u32,
+    c: u32,
+    r: u32,
+    gen: u32,
+}
+
+/// A four-key direct-mapped entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot4 {
+    a: u32,
+    b: u32,
+    c: u32,
+    d: u32,
+    r: u32,
+    gen: u32,
+}
+
+/// All computed tables plus the shared generation counter.
+#[derive(Debug)]
 pub(crate) struct Caches {
-    binop: FxHashMap<(BinOp, u32, u32), u32>,
-    not: FxHashMap<u32, u32>,
-    ite: FxHashMap<(u32, u32, u32), u32>,
-    exists: FxHashMap<(u32, u32), u32>,
-    and_exists: FxHashMap<(u32, u32, u32), u32>,
-    rename: FxHashMap<(u32, u64), u32>,
-    rename_and_exists: FxHashMap<(u32, u64, u32, u32), u32>,
-    restrict: FxHashMap<(u32, u32, bool), u32>,
+    and: Vec<Slot2>,
+    xor: Vec<Slot2>,
+    ite: Vec<Slot3>,
+    exists: Vec<Slot2>,
+    and_exists: Vec<Slot3>,
+    rename: Vec<Slot2>,
+    rename_and_exists: Vec<Slot4>,
+    restrict: Vec<Slot2>,
+    cofactor: Vec<Slot2>,
+    /// Table sizes; consulted when a table is first written to.
+    config: CacheConfig,
+    /// Current generation; slots stamped with anything else are empty.
+    /// Starts at 1 so zero-initialized slots read as empty.
+    gen: u32,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
 }
 
+#[inline]
+fn index2(table_len: usize, a: u32, b: u32) -> usize {
+    (hash_node(0, a, b) as usize) & (table_len - 1)
+}
+
+#[inline]
+fn index3(table_len: usize, a: u32, b: u32, c: u32) -> usize {
+    (hash_node(a, b, c) as usize) & (table_len - 1)
+}
+
+#[inline]
+fn index4(table_len: usize, a: u32, b: u32, c: u32, d: u32) -> usize {
+    (hash_node(a, b, c).wrapping_add(u64::from(d).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize)
+        & (table_len - 1)
+}
+
 impl Caches {
+    /// Tables are allocated *lazily*, on the first insertion into each:
+    /// short-lived managers (one per solved case in a differential or
+    /// bench sweep) never pay for zeroing slots an operation mix does not
+    /// touch.
+    pub(crate) fn new(config: CacheConfig) -> Caches {
+        Caches {
+            and: Vec::new(),
+            xor: Vec::new(),
+            ite: Vec::new(),
+            exists: Vec::new(),
+            and_exists: Vec::new(),
+            rename: Vec::new(),
+            rename_and_exists: Vec::new(),
+            restrict: Vec::new(),
+            cofactor: Vec::new(),
+            config,
+            gen: 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bytes held by the computed tables.
+    pub(crate) fn bytes(&self) -> usize {
+        self.and.len() * std::mem::size_of::<Slot2>()
+            + self.xor.len() * std::mem::size_of::<Slot2>()
+            + self.ite.len() * std::mem::size_of::<Slot3>()
+            + self.exists.len() * std::mem::size_of::<Slot2>()
+            + self.and_exists.len() * std::mem::size_of::<Slot3>()
+            + self.rename.len() * std::mem::size_of::<Slot2>()
+            + self.rename_and_exists.len() * std::mem::size_of::<Slot4>()
+            + self.restrict.len() * std::mem::size_of::<Slot2>()
+            + self.cofactor.len() * std::mem::size_of::<Slot2>()
+    }
+
+    /// Invalidates every entry in O(1) by bumping the generation. On the
+    /// (practically unreachable) 2³²-nd clear the arrays are zeroed to keep
+    /// stale stamps from aliasing the restarted counter.
     pub(crate) fn clear(&mut self) {
-        self.binop.clear();
-        self.not.clear();
-        self.ite.clear();
-        self.exists.clear();
-        self.and_exists.clear();
-        self.rename.clear();
-        self.rename_and_exists.clear();
-        self.restrict.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.and.fill(Slot2::default());
+            self.xor.fill(Slot2::default());
+            self.ite.fill(Slot3::default());
+            self.exists.fill(Slot2::default());
+            self.and_exists.fill(Slot3::default());
+            self.rename.fill(Slot2::default());
+            self.rename_and_exists.fill(Slot4::default());
+            self.restrict.fill(Slot2::default());
+            self.cofactor.fill(Slot2::default());
+            self.gen = 1;
+        }
     }
 
     #[inline]
-    fn record<T: Copy>(&mut self, hit: Option<T>) -> Option<T> {
+    fn get2(table: &[Slot2], gen: u32, a: u32, b: u32) -> Option<Bdd> {
+        if table.is_empty() {
+            return None;
+        }
+        let s = &table[index2(table.len(), a, b)];
+        (s.gen == gen && s.a == a && s.b == b).then_some(Bdd(s.r))
+    }
+
+    #[inline]
+    fn put2(table: &mut Vec<Slot2>, bits: u32, gen: u32, a: u32, b: u32, r: u32) {
+        if table.is_empty() {
+            table.resize(1usize << bits, Slot2::default());
+        }
+        let i = index2(table.len(), a, b);
+        table[i] = Slot2 { a, b, r, gen };
+    }
+
+    #[inline]
+    fn get3(table: &[Slot3], gen: u32, a: u32, b: u32, c: u32) -> Option<Bdd> {
+        if table.is_empty() {
+            return None;
+        }
+        let s = &table[index3(table.len(), a, b, c)];
+        (s.gen == gen && s.a == a && s.b == b && s.c == c).then_some(Bdd(s.r))
+    }
+
+    #[inline]
+    fn put3(table: &mut Vec<Slot3>, bits: u32, gen: u32, a: u32, b: u32, c: u32, r: u32) {
+        if table.is_empty() {
+            table.resize(1usize << bits, Slot3::default());
+        }
+        let i = index3(table.len(), a, b, c);
+        table[i] = Slot3 { a, b, c, r, gen };
+    }
+
+    #[inline]
+    fn get4(table: &[Slot4], gen: u32, a: u32, b: u32, c: u32, d: u32) -> Option<Bdd> {
+        if table.is_empty() {
+            return None;
+        }
+        let s = &table[index4(table.len(), a, b, c, d)];
+        (s.gen == gen && s.a == a && s.b == b && s.c == c && s.d == d).then_some(Bdd(s.r))
+    }
+
+    #[inline]
+    fn put4(table: &mut Vec<Slot4>, bits: u32, gen: u32, key: (u32, u32, u32, u32), r: u32) {
+        if table.is_empty() {
+            table.resize(1usize << bits, Slot4::default());
+        }
+        let (a, b, c, d) = key;
+        let i = index4(table.len(), a, b, c, d);
+        table[i] = Slot4 { a, b, c, d, r, gen };
+    }
+
+    #[inline]
+    fn record(&mut self, hit: Option<Bdd>) -> Option<Bdd> {
         match hit {
             Some(v) => {
                 self.hits += 1;
@@ -58,96 +282,123 @@ impl Caches {
     }
 
     #[inline]
-    pub(crate) fn binop_get(&mut self, op: BinOp, f: Bdd, g: Bdd) -> Option<Bdd> {
-        let hit = self.binop.get(&(op, f.0, g.0)).map(|&r| Bdd(r));
+    pub(crate) fn and_get(&mut self, f: Bdd, g: Bdd) -> Option<Bdd> {
+        let hit = Self::get2(&self.and, self.gen, f.0, g.0);
         self.record(hit)
     }
 
     #[inline]
-    pub(crate) fn binop_put(&mut self, op: BinOp, f: Bdd, g: Bdd, r: Bdd) {
-        self.binop.insert((op, f.0, g.0), r.0);
+    pub(crate) fn and_put(&mut self, f: Bdd, g: Bdd, r: Bdd) {
+        Self::put2(&mut self.and, self.config.and_bits, self.gen, f.0, g.0, r.0);
     }
 
     #[inline]
-    pub(crate) fn not_get(&mut self, f: Bdd) -> Option<Bdd> {
-        let hit = self.not.get(&f.0).map(|&r| Bdd(r));
+    pub(crate) fn xor_get(&mut self, f: Bdd, g: Bdd) -> Option<Bdd> {
+        let hit = Self::get2(&self.xor, self.gen, f.0, g.0);
         self.record(hit)
     }
 
     #[inline]
-    pub(crate) fn not_put(&mut self, f: Bdd, r: Bdd) {
-        self.not.insert(f.0, r.0);
+    pub(crate) fn xor_put(&mut self, f: Bdd, g: Bdd, r: Bdd) {
+        Self::put2(&mut self.xor, self.config.xor_bits, self.gen, f.0, g.0, r.0);
     }
 
     #[inline]
     pub(crate) fn ite_get(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Option<Bdd> {
-        let hit = self.ite.get(&(f.0, g.0, h.0)).map(|&r| Bdd(r));
+        let hit = Self::get3(&self.ite, self.gen, f.0, g.0, h.0);
         self.record(hit)
     }
 
     #[inline]
     pub(crate) fn ite_put(&mut self, f: Bdd, g: Bdd, h: Bdd, r: Bdd) {
-        self.ite.insert((f.0, g.0, h.0), r.0);
+        Self::put3(&mut self.ite, self.config.ite_bits, self.gen, f.0, g.0, h.0, r.0);
     }
 
     #[inline]
     pub(crate) fn exists_get(&mut self, f: Bdd, cube: Bdd) -> Option<Bdd> {
-        let hit = self.exists.get(&(f.0, cube.0)).map(|&r| Bdd(r));
+        let hit = Self::get2(&self.exists, self.gen, f.0, cube.0);
         self.record(hit)
     }
 
     #[inline]
     pub(crate) fn exists_put(&mut self, f: Bdd, cube: Bdd, r: Bdd) {
-        self.exists.insert((f.0, cube.0), r.0);
+        Self::put2(&mut self.exists, self.config.exists_bits, self.gen, f.0, cube.0, r.0);
     }
 
     #[inline]
     pub(crate) fn and_exists_get(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Option<Bdd> {
-        let hit = self.and_exists.get(&(f.0, g.0, cube.0)).map(|&r| Bdd(r));
+        let hit = Self::get3(&self.and_exists, self.gen, f.0, g.0, cube.0);
         self.record(hit)
     }
 
     #[inline]
     pub(crate) fn and_exists_put(&mut self, f: Bdd, g: Bdd, cube: Bdd, r: Bdd) {
-        self.and_exists.insert((f.0, g.0, cube.0), r.0);
+        Self::put3(
+            &mut self.and_exists,
+            self.config.and_exists_bits,
+            self.gen,
+            f.0,
+            g.0,
+            cube.0,
+            r.0,
+        );
     }
 
     #[inline]
-    pub(crate) fn rename_get(&mut self, f: Bdd, map_id: u64) -> Option<Bdd> {
-        let hit = self.rename.get(&(f.0, map_id)).map(|&r| Bdd(r));
+    pub(crate) fn rename_get(&mut self, f: Bdd, map_id: u32) -> Option<Bdd> {
+        let hit = Self::get2(&self.rename, self.gen, f.0, map_id);
         self.record(hit)
     }
 
     #[inline]
-    pub(crate) fn rename_put(&mut self, f: Bdd, map_id: u64, r: Bdd) {
-        self.rename.insert((f.0, map_id), r.0);
+    pub(crate) fn rename_put(&mut self, f: Bdd, map_id: u32, r: Bdd) {
+        Self::put2(&mut self.rename, self.config.rename_bits, self.gen, f.0, map_id, r.0);
     }
 
     #[inline]
     pub(crate) fn rename_and_exists_get(
         &mut self,
         f: Bdd,
-        map_id: u64,
+        map_id: u32,
         g: Bdd,
         cube: Bdd,
     ) -> Option<Bdd> {
-        let hit = self.rename_and_exists.get(&(f.0, map_id, g.0, cube.0)).map(|&r| Bdd(r));
+        let hit = Self::get4(&self.rename_and_exists, self.gen, f.0, map_id, g.0, cube.0);
         self.record(hit)
     }
 
     #[inline]
-    pub(crate) fn rename_and_exists_put(&mut self, f: Bdd, map_id: u64, g: Bdd, cube: Bdd, r: Bdd) {
-        self.rename_and_exists.insert((f.0, map_id, g.0, cube.0), r.0);
+    pub(crate) fn rename_and_exists_put(&mut self, f: Bdd, map_id: u32, g: Bdd, cube: Bdd, r: Bdd) {
+        Self::put4(
+            &mut self.rename_and_exists,
+            self.config.rename_and_exists_bits,
+            self.gen,
+            (f.0, map_id, g.0, cube.0),
+            r.0,
+        );
     }
 
     #[inline]
     pub(crate) fn restrict_get(&mut self, f: Bdd, v: Var, value: bool) -> Option<Bdd> {
-        let hit = self.restrict.get(&(f.0, v.0, value)).map(|&r| Bdd(r));
+        let key = (v.0 << 1) | u32::from(value);
+        let hit = Self::get2(&self.restrict, self.gen, f.0, key);
         self.record(hit)
     }
 
     #[inline]
     pub(crate) fn restrict_put(&mut self, f: Bdd, v: Var, value: bool, r: Bdd) {
-        self.restrict.insert((f.0, v.0, value), r.0);
+        let key = (v.0 << 1) | u32::from(value);
+        Self::put2(&mut self.restrict, self.config.restrict_bits, self.gen, f.0, key, r.0);
+    }
+
+    #[inline]
+    pub(crate) fn cofactor_get(&mut self, f: Bdd, cube: Bdd) -> Option<Bdd> {
+        let hit = Self::get2(&self.cofactor, self.gen, f.0, cube.0);
+        self.record(hit)
+    }
+
+    #[inline]
+    pub(crate) fn cofactor_put(&mut self, f: Bdd, cube: Bdd, r: Bdd) {
+        Self::put2(&mut self.cofactor, self.config.cofactor_bits, self.gen, f.0, cube.0, r.0);
     }
 }

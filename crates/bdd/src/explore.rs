@@ -1,6 +1,51 @@
-//! Model enumeration: iterate the satisfying cubes of a function.
+//! Model enumeration and DAG exploration: satisfying cubes, shortest
+//! witnesses, node counting and support computation.
+//!
+//! All walks here are complement-edge-agnostic: they traverse through the
+//! parity-applying cofactor accessors ([`Manager::lo`], [`Manager::hi`]),
+//! so a path through a complemented edge sees exactly the cofactors of the
+//! *function*, not of the stored node. Node-counting walks, by contrast,
+//! deliberately ignore the complement bit — `f` and `¬f` share a DAG, and
+//! the honest memory footprint counts each arena node once.
 
 use crate::manager::{Bdd, Manager, Var};
+
+/// Reusable visited-set for DAG walks, keyed by arena index.
+///
+/// A dense bitset plus a scratch stack: membership tests are one shift and
+/// mask (no hashing), and repeat calls reuse the buffers — clearing is a
+/// `memset` over exactly the words a walk can touch, and no allocation
+/// happens once the buffers have grown to the arena size.
+#[derive(Debug, Default)]
+pub(crate) struct VisitSet {
+    words: Vec<u64>,
+    stack: Vec<u32>,
+}
+
+impl VisitSet {
+    /// Prepares for a walk over an arena of `nodes` entries: clears (and,
+    /// if needed, grows) the bitset.
+    fn begin(&mut self, nodes: usize) {
+        let w = nodes.div_ceil(64);
+        if self.words.len() < w {
+            self.words.clear();
+            self.words.resize(w, 0);
+        } else {
+            self.words[..w].fill(0);
+        }
+        self.stack.clear();
+    }
+
+    /// Marks arena index `idx` visited; returns whether it was new.
+    #[inline]
+    fn insert(&mut self, idx: u32) -> bool {
+        let w = (idx >> 6) as usize;
+        let bit = 1u64 << (idx & 63);
+        let new = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        new
+    }
+}
 
 /// Iterator over the satisfying *cubes* of a BDD.
 ///
@@ -18,6 +63,11 @@ use crate::manager::{Bdd, Manager, Var};
 ///   models (they diverge at the first node where their paths split).
 /// * The union of the yielded cubes covers exactly the satisfying
 ///   assignments of the function.
+///
+/// These guarantees are stated over the *function*, independent of the
+/// complement-edge encoding: branch directions are those of the parity-
+/// applied cofactors, so the same function yields the same cube sequence
+/// whether its handle happens to be complemented or not.
 ///
 /// Produced by [`Manager::cubes`].
 ///
@@ -110,14 +160,12 @@ impl Manager {
         if f.is_false() {
             return None;
         }
-        // DP over the DAG: depth(node) = length of its shortest path to
-        // TRUE (∞ when TRUE is unreachable, i.e. the node is FALSE).
-        let mut depth: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        fn measure(
-            m: &Manager,
-            f: Bdd,
-            depth: &mut std::collections::HashMap<u32, usize>,
-        ) -> usize {
+        // DP over the DAG: depth(handle) = length of its shortest path to
+        // TRUE (∞ when TRUE is unreachable). Keyed on the full handle —
+        // with complement edges, `f` and `¬f` reach TRUE along different
+        // paths even though they share nodes.
+        let mut depth: crate::hasher::FxHashMap<u32, usize> = crate::hasher::FxHashMap::default();
+        fn measure(m: &Manager, f: Bdd, depth: &mut crate::hasher::FxHashMap<u32, usize>) -> usize {
             if f.is_true() {
                 return 0;
             }
@@ -183,14 +231,77 @@ impl Manager {
     /// assert_eq!(m.sat_one_under(f, &[(x, true)]), Some(vec![(x, true)]));
     /// ```
     pub fn sat_one_under(&mut self, f: Bdd, fixed: &[(Var, bool)]) -> Option<Vec<(Var, bool)>> {
-        let mut g = f;
-        for &(v, b) in fixed {
-            g = self.restrict(g, v, b);
-        }
+        let g = self.restrict_many(f, fixed);
         let rest = self.sat_one(g)?;
         let mut cube: Vec<(Var, bool)> = fixed.to_vec();
         cube.extend(rest);
         Some(cube)
+    }
+
+    /// The number of nodes in the DAG rooted at `f` (terminal included).
+    ///
+    /// With complement edges a function and its negation share every node,
+    /// so `node_count(f) == node_count(¬f)`.
+    pub fn node_count(&self, f: Bdd) -> usize {
+        self.node_count_many(std::slice::from_ref(&f))
+    }
+
+    /// The number of distinct DAG nodes reachable from any of `roots`
+    /// (shared structure counted once, the terminal included). This is the
+    /// honest memory footprint of a *set* of functions — summing
+    /// [`Manager::node_count`] per root would double-count shared subgraphs.
+    ///
+    /// Visited nodes are tracked in a reusable bitset keyed by arena index:
+    /// O(1) per node with no hashing, and zero allocation on repeat calls
+    /// once the scratch buffers have grown to the arena size.
+    pub fn node_count_many(&self, roots: &[Bdd]) -> usize {
+        let mut visit = self.visit.borrow_mut();
+        visit.begin(self.nodes.len());
+        let mut count = 0usize;
+        for r in roots {
+            let i = r.node_index();
+            if visit.insert(i) {
+                count += 1;
+                if i > 0 {
+                    visit.stack.push(i);
+                }
+            }
+        }
+        while let Some(i) = visit.stack.pop() {
+            let n = self.nodes[i as usize];
+            for edge in [n.lo, n.hi] {
+                let j = edge >> 1;
+                if visit.insert(j) {
+                    count += 1;
+                    if j > 0 {
+                        visit.stack.push(j);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// The set of variables appearing in `f`, in increasing level order.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut visit = self.visit.borrow_mut();
+        visit.begin(self.nodes.len());
+        let mut vars = std::collections::BTreeSet::new();
+        let i = f.node_index();
+        if i > 0 && visit.insert(i) {
+            visit.stack.push(i);
+        }
+        while let Some(i) = visit.stack.pop() {
+            let n = self.nodes[i as usize];
+            vars.insert(n.var);
+            for edge in [n.lo, n.hi] {
+                let j = edge >> 1;
+                if j > 0 && visit.insert(j) {
+                    visit.stack.push(j);
+                }
+            }
+        }
+        vars.into_iter().map(Var).collect()
     }
 
     /// Enumerates *total* satisfying assignments of `f` over the variables
@@ -328,5 +439,44 @@ mod tests {
         };
         let models = m.all_models(f, &v);
         assert_eq!(models.len() as f64, m.sat_count(f, 4));
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let _skip = m.new_var();
+        let c = m.new_var();
+        let fa = m.var(a);
+        let fc = m.var(c);
+        let f = m.and(fa, fc);
+        assert_eq!(m.support(f), vec![a, c]);
+        // nodes: a-node, c-node and the shared terminal (complement edges
+        // collapse TRUE and FALSE onto one node).
+        assert_eq!(m.node_count(f), 3);
+        // A function and its complement share the whole DAG.
+        let nf = m.not(f);
+        assert_eq!(m.node_count(nf), 3);
+        assert_eq!(m.node_count_many(&[f, nf]), 3);
+    }
+
+    #[test]
+    fn node_count_reuses_scratch_without_allocating() {
+        let mut m = Manager::new();
+        let v = m.new_vars(6);
+        let mut f = Bdd::FALSE;
+        for &var in &v {
+            let a = m.var(var);
+            f = m.xor(f, a);
+        }
+        let first = m.node_count(f);
+        // Repeat calls must agree (the bitset is cleared correctly) and
+        // walk the same DAG.
+        for _ in 0..10 {
+            assert_eq!(m.node_count(f), first);
+        }
+        let g = m.var(v[0]);
+        assert_eq!(m.node_count(g), 2);
+        assert_eq!(m.node_count(f), first);
     }
 }

@@ -1,12 +1,14 @@
 //! Mark-sweep garbage collection for the node arena.
 //!
 //! The arena only grows during normal operation; long fixed-point runs call
-//! [`Manager::gc`] between iterations with the handles they still need. GC
-//! rebuilds the arena keeping exactly the nodes reachable from the roots,
-//! remaps the roots and clears every operation cache (cached results may
-//! reference dead nodes).
+//! [`Manager::gc`] with the handles they still need — between strata *and*,
+//! since the solver learned to register its per-disjunct caches as roots,
+//! in the middle of one. GC rebuilds the arena keeping exactly the nodes
+//! reachable from the roots, remaps the roots (preserving each handle's
+//! complement bit), rebuilds the unique table over the survivors and
+//! invalidates every operation cache in O(1) via the generation counter
+//! (cached results may reference dead nodes).
 
-use crate::hasher::FxHashMap;
 use crate::manager::{Bdd, Manager, Node};
 
 /// Outcome of a garbage collection.
@@ -34,52 +36,52 @@ impl Manager {
     /// [`GcResult::roots`] is invalidated; using one afterwards yields
     /// unspecified (but memory-safe) results. Operation caches are cleared.
     pub fn gc(&mut self, roots: &[Bdd]) -> GcResult {
+        // The pre-collection footprint is a candidate peak; capture it
+        // before the arena is replaced by the compacted copy.
+        self.note_peak_bytes();
         let nodes_before = self.nodes.len();
 
-        // Mark: old index -> new index. Terminals keep their slots.
-        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
-        remap.insert(0, 0);
-        remap.insert(1, 1);
-        let mut new_nodes: Vec<Node> = vec![self.nodes[0], self.nodes[1]];
+        // Mark: old node index -> new node index, dense (the arena is the
+        // key space, so a flat vector beats a hash map). The terminal keeps
+        // slot 0.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        remap[0] = 0;
+        let mut new_nodes: Vec<Node> = vec![self.nodes[0]];
 
         // Depth-first copy that assigns new indices in child-before-parent
         // order so the new arena stays topologically sorted.
         for &root in roots {
-            self.copy_rec(root.0, &mut remap, &mut new_nodes);
+            self.copy_rec(root.node_index(), &mut remap, &mut new_nodes);
         }
 
-        let new_roots: Vec<Bdd> = roots.iter().map(|r| Bdd(remap[&r.0])).collect();
-
-        // Rebuild the unique table over the surviving nodes.
-        let mut unique = FxHashMap::default();
-        for (idx, node) in new_nodes.iter().enumerate().skip(2) {
-            unique.insert(*node, idx as u32);
-        }
+        let new_roots: Vec<Bdd> =
+            roots.iter().map(|r| Bdd((remap[r.node_index() as usize] << 1) | r.parity())).collect();
 
         let nodes_after = new_nodes.len();
         self.nodes = new_nodes;
-        self.unique = unique;
+        self.unique.rebuild(&self.nodes);
         self.caches.clear();
         self.stats.gcs += 1;
 
         GcResult { roots: new_roots, nodes_before, nodes_after }
     }
 
-    fn copy_rec(
-        &self,
-        old: u32,
-        remap: &mut FxHashMap<u32, u32>,
-        new_nodes: &mut Vec<Node>,
-    ) -> u32 {
-        if let Some(&n) = remap.get(&old) {
-            return n;
+    fn copy_rec(&self, old: u32, remap: &mut [u32], new_nodes: &mut Vec<Node>) -> u32 {
+        let seen = remap[old as usize];
+        if seen != u32::MAX {
+            return seen;
         }
         let node = self.nodes[old as usize];
-        let lo = self.copy_rec(node.lo, remap, new_nodes);
-        let hi = self.copy_rec(node.hi, remap, new_nodes);
+        // Edges carry the complement bit; remap the index, keep the parity.
+        let lo = self.copy_rec(node.lo >> 1, remap, new_nodes);
+        let hi = self.copy_rec(node.hi >> 1, remap, new_nodes);
         let idx = new_nodes.len() as u32;
-        new_nodes.push(Node { var: node.var, lo, hi });
-        remap.insert(old, idx);
+        new_nodes.push(Node {
+            var: node.var,
+            lo: (lo << 1) | (node.lo & 1),
+            hi: (hi << 1) | (node.hi & 1),
+        });
+        remap[old as usize] = idx;
         idx
     }
 }
@@ -158,7 +160,28 @@ mod tests {
         let _ = m.not(a);
         let result = m.gc(&[Bdd::TRUE, Bdd::FALSE]);
         assert_eq!(result.roots, vec![Bdd::TRUE, Bdd::FALSE]);
-        assert_eq!(result.nodes_after, 2);
+        // The single shared terminal is all that survives.
+        assert_eq!(result.nodes_after, 1);
+    }
+
+    #[test]
+    fn gc_preserves_complement_parity() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        let f = {
+            let a = m.var(v[0]);
+            let b = m.var(v[1]);
+            m.and(a, b)
+        };
+        let nf = m.not(f);
+        let result = m.gc(&[f, nf]);
+        let (f2, nf2) = (result.roots[0], result.roots[1]);
+        let nf2b = m.not(f2);
+        assert_eq!(nf2, nf2b, "complement bit must survive the remap");
+        for bits in 0..4u32 {
+            let env = [(bits & 1) == 1, (bits & 2) == 2];
+            assert_eq!(m.eval(f2, &env), !m.eval(nf2, &env));
+        }
     }
 
     #[test]
@@ -175,8 +198,7 @@ mod tests {
         let nx = m.nvar(v[0]);
         let g = m.and(nx, shared);
         let result = m.gc(&[f, g, shared]);
-        // shared, f-root, g-root, x-node-for-f... count precisely:
-        // nodes: TRUE, FALSE, (v2), (v1∧v2), f=(v0? shared:0), g=(v0? 0:shared)
-        assert_eq!(result.nodes_after, 6);
+        // nodes: terminal, (v2), (v1∧v2), f=(v0? shared:0), g=(v0? 0:shared)
+        assert_eq!(result.nodes_after, 5);
     }
 }

@@ -1,21 +1,33 @@
-//! Reduced ordered binary decision diagrams (ROBDDs).
+//! Reduced ordered binary decision diagrams (ROBDDs) with complement edges.
 //!
 //! This crate is the symbolic substrate of the Getafix reproduction: every
 //! relation manipulated by the fixed-point solver (`getafix-mucalc`), the
 //! pushdown-system baselines and the summary engines is represented as a BDD
 //! managed by a [`Manager`].
 //!
-//! The design follows the classic hash-consed node-table architecture
-//! (Brace–Rudell–Bryant):
+//! The design follows the production hash-consed architecture
+//! (Brace–Rudell–Bryant, as deployed in CUDD-class packages):
 //!
 //! * nodes live in an arena owned by a [`Manager`]; a [`Bdd`] is a cheap
-//!   `Copy` handle (an index) into that arena,
-//! * a *unique table* guarantees canonicity — structurally equal functions
-//!   are pointer-equal, so equivalence checks are `O(1)`,
-//! * *operation caches* memoize `ite`, binary operations, quantification and
-//!   relational products,
-//! * variables are identified by their *level* (`u32`); the variable order is
-//!   the numeric order of levels and is fixed at variable-creation time.
+//!   `Copy` handle — an arena index plus a **complement bit** — so
+//!   negation is a single xor and a function shares its entire DAG with
+//!   its complement (roughly halving the arena),
+//! * the **canonical form**: of the two encodings of every node, only the
+//!   one whose *low edge is regular* (uncomplemented) is stored, and there
+//!   is a single terminal node ([`Bdd::FALSE`] is its regular handle,
+//!   [`Bdd::TRUE`] its complement) — structurally equal functions are
+//!   handle-equal, so equivalence checks are `O(1)`,
+//! * an **open-addressed unique table** hash-conses nodes: arena indices in
+//!   a power-of-two probe array, grown with an incremental rehash that
+//!   never stops the world (pre-size it with [`Manager::with_capacity`]),
+//! * **lossy computed tables** memoize `ite`, conjunction, quantification
+//!   and relational products: fixed-size direct-mapped arrays
+//!   (overwrite-on-collision, sized by [`CacheConfig`]) whose entries are
+//!   invalidated in O(1) by a generation counter. Lossiness is sound
+//!   because canonicity makes keys exact — an evicted entry costs a
+//!   recomputation, never a wrong answer (see the `cache` module docs),
+//! * variables are identified by their *level* (`u32`); the variable order
+//!   is the numeric order of levels and is fixed at variable-creation time.
 //!
 //! # Example
 //!
@@ -37,7 +49,8 @@
 //!
 //! The arena only grows during normal operation. Long-running fixed-point
 //! computations call [`Manager::gc`] with the handles they need to keep; the
-//! manager rebuilds the arena, remaps the roots and clears all caches.
+//! manager rebuilds the arena, remaps the roots (complement bits preserved)
+//! and invalidates all caches via the generation counter.
 
 mod cache;
 mod explore;
@@ -46,7 +59,9 @@ mod hasher;
 mod manager;
 mod quant;
 mod rename;
+mod table;
 
+pub use cache::CacheConfig;
 pub use explore::CubeIter;
 pub use gc::GcResult;
 pub use manager::{Bdd, Manager, ManagerStats, Var};

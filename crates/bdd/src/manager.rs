@@ -1,7 +1,32 @@
 //! The node arena, unique table and core Boolean operations.
+//!
+//! # Complement edges
+//!
+//! A [`Bdd`] handle packs an arena index and a **complement bit** (bit 0):
+//! the handle `idx·2 + 1` denotes the *negation* of the function stored at
+//! node `idx`. Negation is therefore a single xor — no traversal, no new
+//! nodes — and a function and its complement share one DAG, halving the
+//! arena relative to a plain ROBDD.
+//!
+//! Canonicity needs one extra rule on top of reduce + hash-consing: of the
+//! two ways to write a node (`(v, l, h)` vs the complement of
+//! `(v, ¬l, ¬h)`), exactly one has a **regular (uncomplemented) low edge**,
+//! and only that form is ever stored. [`Manager::mk`] normalizes: if the
+//! requested low edge is complemented, the stored node takes both edges
+//! complemented and the returned handle carries the complement bit. There
+//! is a single terminal node (index 0); [`Bdd::FALSE`] is its regular
+//! handle and [`Bdd::TRUE`] its complement.
+//!
+//! Cofactor accessors ([`Manager::lo`], [`Manager::hi`]) apply the parity
+//! rule — the cofactor of a complemented handle is the complement of the
+//! stored edge — so traversal code sees ordinary Shannon cofactors and
+//! never needs to know about the encoding.
 
-use crate::cache::{BinOp, Caches};
+use crate::cache::{CacheConfig, Caches};
+use crate::explore::VisitSet;
 use crate::hasher::FxHashMap;
+use crate::table::UniqueTable;
+use std::cell::RefCell;
 
 /// A BDD variable, identified by its *level* in the (fixed) variable order.
 ///
@@ -30,13 +55,16 @@ impl std::fmt::Display for Var {
 /// guarantees that two handles are equal iff they denote the same Boolean
 /// function. A handle is only meaningful together with the manager that
 /// produced it.
+///
+/// Bit 0 of the raw value is the complement tag (see the module docs);
+/// [`Manager::not`] just flips it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The constant-false function.
+    /// The constant-false function (the regular handle of the terminal).
     pub const FALSE: Bdd = Bdd(0);
-    /// The constant-true function.
+    /// The constant-true function (the complemented handle of the terminal).
     pub const TRUE: Bdd = Bdd(1);
 
     /// Is this the constant-false function?
@@ -57,17 +85,34 @@ impl Bdd {
         self.0 <= 1
     }
 
-    /// The raw arena index. Exposed for debugging and for stable map keys.
+    /// The raw handle bits (arena index · 2 + complement bit). Exposed for
+    /// debugging and for stable map keys: distinct functions always have
+    /// distinct raw values.
     #[inline]
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// The arena index of the node this handle refers to (complement bit
+    /// stripped).
+    #[inline]
+    pub(crate) fn node_index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// The complement bit of the handle.
+    #[inline]
+    pub(crate) fn parity(self) -> u32 {
+        self.0 & 1
+    }
 }
 
-/// Level assigned to the two terminal nodes: strictly below every variable.
+/// Level assigned to the terminal node: strictly below every variable.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
-/// An interior (or terminal) node of the shared DAG.
+/// An interior (or terminal) node of the shared DAG. Edges are stored as
+/// raw handle bits; the canonical form keeps `lo` regular (even) — `hi`
+/// may carry the complement bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub var: u32,
@@ -78,18 +123,23 @@ pub(crate) struct Node {
 /// Counters describing the health of a [`Manager`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ManagerStats {
-    /// Total nodes currently in the arena (including the two terminals).
+    /// Total nodes currently in the arena (including the shared terminal).
     pub nodes: usize,
     /// Number of distinct variables created so far.
     pub vars: usize,
-    /// Hits across all operation caches since the last reset.
+    /// Hits across all operation caches since construction.
     pub cache_hits: u64,
-    /// Misses across all operation caches since the last reset.
+    /// Misses across all operation caches since construction.
     pub cache_misses: u64,
     /// Number of garbage collections performed.
     pub gcs: u64,
     /// Peak arena size ever observed (in nodes).
     pub peak_nodes: usize,
+    /// Bytes currently held by the arena, the unique table and the
+    /// computed caches.
+    pub arena_bytes: usize,
+    /// Peak of [`ManagerStats::arena_bytes`] ever observed.
+    pub peak_arena_bytes: usize,
 }
 
 /// A BDD manager: owns the node arena, the unique table and the operation
@@ -112,11 +162,13 @@ pub struct ManagerStats {
 #[derive(Debug)]
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: FxHashMap<Node, u32>,
+    pub(crate) unique: UniqueTable,
     pub(crate) caches: Caches,
     pub(crate) num_vars: u32,
     pub(crate) stats: ManagerStats,
     pub(crate) map_registry: crate::rename::MapRegistry,
+    /// Reusable visited-bitset for DAG walks (node counting, support).
+    pub(crate) visit: RefCell<VisitSet>,
 }
 
 impl Default for Manager {
@@ -126,22 +178,39 @@ impl Default for Manager {
 }
 
 impl Manager {
-    /// Creates an empty manager with just the two terminal nodes.
+    /// Creates an empty manager with just the terminal node.
     pub fn new() -> Self {
-        let nodes = vec![
-            // FALSE terminal
-            Node { var: TERMINAL_LEVEL, lo: 0, hi: 0 },
-            // TRUE terminal
-            Node { var: TERMINAL_LEVEL, lo: 1, hi: 1 },
-        ];
-        Manager {
-            nodes,
-            unique: FxHashMap::default(),
-            caches: Caches::default(),
+        Self::with_capacity_and_config(0, CacheConfig::default())
+    }
+
+    /// Creates a manager whose arena and unique table are pre-sized for
+    /// roughly `nodes` nodes, avoiding early growth/rehash churn on
+    /// workloads with a known scale.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self::with_capacity_and_config(nodes, CacheConfig::default())
+    }
+
+    /// Creates a manager with explicitly sized computed tables.
+    pub fn with_config(config: CacheConfig) -> Self {
+        Self::with_capacity_and_config(0, config)
+    }
+
+    /// Creates a manager with both a node-capacity hint and explicit
+    /// computed-table sizes.
+    pub fn with_capacity_and_config(nodes: usize, config: CacheConfig) -> Self {
+        let mut arena = Vec::with_capacity(nodes.saturating_add(1));
+        arena.push(Node { var: TERMINAL_LEVEL, lo: 0, hi: 0 });
+        let mut m = Manager {
+            nodes: arena,
+            unique: UniqueTable::with_node_capacity(nodes),
+            caches: Caches::new(config),
             num_vars: 0,
-            stats: ManagerStats { nodes: 2, peak_nodes: 2, ..ManagerStats::default() },
+            stats: ManagerStats { nodes: 1, peak_nodes: 1, ..ManagerStats::default() },
             map_registry: crate::rename::MapRegistry::default(),
-        }
+            visit: RefCell::new(VisitSet::default()),
+        };
+        m.stats.peak_arena_bytes = m.current_bytes();
+        m
     }
 
     /// Allocates a fresh variable at the next level of the order.
@@ -163,12 +232,32 @@ impl Manager {
         self.num_vars as usize
     }
 
+    /// Bytes currently held by the arena, unique table and computed caches.
+    fn current_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.unique.bytes()
+            + self.caches.bytes()
+    }
+
+    /// Folds the current byte footprint into the tracked peak. Called at
+    /// the points where the footprint can step up (new arena peak, GC
+    /// entry) and from [`Manager::stats`], so the reported peak is
+    /// monotone and includes lazily allocated cache tables.
+    pub(crate) fn note_peak_bytes(&mut self) {
+        let cur = self.current_bytes();
+        if cur > self.stats.peak_arena_bytes {
+            self.stats.peak_arena_bytes = cur;
+        }
+    }
+
     /// A snapshot of the manager's counters.
     pub fn stats(&self) -> ManagerStats {
         let mut s = self.stats;
         s.nodes = self.nodes.len();
         s.cache_hits = self.caches.hits;
         s.cache_misses = self.caches.misses;
+        s.arena_bytes = self.current_bytes();
+        s.peak_arena_bytes = self.stats.peak_arena_bytes.max(s.arena_bytes);
         s
     }
 
@@ -176,56 +265,74 @@ impl Manager {
     ///
     /// Returns `None` for the constant functions.
     pub fn root_var(&self, f: Bdd) -> Option<Var> {
-        let n = self.nodes[f.0 as usize];
-        if n.var == TERMINAL_LEVEL {
+        let l = self.level(f);
+        if l == TERMINAL_LEVEL {
             None
         } else {
-            Some(Var(n.var))
+            Some(Var(l))
         }
     }
 
-    /// The low (else) cofactor of a non-terminal node.
+    /// The low (else) cofactor of a non-terminal node, complement parity
+    /// applied: `lo(¬f) = ¬lo(f)`.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a constant.
     pub fn lo(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "lo() on a terminal");
-        Bdd(self.nodes[f.0 as usize].lo)
+        self.cof(f).0
     }
 
-    /// The high (then) cofactor of a non-terminal node.
+    /// The high (then) cofactor of a non-terminal node, complement parity
+    /// applied: `hi(¬f) = ¬hi(f)`.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a constant.
     pub fn hi(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "hi() on a terminal");
-        Bdd(self.nodes[f.0 as usize].hi)
+        self.cof(f).1
     }
 
     #[inline]
     pub(crate) fn level(&self, f: Bdd) -> u32 {
-        self.nodes[f.0 as usize].var
+        self.nodes[f.node_index() as usize].var
     }
 
-    /// The canonical node constructor: reduces and hash-conses.
+    /// Both Shannon cofactors of `f`, parity applied.
+    #[inline]
+    pub(crate) fn cof(&self, f: Bdd) -> (Bdd, Bdd) {
+        let c = f.parity();
+        let n = &self.nodes[f.node_index() as usize];
+        (Bdd(n.lo ^ c), Bdd(n.hi ^ c))
+    }
+
+    /// Cofactors of `f` with respect to the variable at `var`: the real
+    /// cofactors when `f` tests `var` at its root, `(f, f)` otherwise.
+    #[inline]
+    pub(crate) fn cof_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        if self.level(f) == var {
+            self.cof(f)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// The canonical node constructor: reduces, normalizes the complement
+    /// parity (stored low edge always regular) and hash-conses.
     pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         debug_assert!(var < self.level(lo) && var < self.level(hi), "order violation in mk");
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo: lo.0, hi: hi.0 };
-        if let Some(&idx) = self.unique.get(&node) {
-            return Bdd(idx);
-        }
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(node);
-        self.unique.insert(node, idx);
+        let c = lo.parity();
+        let idx = self.unique.get_or_insert(&mut self.nodes, var, lo.0 ^ c, hi.0 ^ c);
         if self.nodes.len() > self.stats.peak_nodes {
             self.stats.peak_nodes = self.nodes.len();
+            self.note_peak_bytes();
         }
-        Bdd(idx)
+        Bdd((idx << 1) | c)
     }
 
     /// The constant function for `value`.
@@ -245,7 +352,8 @@ impl Manager {
 
     /// The negated literal `¬v`.
     pub fn nvar(&mut self, v: Var) -> Bdd {
-        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+        let f = self.var(v);
+        self.not(f)
     }
 
     /// The literal `v` or `¬v` depending on `positive`.
@@ -257,40 +365,93 @@ impl Manager {
         }
     }
 
-    /// Negation `¬f`.
+    /// Negation `¬f`: flips the complement bit. O(1), allocation-free.
+    #[inline]
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        if f.is_true() {
-            return Bdd::FALSE;
-        }
-        if f.is_false() {
-            return Bdd::TRUE;
-        }
-        if let Some(r) = self.caches.not_get(f) {
-            return r;
-        }
-        let n = self.nodes[f.0 as usize];
-        let lo = self.not(Bdd(n.lo));
-        let hi = self.not(Bdd(n.hi));
-        let r = self.mk(n.var, lo, hi);
-        self.caches.not_put(f, r);
-        // Negation is an involution; prime the reverse direction too.
-        self.caches.not_put(r, f);
-        r
+        Bdd(f.0 ^ 1)
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(BinOp::And, f, g)
+        // Terminal and complement rules.
+        if f == g {
+            return f;
+        }
+        if f.0 ^ 1 == g.0 {
+            // f ∧ ¬f
+            return Bdd::FALSE;
+        }
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if g.is_true() {
+            return f;
+        }
+        // Commutative: normalize operand order for better cache hit rates.
+        let (f, g) = if f.0 > g.0 { (g, f) } else { (f, g) };
+        if let Some(r) = self.caches.and_get(f, g) {
+            return r;
+        }
+        let var = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cof_at(f, var);
+        let (g0, g1) = self.cof_at(g, var);
+        let lo = self.and(f0, g0);
+        let hi = self.and(f1, g1);
+        let r = self.mk(var, lo, hi);
+        self.caches.and_put(f, g, r);
+        r
     }
 
-    /// Disjunction `f ∨ g`.
+    /// Disjunction `f ∨ g`, derived from the conjunction via De Morgan —
+    /// with complement edges the negations are free, so AND and OR share
+    /// one computed table.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(BinOp::Or, f, g)
+        let r = self.and(Bdd(f.0 ^ 1), Bdd(g.0 ^ 1));
+        Bdd(r.0 ^ 1)
     }
 
-    /// Exclusive or `f ⊕ g`.
+    /// Exclusive or `f ⊕ g`. Complement parity factors out of both
+    /// operands (`¬f ⊕ g = ¬(f ⊕ g)`), so the cache only ever stores
+    /// regular-handle pairs.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(BinOp::Xor, f, g)
+        if f == g {
+            return Bdd::FALSE;
+        }
+        if f.0 ^ 1 == g.0 {
+            return Bdd::TRUE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        if f.is_true() {
+            return self.not(g);
+        }
+        if g.is_true() {
+            return self.not(f);
+        }
+        let parity = f.parity() ^ g.parity();
+        let (f, g) = (Bdd(f.0 & !1), Bdd(g.0 & !1));
+        let (f, g) = if f.0 > g.0 { (g, f) } else { (f, g) };
+        let r = match self.caches.xor_get(f, g) {
+            Some(r) => r,
+            None => {
+                let var = self.level(f).min(self.level(g));
+                let (f0, f1) = self.cof_at(f, var);
+                let (g0, g1) = self.cof_at(g, var);
+                let lo = self.xor(f0, g0);
+                let hi = self.xor(f1, g1);
+                let r = self.mk(var, lo, hi);
+                self.caches.xor_put(f, g, r);
+                r
+            }
+        };
+        Bdd(r.0 ^ parity)
     }
 
     /// Implication `f → g`.
@@ -311,81 +472,11 @@ impl Manager {
         self.and(f, ng)
     }
 
-    /// Shannon-expansion based binary apply with memoization.
-    pub(crate) fn apply(&mut self, op: BinOp, mut f: Bdd, mut g: Bdd) -> Bdd {
-        // Terminal rules.
-        match op {
-            BinOp::And => {
-                if f.is_false() || g.is_false() {
-                    return Bdd::FALSE;
-                }
-                if f.is_true() {
-                    return g;
-                }
-                if g.is_true() || f == g {
-                    return f;
-                }
-            }
-            BinOp::Or => {
-                if f.is_true() || g.is_true() {
-                    return Bdd::TRUE;
-                }
-                if f.is_false() {
-                    return g;
-                }
-                if g.is_false() || f == g {
-                    return f;
-                }
-            }
-            BinOp::Xor => {
-                if f == g {
-                    return Bdd::FALSE;
-                }
-                if f.is_false() {
-                    return g;
-                }
-                if g.is_false() {
-                    return f;
-                }
-                if f.is_true() {
-                    return self.not(g);
-                }
-                if g.is_true() {
-                    return self.not(f);
-                }
-            }
-        }
-        // Commutative: normalize operand order for better cache hit rates.
-        if f.0 > g.0 {
-            std::mem::swap(&mut f, &mut g);
-        }
-        if let Some(r) = self.caches.binop_get(op, f, g) {
-            return r;
-        }
-        let (fv, gv) = (self.level(f), self.level(g));
-        let var = fv.min(gv);
-        let (f0, f1) = if fv == var {
-            let n = self.nodes[f.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if gv == var {
-            let n = self.nodes[g.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        } else {
-            (g, g)
-        };
-        let lo = self.apply(op, f0, g0);
-        let hi = self.apply(op, f1, g1);
-        let r = self.mk(var, lo, hi);
-        self.caches.binop_put(op, f, g, r);
-        r
-    }
-
     /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        // Terminal simplifications.
+        // Terminal simplifications; every constant-argument case reduces to
+        // a binary operation, so the recursion below only ever sees three
+        // non-constant operands.
         if f.is_true() {
             return g;
         }
@@ -395,35 +486,54 @@ impl Manager {
         if g == h {
             return g;
         }
-        if g.is_true() && h.is_false() {
-            return f;
+        if g.0 ^ 1 == h.0 {
+            // ite(f, g, ¬g) = f ↔ g = f ⊕ h.
+            return self.xor(f, h);
         }
-        if g.is_false() && h.is_true() {
-            return self.not(f);
+        if g.is_true() {
+            return self.or(f, h);
         }
-        if let Some(r) = self.caches.ite_get(f, g, h) {
-            return r;
+        if g.is_false() {
+            let nf = self.not(f);
+            return self.and(nf, h);
         }
-        let var = self.level(f).min(self.level(g)).min(self.level(h));
-        let cof = |m: &Manager, x: Bdd| -> (Bdd, Bdd) {
-            if m.level(x) == var {
-                let n = m.nodes[x.0 as usize];
-                (Bdd(n.lo), Bdd(n.hi))
-            } else {
-                (x, x)
+        if h.is_false() {
+            return self.and(f, g);
+        }
+        if h.is_true() {
+            let nf = self.not(f);
+            return self.or(nf, g);
+        }
+        // Normalize for the cache: regular predicate (ite(¬f, g, h) =
+        // ite(f, h, g)), regular then-branch (ite(f, ¬g, ¬h) = ¬ite(f, g, h)).
+        let (mut f, mut g, mut h) = (f, g, h);
+        if f.parity() == 1 {
+            f = Bdd(f.0 ^ 1);
+            std::mem::swap(&mut g, &mut h);
+        }
+        let parity = g.parity();
+        if parity == 1 {
+            g = Bdd(g.0 ^ 1);
+            h = Bdd(h.0 ^ 1);
+        }
+        let r = match self.caches.ite_get(f, g, h) {
+            Some(r) => r,
+            None => {
+                let var = self.level(f).min(self.level(g)).min(self.level(h));
+                let (f0, f1) = self.cof_at(f, var);
+                let (g0, g1) = self.cof_at(g, var);
+                let (h0, h1) = self.cof_at(h, var);
+                let lo = self.ite(f0, g0, h0);
+                let hi = self.ite(f1, g1, h1);
+                let r = self.mk(var, lo, hi);
+                self.caches.ite_put(f, g, h, r);
+                r
             }
         };
-        let (f0, f1) = cof(self, f);
-        let (g0, g1) = cof(self, g);
-        let (h0, h1) = cof(self, h);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
-        let r = self.mk(var, lo, hi);
-        self.caches.ite_put(f, g, h, r);
-        r
+        Bdd(r.0 ^ parity)
     }
 
-    /// The positive cofactor of `f` with variable `v` fixed to `value`.
+    /// The cofactor of `f` with variable `v` fixed to `value`.
     pub fn restrict(&mut self, f: Bdd, v: Var, value: bool) -> Bdd {
         if f.is_const() {
             return f;
@@ -433,23 +543,27 @@ impl Manager {
             // v does not occur in f (it is below the root in the order).
             return f;
         }
-        if let Some(r) = self.caches.restrict_get(f, v, value) {
-            return r;
+        // Restriction commutes with complement, so cache regular handles
+        // only and re-apply the parity outside.
+        let c = f.parity();
+        let g = Bdd(f.0 ^ c);
+        if let Some(r) = self.caches.restrict_get(g, v, value) {
+            return Bdd(r.0 ^ c);
         }
-        let n = self.nodes[f.0 as usize];
+        let (lo, hi) = self.cof(g);
         let r = if fl == v.0 {
             if value {
-                Bdd(n.hi)
+                hi
             } else {
-                Bdd(n.lo)
+                lo
             }
         } else {
-            let lo = self.restrict(Bdd(n.lo), v, value);
-            let hi = self.restrict(Bdd(n.hi), v, value);
-            self.mk(n.var, lo, hi)
+            let lo = self.restrict(lo, v, value);
+            let hi = self.restrict(hi, v, value);
+            self.mk(fl, lo, hi)
         };
-        self.caches.restrict_put(f, v, value, r);
-        r
+        self.caches.restrict_put(g, v, value, r);
+        Bdd(r.0 ^ c)
     }
 
     /// Evaluates `f` under a total assignment: `assignment[i]` is the value of
@@ -464,9 +578,10 @@ impl Manager {
             if cur.is_false() {
                 return false;
             }
-            let n = self.nodes[cur.0 as usize];
+            let c = cur.parity();
+            let n = &self.nodes[cur.node_index() as usize];
             let val = assignment.get(n.var as usize).copied().unwrap_or(false);
-            cur = if val { Bdd(n.hi) } else { Bdd(n.lo) };
+            cur = Bdd((if val { n.hi } else { n.lo }) ^ c);
         }
     }
 
@@ -500,6 +615,8 @@ impl Manager {
     }
 
     /// Satisfying-assignment count of `f` over levels `level(f)..nvars`.
+    /// Memoized on the full handle — with complement edges, `f` and `¬f`
+    /// have different counts despite sharing a node.
     fn count_rec(&self, f: Bdd, nvars: u32, memo: &mut FxHashMap<u32, f64>) -> f64 {
         if f.is_false() {
             return 0.0;
@@ -510,73 +627,14 @@ impl Manager {
         if let Some(&c) = memo.get(&f.0) {
             return c;
         }
-        let n = self.nodes[f.0 as usize];
-        let lo = Bdd(n.lo);
-        let hi = Bdd(n.hi);
-        let lo_gap = self.clamped_level(lo, nvars) - n.var - 1;
-        let hi_gap = self.clamped_level(hi, nvars) - n.var - 1;
+        let (lo, hi) = self.cof(f);
+        let var = self.level(f);
+        let lo_gap = self.clamped_level(lo, nvars) - var - 1;
+        let hi_gap = self.clamped_level(hi, nvars) - var - 1;
         let c = self.count_rec(lo, nvars, memo) * 2f64.powi(lo_gap as i32)
             + self.count_rec(hi, nvars, memo) * 2f64.powi(hi_gap as i32);
         memo.insert(f.0, c);
         c
-    }
-
-    /// The number of nodes in the DAG rooted at `f` (including terminals).
-    pub fn node_count(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f.0];
-        let mut count = 0usize;
-        while let Some(i) = stack.pop() {
-            if !seen.insert(i) {
-                continue;
-            }
-            count += 1;
-            if i > 1 {
-                let n = self.nodes[i as usize];
-                stack.push(n.lo);
-                stack.push(n.hi);
-            }
-        }
-        count
-    }
-
-    /// The number of distinct DAG nodes reachable from any of `roots`
-    /// (shared structure counted once, terminals included). This is the
-    /// honest memory footprint of a *set* of functions — summing
-    /// [`Manager::node_count`] per root would double-count shared subgraphs.
-    pub fn node_count_many(&self, roots: &[Bdd]) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
-        let mut count = 0usize;
-        while let Some(i) = stack.pop() {
-            if !seen.insert(i) {
-                continue;
-            }
-            count += 1;
-            if i > 1 {
-                let n = self.nodes[i as usize];
-                stack.push(n.lo);
-                stack.push(n.hi);
-            }
-        }
-        count
-    }
-
-    /// The set of variables appearing in `f`, in increasing level order.
-    pub fn support(&self, f: Bdd) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::new();
-        let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f.0];
-        while let Some(i) = stack.pop() {
-            if i <= 1 || !seen.insert(i) {
-                continue;
-            }
-            let n = self.nodes[i as usize];
-            vars.insert(n.var);
-            stack.push(n.lo);
-            stack.push(n.hi);
-        }
-        vars.into_iter().map(Var).collect()
     }
 
     /// Picks one satisfying assignment of `f`, if any, as a vector of
@@ -589,20 +647,22 @@ impl Manager {
         let mut path = Vec::new();
         let mut cur = f;
         while !cur.is_const() {
-            let n = self.nodes[cur.0 as usize];
-            if Bdd(n.hi) != Bdd::FALSE {
-                path.push((Var(n.var), true));
-                cur = Bdd(n.hi);
+            let v = Var(self.level(cur));
+            let (lo, hi) = self.cof(cur);
+            if hi != Bdd::FALSE {
+                path.push((v, true));
+                cur = hi;
             } else {
-                path.push((Var(n.var), false));
-                cur = Bdd(n.lo);
+                path.push((v, false));
+                cur = lo;
             }
         }
         debug_assert!(cur.is_true());
         Some(path)
     }
 
-    /// Clears all operation caches (but keeps the arena).
+    /// Clears all operation caches (but keeps the arena). O(1): bumps the
+    /// cache generation instead of touching the tables.
     pub fn clear_caches(&mut self) {
         self.caches.clear();
     }
@@ -617,7 +677,8 @@ mod tests {
         let m = Manager::new();
         assert!(Bdd::TRUE.is_true());
         assert!(Bdd::FALSE.is_false());
-        assert_eq!(m.stats().nodes, 2);
+        // One shared terminal node: TRUE is its complemented handle.
+        assert_eq!(m.stats().nodes, 1);
     }
 
     #[test]
@@ -631,6 +692,23 @@ mod tests {
         let g = m.nvar(v);
         assert_eq!(m.lo(g), Bdd::TRUE);
         assert_eq!(m.hi(g), Bdd::FALSE);
+        // A literal and its negation share one arena node.
+        assert_eq!(f.node_index(), g.node_index());
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn not_is_o1_and_involutive() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b);
+        let nodes_before = m.stats().nodes;
+        let nf = m.not(f);
+        assert_eq!(m.stats().nodes, nodes_before, "not must not allocate");
+        let nnf = m.not(nf);
+        assert_eq!(nnf, f);
     }
 
     #[test]
@@ -727,20 +805,6 @@ mod tests {
     }
 
     #[test]
-    fn support_and_node_count() {
-        let mut m = Manager::new();
-        let a = m.new_var();
-        let _skip = m.new_var();
-        let c = m.new_var();
-        let fa = m.var(a);
-        let fc = m.var(c);
-        let f = m.and(fa, fc);
-        assert_eq!(m.support(f), vec![a, c]);
-        // nodes: a-node, c-node, TRUE, FALSE
-        assert_eq!(m.node_count(f), 4);
-    }
-
-    #[test]
     fn pick_one_satisfies() {
         let mut m = Manager::new();
         let a = m.new_var();
@@ -763,5 +827,50 @@ mod tests {
         let a = m.new_var();
         let fa = m.var(a);
         assert!(!m.eval(fa, &[]));
+    }
+
+    #[test]
+    fn with_capacity_matches_default_semantics() {
+        let mut small = Manager::new();
+        let mut big = Manager::with_capacity(1 << 16);
+        let (vs, vb) = (small.new_vars(8), big.new_vars(8));
+        let mut fs = Bdd::FALSE;
+        let mut fb = Bdd::FALSE;
+        for i in 0..8 {
+            let (a, b) = (small.var(vs[i]), big.var(vb[i]));
+            fs = small.xor(fs, a);
+            fb = big.xor(fb, b);
+        }
+        for bits in 0..256u32 {
+            let env: Vec<bool> = (0..8).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(small.eval(fs, &env), big.eval(fb, &env));
+        }
+        // Pre-sizing avoids growth: the unique table never rehashed.
+        assert_eq!(small.stats().nodes, big.stats().nodes);
+    }
+
+    #[test]
+    fn unique_table_survives_many_inserts() {
+        // Push the table through several grow/incremental-rehash cycles and
+        // verify canonicity is preserved throughout.
+        let mut m = Manager::new();
+        let vars = m.new_vars(16);
+        let mut handles = Vec::new();
+        for i in 0..1000u32 {
+            let mut f = m.constant(true);
+            for (j, &v) in vars.iter().enumerate() {
+                let lit = m.literal(v, (i >> (j % 16)) & 1 == 1);
+                f = m.and(f, lit);
+            }
+            handles.push((i, f));
+        }
+        for (i, f) in handles {
+            let mut g = m.constant(true);
+            for (j, &v) in vars.iter().enumerate() {
+                let lit = m.literal(v, (i >> (j % 16)) & 1 == 1);
+                g = m.and(g, lit);
+            }
+            assert_eq!(f, g, "hash-consing must find the original node after growth");
+        }
     }
 }

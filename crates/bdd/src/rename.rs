@@ -105,25 +105,30 @@ impl Manager {
         self.rename(f, &map)
     }
 
-    fn rename_rec(&mut self, f: Bdd, map: &VarMap, id: u64) -> Bdd {
+    fn rename_rec(&mut self, f: Bdd, map: &VarMap, id: u32) -> Bdd {
         if f.is_const() {
             return f;
         }
-        if let Some(r) = self.caches.rename_get(f, id) {
-            return r;
+        // Renaming commutes with complement, so the cache only ever stores
+        // regular handles; the parity is re-applied outside.
+        let c = f.0 & 1;
+        let g = Bdd(f.0 ^ c);
+        if let Some(r) = self.caches.rename_get(g, id) {
+            return Bdd(r.0 ^ c);
         }
-        let n = self.nodes[f.0 as usize];
-        let lo = self.rename_rec(Bdd(n.lo), map, id);
-        let hi = self.rename_rec(Bdd(n.hi), map, id);
-        let target = map.apply(Var(n.var));
-        let r = if target.0 == n.var && target.0 < self.level(lo).min(self.level(hi)) {
-            self.mk(n.var, lo, hi)
+        let var = self.level(g);
+        let (g0, g1) = self.cof(g);
+        let lo = self.rename_rec(g0, map, id);
+        let hi = self.rename_rec(g1, map, id);
+        let target = map.apply(Var(var));
+        let r = if target.0 == var && target.0 < self.level(lo).min(self.level(hi)) {
+            self.mk(var, lo, hi)
         } else {
             let tv = self.var(target);
             self.ite(tv, hi, lo)
         };
-        self.caches.rename_put(f, id, r);
-        r
+        self.caches.rename_put(g, id, r);
+        Bdd(r.0 ^ c)
     }
 
     /// The fused image operation `∃ cube. rename(f, map) ∧ g`.
@@ -167,7 +172,7 @@ impl Manager {
         &mut self,
         f: Bdd,
         map: &VarMap,
-        id: u64,
+        id: u32,
         g: Bdd,
         mut cube: Bdd,
     ) -> Bdd {
@@ -196,18 +201,8 @@ impl Manager {
         if let Some(r) = self.caches.rename_and_exists_get(f, id, g, cube) {
             return r;
         }
-        let (f0, f1) = if ftop == top {
-            let n = self.nodes[f.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if self.level(g) == top {
-            let n = self.nodes[g.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        } else {
-            (g, g)
-        };
+        let (f0, f1) = if ftop == top { self.cof(f) } else { (f, f) };
+        let (g0, g1) = self.cof_at(g, top);
         let r = if self.level(cube) == top {
             let rest = self.hi(cube);
             let lo = self.rename_and_exists_rec(f0, map, id, g0, rest);
@@ -227,18 +222,18 @@ impl Manager {
     }
 
     /// Interns a map so renames can be cached by a stable small id.
-    fn intern_map(&mut self, map: &VarMap) -> u64 {
+    fn intern_map(&mut self, map: &VarMap) -> u32 {
         if let Some(&id) = self.map_registry.get(map.key()) {
             return id;
         }
-        let id = self.map_registry.len() as u64;
+        let id = u32::try_from(self.map_registry.len()).expect("more than 2^32 rename maps");
         self.map_registry.insert(map.key().to_vec(), id);
         id
     }
 }
 
 /// Registry type stored on the manager (see `manager.rs`).
-pub(crate) type MapRegistry = FxHashMap<Vec<(u32, u32)>, u64>;
+pub(crate) type MapRegistry = FxHashMap<Vec<(u32, u32)>, u32>;
 
 #[cfg(test)]
 mod tests {

@@ -228,8 +228,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fig2.json".into());
     let fig3_path = flag_value(&args, "--out-fig3").unwrap_or_else(|| "BENCH_fig3.json".into());
+    let bdd_path = flag_value(&args, "--out-bdd").unwrap_or_else(|| "BENCH_bdd.json".into());
+    let bdd_smoke = args.iter().any(|a| a == "--bdd-smoke");
     let scale: usize = flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1);
     let bits: usize = flag_value(&args, "--bits").and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    // Kernel microbenches first: they are fast, self-contained and make a
+    // kernel regression visible even when a later (solver-level) group
+    // panics. `--bdd-smoke` shrinks the state space for CI.
+    let bdd = getafix_bench::bdd_kernel::report(bdd_smoke);
+    std::fs::write(&bdd_path, &bdd).unwrap_or_else(|e| panic!("{bdd_path}: {e}"));
+    eprintln!("wrote {bdd_path}");
 
     let mut workloads: Vec<(String, Vec<SeqCase>)> = Vec::new();
     let (pos, neg) = regression_cases();
@@ -312,9 +321,13 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
-    let fig3 = fig3_report();
-    std::fs::write(&fig3_path, &fig3).unwrap_or_else(|e| panic!("{fig3_path}: {e}"));
-    eprintln!("wrote {fig3_path}");
+    // `--skip-fig3` leaves the previous fig3 report untouched — handy when
+    // iterating on the sequential kernel/scheduler only.
+    if !args.iter().any(|a| a == "--skip-fig3") {
+        let fig3 = fig3_report();
+        std::fs::write(&fig3_path, &fig3).unwrap_or_else(|e| panic!("{fig3_path}: {e}"));
+        eprintln!("wrote {fig3_path}");
+    }
 
     assert!(
         guard_failures.is_empty(),

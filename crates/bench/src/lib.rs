@@ -2,6 +2,8 @@
 //! row family of the paper's evaluation and returns structured results the
 //! binaries print as the paper's tables.
 
+pub mod bdd_kernel;
+
 use getafix_bebop::bebop_reachable;
 use getafix_boolprog::{Cfg, Pc, Program};
 use getafix_conc::{check_merged, merge, Merged};

@@ -563,3 +563,52 @@ fn summary_nodes_consistent_across_ef_variants() {
         assert_eq!(check_reachability(&cfg, &[target], algo).unwrap().reachable, oracle);
     }
 }
+
+#[test]
+fn mid_stratum_gc_is_transparent_to_the_ordered_schedule() {
+    // ef-opt runs the non-monotone ordered change-driven schedule; a
+    // 0-node threshold forces a collection after every outer round, with
+    // the per-disjunct version-keyed caches registered as live roots and
+    // remapped. The verdict, the summary *set* and the amount of work must
+    // all be identical to the no-GC run.
+    let src = r#"
+        decl g;
+        main() begin
+          call rec();
+          if (g) then HIT: skip; fi;
+        end
+        rec() begin
+          if (*) then
+            g := !g;
+            call rec();
+          fi;
+        end
+    "#;
+    let program = parse_program(src).unwrap();
+    let cfg = Cfg::build(&program).unwrap();
+    let target = cfg.label("HIT").unwrap();
+    let run = |gc_threshold: Option<usize>| {
+        let options = SolveOptions { gc_threshold, ..SolveOptions::new() };
+        let mut solver =
+            build_solver_with(&cfg, &[target], Algorithm::EntryForwardOpt, options).unwrap();
+        let verdict = solver.eval_query("reach").unwrap();
+        let rel = Algorithm::EntryForwardOpt.main_relation();
+        let interp = solver.evaluate(rel).unwrap();
+        let nparams = solver.system().relation(rel).expect("main relation").params.len();
+        let mut vars = Vec::new();
+        for i in 0..nparams {
+            vars.extend(solver.alloc().formal(rel, i).all_vars());
+        }
+        let models = solver.manager().all_models(interp, &vars);
+        let reevals = solver.stats().total_reevaluations();
+        let gcs = solver.stats().gcs;
+        (verdict, models, reevals, gcs)
+    };
+    let (v_gc, set_gc, work_gc, gcs) = run(Some(0));
+    let (v_no, set_no, work_no, no_gcs) = run(None);
+    assert_eq!(v_gc, v_no);
+    assert_eq!(set_gc, set_no, "summary set must be bit-identical to the no-GC run");
+    assert_eq!(work_gc, work_no, "remapped disjunct caches must still hit");
+    assert!(gcs > 0, "a 0-node threshold must force collections");
+    assert_eq!(no_gcs, 0);
+}

@@ -173,6 +173,19 @@ fn print_stats(stats: &SolveStats) {
     if stats.gcs > 0 {
         println!("gc: {} collections, {} nodes reclaimed", stats.gcs, stats.gc_reclaimed_nodes);
     }
+    let lookups = stats.cache_hits + stats.cache_misses;
+    if lookups > 0 {
+        println!(
+            "bdd cache: {} hits / {} misses ({:.1}% hit rate)",
+            stats.cache_hits,
+            stats.cache_misses,
+            100.0 * stats.cache_hits as f64 / lookups as f64
+        );
+    }
+    println!(
+        "bdd arena: {} nodes, {} bytes (peak {} bytes)",
+        stats.arena_nodes, stats.arena_bytes, stats.peak_arena_bytes
+    );
 }
 
 fn run(args: &[String]) -> Result<Outcome, String> {

@@ -161,11 +161,15 @@ pub struct SolveOptions {
     /// intermediate BDDs and cost memory proportional to the iteration
     /// count ([`SolveStats::provenance_nodes`] reports how much).
     pub record_provenance: bool,
-    /// Garbage-collect the node arena between SCC strata once it exceeds
-    /// this many nodes, keeping exactly the live roots (inputs, memoized
-    /// interpretations, provenance snapshots). `None` disables collection.
-    /// Only the worklist strategy has strata boundaries to collect at; the
-    /// round-robin reference never collects.
+    /// Garbage-collect the node arena once it exceeds this many nodes,
+    /// keeping exactly the live roots (inputs, memoized interpretations,
+    /// provenance snapshots — plus, inside a running stratum, the
+    /// iteration's own state: member environments, per-disjunct caches and
+    /// domain constraints). Collections trigger both *between* SCC strata
+    /// and *inside* a long-running monotone or ordered iteration, so a
+    /// single huge component no longer pins its intermediate garbage.
+    /// `None` disables collection. Only the worklist strategy collects;
+    /// the round-robin reference never does.
     pub gc_threshold: Option<usize>,
 }
 
@@ -258,10 +262,21 @@ pub struct SolveStats {
     /// Distinct BDD nodes pinned by the recorded provenance snapshots
     /// (0 when recording is off) — the memory price of rank provenance.
     pub provenance_nodes: usize,
-    /// Inter-stratum garbage collections performed.
+    /// Garbage collections performed (between strata and mid-stratum).
     pub gcs: usize,
     /// Total nodes reclaimed by those collections.
     pub gc_reclaimed_nodes: usize,
+    /// BDD operation-cache hits, from [`getafix_bdd::ManagerStats`].
+    pub cache_hits: u64,
+    /// BDD operation-cache misses, from [`getafix_bdd::ManagerStats`].
+    pub cache_misses: u64,
+    /// Current BDD arena size in nodes at the end of the last evaluation.
+    pub arena_nodes: usize,
+    /// Current bytes held by the BDD arena, unique table and computed
+    /// caches.
+    pub arena_bytes: usize,
+    /// Peak of `arena_bytes` observed by the manager.
+    pub peak_arena_bytes: usize,
 }
 
 impl SolveStats {
@@ -282,6 +297,11 @@ impl SolveStats {
         let _ = writeln!(s, "  \"provenance_nodes\": {},", self.provenance_nodes);
         let _ = writeln!(s, "  \"gcs\": {},", self.gcs);
         let _ = writeln!(s, "  \"gc_reclaimed_nodes\": {},", self.gc_reclaimed_nodes);
+        let _ = writeln!(s, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(s, "  \"cache_misses\": {},", self.cache_misses);
+        let _ = writeln!(s, "  \"arena_nodes\": {},", self.arena_nodes);
+        let _ = writeln!(s, "  \"arena_bytes\": {},", self.arena_bytes);
+        let _ = writeln!(s, "  \"peak_arena_bytes\": {},", self.peak_arena_bytes);
         s.push_str("  \"relations\": [\n");
         let nrel = self.relations.len();
         for (i, (name, r)) in self.relations.iter().enumerate() {
@@ -343,6 +363,11 @@ impl SolveStats {
         self.provenance_nodes = self.provenance_nodes.max(other.provenance_nodes);
         self.gcs += other.gcs;
         self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.arena_nodes = self.arena_nodes.max(other.arena_nodes);
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
     }
 }
 
@@ -521,7 +546,20 @@ impl Solver {
         if self.options.record_provenance {
             self.stats.provenance_nodes = self.provenance.node_footprint(&self.manager);
         }
+        self.sync_manager_stats();
         Ok(b)
+    }
+
+    /// Copies the manager's kernel counters (cache hit rates, arena size
+    /// and bytes) into [`SolveStats`], so `--stats`/`--stats-json` and the
+    /// bench reporter surface them without reaching into the manager.
+    pub(crate) fn sync_manager_stats(&mut self) {
+        let ms = self.manager.stats();
+        self.stats.cache_hits = ms.cache_hits;
+        self.stats.cache_misses = ms.cache_misses;
+        self.stats.arena_nodes = ms.nodes;
+        self.stats.arena_bytes = ms.arena_bytes;
+        self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(ms.peak_arena_bytes);
     }
 
     /// Garbage-collects the node arena if it has outgrown the configured
@@ -531,14 +569,25 @@ impl Solver {
     /// are live. The allocation's lazily cached domain constraints are
     /// dropped (they rebuild on demand and re-deduplicate by hash-consing).
     pub(crate) fn maybe_gc(&mut self) {
-        let Some(threshold) = self.options.gc_threshold else { return };
+        self.maybe_gc_with(&mut []);
+    }
+
+    /// Threshold-gated collection with *extra* live roots: the handles a
+    /// running stratum still needs — member environments, per-disjunct
+    /// cache values, domain constraints, accumulated interpretations. The
+    /// extras are remapped in place, which is what lets `gc_threshold`
+    /// fire in the middle of a long-running SCC instead of only at its
+    /// boundary. Returns whether a collection happened.
+    pub(crate) fn maybe_gc_with(&mut self, extras: &mut [&mut Bdd]) -> bool {
+        let Some(threshold) = self.options.gc_threshold else { return false };
         if self.manager.stats().nodes <= threshold {
-            return;
+            return false;
         }
         let mut roots: Vec<Bdd> = Vec::new();
         roots.extend(self.inputs.values().copied());
         roots.extend(self.evaluated.values().copied());
         roots.extend(self.provenance.roots());
+        roots.extend(extras.iter().map(|b| **b));
         let result = self.manager.gc(&roots);
         let mut remapped = result.roots.iter().copied();
         for v in self.inputs.values_mut() {
@@ -547,10 +596,14 @@ impl Solver {
         for v in self.evaluated.values_mut() {
             *v = remapped.next().expect("gc root count mismatch");
         }
-        self.provenance.remap(remapped);
+        self.provenance.remap(remapped.by_ref());
+        for b in extras.iter_mut() {
+            **b = remapped.next().expect("gc root count mismatch");
+        }
         self.alloc.clear_domain_cache();
         self.stats.gcs += 1;
         self.stats.gc_reclaimed_nodes += result.reclaimed();
+        true
     }
 
     /// Attributes one body compilation of `name` to the statistics.
@@ -706,6 +759,7 @@ impl Solver {
             );
             ctx.compile(&q.body)?
         };
+        self.sync_manager_stats();
         if result.is_true() {
             Ok(true)
         } else if result.is_false() {

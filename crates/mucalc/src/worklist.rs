@@ -225,6 +225,7 @@ impl Solver {
             .map(|m| Ok((m.clone(), self.member_plan(m, &member_set)?)))
             .collect::<Result<_, SolveError>>()?;
 
+        let mut plans = plans;
         let mut env = self.component_env(&all_members)?;
         let mut version: BTreeMap<String, u64> =
             all_members.iter().map(|m| (m.clone(), 0u64)).collect();
@@ -279,6 +280,19 @@ impl Solver {
             anchor_val = next;
             Self::ordered_assign(&mut env, &mut version, &anchor, next);
             self.note_provenance(&anchor, next);
+            // Mid-stratum collection: the round boundary is a safe point —
+            // everything the next round reads is registered as a root (the
+            // member environment, the per-disjunct cache values, the
+            // formals-domain constraints and the accumulated anchor), and
+            // all of it is remapped in place. Version keys are untouched,
+            // so the exactness of the per-disjunct cache survives: a remap
+            // renames handles without changing which function they denote.
+            let mut extras: Vec<&mut Bdd> = Vec::new();
+            extras.extend(env.values_mut());
+            extras.extend(plans.values_mut().map(|p| &mut p.formals_domain));
+            extras.extend(cache.values_mut().flatten().flatten().map(|pc| &mut pc.value));
+            extras.push(&mut anchor_val);
+            self.maybe_gc_with(&mut extras);
         }
 
         self.stats.sccs[idx].ordered = true;
@@ -367,17 +381,18 @@ impl Solver {
     /// Chaotic iteration over a monotone recursive component.
     fn solve_scc_chaotic(&mut self, members: &[String]) -> Result<(), SolveError> {
         let member_set: BTreeSet<String> = members.iter().cloned().collect();
-        let plans: BTreeMap<String, MemberPlan> = members
+        let mut plans: BTreeMap<String, MemberPlan> = members
             .iter()
             .map(|m| Ok((m.clone(), self.member_plan(m, &member_set)?)))
             .collect::<Result<_, SolveError>>()?;
 
         // Reverse intra-component edges: who must be rescheduled when `r`
-        // changes.
-        let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        // changes. Owned names, so the plans stay mutably borrowable for
+        // the mid-stratum GC remap.
+        let mut dependents: BTreeMap<String, Vec<String>> = BTreeMap::new();
         for plan in plans.values() {
             for dep in &plan.intra_deps {
-                dependents.entry(dep.as_str()).or_default().push(plan.name.as_str());
+                dependents.entry(dep.clone()).or_default().push(plan.name.clone());
             }
         }
 
@@ -429,14 +444,25 @@ impl Solver {
                 env.insert(r.to_string(), new);
                 self.note_provenance(r, new);
                 if let Some(ds) = dependents.get(r) {
-                    for &d in ds {
-                        dirty.entry(d).or_default().insert(r.to_string());
-                        if queued.insert(d) {
-                            queue.push_back(d);
+                    for d in ds {
+                        dirty.entry(d.as_str()).or_default().insert(r.to_string());
+                        if queued.insert(d.as_str()) {
+                            queue.push_back(d.as_str());
                         }
                     }
                 }
             }
+            // Mid-stratum collection: between worklist passes nothing is
+            // live beyond the member environment, the accumulated values
+            // and the formals-domain constraints, all of which register as
+            // roots and are remapped in place. Monotone accumulation is
+            // indifferent to the renaming — canonicity is rebuilt by the
+            // collector, so `new != old` comparisons stay exact.
+            let mut extras: Vec<&mut Bdd> = Vec::new();
+            extras.extend(env.values_mut());
+            extras.extend(plans.values_mut().map(|p| &mut p.formals_domain));
+            extras.extend(value.values_mut());
+            self.maybe_gc_with(&mut extras);
         }
 
         for m in members {

@@ -381,6 +381,75 @@ fn inter_stratum_gc_preserves_results_and_reports_reclaim() {
 }
 
 #[test]
+fn mid_stratum_gc_preserves_results_in_a_long_monotone_scc() {
+    use getafix_mucalc::{SolveOptions, Strategy};
+    // A single monotone SCC that needs one worklist pass per chain link:
+    // with a 0-node threshold, collections must fire *inside* the
+    // stratum — once per pass — not just at the stratum boundary, while
+    // the per-disjunct state (environment, accumulated values, domain
+    // constraints) is remapped in place.
+    let src = r#"
+        type State = range 32;
+        input Init(s: State);
+        input Trans(s: State, t: State);
+        mu Reach(u: State) :=
+            Init(u) | (exists x: State. Reach(x) & Trans(x, u));
+        query hit := exists u: State. Reach(u) & u = 31;
+    "#;
+    let chain: Vec<(u64, u64)> = (0..31).map(|i| (i, i + 1)).collect();
+    let run = |gc_threshold: Option<usize>| {
+        let system = parse_system(src).unwrap();
+        let options = SolveOptions {
+            strategy: Strategy::Worklist,
+            record_provenance: true,
+            gc_threshold,
+            ..SolveOptions::new()
+        };
+        let mut solver = Solver::with_options(system, options).unwrap();
+        let init = set_to_bdd(&mut solver, "Init", &[0]);
+        solver.set_input("Init", init).unwrap();
+        let trans = edges_to_bdd(&mut solver, "Trans", &chain);
+        solver.set_input("Trans", trans).unwrap();
+        let verdict = solver.eval_query("hit").unwrap();
+        let vars = solver.alloc().formal("Reach", 0).all_vars();
+        let interp = solver.evaluate("Reach").unwrap();
+        let members: Vec<bool> = (0u64..32)
+            .map(|v| {
+                let mut env = vec![false; solver.manager_ref().var_count()];
+                for (i, var) in vars.iter().enumerate() {
+                    env[var.level() as usize] = (v >> i) & 1 == 1;
+                }
+                solver.manager_ref().eval(interp, &env)
+            })
+            .collect();
+        let ranks = solver.provenance().rank_count("Reach");
+        let stats = solver.stats().clone();
+        (verdict, members, ranks, stats)
+    };
+    let (v_gc, m_gc, r_gc, s_gc) = run(Some(0));
+    let (v_no, m_no, r_no, s_no) = run(None);
+    assert!(v_gc, "state 31 is reachable along the chain");
+    assert_eq!(v_gc, v_no);
+    assert_eq!(m_gc, m_no, "interpretation must be bit-identical to the no-GC run");
+    assert_eq!(r_gc, r_no, "provenance snapshots must survive mid-stratum collection");
+    assert_eq!(
+        s_gc.total_reevaluations(),
+        s_no.total_reevaluations(),
+        "collection must not change the schedule"
+    );
+    // The chain forces ~32 worklist passes in ONE stratum; a gc per pass
+    // is far more than the handful of stratum boundaries in this system.
+    assert!(
+        s_gc.gcs > s_gc.sccs.len() + 2,
+        "collections must fire mid-stratum, not only at boundaries (gcs = {}, sccs = {})",
+        s_gc.gcs,
+        s_gc.sccs.len()
+    );
+    assert!(s_gc.gc_reclaimed_nodes > 0);
+    assert_eq!(s_no.gcs, 0);
+}
+
+#[test]
 fn provenance_snapshots_are_increasing_and_end_at_fixpoint() {
     use getafix_mucalc::{SolveOptions, Strategy};
     for strategy in [Strategy::RoundRobin, Strategy::Worklist] {

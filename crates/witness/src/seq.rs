@@ -212,12 +212,13 @@ pub fn sequential_witness_from(
     // tuples), which the plateau-tolerant rank search handles.
     let fr_vars: Vec<Var> =
         if has_fr { solver.alloc().formal(rel, 0).all_vars() } else { Vec::new() };
+    let fr_cube = {
+        let literals: Vec<(Var, bool)> = fr_vars.iter().map(|&v| (v, true)).collect();
+        solver.manager().literal_cube(&literals)
+    };
     let restrict_fresh = |solver: &mut Solver, f: Bdd| -> Bdd {
-        let mut g = f;
-        for &v in &fr_vars {
-            g = solver.manager().restrict(g, v, true);
-        }
-        g
+        // One fused traversal per snapshot instead of a restrict per bit.
+        solver.manager().restrict_cube(f, fr_cube)
     };
     let reachable = restrict_fresh(solver, raw);
     let snaps: Vec<Bdd> =
@@ -696,7 +697,9 @@ impl<'a> Extractor<'a> {
         Ok(out)
     }
 
-    /// Restricts one formal block of `f` to a concrete value.
+    /// Restricts one formal block of `f` to a concrete value: a single
+    /// fused cube-cofactor traversal (the extractor pins a block per
+    /// onion-peeling step, so this is a hot path).
     fn restrict_bits(&mut self, f: Bdd, block: BlockSel, value: u64) -> Bdd {
         let vars: Vec<Var> = match block {
             BlockSel::Pc => self.vars.pc.clone(),
@@ -704,12 +707,10 @@ impl<'a> Extractor<'a> {
             BlockSel::Ecl => self.vars.ecl.clone(),
             BlockSel::Ecg => self.vars.ecg.clone(),
         };
+        let literals: Vec<(Var, bool)> =
+            vars.iter().enumerate().map(|(i, &v)| (v, (value >> i) & 1 == 1)).collect();
         let m = self.solver.manager();
-        let mut g = f;
-        for (i, &v) in vars.iter().enumerate() {
-            g = m.restrict(g, v, (value >> i) & 1 == 1);
-        }
-        g
+        m.restrict_many(f, &literals)
     }
 
     /// Bounded model enumeration of `f` over `over` (all other support
