@@ -198,6 +198,9 @@ impl Caches {
     /// stale stamps from aliasing the restarted counter.
     pub(crate) fn clear(&mut self) {
         self.gen = self.gen.wrapping_add(1);
+        getafix_telemetry::event(getafix_telemetry::Phase::Bdd, "cache_generation_bump", || {
+            vec![("generation", self.gen.into())]
+        });
         if self.gen == 0 {
             self.and.fill(Slot2::default());
             self.xor.fill(Slot2::default());

@@ -10,6 +10,8 @@
 //! (cached results may reference dead nodes).
 
 use crate::manager::{Bdd, Manager, Node};
+use getafix_telemetry::{self as telemetry, Phase};
+use std::time::Instant;
 
 /// Outcome of a garbage collection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +38,8 @@ impl Manager {
     /// [`GcResult::roots`] is invalidated; using one afterwards yields
     /// unspecified (but memory-safe) results. Operation caches are cleared.
     pub fn gc(&mut self, roots: &[Bdd]) -> GcResult {
+        let pause_start = Instant::now();
+        let mut span = telemetry::span(Phase::Bdd, "gc");
         // The pre-collection footprint is a candidate peak; capture it
         // before the arena is replaced by the compacted copy.
         self.note_peak_bytes();
@@ -62,6 +66,15 @@ impl Manager {
         self.unique.rebuild(&self.nodes);
         self.caches.clear();
         self.stats.gcs += 1;
+
+        let pause_ms = pause_start.elapsed().as_secs_f64() * 1e3;
+        self.stats.gc_pause_ms += pause_ms;
+        if span.is_recording() {
+            span.attr("nodes_before", nodes_before);
+            span.attr("nodes_after", nodes_after);
+            span.attr("reclaimed", nodes_before - nodes_after);
+            span.attr("pause_ms", pause_ms);
+        }
 
         GcResult { roots: new_roots, nodes_before, nodes_after }
     }

@@ -133,6 +133,9 @@ pub struct ManagerStats {
     pub cache_misses: u64,
     /// Number of garbage collections performed.
     pub gcs: u64,
+    /// Total wall-clock time spent inside [`Manager::gc`] pauses, in
+    /// milliseconds (always measured; one `Instant` pair per collection).
+    pub gc_pause_ms: f64,
     /// Peak arena size ever observed (in nodes).
     pub peak_nodes: usize,
     /// Bytes currently held by the arena, the unique table and the

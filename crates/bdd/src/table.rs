@@ -154,6 +154,9 @@ impl UniqueTable {
     fn grow(&mut self, nodes: &[Node]) {
         self.drain(nodes);
         let cap = self.slots.len() * 2;
+        getafix_telemetry::event(getafix_telemetry::Phase::Bdd, "unique_rehash", || {
+            vec![("old_capacity", self.slots.len().into()), ("new_capacity", cap.into())]
+        });
         let fresh = vec![EMPTY; cap];
         let old_slots = std::mem::replace(&mut self.slots, fresh);
         self.old = Some(OldGeneration {

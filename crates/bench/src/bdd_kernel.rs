@@ -7,7 +7,7 @@
 //! from scheduler regressions.
 
 use getafix_bdd::{Bdd, Manager, ManagerStats, Var, VarMap};
-use std::fmt::Write as _;
+use getafix_telemetry::json::{rate_per_sec, JsonWriter};
 use std::time::Instant;
 
 /// One microbench result.
@@ -41,7 +41,7 @@ impl KernelBench {
             wall_ms: wall * 1e3,
             rounds,
             final_nodes: stats.nodes,
-            nodes_per_sec: allocated as f64 / wall.max(1e-9),
+            nodes_per_sec: rate_per_sec(allocated as f64, wall),
             stats,
         }
     }
@@ -222,12 +222,13 @@ pub fn run_group(smoke: bool) -> Vec<KernelBench> {
 /// Renders the group as the `BENCH_bdd.json` payload.
 pub fn report(smoke: bool) -> String {
     let benches = run_group(smoke);
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"getafix-bench-bdd/1\",\n");
-    let _ = writeln!(json, "  \"smoke\": {smoke},");
-    json.push_str("  \"benches\": [\n");
-    let total = benches.len();
-    for (i, b) in benches.iter().enumerate() {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "getafix-bench-bdd/1");
+    w.field_bool("smoke", smoke);
+    w.key("benches");
+    w.begin_array();
+    for b in &benches {
         eprintln!(
             "bdd-kernel/{}: {:.1} ms — {} rounds, {:.0} nodes/s, {:.1}% cache hits, \
              peak arena {} bytes",
@@ -238,27 +239,25 @@ pub fn report(smoke: bool) -> String {
             100.0 * b.hit_rate(),
             b.stats.peak_arena_bytes
         );
-        let _ = writeln!(
-            json,
-            "    {{ \"name\": \"{}\", \"wall_ms\": {:.3}, \"rounds\": {}, \
-             \"final_nodes\": {}, \"peak_nodes\": {}, \"nodes_per_sec\": {:.0}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
-             \"peak_arena_bytes\": {}, \"gcs\": {} }}{}",
-            b.name,
-            b.wall_ms,
-            b.rounds,
-            b.final_nodes,
-            b.stats.peak_nodes,
-            b.nodes_per_sec,
-            b.stats.cache_hits,
-            b.stats.cache_misses,
-            b.hit_rate(),
-            b.stats.peak_arena_bytes,
-            b.stats.gcs,
-            if i + 1 < total { "," } else { "" }
-        );
+        w.begin_object();
+        w.field_str("name", b.name);
+        w.field_f64_prec("wall_ms", b.wall_ms, 3);
+        w.field_u64("rounds", b.rounds as u64);
+        w.field_u64("final_nodes", b.final_nodes as u64);
+        w.field_u64("peak_nodes", b.stats.peak_nodes as u64);
+        w.field_f64_prec("nodes_per_sec", b.nodes_per_sec, 0);
+        w.field_u64("cache_hits", b.stats.cache_hits);
+        w.field_u64("cache_misses", b.stats.cache_misses);
+        w.field_f64_prec("cache_hit_rate", b.hit_rate(), 4);
+        w.field_u64("peak_arena_bytes", b.stats.peak_arena_bytes as u64);
+        w.field_u64("gcs", b.stats.gcs);
+        w.field_f64_prec("gc_pause_ms", b.stats.gc_pause_ms, 3);
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     json
 }
 
@@ -280,6 +279,24 @@ mod tests {
         // Both image strategies explore the same system: identical final
         // reachable-set size ⇒ comparable workloads.
         assert!(benches[2].stats.gcs >= 50, "gc churn must collect every round");
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let json = report(true);
+        let v = getafix_telemetry::json::parse(&json).expect("BENCH_bdd.json parses");
+        assert_eq!(
+            v.get("schema").and_then(getafix_telemetry::json::Value::as_str),
+            Some("getafix-bench-bdd/1")
+        );
+        let benches = v.get("benches").and_then(getafix_telemetry::json::Value::as_array).unwrap();
+        assert_eq!(benches.len(), 3);
+        for b in benches {
+            // The gc-churn bench collects every round, so its pause total
+            // must be visible; the shared rate guard keeps nodes/s finite.
+            assert!(b.get("nodes_per_sec").and_then(|n| n.as_f64()).unwrap() >= 0.0);
+            assert!(b.get("gc_pause_ms").and_then(|n| n.as_f64()).unwrap() >= 0.0);
+        }
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N]
 //! ```
 //!
-//! The JSON is hand-rolled (the workspace builds offline, without serde),
-//! and every per-strategy entry embeds the solver's own
+//! The JSON is emitted through [`getafix_telemetry::json::JsonWriter`]
+//! (the workspace builds offline, without serde; the telemetry crate's
+//! emitter is the one JSON implementation every tool shares), and every
+//! per-strategy entry embeds the solver's own
 //! [`SolveStats::to_json`] serialization — the same object `getafix …
 //! --stats-json` prints — so this reporter *consumes* solver statistics
 //! instead of re-deriving numbers:
@@ -41,8 +43,8 @@ use getafix_conc::{
 };
 use getafix_core::{check_reachability_with, Algorithm};
 use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
+use getafix_telemetry::json::JsonWriter;
 use getafix_witness::concurrent_witness_from;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -165,11 +167,12 @@ fn fig3_workloads() -> Vec<(String, getafix_boolprog::ConcProgram, Vec<String>, 
 /// reachable case must refine and guided-replay.
 fn fig3_report() -> String {
     let workloads = fig3_workloads();
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"getafix-bench-fig3/1\",\n");
-    json.push_str("  \"workloads\": [\n");
-    let total = workloads.len();
-    for (i, (name, program, labels, switches, expect)) in workloads.into_iter().enumerate() {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "getafix-bench-fig3/1");
+    w.key("workloads");
+    w.begin_array();
+    for (name, program, labels, switches, expect) in workloads {
         let t0 = Instant::now();
         let merged = merge(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
         let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -196,31 +199,31 @@ fn fig3_report() -> String {
             wl.guided_steps,
             rr.solve_ms,
         );
-        let _ = writeln!(
-            json,
-            "    {{ \"name\": \"{name}\", \"switches\": {switches}, \"reachable\": {expect}, \
-             \"merge_ms\": {merge_ms:.3},"
-        );
-        json.push_str("      \"strategies\": {\n");
-        for (j, (strategy, n)) in [("worklist", &wl), ("round-robin", &rr)].into_iter().enumerate()
-        {
-            let _ = writeln!(
-                json,
-                "        \"{strategy}\": {{ \"solve_ms\": {:.3}, \"witness_ms\": {:.3}, \
-                 \"reevaluations\": {}, \"explicit_search_states\": {}, \"guided_steps\": {}, \
-                 \"stats\": {} }}{}",
-                n.solve_ms,
-                n.witness_ms,
-                n.stats.total_reevaluations(),
-                n.explicit_search_states,
-                n.guided_steps,
-                n.stats.to_json(),
-                if j == 0 { "," } else { "" }
-            );
+        w.begin_object();
+        w.field_str("name", &name);
+        w.field_u64("switches", switches as u64);
+        w.field_bool("reachable", expect);
+        w.field_f64_prec("merge_ms", merge_ms, 3);
+        w.key("strategies");
+        w.begin_object();
+        for (strategy, n) in [("worklist", &wl), ("round-robin", &rr)] {
+            w.key(strategy);
+            w.begin_object();
+            w.field_f64_prec("solve_ms", n.solve_ms, 3);
+            w.field_f64_prec("witness_ms", n.witness_ms, 3);
+            w.field_u64("reevaluations", n.stats.total_reevaluations() as u64);
+            w.field_u64("explicit_search_states", n.explicit_search_states as u64);
+            w.field_u64("guided_steps", n.guided_steps as u64);
+            w.field_raw("stats", &n.stats.to_json());
+            w.end_object();
         }
-        let _ = writeln!(json, "      }} }}{}", if i + 1 < total { "," } else { "" });
+        w.end_object();
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     json
 }
 
@@ -254,20 +257,19 @@ fn main() {
     // worklist strategy *both* must now show strictly fewer re-evaluations
     // than round-robin, which the guard below enforces on every run.
     let algorithms = [Algorithm::EntryForward, Algorithm::EntryForwardOpt];
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"getafix-bench-fig2/2\",\n");
-    let _ = writeln!(json, "  \"driver_scale\": {scale},");
-    let _ = writeln!(json, "  \"terminator_bits\": {bits},");
-    json.push_str("  \"workloads\": [\n");
-    let total = workloads.len() * algorithms.len();
-    let mut emitted = 0usize;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "getafix-bench-fig2/2");
+    w.field_u64("driver_scale", scale as u64);
+    w.field_u64("terminator_bits", bits as u64);
+    w.key("workloads");
+    w.begin_array();
     let mut guard_failures: Vec<String> = Vec::new();
     for (name, cases) in &workloads {
         for algorithm in algorithms {
             let wl = run_strategy(cases, algorithm, Strategy::Worklist);
             let rr = run_strategy(cases, algorithm, Strategy::RoundRobin);
             let (wl_re, rr_re) = (wl.stats.total_reevaluations(), rr.stats.total_reevaluations());
-            emitted += 1;
             eprintln!(
                 "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals \
                  ({} on ordered schedules), round-robin {:.1} ms / {} re-evals",
@@ -291,32 +293,28 @@ fn main() {
                      ({wl_re} >= {rr_re})"
                 ));
             }
-            let _ = writeln!(
-                json,
-                "    {{ \"name\": \"{name}\", \"algorithm\": \"{algorithm}\", \"cases\": {},",
-                cases.len()
-            );
-            json.push_str("      \"strategies\": {\n");
-            let _ = writeln!(
-                json,
-                "        \"worklist\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {}, \
-                 \"stats\": {} }},",
-                wl.wall_ms,
-                wl_re,
-                wl.stats.to_json()
-            );
-            let _ = writeln!(
-                json,
-                "        \"round-robin\": {{ \"wall_ms\": {:.3}, \"reevaluations\": {}, \
-                 \"stats\": {} }} }} }}{}",
-                rr.wall_ms,
-                rr_re,
-                rr.stats.to_json(),
-                if emitted < total { "," } else { "" }
-            );
+            w.begin_object();
+            w.field_str("name", name);
+            w.field_str("algorithm", &algorithm.to_string());
+            w.field_u64("cases", cases.len() as u64);
+            w.key("strategies");
+            w.begin_object();
+            for (strategy, n, re) in [("worklist", &wl, wl_re), ("round-robin", &rr, rr_re)] {
+                w.key(strategy);
+                w.begin_object();
+                w.field_f64_prec("wall_ms", n.wall_ms, 3);
+                w.field_u64("reevaluations", re as u64);
+                w.field_raw("stats", &n.stats.to_json());
+                w.end_object();
+            }
+            w.end_object();
+            w.end_object();
         }
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
     eprintln!("wrote {out_path}");

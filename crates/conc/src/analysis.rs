@@ -6,6 +6,7 @@ use crate::system::{system_conc, ConcParams};
 use getafix_boolprog::{BuildError, ConcProgram, Pc};
 use getafix_core::install_templates;
 use getafix_mucalc::{eq_const, Bdd, SolveError, SolveOptions, SolveStats, Solver, SystemError};
+use getafix_telemetry::{self as telemetry, Phase};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -104,6 +105,11 @@ pub fn build_conc_solver_with(
              use the sequential engine on the first thread"
                 .into(),
         ));
+    }
+    let mut span = telemetry::span(Phase::Encode, "build_conc_solver");
+    if span.is_recording() {
+        span.attr("switches", switches);
+        span.attr("threads", merged.n_threads);
     }
     let params = ConcParams { switches, threads: merged.n_threads };
     let system = system_conc(&merged.cfg, params)?;

@@ -32,6 +32,8 @@ pub fn merge(conc: &ConcProgram) -> Result<Merged, BuildError> {
     if conc.threads.is_empty() {
         return Err(BuildError("a concurrent program needs at least one thread".into()));
     }
+    let mut span = getafix_telemetry::span(getafix_telemetry::Phase::Merge, "merge");
+    span.attr("threads", conc.threads.len());
     let mut globals: Vec<String> = conc.shared.clone();
     let mut procs: Vec<Proc> = vec![Proc {
         name: "main".into(),

@@ -5,6 +5,7 @@ use crate::encode::{install_templates, EncodeError};
 use crate::systems::{system_ef, system_ef_trace, system_efopt, system_simple};
 use getafix_boolprog::{Cfg, Pc};
 use getafix_mucalc::{SolveError, SolveOptions, SolveStats, Solver, System, SystemError};
+use getafix_telemetry::{self as telemetry, Phase};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -180,6 +181,8 @@ pub fn build_trace_solver_with(
     algorithm: Algorithm,
     options: SolveOptions,
 ) -> Result<Option<Solver>, AnalysisError> {
+    let mut span = telemetry::span(Phase::Encode, "build_trace_solver");
+    span.attr("algorithm", algorithm.to_string());
     let Some(system) = emit_trace_system(cfg, algorithm)? else {
         return Ok(None);
     };
@@ -215,6 +218,8 @@ pub fn build_solver_with(
     algorithm: Algorithm,
     options: SolveOptions,
 ) -> Result<Solver, AnalysisError> {
+    let mut span = telemetry::span(Phase::Encode, "build_solver");
+    span.attr("algorithm", algorithm.to_string());
     let system = emit_system(cfg, algorithm)?;
     let mut solver = Solver::with_options(system, options)?;
     install_templates(&mut solver, cfg, targets)?;

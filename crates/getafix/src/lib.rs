@@ -49,6 +49,7 @@ pub use getafix_conc as conc;
 pub use getafix_core as core;
 pub use getafix_mucalc as mucalc;
 pub use getafix_pds as pds;
+pub use getafix_telemetry as telemetry;
 pub use getafix_witness as witness;
 pub use getafix_workloads as workloads;
 

@@ -4,8 +4,10 @@
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
 //!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
+//!                         [--trace-out FILE] [--profile]
 //! getafix check-conc <file.cbp> --label L --switches K
 //!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
+//!                         [--trace-out FILE] [--profile]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
 //!
@@ -17,6 +19,7 @@ use getafix::prelude::*;
 use getafix::witness::{concurrent_trace_from_schedule, WitnessError};
 use getafix_core::AnalysisError;
 use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
+use getafix_telemetry::{self as telemetry, Phase};
 use std::process::ExitCode;
 
 /// What a run concluded — mapped onto the process exit code.
@@ -46,9 +49,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace]
+                          [--stats] [--stats-json] [--trace] [--trace-out FILE] [--profile]
   getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace]
+                          [--stats] [--stats-json] [--trace] [--trace-out FILE] [--profile]
   getafix emit-mu <file.bp> [--algo ALGO]
   getafix help
 
@@ -66,6 +69,12 @@ STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strat
          clause, same verdict; `simple` falls back to a dedicated witness solve)
 --stats-json: print the full solver statistics as machine-readable JSON
          (re-evaluations, ordered-schedule work, provenance memory, GC reclaim)
+--trace-out FILE: record spans, events and kernel metrics across the whole run
+         (parse, encode, strata, SCC rounds, re-evaluations, GC pauses, witness
+         extraction) and write them as Chrome trace-event JSON — load the file in
+         https://ui.perfetto.dev or about:tracing to see the span tree over time
+--profile: print a human summary of the same recording: top spans by self time,
+         a per-relation re-evaluation latency histogram and event counts
 
 exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error";
 
@@ -75,6 +84,56 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// The `--trace-out` / `--profile` observability outputs of a run.
+#[derive(Debug, Default)]
+struct TelemetryFlags {
+    /// `--trace-out FILE`: write the recording as Chrome trace-event JSON.
+    trace_out: Option<String>,
+    /// `--profile`: print the top-spans/latency-histogram summary.
+    profile: bool,
+}
+
+impl TelemetryFlags {
+    fn parse(args: &[String]) -> TelemetryFlags {
+        TelemetryFlags {
+            trace_out: flag_value(args, "--trace-out").map(str::to_string),
+            profile: has_flag(args, "--profile"),
+        }
+    }
+
+    fn wanted(&self) -> bool {
+        self.trace_out.is_some() || self.profile
+    }
+
+    /// Installs the thread-local collector if either output was asked for.
+    /// Must run before parsing so the Parse span lands in the recording.
+    fn install(&self) {
+        if self.wanted() {
+            telemetry::install();
+        }
+    }
+
+    /// Takes the recording and emits the requested outputs. The trace file
+    /// is written even on a reachable verdict (exit 1) — the span tree is
+    /// most interesting exactly when the solver did real work.
+    fn finish(&self) -> Result<(), String> {
+        if !self.wanted() {
+            return Ok(());
+        }
+        let data = telemetry::take().ok_or("telemetry collector was not installed")?;
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, data.chrome_trace_json())
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            eprintln!("trace written to {path} (load in https://ui.perfetto.dev)");
+        }
+        if self.profile {
+            println!();
+            print!("{}", data.profile_summary(12));
+        }
+        Ok(())
+    }
 }
 
 /// Parses `--strategy` / `--max-iter` into validated solver options.
@@ -141,8 +200,8 @@ fn print_stats(stats: &SolveStats) {
     }
     println!();
     println!(
-        "{:<5} {:<10} {:<9} {:<8} {:>8}  members",
-        "scc", "kind", "monotone", "schedule", "evals"
+        "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9}  members",
+        "scc", "kind", "monotone", "schedule", "evals", "wall ms"
     );
     for (i, scc) in stats.sccs.iter().enumerate() {
         let schedule = if scc.ordered {
@@ -155,12 +214,13 @@ fn print_stats(stats: &SolveStats) {
             "nested"
         };
         println!(
-            "{:<5} {:<10} {:<9} {:<8} {:>8}  {}",
+            "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9.2}  {}",
             i,
             if scc.recursive { "recursive" } else { "straight" },
             if scc.monotone { "yes" } else { "no" },
             schedule,
             scc.evaluations,
+            scc.wall_ms,
             scc.members.join(", ")
         );
     }
@@ -171,7 +231,10 @@ fn print_stats(stats: &SolveStats) {
         println!("provenance memory: {} BDD nodes", stats.provenance_nodes);
     }
     if stats.gcs > 0 {
-        println!("gc: {} collections, {} nodes reclaimed", stats.gcs, stats.gc_reclaimed_nodes);
+        println!(
+            "gc: {} collections, {} nodes reclaimed, {:.2} ms total pause",
+            stats.gcs, stats.gc_reclaimed_nodes, stats.gc_pause_ms
+        );
     }
     let lookups = stats.cache_hits + stats.cache_misses;
     if lookups > 0 {
@@ -197,10 +260,16 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let algo = flag_value(args, "--algo").unwrap_or("ef-opt");
             let options = parse_solve_options(args)?;
             let solver_flags = has_flag(args, "--strategy") || has_flag(args, "--max-iter");
-            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
-            let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
-            check_sequential(
+            let tele = TelemetryFlags::parse(args);
+            tele.install();
+            let cfg = {
+                let mut span = telemetry::span(Phase::Parse, "parse");
+                span.attr("file", path.as_str());
+                let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+                Cfg::build(&program).map_err(|e| e.to_string())?
+            };
+            let outcome = check_sequential(
                 &cfg,
                 label,
                 algo,
@@ -211,7 +280,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 },
                 solver_flags,
                 has_flag(args, "--trace"),
-            )
+            )?;
+            tele.finish()?;
+            Ok(outcome)
         }
         "check-conc" => {
             let path = args.get(1).ok_or("missing input file")?;
@@ -227,8 +298,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     .into());
             }
             let options = parse_solve_options(args)?;
-            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let conc = parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?;
+            let tele = TelemetryFlags::parse(args);
+            tele.install();
+            let conc = {
+                let mut span = telemetry::span(Phase::Parse, "parse");
+                span.attr("file", path.as_str());
+                let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?
+            };
             let merged = merge(&conc).map_err(|e| e.to_string())?;
             let pc = merged.cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
             // One solver for verdict *and* (with --trace) witness: the
@@ -289,6 +366,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             if stats_out.wanted() {
                 stats_out.emit(&r.stats);
             }
+            tele.finish()?;
             Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
         }
         "emit-mu" => {
@@ -298,11 +376,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 || has_flag(args, "--stats")
                 || has_flag(args, "--stats-json")
                 || has_flag(args, "--trace")
+                || has_flag(args, "--trace-out")
+                || has_flag(args, "--profile")
             {
-                return Err("--strategy/--max-iter/--stats/--stats-json/--trace configure the \
-                            fixed-point solver; emit-mu only prints the formulae and never runs \
-                            it"
-                .into());
+                return Err("--strategy/--max-iter/--stats/--stats-json/--trace/--trace-out/\
+                            --profile configure or observe the fixed-point solver; emit-mu only \
+                            prints the formulae and never runs it"
+                    .into());
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;

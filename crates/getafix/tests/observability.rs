@@ -1,0 +1,149 @@
+//! End-to-end observability tests: the traces the telemetry collector
+//! records over real checks must be structurally sound (spans nest
+//! properly, the Chrome export parses), must actually cover the solve —
+//! the span tree accounts for ≥95% of `evaluate`'s wall time — and must
+//! never perturb the run being observed: the solver does bit-identical
+//! work with the collector on and off.
+//!
+//! The collector is thread-local and every `#[test]` runs on its own
+//! thread, so tests install and drain collectors without interfering.
+
+use getafix::prelude::*;
+use getafix::telemetry;
+use getafix::telemetry::json::Value;
+
+/// The README quickstart program (a recursive double-lock bug).
+const QUICKSTART: &str = include_str!("../../../examples/double_lock_bug.bp");
+
+/// The README concurrent handshake (two threads, a shared flag).
+const HANDSHAKE: &str = include_str!("../../../examples/handshake.cbp");
+
+/// One sequential check of the quickstart program under `strategy`,
+/// returning its statistics.
+fn run_quickstart(strategy: Strategy) -> getafix::mucalc::SolveStats {
+    let program = parse_program(QUICKSTART).expect("quickstart parses");
+    let cfg = Cfg::build(&program).expect("quickstart builds");
+    let pc = cfg.label("DOUBLE_LOCK").expect("label exists");
+    let r = check_reachability_with(
+        &cfg,
+        &[pc],
+        Algorithm::EntryForwardOpt,
+        SolveOptions::with_strategy(strategy),
+    )
+    .expect("check succeeds");
+    assert!(r.reachable, "the quickstart bug is reachable");
+    r.stats
+}
+
+/// One concurrent check of the handshake under `strategy`.
+fn run_handshake(strategy: Strategy) {
+    let conc = parse_concurrent(HANDSHAKE).expect("handshake parses");
+    let r =
+        check_conc_reachability_with(&conc, "t0__HIT", 2, SolveOptions::with_strategy(strategy))
+            .expect("conc check succeeds");
+    assert!(r.reachable, "the handshake hit is reachable within 2 switches");
+}
+
+#[test]
+fn sequential_trace_is_well_formed_under_both_strategies() {
+    for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+        telemetry::install();
+        run_quickstart(strategy);
+        let data = telemetry::take().expect("collector was installed");
+        data.check_well_formed()
+            .unwrap_or_else(|e| panic!("malformed trace under {strategy}: {e}"));
+        assert!(
+            data.spans.iter().any(|s| s.name == "parse" || s.name == "build_solver"),
+            "{strategy}: encode/parse spans missing"
+        );
+        assert!(
+            data.spans.iter().any(|s| s.name == "reeval" || s.name == "round"),
+            "{strategy}: no per-evaluation spans recorded"
+        );
+        let json = data.chrome_trace_json();
+        let v = telemetry::json::parse(&json)
+            .unwrap_or_else(|e| panic!("{strategy}: chrome trace does not parse: {e}"));
+        let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        assert!(!events.is_empty(), "{strategy}: empty trace");
+    }
+}
+
+#[test]
+fn concurrent_trace_is_well_formed_under_both_strategies() {
+    for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+        telemetry::install();
+        run_handshake(strategy);
+        let data = telemetry::take().expect("collector was installed");
+        data.check_well_formed()
+            .unwrap_or_else(|e| panic!("malformed conc trace under {strategy}: {e}"));
+        for required in ["merge", "build_conc_solver", "evaluate"] {
+            assert!(
+                data.spans.iter().any(|s| s.name == required),
+                "{strategy}: span `{required}` missing from the concurrent trace"
+            );
+        }
+        assert!(
+            telemetry::json::parse(&data.chrome_trace_json()).is_ok(),
+            "{strategy}: conc chrome trace does not parse"
+        );
+    }
+}
+
+/// The acceptance measure: the span tree under the longest `evaluate`
+/// span accounts for at least 95% of its wall time, so a Perfetto view
+/// of the solve has no unexplained gaps.
+#[test]
+fn solve_span_tree_covers_the_solve() {
+    telemetry::install();
+    run_quickstart(Strategy::Worklist);
+    let data = telemetry::take().expect("collector was installed");
+    let coverage = data.coverage_of("evaluate").expect("an evaluate span exists");
+    assert!(coverage >= 0.95, "solve span tree covers only {:.1}% of evaluate", coverage * 100.0);
+}
+
+/// The zero-overhead contract, behavioral half: observing a solve must
+/// not change it. Re-evaluation counts, iteration counts and final node
+/// counts are bit-identical with the collector on and off.
+#[test]
+fn collector_does_not_perturb_the_solve() {
+    for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+        let off = run_quickstart(strategy);
+        telemetry::install();
+        let on = run_quickstart(strategy);
+        let data = telemetry::take().expect("collector was installed");
+        assert!(!data.spans.is_empty(), "{strategy}: the observed run recorded nothing");
+
+        assert_eq!(
+            off.total_reevaluations(),
+            on.total_reevaluations(),
+            "{strategy}: collector changed the re-evaluation count"
+        );
+        assert_eq!(
+            off.ordered_reevaluations, on.ordered_reevaluations,
+            "{strategy}: collector changed the ordered re-evaluation count"
+        );
+        assert_eq!(off.relations.len(), on.relations.len());
+        for (name, r_off) in &off.relations {
+            let r_on = &on.relations[name];
+            assert_eq!(r_off.iterations, r_on.iterations, "{strategy}: {name} iterations");
+            assert_eq!(r_off.reevaluations, r_on.reevaluations, "{strategy}: {name} re-evals");
+            assert_eq!(r_off.final_nodes, r_on.final_nodes, "{strategy}: {name} final nodes");
+        }
+        for (s_off, s_on) in off.sccs.iter().zip(&on.sccs) {
+            assert_eq!(s_off.evaluations, s_on.evaluations, "{strategy}: scc evaluations");
+            assert_eq!(s_off.ordered, s_on.ordered, "{strategy}: scc schedule choice");
+        }
+    }
+}
+
+/// The profile renderer runs on a real trace and mentions the things the
+/// `--profile` flag promises: span groups, the latency histogram, events.
+#[test]
+fn profile_summary_renders_a_real_trace() {
+    telemetry::install();
+    run_quickstart(Strategy::Worklist);
+    let data = telemetry::take().expect("collector was installed");
+    let summary = data.profile_summary(12);
+    assert!(summary.contains("solve/"), "no span groups:\n{summary}");
+    assert!(summary.contains("re-eval latency"), "no histogram:\n{summary}");
+}

@@ -55,9 +55,10 @@ use crate::deps::DepGraph;
 use crate::provenance::Provenance;
 use crate::system::{RelationKind, System, SystemError};
 use getafix_bdd::{Bdd, Manager};
+use getafix_telemetry::json::JsonWriter;
+use getafix_telemetry::{self as telemetry, Phase};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::fmt::Write as _;
 use std::str::FromStr;
 
 /// Errors produced while solving.
@@ -244,6 +245,10 @@ pub struct SccStats {
     /// Did the worklist engine run this (non-monotone) component on the
     /// ordered change-driven schedule instead of the nested §3 fallback?
     pub ordered: bool,
+    /// Wall-clock time spent solving this component, in milliseconds
+    /// (worklist strategy only; round-robin does not attribute time to
+    /// components).
+    pub wall_ms: f64,
 }
 
 /// Aggregated solver statistics.
@@ -266,6 +271,9 @@ pub struct SolveStats {
     pub gcs: usize,
     /// Total nodes reclaimed by those collections.
     pub gc_reclaimed_nodes: usize,
+    /// Total wall-clock time spent inside GC pauses, in milliseconds
+    /// (mirrors [`getafix_bdd::ManagerStats::gc_pause_ms`]).
+    pub gc_pause_ms: f64,
     /// BDD operation-cache hits, from [`getafix_bdd::ManagerStats`].
     pub cache_hits: u64,
     /// BDD operation-cache misses, from [`getafix_bdd::ManagerStats`].
@@ -290,51 +298,56 @@ impl SolveStats {
     /// serialization consumed by `getafix … --stats-json`, the bench
     /// reporter and CI artifacts, so no tool re-derives numbers by hand.
     pub fn to_json(&self) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        let _ = writeln!(s, "  \"total_reevaluations\": {},", self.total_reevaluations());
-        let _ = writeln!(s, "  \"ordered_reevaluations\": {},", self.ordered_reevaluations);
-        let _ = writeln!(s, "  \"provenance_nodes\": {},", self.provenance_nodes);
-        let _ = writeln!(s, "  \"gcs\": {},", self.gcs);
-        let _ = writeln!(s, "  \"gc_reclaimed_nodes\": {},", self.gc_reclaimed_nodes);
-        let _ = writeln!(s, "  \"cache_hits\": {},", self.cache_hits);
-        let _ = writeln!(s, "  \"cache_misses\": {},", self.cache_misses);
-        let _ = writeln!(s, "  \"arena_nodes\": {},", self.arena_nodes);
-        let _ = writeln!(s, "  \"arena_bytes\": {},", self.arena_bytes);
-        let _ = writeln!(s, "  \"peak_arena_bytes\": {},", self.peak_arena_bytes);
-        s.push_str("  \"relations\": [\n");
-        let nrel = self.relations.len();
-        for (i, (name, r)) in self.relations.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "    {{ \"name\": \"{name}\", \"iterations\": {}, \"reevaluations\": {}, \
-                 \"final_nodes\": {}, \"peak_nodes\": {}, \"scc\": {} }}{}",
-                r.iterations,
-                r.reevaluations,
-                r.final_nodes,
-                r.peak_nodes,
-                r.scc.map_or("null".to_string(), |x| x.to_string()),
-                if i + 1 < nrel { "," } else { "" }
-            );
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("total_reevaluations", self.total_reevaluations() as u64);
+        w.field_u64("ordered_reevaluations", self.ordered_reevaluations as u64);
+        w.field_u64("provenance_nodes", self.provenance_nodes as u64);
+        w.field_u64("gcs", self.gcs as u64);
+        w.field_u64("gc_reclaimed_nodes", self.gc_reclaimed_nodes as u64);
+        w.field_f64("gc_pause_ms", self.gc_pause_ms);
+        w.field_u64("cache_hits", self.cache_hits);
+        w.field_u64("cache_misses", self.cache_misses);
+        w.field_u64("arena_nodes", self.arena_nodes as u64);
+        w.field_u64("arena_bytes", self.arena_bytes as u64);
+        w.field_u64("peak_arena_bytes", self.peak_arena_bytes as u64);
+        w.key("relations");
+        w.begin_array();
+        for (name, r) in &self.relations {
+            w.begin_object();
+            w.field_str("name", name);
+            w.field_u64("iterations", r.iterations as u64);
+            w.field_u64("reevaluations", r.reevaluations as u64);
+            w.field_u64("final_nodes", r.final_nodes as u64);
+            w.field_u64("peak_nodes", r.peak_nodes as u64);
+            w.key("scc");
+            match r.scc {
+                Some(s) => w.value_u64(s as u64),
+                None => w.value_null(),
+            }
+            w.end_object();
         }
-        s.push_str("  ],\n  \"sccs\": [\n");
-        let nscc = self.sccs.len();
-        for (i, scc) in self.sccs.iter().enumerate() {
-            let members: Vec<String> = scc.members.iter().map(|m| format!("\"{m}\"")).collect();
-            let _ = writeln!(
-                s,
-                "    {{ \"members\": [{}], \"recursive\": {}, \"monotone\": {}, \
-                 \"ordered\": {}, \"evaluations\": {} }}{}",
-                members.join(", "),
-                scc.recursive,
-                scc.monotone,
-                scc.ordered,
-                scc.evaluations,
-                if i + 1 < nscc { "," } else { "" }
-            );
+        w.end_array();
+        w.key("sccs");
+        w.begin_array();
+        for scc in &self.sccs {
+            w.begin_object();
+            w.key("members");
+            w.begin_array();
+            for m in &scc.members {
+                w.value_str(m);
+            }
+            w.end_array();
+            w.field_bool("recursive", scc.recursive);
+            w.field_bool("monotone", scc.monotone);
+            w.field_bool("ordered", scc.ordered);
+            w.field_u64("evaluations", scc.evaluations as u64);
+            w.field_f64("wall_ms", scc.wall_ms);
+            w.end_object();
         }
-        s.push_str("  ]\n}");
-        s
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     /// Accumulates another run's statistics into this one — used by the
@@ -355,6 +368,7 @@ impl SolveStats {
             for (mine, theirs) in self.sccs.iter_mut().zip(&other.sccs) {
                 mine.evaluations += theirs.evaluations;
                 mine.ordered |= theirs.ordered;
+                mine.wall_ms += theirs.wall_ms;
             }
         } else {
             self.sccs.extend(other.sccs.iter().cloned());
@@ -363,6 +377,7 @@ impl SolveStats {
         self.provenance_nodes = self.provenance_nodes.max(other.provenance_nodes);
         self.gcs += other.gcs;
         self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
+        self.gc_pause_ms += other.gc_pause_ms;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.arena_nodes = self.arena_nodes.max(other.arena_nodes);
@@ -417,6 +432,7 @@ impl Solver {
                 monotone: scc.monotone,
                 evaluations: 0,
                 ordered: false,
+                wall_ms: 0.0,
             });
         }
         Ok(Solver {
@@ -535,6 +551,11 @@ impl Solver {
         if let Some(&b) = self.evaluated.get(name) {
             return Ok(b);
         }
+        let mut span = telemetry::span(Phase::Solve, "evaluate");
+        if span.is_recording() {
+            span.attr("relation", name);
+            span.attr("strategy", self.options.strategy.to_string());
+        }
         let b = match self.options.strategy {
             Strategy::RoundRobin => {
                 let frozen = BTreeMap::new();
@@ -557,6 +578,7 @@ impl Solver {
         let ms = self.manager.stats();
         self.stats.cache_hits = ms.cache_hits;
         self.stats.cache_misses = ms.cache_misses;
+        self.stats.gc_pause_ms = ms.gc_pause_ms;
         self.stats.arena_nodes = ms.nodes;
         self.stats.arena_bytes = ms.arena_bytes;
         self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(ms.peak_arena_bytes);
@@ -681,6 +703,12 @@ impl Solver {
                     bound: self.options.max_iterations,
                 });
             }
+            let mut round_span = top_level.then(|| {
+                let mut sp = telemetry::span(Phase::Solve, "round");
+                sp.attr("relation", rel_name.as_str());
+                sp.attr("round", iterations);
+                sp
+            });
             let mut env = frozen.clone();
             env.insert(rel_name.clone(), s);
             // Evaluate every inner relation under the frozen environment.
@@ -708,6 +736,9 @@ impl Solver {
                 ctx.manager.and(raw, formals_domain)
             };
             peak_nodes = peak_nodes.max(self.manager.node_count(next));
+            if let Some(sp) = &mut round_span {
+                sp.attr("changed", next != s);
+            }
             if next == s {
                 break;
             }
@@ -732,6 +763,8 @@ impl Solver {
     /// Returns [`SolveError::OpenQuery`] if the query's formula does not
     /// reduce to a constant, plus any evaluation error.
     pub fn eval_query(&mut self, name: &str) -> Result<bool, SolveError> {
+        let mut query_span = telemetry::span(Phase::Solve, "query");
+        query_span.attr("query", name);
         let q =
             self.system.query(name).ok_or_else(|| SolveError::Unknown(name.to_string()))?.clone();
         // Evaluate every relation the query mentions — all of them BEFORE

@@ -62,7 +62,9 @@ use crate::deps::OrderedPlan;
 use crate::solve::{SolveError, Solver};
 use crate::system::RelationKind;
 use getafix_bdd::Bdd;
+use getafix_telemetry::{self as telemetry, Phase};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
 
 /// One top-level disjunct of a member's body, with the metadata needed to
 /// recompile it in isolation.
@@ -132,11 +134,32 @@ impl Solver {
         let scc_order: BTreeSet<usize> = needed.iter().map(|&i| self.deps.scc_of(i)).collect();
         for idx in scc_order {
             let roots = demanded.get(&idx).cloned().unwrap_or_default();
-            self.solve_scc(idx, &roots)?;
+            let stratum_start = Instant::now();
+            {
+                let mut span = telemetry::span(Phase::Solve, "stratum");
+                if span.is_recording() {
+                    let scc = &self.deps.sccs()[idx];
+                    span.attr("scc", idx);
+                    span.attr("members", scc.members.len());
+                    span.attr("recursive", scc.recursive);
+                    span.attr("monotone", scc.monotone);
+                }
+                self.solve_scc(idx, &roots)?;
+            }
+            self.stats.sccs[idx].wall_ms += stratum_start.elapsed().as_secs_f64() * 1e3;
             // Stratum boundary: nothing intermediate is live, so the arena
             // can be compacted around the inputs, the memoized
             // interpretations and the provenance snapshots.
             self.maybe_gc();
+            if telemetry::enabled() {
+                // Kernel-counter time series: one point per stratum turns
+                // the terminal cache ratio into a trajectory over the run.
+                let ms = self.manager.stats();
+                telemetry::sample("bdd.cache_hits", ms.cache_hits as f64);
+                telemetry::sample("bdd.cache_misses", ms.cache_misses as f64);
+                telemetry::sample("bdd.arena_nodes", ms.nodes as f64);
+                telemetry::sample("bdd.arena_bytes", ms.arena_bytes as f64);
+            }
         }
         self.evaluated
             .get(name)
@@ -243,6 +266,13 @@ impl Solver {
             if rounds > bound {
                 return Err(SolveError::Diverged { relation: anchor, bound });
             }
+            let reevals_before = self.stats.ordered_reevaluations;
+            let mut round_span = telemetry::span(Phase::Solve, "round");
+            if round_span.is_recording() {
+                round_span.attr("anchor", anchor.as_str());
+                round_span.attr("round", rounds);
+                round_span.attr("schedule", "ordered");
+            }
             // Phase 1: the non-anchor members, dependencies first. Each is
             // a function of the frozen anchor (and earlier ranks), exactly
             // as one §3 round derives them.
@@ -258,22 +288,28 @@ impl Solver {
                         if passes > bound {
                             return Err(SolveError::Diverged { relation: m.clone(), bound });
                         }
-                        let val = self.ordered_eval(&plans[m], &env, &version, &mut cache)?;
+                        let val = self.ordered_eval(&plans[m], &env, &version, &mut cache, i)?;
                         if val == env[m] {
                             break;
                         }
                         Self::ordered_assign(&mut env, &mut version, m, val);
                     }
                 } else {
-                    let val = self.ordered_eval(&plans[m], &env, &version, &mut cache)?;
+                    let val = self.ordered_eval(&plans[m], &env, &version, &mut cache, i)?;
                     if val != env[m] {
                         Self::ordered_assign(&mut env, &mut version, m, val);
                     }
                 }
             }
             // Phase 2: one recomputation of the anchor's body.
-            let next = self.ordered_eval(&plans[&anchor], &env, &version, &mut cache)?;
+            let next =
+                self.ordered_eval(&plans[&anchor], &env, &version, &mut cache, rank_names.len())?;
             peak_nodes = peak_nodes.max(self.manager.node_count(next));
+            if round_span.is_recording() {
+                round_span.attr("reevals", self.stats.ordered_reevaluations - reevals_before);
+                round_span.attr("changed", next != anchor_val);
+            }
+            drop(round_span);
             if next == anchor_val {
                 break;
             }
@@ -326,7 +362,14 @@ impl Solver {
         env: &BTreeMap<String, Bdd>,
         version: &BTreeMap<String, u64>,
         cache: &mut BTreeMap<String, Vec<Option<PartCache>>>,
+        rank: usize,
     ) -> Result<Bdd, SolveError> {
+        let mut span = telemetry::span(Phase::Solve, "reeval");
+        if span.is_recording() {
+            span.attr("relation", plan.name.as_str());
+            span.attr("schedule", "ordered");
+            span.attr("rank", rank);
+        }
         let slots = cache.get_mut(&plan.name).expect("member cache");
         let mut acc = Bdd::FALSE;
         let mut recompiled = false;
@@ -360,12 +403,18 @@ impl Solver {
             self.note_reevaluation(&plan.name);
             self.stats.ordered_reevaluations += 1;
         }
+        span.attr("recompiled", recompiled);
         Ok(acc)
     }
 
     /// Compiles the body of a non-recursive relation exactly once under the
     /// memoized environment.
     fn evaluate_once(&mut self, name: &str) -> Result<Bdd, SolveError> {
+        let mut span = telemetry::span(Phase::Solve, "reeval");
+        if span.is_recording() {
+            span.attr("relation", name);
+            span.attr("schedule", "once");
+        }
         let plan = self.member_plan(name, &BTreeSet::new())?;
         let env = self.component_env(std::slice::from_ref(&plan.name))?;
         self.note_reevaluation(name);
@@ -415,13 +464,21 @@ impl Solver {
             }
             let pass = passes.entry(r).or_insert(0);
             *pass += 1;
-            if *pass > self.options.max_iterations {
+            let pass_no = *pass;
+            if pass_no > self.options.max_iterations {
                 return Err(SolveError::Diverged {
                     relation: r.to_string(),
                     bound: self.options.max_iterations,
                 });
             }
 
+            let mut pass_span = telemetry::span(Phase::Solve, "reeval");
+            if pass_span.is_recording() {
+                pass_span.attr("relation", r);
+                pass_span.attr("schedule", "chaotic");
+                pass_span.attr("pass", pass_no);
+                pass_span.attr("dirty", dirty_now.len());
+            }
             let plan = &plans[r];
             self.note_reevaluation(r);
             // Semi-naive: recompile only disjuncts that read something that
@@ -436,6 +493,8 @@ impl Solver {
             }
             let old = value[r];
             let new = self.manager.or(old, delta);
+            pass_span.attr("changed", new != old);
+            drop(pass_span);
             peak.entry(r)
                 .and_modify(|p| *p = (*p).max(self.manager.node_count(new)))
                 .or_insert_with(|| self.manager.node_count(new));

@@ -1,0 +1,375 @@
+//! The thread-local collector: RAII spans, instant events and the metrics
+//! registry behind one `enabled` branch.
+//!
+//! # Cost model
+//!
+//! Instrumentation points are compiled into the solver's hottest loops, so
+//! the disabled path must be a **single thread-local flag test**: every
+//! entry point ([`span`], [`event`], [`counter_add`], [`gauge_set`],
+//! [`sample`]) first reads a `Cell<bool>` and returns before touching any
+//! argument that would allocate. Dynamic attribute values therefore travel
+//! as closures ([`event`]) or post-hoc [`Span::attr`] calls — never as
+//! eagerly built strings.
+//!
+//! # Why thread-local
+//!
+//! The solver is single-threaded today, but the ROADMAP's parallel
+//! stratified solving shards work across per-worker BDD managers. A
+//! thread-local collector per worker needs no locks, and per-thread span
+//! streams are exactly what the Chrome trace format wants (`tid` per
+//! worker). [`install`]/[`take`] operate on the calling thread only.
+
+use crate::metrics::Registry;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// Which pipeline stage a span or event belongs to — the `cat` field of
+/// the exported Chrome trace events, and the grouping key of the
+/// `--profile` summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Reading and parsing source programs.
+    Parse,
+    /// Formula generation + template installation (sequential and merged).
+    Encode,
+    /// Concurrent program merging.
+    Merge,
+    /// Fixed-point evaluation (strata, rounds, re-evaluations).
+    Solve,
+    /// Witness extraction, refinement and replay.
+    Witness,
+    /// BDD kernel events: GC, unique-table rehash, cache generations.
+    Bdd,
+}
+
+impl Phase {
+    /// The stable lower-case name (used as the Chrome `cat`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Encode => "encode",
+            Phase::Merge => "merge",
+            Phase::Solve => "solve",
+            Phase::Witness => "witness",
+            Phase::Bdd => "bdd",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+macro_rules! attr_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for AttrValue {
+            fn from(v: $t) -> AttrValue {
+                AttrValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+attr_from!(i64 => Int as i64, i32 => Int as i64, u64 => UInt as u64, u32 => UInt as u64,
+           usize => UInt as u64, f64 => Float as f64);
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+/// Attribute list of one span or event.
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// One completed span: a `(phase, name, t_start, t_end, attrs)` record.
+/// `depth` is the span-stack depth at entry (0 = top level), which the
+/// well-formedness checks and self-time computation key on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub phase: Phase,
+    pub name: &'static str,
+    /// Microseconds since the collector was installed.
+    pub t_start_us: u64,
+    pub t_end_us: u64,
+    pub depth: usize,
+    pub attrs: Attrs,
+}
+
+impl SpanRecord {
+    /// The span's wall-clock duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.t_end_us - self.t_start_us
+    }
+}
+
+/// One instantaneous event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    pub phase: Phase,
+    pub name: &'static str,
+    /// Microseconds since the collector was installed.
+    pub t_us: u64,
+    pub attrs: Attrs,
+}
+
+/// Everything one collector recorded, in emission order. Spans appear in
+/// **completion** order (a parent closes after its children); events and
+/// metric samples are timestamped independently.
+#[derive(Debug, Default)]
+pub struct TraceData {
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<EventRecord>,
+    pub metrics: Registry,
+}
+
+/// The per-thread recording state.
+#[derive(Debug)]
+struct Collector {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    depth: usize,
+    metrics: Registry,
+}
+
+impl Collector {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+thread_local! {
+    /// Fast path: is a collector installed on this thread?
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Is a collector installed on the calling thread? One `Cell` read — the
+/// branch every disabled instrumentation point reduces to.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Installs a fresh collector on the calling thread (replacing any
+/// previous one and discarding its records). Timestamps are relative to
+/// this moment.
+pub fn install() {
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() = Some(Collector {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            events: Vec::new(),
+            depth: 0,
+            metrics: Registry::default(),
+        });
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Uninstalls the calling thread's collector and returns everything it
+/// recorded. `None` if no collector was installed. Open spans guards that
+/// outlive the take record nothing.
+pub fn take() -> Option<TraceData> {
+    ENABLED.with(|e| e.set(false));
+    COLLECTOR.with(|c| c.borrow_mut().take()).map(|c| TraceData {
+        spans: c.spans,
+        events: c.events,
+        metrics: c.metrics,
+    })
+}
+
+/// Runs `f` with the installed collector, if any.
+#[inline]
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// An RAII span guard: records a [`SpanRecord`] from creation to drop.
+/// When no collector is installed the guard is inert — creating and
+/// dropping it is a flag test each.
+#[derive(Debug)]
+pub struct Span(Option<SpanInner>);
+
+#[derive(Debug)]
+struct SpanInner {
+    phase: Phase,
+    name: &'static str,
+    t_start_us: u64,
+    depth: usize,
+    attrs: Attrs,
+}
+
+/// Opens a span. `name` must be a static label — dynamic values belong in
+/// [`Span::attr`], which is free when disabled (the hot paths pass
+/// integers, never formatted strings).
+#[inline]
+pub fn span(phase: Phase, name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    Span(with_collector(|c| {
+        c.depth += 1;
+        SpanInner { phase, name, t_start_us: c.now_us(), depth: c.depth - 1, attrs: Vec::new() }
+    }))
+}
+
+impl Span {
+    /// Attaches an attribute (no-op when the guard is inert).
+    #[inline]
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(inner) = &mut self.0 {
+            inner.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Is this guard actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        with_collector(|c| {
+            c.depth = c.depth.saturating_sub(1);
+            let t_end_us = c.now_us().max(inner.t_start_us);
+            c.spans.push(SpanRecord {
+                phase: inner.phase,
+                name: inner.name,
+                t_start_us: inner.t_start_us,
+                t_end_us,
+                depth: inner.depth,
+                attrs: inner.attrs,
+            });
+        });
+    }
+}
+
+/// Records an instantaneous event. The attribute closure only runs when a
+/// collector is installed, so hot call sites pay one flag test when
+/// disabled.
+#[inline]
+pub fn event(phase: Phase, name: &'static str, attrs: impl FnOnce() -> Attrs) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| {
+        let t_us = c.now_us();
+        let attrs = attrs();
+        c.events.push(EventRecord { phase, name, t_us, attrs });
+    });
+}
+
+/// Adds to a named monotonic counter in the installed registry.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| c.metrics.counter_add(name, delta));
+}
+
+/// Sets a named gauge in the installed registry.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| c.metrics.gauge_set(name, value));
+}
+
+/// Appends a point to a named time series in the installed registry,
+/// timestamped now.
+#[inline]
+pub fn sample(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| {
+        let t = c.now_us();
+        c.metrics.sample_at(name, t, value);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_is_inert() {
+        assert!(!enabled());
+        let mut s = span(Phase::Solve, "noop");
+        assert!(!s.is_recording());
+        s.attr("k", 1u64);
+        drop(s);
+        event(Phase::Bdd, "never", || panic!("attrs closure must not run when disabled"));
+        counter_add("c", 1);
+        sample("s", 1.0);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        install();
+        {
+            let mut outer = span(Phase::Solve, "outer");
+            outer.attr("x", 7u64);
+            {
+                let _inner = span(Phase::Solve, "inner");
+            }
+            event(Phase::Bdd, "tick", || vec![("n", 3u64.into())]);
+        }
+        let data = take().expect("collector installed");
+        assert_eq!(data.spans.len(), 2);
+        // Completion order: inner closes first.
+        assert_eq!(data.spans[0].name, "inner");
+        assert_eq!(data.spans[0].depth, 1);
+        assert_eq!(data.spans[1].name, "outer");
+        assert_eq!(data.spans[1].depth, 0);
+        assert!(data.spans[1].t_start_us <= data.spans[0].t_start_us);
+        assert!(data.spans[1].t_end_us >= data.spans[0].t_end_us);
+        assert_eq!(data.spans[1].attrs, vec![("x", AttrValue::UInt(7))]);
+        assert_eq!(data.events.len(), 1);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn reinstall_resets() {
+        install();
+        let _ = span(Phase::Parse, "first");
+        install();
+        drop(span(Phase::Parse, "second"));
+        let data = take().expect("collector installed");
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.spans[0].name, "second");
+    }
+}

@@ -1,0 +1,607 @@
+//! A small shared JSON emitter and checker.
+//!
+//! The workspace builds offline — no serde — yet four different tools emit
+//! JSON (`--stats-json`, `--trace-out`, the bench reporter, the kernel
+//! microbenches) and two need to *check* it (trace well-formedness tests,
+//! the stats roundtrip property). This module is the one implementation
+//! they all share:
+//!
+//! * [`JsonWriter`] — a push-style emitter with automatic comma/indent
+//!   handling, so callers never hand-roll `if i + 1 < len { "," }` again.
+//! * [`parse`] — a minimal recursive-descent parser into [`Value`], enough
+//!   to validate and introspect everything this workspace emits (it is a
+//!   test/validation aid, not a general-purpose JSON library).
+//! * [`escape`] / [`rate_per_sec`] — the shared string-escaping and
+//!   division-guard helpers the emitters kept duplicating.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `count / secs`, guarded against zero (and denormal) durations: a rate
+/// computed over an unmeasurably short interval reports `0.0` instead of
+/// `inf`/`NaN` — which would not even be valid JSON.
+pub fn rate_per_sec(count: f64, secs: f64) -> f64 {
+    if secs > 0.0 && secs.is_finite() {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+/// Renders `v` as a JSON number: non-finite values (which JSON cannot
+/// represent) degrade to `0`, and finite values use Rust's
+/// shortest-roundtrip `Display` (always a valid JSON number).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// What the writer is in the middle of, for comma placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    /// Inside an object, `true` once a member has been written.
+    Object(bool),
+    /// Inside an array, `true` once an element has been written.
+    Array(bool),
+}
+
+/// A push-style JSON emitter with automatic commas and two-space
+/// indentation (the pretty style the committed bench reports use).
+///
+/// ```
+/// use getafix_telemetry::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("name", "fig2");
+/// w.key("walls");
+/// w.begin_array();
+/// w.value_f64(1.5);
+/// w.value_u64(2);
+/// w.end_array();
+/// w.end_object();
+/// let s = w.finish();
+/// assert!(getafix_telemetry::json::parse(&s).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Ctx>,
+    /// Set between [`JsonWriter::key`] and the value it introduces.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// The finished document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an object or array is still open — an unbalanced emitter
+    /// is a bug at the call site, not a runtime condition.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "JsonWriter: unclosed object/array");
+        assert!(!self.pending_key, "JsonWriter: key without a value");
+        self.out
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Positions the cursor for the next value: emits the separating comma
+    /// and newline/indent inside containers (unless a key was just
+    /// written, in which case the value continues its line).
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        match self.stack.last_mut() {
+            Some(Ctx::Object(_)) => panic!("JsonWriter: object member without a key"),
+            Some(Ctx::Array(started)) => {
+                let sep = *started;
+                *started = true;
+                if sep {
+                    self.out.push(',');
+                }
+                self.out.push('\n');
+                self.indent();
+            }
+            None => {}
+        }
+    }
+
+    /// Introduces an object member; must be followed by exactly one value.
+    pub fn key(&mut self, k: &str) {
+        let Some(Ctx::Object(started)) = self.stack.last_mut() else {
+            panic!("JsonWriter: key() outside an object");
+        };
+        let sep = *started;
+        *started = true;
+        assert!(!self.pending_key, "JsonWriter: two keys in a row");
+        if sep {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.indent();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+        self.pending_key = true;
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(Ctx::Object(false));
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        match self.stack.pop() {
+            Some(Ctx::Object(started)) => {
+                if started {
+                    self.out.push('\n');
+                    self.indent();
+                }
+                self.out.push('}');
+            }
+            _ => panic!("JsonWriter: end_object() without begin_object()"),
+        }
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(Ctx::Array(false));
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        match self.stack.pop() {
+            Some(Ctx::Array(started)) => {
+                if started {
+                    self.out.push('\n');
+                    self.indent();
+                }
+                self.out.push(']');
+            }
+            _ => panic!("JsonWriter: end_array() without begin_array()"),
+        }
+    }
+
+    /// A string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// An unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// A signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// A float value, shortest-roundtrip (non-finite degrades to `0`).
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_value();
+        self.out.push_str(&number(v));
+    }
+
+    /// A float value with fixed decimal places (non-finite degrades to `0`).
+    pub fn value_f64_prec(&mut self, v: f64, decimals: usize) {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v:.decimals$}");
+        } else {
+            self.out.push('0');
+        }
+    }
+
+    /// A boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `null`.
+    pub fn value_null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
+    }
+
+    /// A pre-rendered JSON value, embedded verbatim (re-indented one line at
+    /// a time so nested documents keep the surrounding indentation) — how
+    /// the bench reporter embeds [`SolveStats::to_json`] objects it did not
+    /// produce itself.
+    ///
+    /// [`SolveStats::to_json`]: https://docs.rs/getafix-mucalc
+    pub fn value_raw(&mut self, v: &str) {
+        self.pre_value();
+        let mut lines = v.lines();
+        if let Some(first) = lines.next() {
+            self.out.push_str(first);
+        }
+        for line in lines {
+            self.out.push('\n');
+            self.indent();
+            self.out.push_str(line);
+        }
+    }
+
+    /// `key(k)` + [`JsonWriter::value_str`].
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+    }
+
+    /// `key(k)` + [`JsonWriter::value_u64`].
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+    }
+
+    /// `key(k)` + [`JsonWriter::value_f64`].
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+    }
+
+    /// `key(k)` + [`JsonWriter::value_f64_prec`].
+    pub fn field_f64_prec(&mut self, k: &str, v: f64, decimals: usize) {
+        self.key(k);
+        self.value_f64_prec(v, decimals);
+    }
+
+    /// `key(k)` + [`JsonWriter::value_bool`].
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.value_bool(v);
+    }
+
+    /// `key(k)` + [`JsonWriter::value_raw`].
+    pub fn field_raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_raw(v);
+    }
+}
+
+/// A parsed JSON value (see [`parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers parse as `f64` — exact for the integer counters
+    /// this workspace emits up to 2⁵³, which is far beyond any of them.
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// A byte offset and message on malformed input or trailing junk.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte `{}` at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "bad utf-8 in string".into());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not emitted by this workspace;
+                        // replace lone surrogates rather than erroring.
+                        let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let v = parse_value(b, pos)?;
+        map.insert(key, v);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(out));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_nested_roundtrip() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "a \"quoted\"\nname");
+        w.field_u64("count", 42);
+        w.field_f64("rate", 1.5);
+        w.field_bool("ok", true);
+        w.key("null_member");
+        w.value_null();
+        w.key("items");
+        w.begin_array();
+        w.begin_object();
+        w.field_f64_prec("ms", 1.23456, 3);
+        w.end_object();
+        w.value_str("tail");
+        w.end_array();
+        w.key("empty_obj");
+        w.begin_object();
+        w.end_object();
+        w.key("empty_arr");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        let v = parse(&s).expect("writer output parses");
+        assert_eq!(v.get("count").and_then(Value::as_f64), Some(42.0));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("a \"quoted\"\nname"));
+        assert_eq!(v.get("null_member"), Some(&Value::Null));
+        let items = v.get("items").and_then(Value::as_array).expect("array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("ms").and_then(Value::as_f64), Some(1.235));
+    }
+
+    #[test]
+    fn raw_embedding_reindents() {
+        let mut inner = JsonWriter::new();
+        inner.begin_object();
+        inner.field_u64("x", 1);
+        inner.end_object();
+        let inner = inner.finish();
+
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("wrapped");
+        w.value_raw(&inner);
+        w.end_object();
+        let s = w.finish();
+        let v = parse(&s).expect("embedded raw JSON parses");
+        assert_eq!(v.get("wrapped").and_then(|w| w.get("x")).and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_degrades_to_zero() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(f64::NAN);
+        w.value_f64_prec(f64::INFINITY, 2);
+        w.end_array();
+        let s = w.finish();
+        assert_eq!(parse(&s).unwrap(), Value::Array(vec![Value::Num(0.0), Value::Num(0.0)]));
+    }
+
+    #[test]
+    fn rate_guard() {
+        assert_eq!(rate_per_sec(100.0, 0.0), 0.0);
+        assert_eq!(rate_per_sec(100.0, -1.0), 0.0);
+        assert_eq!(rate_per_sec(100.0, 2.0), 50.0);
+        assert_eq!(rate_per_sec(100.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(parse("{").is_err());
+        assert!(parse("{} garbage").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let v = parse(r#"{"s": "aA\n\"b\""}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("aA\n\"b\""));
+    }
+}

@@ -61,6 +61,11 @@ pub fn concurrent_witness_from(
     targets: &[Pc],
     switches: usize,
 ) -> Result<Option<Schedule>, WitnessError> {
+    let mut span = getafix_telemetry::span(getafix_telemetry::Phase::Witness, "concurrent_witness");
+    if span.is_recording() {
+        span.attr("targets", targets.len());
+        span.attr("switches", switches);
+    }
     guard_width(merged)?;
     let reach = solver.evaluate("Reach").map_err(|e| WitnessError::Solve(e.to_string()))?;
 
@@ -173,6 +178,7 @@ pub fn concurrent_trace_from_schedule(
     schedule: &Schedule,
     limits: ConcLimits,
 ) -> Result<ConcTrace, WitnessError> {
+    let _span = getafix_telemetry::span(getafix_telemetry::Phase::Witness, "refine_schedule");
     let rounds = schedule.to_replay();
     let refined = conc_refine_schedule(merged, targets, &rounds, limits)
         .map_err(map_explicit)?

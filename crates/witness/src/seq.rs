@@ -176,6 +176,8 @@ pub fn sequential_witness_from(
     targets: &[Pc],
     limits: WitnessLimits,
 ) -> Result<Option<Trace>, WitnessError> {
+    let mut span = getafix_telemetry::span(getafix_telemetry::Phase::Witness, "sequential_witness");
+    span.attr("targets", targets.len());
     if cfg.globals.len() > 64 {
         return Err(WitnessError::TooManyVariables(format!(
             "{} globals exceed the 64-bit extraction frame",
