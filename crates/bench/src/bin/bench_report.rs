@@ -12,7 +12,14 @@
 //! ```text
 //! cargo run --release -p getafix-bench --bin bench-report \
 //!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N]
+//!     [--compare BASELINE.json] [--compare-out PATH] [--max-wall-regress R]
 //! ```
+//!
+//! `--compare BASELINE.json` diffs the fresh fig2 report against a
+//! committed baseline — per-workload wall/re-eval/cache-hit/peak-arena
+//! deltas printed as a table and written to `BENCH_compare.json` — and
+//! fails when the total matched worklist wall time exceeds
+//! `--max-wall-regress` (default 1.25) times the baseline.
 //!
 //! The JSON is emitted through [`getafix_telemetry::json::JsonWriter`]
 //! (the workspace builds offline, without serde; the telemetry crate's
@@ -318,6 +325,24 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // Baseline comparison: table + artifact + the wall-clock gate.
+    if let Some(baseline_path) = flag_value(&args, "--compare") {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--compare {baseline_path}: {e}"));
+        let cmp = getafix_bench::compare::compare_fig2(&baseline, &json)
+            .unwrap_or_else(|e| panic!("--compare: {e}"));
+        eprint!("{}", cmp.render());
+        let compare_out =
+            flag_value(&args, "--compare-out").unwrap_or_else(|| "BENCH_compare.json".into());
+        let mut doc = cmp.to_json();
+        doc.push('\n');
+        std::fs::write(&compare_out, doc).unwrap_or_else(|e| panic!("{compare_out}: {e}"));
+        eprintln!("wrote {compare_out}");
+        let max_ratio: f64 =
+            flag_value(&args, "--max-wall-regress").and_then(|s| s.parse().ok()).unwrap_or(1.25);
+        cmp.gate(max_ratio).unwrap_or_else(|e| panic!("{e}"));
+    }
 
     // `--skip-fig3` leaves the previous fig3 report untouched — handy when
     // iterating on the sequential kernel/scheduler only.

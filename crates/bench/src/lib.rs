@@ -3,6 +3,7 @@
 //! binaries print as the paper's tables.
 
 pub mod bdd_kernel;
+pub mod compare;
 
 use getafix_bebop::bebop_reachable;
 use getafix_boolprog::{Cfg, Pc, Program};

@@ -65,8 +65,8 @@ pub mod prelude {
         check_conc_solver, check_merged_with, merge, ConcParams,
     };
     pub use getafix_core::{
-        build_trace_solver_with, check_label, check_reachability, check_reachability_with,
-        emit_system, emit_trace_system, Algorithm,
+        build_solver_with, build_trace_solver_with, check_label, check_reachability,
+        check_reachability_with, emit_system, emit_trace_system, Algorithm,
     };
     pub use getafix_mucalc::{SolveOptions, Strategy};
     pub use getafix_pds::{poststar, prestar};

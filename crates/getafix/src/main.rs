@@ -4,10 +4,11 @@
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
 //!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
-//!                         [--trace-out FILE] [--profile]
+//!                         [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
 //! getafix check-conc <file.cbp> --label L --switches K
 //!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
-//!                         [--trace-out FILE] [--profile]
+//!                         [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//! getafix inspect <file.bp> [--label L] [--algo ef-opt|ef|ef-naive|simple] [--dot] [--json]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
 //!
@@ -18,7 +19,7 @@ use getafix::conc::ConcLimits;
 use getafix::prelude::*;
 use getafix::witness::{concurrent_trace_from_schedule, WitnessError};
 use getafix_core::AnalysisError;
-use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
+use getafix_mucalc::{depgraph_dot, depgraph_json, SolveOptions, SolveStats, Strategy};
 use getafix_telemetry::{self as telemetry, Phase};
 use std::process::ExitCode;
 
@@ -49,9 +50,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace] [--trace-out FILE] [--profile]
+                          [--stats] [--stats-json] [--trace] [--trace-out FILE]
+                          [--profile] [--progress] [--diag-out DIR]
   getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace] [--trace-out FILE] [--profile]
+                          [--stats] [--stats-json] [--trace] [--trace-out FILE]
+                          [--profile] [--progress] [--diag-out DIR]
+  getafix inspect <file.bp> [--label L] [--algo ALGO] [--dot] [--json]
   getafix emit-mu <file.bp> [--algo ALGO]
   getafix help
 
@@ -68,13 +72,28 @@ STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strat
          solver's rank provenance (for ef/ef-naive this drops the early-termination
          clause, same verdict; `simple` falls back to a dedicated witness solve)
 --stats-json: print the full solver statistics as machine-readable JSON
-         (re-evaluations, ordered-schedule work, provenance memory, GC reclaim)
+         (re-evaluations, ordered-schedule work, provenance memory, GC reclaim);
+         when a telemetry collector is active (--trace-out/--profile/--progress/
+         --diag-out) a `metrics` object with the live counters/gauges is embedded
 --trace-out FILE: record spans, events and kernel metrics across the whole run
          (parse, encode, strata, SCC rounds, re-evaluations, GC pauses, witness
          extraction) and write them as Chrome trace-event JSON — load the file in
          https://ui.perfetto.dev or about:tracing to see the span tree over time
 --profile: print a human summary of the same recording: top spans by self time,
-         a per-relation re-evaluation latency histogram and event counts
+         a per-relation re-evaluation latency histogram, event counts and the
+         \"top offenders\" table — the disjuncts doing the most recompilation work
+--progress: print a throttled heartbeat to stderr while the solve runs
+         (stratum k/N, re-evaluations, arena bytes, GC pauses) — cheap enough to
+         leave on for long runs; the observed solve does bit-identical work
+--diag-out DIR: write the whole diagnostics bundle in one shot — trace.json
+         (Chrome trace), flamegraph.folded (inferno/speedscope folded stacks),
+         depgraph.dot + depgraph.json (solve topology), stats.json (solver
+         statistics with the metrics registry embedded) and manifest.json
+         (tool version, platform, argv)
+inspect: parse the program, run the solver once and report the solve topology —
+         SCCs, dependency edges and schedule classification (once / chaotic /
+         ordered / nested). --dot / --json print the GraphViz / JSON document
+         instead of the human table
 
 exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error";
 
@@ -86,13 +105,19 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// The `--trace-out` / `--profile` observability outputs of a run.
+/// The `--trace-out` / `--profile` / `--progress` / `--diag-out`
+/// observability outputs of a run.
 #[derive(Debug, Default)]
 struct TelemetryFlags {
     /// `--trace-out FILE`: write the recording as Chrome trace-event JSON.
     trace_out: Option<String>,
-    /// `--profile`: print the top-spans/latency-histogram summary.
+    /// `--profile`: print the top-spans/latency-histogram summary and the
+    /// per-disjunct "top offenders" table.
     profile: bool,
+    /// `--progress`: throttled stderr heartbeat while the solve runs.
+    progress: bool,
+    /// `--diag-out DIR`: write the whole diagnostics bundle into `DIR`.
+    diag_out: Option<String>,
 }
 
 impl TelemetryFlags {
@@ -100,25 +125,36 @@ impl TelemetryFlags {
         TelemetryFlags {
             trace_out: flag_value(args, "--trace-out").map(str::to_string),
             profile: has_flag(args, "--profile"),
+            progress: has_flag(args, "--progress"),
+            diag_out: flag_value(args, "--diag-out").map(str::to_string),
         }
     }
 
     fn wanted(&self) -> bool {
-        self.trace_out.is_some() || self.profile
+        self.trace_out.is_some() || self.profile || self.progress || self.diag_out.is_some()
     }
 
-    /// Installs the thread-local collector if either output was asked for.
+    /// Installs the thread-local collector if any output was asked for.
     /// Must run before parsing so the Parse span lands in the recording.
+    /// `--progress` additionally attaches the heartbeat sink, throttled to
+    /// one line per half second.
     fn install(&self) {
         if self.wanted() {
             telemetry::install();
+            if self.progress {
+                telemetry::attach_progress(std::time::Duration::from_millis(500), |line| {
+                    eprintln!("{line}");
+                });
+            }
         }
     }
 
     /// Takes the recording and emits the requested outputs. The trace file
     /// is written even on a reachable verdict (exit 1) — the span tree is
-    /// most interesting exactly when the solver did real work.
-    fn finish(&self) -> Result<(), String> {
+    /// most interesting exactly when the solver did real work. `stats` is
+    /// the final solver statistics when the run produced them (formula
+    /// algorithms; `None` for the hand-coded baselines).
+    fn finish(&self, stats: Option<&SolveStats>) -> Result<(), String> {
         if !self.wanted() {
             return Ok(());
         }
@@ -131,9 +167,65 @@ impl TelemetryFlags {
         if self.profile {
             println!();
             print!("{}", data.profile_summary(12));
+            if let Some(offenders) = stats.map(|s| s.top_offenders(10)) {
+                if !offenders.is_empty() {
+                    println!();
+                    print!("{offenders}");
+                }
+            }
+        }
+        if let Some(dir) = &self.diag_out {
+            let stats = stats.ok_or(
+                "--diag-out includes the solve topology and solver statistics; the selected \
+                 algorithm did not run the fixed-point solver (use ef-opt, ef, ef-naive, simple)",
+            )?;
+            write_diag_bundle(dir, &data, stats)?;
         }
         Ok(())
     }
+}
+
+/// Writes the `--diag-out` bundle: everything a performance bug report
+/// needs, in one directory.
+fn write_diag_bundle(
+    dir: &str,
+    data: &telemetry::TraceData,
+    stats: &SolveStats,
+) -> Result<(), String> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("--diag-out {}: {e}", dir.display()))?;
+    let write = |name: &str, contents: String| {
+        std::fs::write(dir.join(name), contents).map_err(|e| format!("--diag-out {name}: {e}"))
+    };
+    write("trace.json", data.chrome_trace_json())?;
+    write("flamegraph.folded", data.folded_stacks())?;
+    write("depgraph.dot", depgraph_dot(stats))?;
+    write("depgraph.json", depgraph_json(stats))?;
+    write("stats.json", stats.to_json_with_metrics(Some(&data.metrics)))?;
+    write("manifest.json", manifest_json())?;
+    eprintln!("diagnostics bundle written to {}", dir.display());
+    Ok(())
+}
+
+/// The bundle's `manifest.json`: enough provenance to interpret the other
+/// files later — tool version, platform and the exact invocation.
+fn manifest_json() -> String {
+    let mut w = telemetry::json::JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "getafix-diag-manifest/1");
+    w.field_str("tool", "getafix");
+    w.field_str("version", env!("CARGO_PKG_VERSION"));
+    w.field_str("os", std::env::consts::OS);
+    w.field_str("arch", std::env::consts::ARCH);
+    w.field_str("build", if cfg!(debug_assertions) { "debug" } else { "release" });
+    w.key("argv");
+    w.begin_array();
+    for arg in std::env::args() {
+        w.value_str(&arg);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 /// Parses `--strategy` / `--max-iter` into validated solver options.
@@ -175,7 +267,12 @@ impl StatsOutput {
             print_stats(stats);
         }
         if self.json {
-            println!("{}", stats.to_json());
+            // With a live collector the metrics registry rides along; with
+            // none the document is byte-identical to previous releases.
+            match telemetry::metrics_snapshot() {
+                Some(reg) => println!("{}", stats.to_json_with_metrics(Some(&reg))),
+                None => println!("{}", stats.to_json()),
+            }
         }
     }
 }
@@ -200,27 +297,19 @@ fn print_stats(stats: &SolveStats) {
     }
     println!();
     println!(
-        "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9}  members",
-        "scc", "kind", "monotone", "schedule", "evals", "wall ms"
+        "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9} {:<10}  members",
+        "scc", "kind", "monotone", "schedule", "evals", "wall ms", "deps"
     );
     for (i, scc) in stats.sccs.iter().enumerate() {
-        let schedule = if scc.ordered {
-            "ordered"
-        } else if !scc.recursive {
-            "once"
-        } else if scc.monotone {
-            "chaotic"
-        } else {
-            "nested"
-        };
         println!(
-            "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9.2}  {}",
+            "{:<5} {:<10} {:<9} {:<8} {:>8} {:>9.2} {:<10}  {}",
             i,
             if scc.recursive { "recursive" } else { "straight" },
             if scc.monotone { "yes" } else { "no" },
-            schedule,
+            scc.schedule(),
             scc.evaluations,
             scc.wall_ms,
+            deps_cell(&scc.dep_sccs),
             scc.members.join(", ")
         );
     }
@@ -251,6 +340,56 @@ fn print_stats(stats: &SolveStats) {
     );
 }
 
+/// The `deps` column of the SCC tables: the components this one reads,
+/// `-` when it only reads inputs.
+fn deps_cell(dep_sccs: &[usize]) -> String {
+    if dep_sccs.is_empty() {
+        "-".into()
+    } else {
+        dep_sccs.iter().map(|d| format!("{d}")).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// The human rendering of `getafix inspect`: the SCC table with its
+/// dependency edges, plus a schedule-class census.
+fn print_topology(stats: &SolveStats) {
+    println!("solve topology: {} SCCs (dependencies-first order)", stats.sccs.len());
+    println!();
+    println!(
+        "{:<5} {:<10} {:<8} {:>8} {:>9} {:>10} {:<10}  members",
+        "scc", "kind", "schedule", "evals", "wall ms", "peak", "deps"
+    );
+    for (i, scc) in stats.sccs.iter().enumerate() {
+        let peak = scc
+            .members
+            .iter()
+            .filter_map(|m| stats.relations.get(m).map(|r| r.peak_nodes))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<5} {:<10} {:<8} {:>8} {:>9.2} {:>10} {:<10}  {}",
+            i,
+            if scc.recursive { "recursive" } else { "straight" },
+            scc.schedule(),
+            scc.evaluations,
+            scc.wall_ms,
+            peak,
+            deps_cell(&scc.dep_sccs),
+            scc.members.join(", ")
+        );
+    }
+    println!();
+    let census = |class: &str| stats.sccs.iter().filter(|s| s.schedule() == class).count();
+    println!(
+        "schedules: {} once, {} chaotic, {} ordered, {} nested — {} re-evaluations total",
+        census("once"),
+        census("chaotic"),
+        census("ordered"),
+        census("nested"),
+        stats.total_reevaluations()
+    );
+}
+
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
@@ -261,6 +400,15 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let options = parse_solve_options(args)?;
             let solver_flags = has_flag(args, "--strategy") || has_flag(args, "--max-iter");
             let tele = TelemetryFlags::parse(args);
+            if tele.diag_out.is_some()
+                && matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle")
+            {
+                return Err(format!(
+                    "--diag-out includes the solve topology and solver statistics; the `{algo}` \
+                     baseline does not run the fixed-point solver (use ef-opt, ef, ef-naive, \
+                     simple)"
+                ));
+            }
             tele.install();
             let cfg = {
                 let mut span = telemetry::span(Phase::Parse, "parse");
@@ -269,7 +417,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
                 Cfg::build(&program).map_err(|e| e.to_string())?
             };
-            let outcome = check_sequential(
+            let (outcome, stats) = check_sequential(
                 &cfg,
                 label,
                 algo,
@@ -281,8 +429,42 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 solver_flags,
                 has_flag(args, "--trace"),
             )?;
-            tele.finish()?;
+            tele.finish(stats.as_ref())?;
             Ok(outcome)
+        }
+        "inspect" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let algo_name = flag_value(args, "--algo").unwrap_or("ef-opt");
+            if matches!(algo_name, "bebop" | "moped-fwd" | "moped-bwd" | "oracle") {
+                return Err(format!(
+                    "inspect reports the fixed-point solver's dependency graph; the \
+                     `{algo_name}` baseline does not run it (use ef-opt, ef, ef-naive, simple)"
+                ));
+            }
+            let algo = parse_algo(algo_name)?;
+            let options = parse_solve_options(args)?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+            // A target label sharpens the statistics but is not needed for
+            // the topology — the dependency graph is a property of the
+            // encoded equation system.
+            let targets = match flag_value(args, "--label") {
+                Some(l) => vec![cfg.label(l).ok_or_else(|| format!("no label `{l}`"))?],
+                None => Vec::new(),
+            };
+            let mut solver =
+                build_solver_with(&cfg, &targets, algo, options).map_err(|e| e.to_string())?;
+            solver.eval_query("reach").map_err(|e| e.to_string())?;
+            let stats = solver.stats();
+            if has_flag(args, "--dot") {
+                print!("{}", depgraph_dot(stats));
+            } else if has_flag(args, "--json") {
+                println!("{}", depgraph_json(stats));
+            } else {
+                print_topology(stats);
+            }
+            Ok(Outcome::NoVerdict)
         }
         "check-conc" => {
             let path = args.get(1).ok_or("missing input file")?;
@@ -366,7 +548,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             if stats_out.wanted() {
                 stats_out.emit(&r.stats);
             }
-            tele.finish()?;
+            tele.finish(Some(&r.stats))?;
             Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
         }
         "emit-mu" => {
@@ -378,10 +560,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 || has_flag(args, "--trace")
                 || has_flag(args, "--trace-out")
                 || has_flag(args, "--profile")
+                || has_flag(args, "--progress")
+                || has_flag(args, "--diag-out")
             {
                 return Err("--strategy/--max-iter/--stats/--stats-json/--trace/--trace-out/\
-                            --profile configure or observe the fixed-point solver; emit-mu only \
-                            prints the formulae and never runs it"
+                            --profile/--progress/--diag-out configure or observe the fixed-point \
+                            solver; emit-mu only prints the formulae and never runs it"
                     .into());
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
@@ -410,6 +594,9 @@ fn parse_algo(name: &str) -> Result<Algorithm, String> {
     })
 }
 
+/// Runs one sequential check, returning the verdict and — for formula
+/// algorithms — the final solver statistics (the telemetry finisher feeds
+/// them to `--profile`'s offenders table and the `--diag-out` bundle).
 fn check_sequential(
     cfg: &Cfg,
     label: &str,
@@ -418,7 +605,7 @@ fn check_sequential(
     stats_out: StatsOutput,
     solver_flags: bool,
     trace: bool,
-) -> Result<Outcome, String> {
+) -> Result<(Outcome, Option<SolveStats>), String> {
     let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
     let baseline = matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle");
     if baseline && stats_out.wanted() {
@@ -466,7 +653,8 @@ fn check_sequential(
                 print!("{}", t.render(cfg));
             }
             stats_out.emit(&stats);
-            return Ok(if reachable { Outcome::Reachable } else { Outcome::Unreachable });
+            let outcome = if reachable { Outcome::Reachable } else { Outcome::Unreachable };
+            return Ok((outcome, Some(stats)));
         }
     }
 
@@ -525,9 +713,7 @@ fn check_sequential(
                 r.encode_time.as_secs_f64(),
                 r.solve_time.as_secs_f64()
             );
-            if stats_out.wanted() {
-                solver_stats = Some(r.stats);
-            }
+            solver_stats = Some(r.stats);
             (r.reachable, line)
         }
     };
@@ -549,7 +735,10 @@ fn check_sequential(
     }
     // Verdict line first, statistics after — same order as `check-conc`.
     if let Some(s) = &solver_stats {
-        stats_out.emit(s);
+        if stats_out.wanted() {
+            stats_out.emit(s);
+        }
     }
-    Ok(if reachable { Outcome::Reachable } else { Outcome::Unreachable })
+    let outcome = if reachable { Outcome::Reachable } else { Outcome::Unreachable };
+    Ok((outcome, solver_stats))
 }

@@ -1,0 +1,187 @@
+//! End-to-end tests of the `--diag-out` bundle and `inspect` through the
+//! actual binary: one invocation must produce a complete, schema-valid
+//! diagnostics directory, and every document in it must agree with the
+//! others (the DOT graph with the JSON topology, the folded stacks with
+//! the trace's `evaluate` spans, the stats with the embedded metrics).
+
+use getafix::mucalc::check_depgraph_dot;
+use getafix::telemetry::json::{parse, Value};
+use getafix::telemetry::{parse_folded, rooted_weight};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn example(name: &str) -> String {
+    format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn bundle_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("getafix-diag-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("bundle file {name} missing: {e}"))
+}
+
+/// The acceptance scenario: a concurrent check of the handshake program
+/// writes the whole bundle in one shot, and every file validates.
+#[test]
+fn check_conc_writes_a_complete_valid_bundle() {
+    let dir = bundle_dir("conc");
+    let out = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args([
+            "check-conc",
+            &example("handshake.cbp"),
+            "--label",
+            "t0__HIT",
+            "--switches",
+            "2",
+            "--diag-out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "handshake hit is reachable: {out:?}");
+
+    // The trace: parses, and its evaluate spans give the coverage target.
+    let trace = parse(&read(&dir, "trace.json")).expect("trace.json parses");
+    let events = trace.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    assert!(!events.is_empty(), "empty trace");
+    let evaluate_us: f64 = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("name").and_then(Value::as_str) == Some("evaluate")
+        })
+        .filter_map(|e| e.get("dur").and_then(Value::as_f64))
+        .sum();
+    assert!(evaluate_us > 0.0, "no evaluate span in the trace");
+
+    // The flamegraph: well-formed, and its stacks account for ≥95% of the
+    // evaluate wall time (exactly 100%, by self-time partitioning).
+    let folded = read(&dir, "flamegraph.folded");
+    parse_folded(&folded).expect("flamegraph.folded validates");
+    let rooted = rooted_weight(&folded, "evaluate") as f64;
+    assert!(
+        rooted >= 0.95 * evaluate_us,
+        "folded stacks cover only {rooted} of {evaluate_us} µs under `evaluate`"
+    );
+
+    // The topology: the DOT document passes the schema check against the
+    // JSON document's component count.
+    let depgraph = parse(&read(&dir, "depgraph.json")).expect("depgraph.json parses");
+    assert_eq!(
+        depgraph.get("schema").and_then(Value::as_str),
+        Some("getafix-depgraph/1"),
+        "topology schema"
+    );
+    let scc_count = depgraph.get("scc_count").and_then(Value::as_f64).expect("scc_count") as usize;
+    assert!(scc_count > 0);
+    check_depgraph_dot(&read(&dir, "depgraph.dot"), scc_count)
+        .unwrap_or_else(|e| panic!("depgraph.dot fails the schema check: {e}"));
+
+    // The statistics: parse, did real work, and carry the metrics registry
+    // (the re-evals counter agrees with the stats' own total).
+    let stats = parse(&read(&dir, "stats.json")).expect("stats.json parses");
+    let total = stats.get("total_reevaluations").and_then(Value::as_f64).expect("total_reevals");
+    assert!(total > 0.0, "the solve did no work");
+    let reevals = stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("solve.reevals"))
+        .and_then(Value::as_f64)
+        .expect("embedded metrics registry with solve.reevals");
+    assert_eq!(reevals, total, "metrics counter disagrees with the stats total");
+
+    // The manifest: provenance for everything above.
+    let manifest = parse(&read(&dir, "manifest.json")).expect("manifest.json parses");
+    assert_eq!(manifest.get("schema").and_then(Value::as_str), Some("getafix-diag-manifest/1"));
+    assert_eq!(manifest.get("version").and_then(Value::as_str), Some(env!("CARGO_PKG_VERSION")));
+    let argv = manifest.get("argv").and_then(Value::as_array).expect("argv");
+    assert!(argv.iter().any(|a| a.as_str() == Some("--diag-out")), "argv records the invocation");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sequential path writes the same bundle.
+#[test]
+fn check_writes_the_bundle_too() {
+    let dir = bundle_dir("seq");
+    let out = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args([
+            "check",
+            &example("double_lock_bug.bp"),
+            "--label",
+            "DOUBLE_LOCK",
+            "--diag-out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    for name in [
+        "trace.json",
+        "flamegraph.folded",
+        "depgraph.dot",
+        "depgraph.json",
+        "stats.json",
+        "manifest.json",
+    ] {
+        assert!(dir.join(name).is_file(), "bundle file {name} missing");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Baselines never run the solver, so `--diag-out` must refuse them
+/// up front instead of writing a half-empty bundle.
+#[test]
+fn diag_out_rejects_baselines() {
+    let dir = bundle_dir("baseline");
+    let out = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args([
+            "check",
+            &example("double_lock_bug.bp"),
+            "--label",
+            "DOUBLE_LOCK",
+            "--algo",
+            "bebop",
+            "--diag-out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(!dir.exists(), "no bundle directory for a refused run");
+}
+
+/// `inspect --json` emits the topology document for a program without
+/// needing a target label, and it agrees with its own DOT rendering.
+#[test]
+fn inspect_reports_the_topology() {
+    let out = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args(["inspect", &example("double_lock_bug.bp"), "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let v = parse(&String::from_utf8_lossy(&out.stdout)).expect("inspect --json parses");
+    let scc_count = v.get("scc_count").and_then(Value::as_f64).expect("scc_count") as usize;
+
+    let dot = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args(["inspect", &example("double_lock_bug.bp"), "--dot"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(dot.status.code(), Some(0));
+    check_depgraph_dot(&String::from_utf8_lossy(&dot.stdout), scc_count)
+        .expect("inspect --dot validates against --json");
+
+    let human = Command::new(env!("CARGO_BIN_EXE_getafix"))
+        .args(["inspect", &example("double_lock_bug.bp"), "--label", "DOUBLE_LOCK"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(human.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&human.stdout);
+    assert!(text.contains("solve topology"), "{text}");
+    assert!(text.contains("schedules:"), "{text}");
+}

@@ -147,3 +147,88 @@ fn profile_summary_renders_a_real_trace() {
     assert!(summary.contains("solve/"), "no span groups:\n{summary}");
     assert!(summary.contains("re-eval latency"), "no histogram:\n{summary}");
 }
+
+/// The flamegraph acceptance measure: the folded stacks rooted at the
+/// longest `evaluate` span weigh at least 95% of its wall time — self-time
+/// weighting partitions every span's duration across the stack lines, so
+/// nothing the solver did is missing from the flamegraph.
+#[test]
+fn folded_stacks_cover_the_solve() {
+    telemetry::install();
+    run_quickstart(Strategy::Worklist);
+    let data = telemetry::take().expect("collector was installed");
+    let folded = data.folded_stacks();
+    let stacks = telemetry::parse_folded(&folded).expect("folded output validates");
+    assert!(!stacks.is_empty(), "no stacks recorded");
+
+    // Evaluate spans never nest inside each other, so their summed
+    // durations are the total solve wall time the stacks must account for.
+    let evaluate_us: u64 =
+        data.spans.iter().filter(|s| s.name == "evaluate").map(|s| s.dur_us()).sum();
+    assert!(evaluate_us > 0, "an evaluate span exists");
+    let rooted = telemetry::rooted_weight(&folded, "evaluate");
+    assert!(
+        rooted as f64 >= 0.95 * evaluate_us as f64,
+        "folded stacks cover only {rooted} of {evaluate_us} µs under `evaluate`"
+    );
+}
+
+/// `--progress` must observe without perturbing: with a zero-interval
+/// heartbeat attached (every instrumentation point beats), the solver
+/// does bit-identical work and the sink actually received beats.
+#[test]
+fn progress_sink_does_not_perturb_the_solve() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    for strategy in [Strategy::Worklist, Strategy::RoundRobin] {
+        let off = run_quickstart(strategy);
+
+        telemetry::install();
+        let beats = Rc::new(Cell::new(0usize));
+        let sink = Rc::clone(&beats);
+        assert!(telemetry::attach_progress(std::time::Duration::ZERO, move |_| {
+            sink.set(sink.get() + 1);
+        }));
+        let on = run_quickstart(strategy);
+        telemetry::take().expect("collector was installed");
+
+        assert!(beats.get() > 0, "{strategy}: the heartbeat never fired");
+        assert_eq!(
+            off.total_reevaluations(),
+            on.total_reevaluations(),
+            "{strategy}: the progress sink changed the re-evaluation count"
+        );
+        assert_eq!(off.ordered_reevaluations, on.ordered_reevaluations, "{strategy}");
+        for (name, r_off) in &off.relations {
+            let r_on = &on.relations[name];
+            assert_eq!(r_off.iterations, r_on.iterations, "{strategy}: {name} iterations");
+            assert_eq!(r_off.reevaluations, r_on.reevaluations, "{strategy}: {name} re-evals");
+            assert_eq!(r_off.final_nodes, r_on.final_nodes, "{strategy}: {name} final nodes");
+        }
+    }
+}
+
+/// The `--stats-json` metrics embedding: with a collector installed the
+/// document grows a `metrics` object carrying the live registry; without
+/// one, `to_json` stays metrics-free — old consumers see the old schema.
+#[test]
+fn stats_json_embeds_the_metrics_registry() {
+    telemetry::install();
+    let stats = run_quickstart(Strategy::Worklist);
+    let snapshot = telemetry::metrics_snapshot().expect("collector installed");
+    telemetry::take();
+
+    let plain = telemetry::json::parse(&stats.to_json()).expect("parses");
+    assert!(plain.get("metrics").is_none(), "metrics must be opt-in");
+
+    let embedded = telemetry::json::parse(&stats.to_json_with_metrics(Some(&snapshot)))
+        .expect("embedded document parses");
+    let metrics = embedded.get("metrics").expect("metrics object present");
+    let reevals = metrics
+        .get("counters")
+        .and_then(|c| c.get("solve.reevals"))
+        .and_then(Value::as_f64)
+        .expect("solve.reevals counter");
+    assert_eq!(reevals as usize, stats.total_reevaluations());
+}

@@ -70,6 +70,7 @@ mod pretty;
 mod provenance;
 mod solve;
 mod system;
+mod topology;
 mod types;
 mod worklist;
 
@@ -78,8 +79,11 @@ pub use ast::{CmpOp, Formula, Term};
 pub use deps::{DepGraph, OrderedPlan, Scc};
 pub use parse::{parse_system, ParseError};
 pub use provenance::Provenance;
-pub use solve::{RelationStats, SccStats, SolveError, SolveOptions, SolveStats, Solver, Strategy};
+pub use solve::{
+    DisjunctStats, RelationStats, SccStats, SolveError, SolveOptions, SolveStats, Solver, Strategy,
+};
 pub use system::{Query, RelationDef, RelationKind, System, SystemBuilder, SystemError};
+pub use topology::{check_depgraph_dot, depgraph_dot, depgraph_json};
 pub use types::{range_width, Leaf, Type, TypeError, TypeTable};
 
 // Re-export the substrate types users need to build input relations.

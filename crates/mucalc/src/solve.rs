@@ -249,6 +249,51 @@ pub struct SccStats {
     /// (worklist strategy only; round-robin does not attribute time to
     /// components).
     pub wall_ms: f64,
+    /// Indices (into [`SolveStats::sccs`]) of the components this one
+    /// reads from — the SCC-level dependency edges, deduplicated and
+    /// sorted. Populated at solver construction, which is what lets the
+    /// topology report ([`crate::depgraph_dot`]) render the full solve
+    /// graph from a statistics object alone.
+    pub dep_sccs: Vec<usize>,
+}
+
+impl SccStats {
+    /// The schedule the worklist engine uses for this component:
+    /// `"once"` (non-recursive), `"chaotic"` (monotone semi-naive),
+    /// `"ordered"` (§4.3 frontier-pattern change-driven) or `"nested"`
+    /// (the §3 reference fallback). `ordered` is only known after the
+    /// component has been solved; before that, non-monotone recursive
+    /// components report `"nested"`.
+    pub fn schedule(&self) -> &'static str {
+        if self.ordered {
+            "ordered"
+        } else if !self.recursive {
+            "once"
+        } else if self.monotone {
+            "chaotic"
+        } else {
+            "nested"
+        }
+    }
+}
+
+/// Work attributed to one top-level disjunct of a relation body — the
+/// granularity the semi-naive engine recompiles at, hence the right unit
+/// for answering "which part of which body is eating the solve".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DisjunctStats {
+    /// A short pretty-printed prefix of the disjunct, for humans.
+    pub label: String,
+    /// Times this disjunct's formula was recompiled against a changed
+    /// environment.
+    pub recompilations: usize,
+    /// Total DAG nodes across all compiled results (growth pressure this
+    /// disjunct puts on the arena).
+    pub nodes_built: u64,
+    /// Largest single compiled result, in DAG nodes.
+    pub peak_nodes: usize,
+    /// Wall-clock time spent compiling this disjunct, in microseconds.
+    pub wall_us: u64,
 }
 
 /// Aggregated solver statistics.
@@ -285,6 +330,10 @@ pub struct SolveStats {
     pub arena_bytes: usize,
     /// Peak of `arena_bytes` observed by the manager.
     pub peak_arena_bytes: usize,
+    /// Per-disjunct work attribution, keyed `"Relation#index"` (index =
+    /// position among the body's top-level disjuncts). Worklist strategy
+    /// only; the round-robin reference compiles whole bodies.
+    pub disjuncts: BTreeMap<String, DisjunctStats>,
 }
 
 impl SolveStats {
@@ -298,6 +347,15 @@ impl SolveStats {
     /// serialization consumed by `getafix … --stats-json`, the bench
     /// reporter and CI artifacts, so no tool re-derives numbers by hand.
     pub fn to_json(&self) -> String {
+        self.to_json_with_metrics(None)
+    }
+
+    /// [`SolveStats::to_json`] with the telemetry metrics registry embedded
+    /// as a trailing `"metrics"` field — what `--stats-json` emits when a
+    /// collector is installed, and what diagnostics bundles always carry.
+    /// With `None` the output is byte-identical to [`SolveStats::to_json`],
+    /// so runs without a collector keep their schema unchanged.
+    pub fn to_json_with_metrics(&self, metrics: Option<&getafix_telemetry::Registry>) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.field_u64("total_reevaluations", self.total_reevaluations() as u64);
@@ -341,13 +399,78 @@ impl SolveStats {
             w.field_bool("recursive", scc.recursive);
             w.field_bool("monotone", scc.monotone);
             w.field_bool("ordered", scc.ordered);
+            w.field_str("schedule", scc.schedule());
             w.field_u64("evaluations", scc.evaluations as u64);
             w.field_f64("wall_ms", scc.wall_ms);
+            w.key("dep_sccs");
+            w.begin_array();
+            for &d in &scc.dep_sccs {
+                w.value_u64(d as u64);
+            }
+            w.end_array();
             w.end_object();
         }
         w.end_array();
+        w.key("disjuncts");
+        w.begin_array();
+        for (key, d) in &self.disjuncts {
+            w.begin_object();
+            w.field_str("key", key);
+            w.field_str("label", &d.label);
+            w.field_u64("recompilations", d.recompilations as u64);
+            w.field_u64("nodes_built", d.nodes_built);
+            w.field_u64("peak_nodes", d.peak_nodes as u64);
+            w.field_u64("wall_us", d.wall_us);
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(reg) = metrics {
+            w.key("metrics");
+            reg.write_json(&mut w);
+        }
         w.end_object();
         w.finish()
+    }
+
+    /// The "top offenders" table of `--profile`: the `n` disjuncts doing
+    /// the most recompilation work, ranked by recompilations, then total
+    /// nodes built, then key — a run-deterministic order (wall time is
+    /// shown but never ranks). Empty string when nothing was attributed
+    /// (round-robin strategy, or a solve with no fixpoint work).
+    pub fn top_offenders(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        if self.disjuncts.is_empty() {
+            return String::new();
+        }
+        let mut rows: Vec<(&String, &DisjunctStats)> = self.disjuncts.iter().collect();
+        rows.sort_by(|a, b| {
+            b.1.recompilations
+                .cmp(&a.1.recompilations)
+                .then_with(|| b.1.nodes_built.cmp(&a.1.nodes_built))
+                .then_with(|| a.0.cmp(b.0))
+        });
+        rows.truncate(n);
+        let key_w = rows.iter().map(|(k, _)| k.len()).chain([12]).max().unwrap_or(12);
+        let mut out = String::new();
+        let _ = writeln!(out, "top offenders (by disjunct recompilations):");
+        let _ = writeln!(
+            out,
+            "{:<key_w$} {:>10} {:>12} {:>10} {:>9}  formula",
+            "disjunct", "recompiles", "nodes built", "peak", "ms"
+        );
+        for (key, d) in rows {
+            let _ = writeln!(
+                out,
+                "{:<key_w$} {:>10} {:>12} {:>10} {:>9.2}  {}",
+                key,
+                d.recompilations,
+                d.nodes_built,
+                d.peak_nodes,
+                d.wall_us as f64 / 1e3,
+                d.label
+            );
+        }
+        out
     }
 
     /// Accumulates another run's statistics into this one — used by the
@@ -369,9 +492,22 @@ impl SolveStats {
                 mine.evaluations += theirs.evaluations;
                 mine.ordered |= theirs.ordered;
                 mine.wall_ms += theirs.wall_ms;
+                if mine.dep_sccs.is_empty() {
+                    mine.dep_sccs = theirs.dep_sccs.clone();
+                }
             }
         } else {
             self.sccs.extend(other.sccs.iter().cloned());
+        }
+        for (key, d) in &other.disjuncts {
+            let e = self.disjuncts.entry(key.clone()).or_default();
+            if e.label.is_empty() {
+                e.label = d.label.clone();
+            }
+            e.recompilations += d.recompilations;
+            e.nodes_built += d.nodes_built;
+            e.peak_nodes = e.peak_nodes.max(d.peak_nodes);
+            e.wall_us += d.wall_us;
         }
         self.ordered_reevaluations += other.ordered_reevaluations;
         self.provenance_nodes = self.provenance_nodes.max(other.provenance_nodes);
@@ -425,7 +561,15 @@ impl Solver {
         let alloc = Allocation::build(&mut manager, &system)?;
         let deps = DepGraph::build(&system);
         let mut stats = SolveStats::default();
-        for scc in deps.sccs() {
+        for (idx, scc) in deps.sccs().iter().enumerate() {
+            let mut dep_sccs: Vec<usize> = scc
+                .external_deps
+                .iter()
+                .map(|&rel| deps.scc_of(rel))
+                .filter(|&s| s != idx)
+                .collect();
+            dep_sccs.sort_unstable();
+            dep_sccs.dedup();
             stats.sccs.push(SccStats {
                 members: scc.members.iter().map(|&i| deps.name(i).to_string()).collect(),
                 recursive: scc.recursive,
@@ -433,6 +577,7 @@ impl Solver {
                 evaluations: 0,
                 ordered: false,
                 wall_ms: 0.0,
+                dep_sccs,
             });
         }
         Ok(Solver {
@@ -625,6 +770,10 @@ impl Solver {
         self.alloc.clear_domain_cache();
         self.stats.gcs += 1;
         self.stats.gc_reclaimed_nodes += result.reclaimed();
+        if telemetry::enabled() {
+            telemetry::counter_add("solve.gcs", 1);
+            telemetry::gauge_set("solve.gc_pause_ms", self.manager.stats().gc_pause_ms);
+        }
         true
     }
 
@@ -637,6 +786,29 @@ impl Solver {
         if let Some(s) = scc {
             self.stats.sccs[s].evaluations += 1;
         }
+        telemetry::counter_add("solve.reevals", 1);
+    }
+
+    /// Attributes one disjunct compilation: `part` is the disjunct's index
+    /// among `name`'s top-level disjuncts, `nodes` the compiled result's
+    /// DAG size, `wall_us` the compile time. Always-on (the cost is a map
+    /// insert next to a BDD compilation) so `--profile` needs no re-run.
+    pub(crate) fn note_disjunct(
+        &mut self,
+        name: &str,
+        part: usize,
+        label: &str,
+        nodes: usize,
+        wall_us: u64,
+    ) {
+        let e = self.stats.disjuncts.entry(format!("{name}#{part}")).or_default();
+        if e.label.is_empty() {
+            e.label = label.to_string();
+        }
+        e.recompilations += 1;
+        e.nodes_built += nodes as u64;
+        e.peak_nodes = e.peak_nodes.max(nodes);
+        e.wall_us += wall_us;
     }
 
     /// The paper's `Evaluate(R, Eq)` with a frozen environment.

@@ -74,6 +74,26 @@ struct Part {
     scc_rels: BTreeSet<String>,
     /// Binder-numbering offset of the disjunct within the whole body.
     binder_offset: usize,
+    /// Position among the body's top-level disjuncts — the `#index` half
+    /// of the [`crate::DisjunctStats`] attribution key.
+    index: usize,
+    /// Pretty-printed prefix of the formula, for the offenders table.
+    label: String,
+}
+
+/// Truncates a disjunct's pretty-printed formula to a table-friendly
+/// prefix, on a char boundary.
+fn part_label(formula: &Formula) -> String {
+    const MAX: usize = 48;
+    // Formula's Display may span lines; the label must stay a single table
+    // cell, so whitespace runs collapse to one space before truncation.
+    let text: String = formula.to_string().split_whitespace().collect::<Vec<_>>().join(" ");
+    if text.chars().count() <= MAX {
+        return text;
+    }
+    let mut out: String = text.chars().take(MAX - 1).collect();
+    out.push('…');
+    out
 }
 
 /// The compilation plan of one component member.
@@ -132,6 +152,12 @@ impl Solver {
             }
         }
         let scc_order: BTreeSet<usize> = needed.iter().map(|&i| self.deps.scc_of(i)).collect();
+        if telemetry::enabled() {
+            // Position gauges for the live-progress heartbeat.
+            telemetry::gauge_set("solve.strata_total", scc_order.len() as f64);
+            telemetry::gauge_set("solve.stratum", 0.0);
+        }
+        let mut strata_done = 0usize;
         for idx in scc_order {
             let roots = demanded.get(&idx).cloned().unwrap_or_default();
             let stratum_start = Instant::now();
@@ -151,6 +177,7 @@ impl Solver {
             // can be compacted around the inputs, the memoized
             // interpretations and the provenance snapshots.
             self.maybe_gc();
+            strata_done += 1;
             if telemetry::enabled() {
                 // Kernel-counter time series: one point per stratum turns
                 // the terminal cache ratio into a trajectory over the run.
@@ -159,6 +186,8 @@ impl Solver {
                 telemetry::sample("bdd.cache_misses", ms.cache_misses as f64);
                 telemetry::sample("bdd.arena_nodes", ms.nodes as f64);
                 telemetry::sample("bdd.arena_bytes", ms.arena_bytes as f64);
+                telemetry::gauge_set("bdd.arena_bytes", ms.arena_bytes as f64);
+                telemetry::gauge_set("solve.stratum", strata_done as f64);
             }
         }
         self.evaluated
@@ -558,10 +587,11 @@ impl Solver {
         };
         let mut parts = Vec::with_capacity(raw_parts.len());
         let mut offset = 0usize;
-        for f in raw_parts {
+        for (index, f) in raw_parts.into_iter().enumerate() {
             let scc_rels = f.relations().into_iter().filter(|r| member_set.contains(r)).collect();
             let binders = f.binder_count();
-            parts.push(Part { formula: f, scc_rels, binder_offset: offset });
+            let label = part_label(&f);
+            parts.push(Part { formula: f, scc_rels, binder_offset: offset, index, label });
             offset += binders;
         }
         let intra_deps = parts.iter().flat_map(|p| p.scc_rels.iter().cloned()).collect();
@@ -618,18 +648,32 @@ impl Solver {
         part: &Part,
         interp: &BTreeMap<String, Bdd>,
     ) -> Result<Bdd, SolveError> {
-        let mut ctx = CompileCtx::with_binder_offset(
-            &mut self.manager,
-            &self.system,
-            &self.alloc,
-            interp,
-            owner_rel(&plan.name),
-            part.binder_offset,
+        let compile_start = Instant::now();
+        let raw = {
+            let mut ctx = CompileCtx::with_binder_offset(
+                &mut self.manager,
+                &self.system,
+                &self.alloc,
+                interp,
+                owner_rel(&plan.name),
+                part.binder_offset,
+            );
+            for i in 0..plan.param_names.len() {
+                let inst = ctx.alloc.formal(&plan.name, i).clone();
+                ctx.bind(&plan.param_names[i], inst);
+            }
+            ctx.compile(&part.formula)?
+        };
+        // Every disjunct recompilation in every schedule funnels through
+        // here, so this one call site is the whole attribution story.
+        let nodes = self.manager.node_count(raw);
+        self.note_disjunct(
+            &plan.name,
+            part.index,
+            &part.label,
+            nodes,
+            compile_start.elapsed().as_micros() as u64,
         );
-        for i in 0..plan.param_names.len() {
-            let inst = ctx.alloc.formal(&plan.name, i).clone();
-            ctx.bind(&plan.param_names[i], inst);
-        }
-        ctx.compile(&part.formula)
+        Ok(raw)
     }
 }

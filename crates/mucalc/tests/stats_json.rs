@@ -8,7 +8,7 @@
 //! documented rules — additive counters add, high-water marks max, SCC
 //! tables of equal length merge positionally.
 
-use getafix_mucalc::{RelationStats, SccStats, SolveStats};
+use getafix_mucalc::{DisjunctStats, RelationStats, SccStats, SolveStats};
 use getafix_telemetry::json::{parse, Value};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -31,21 +31,43 @@ fn rel_strategy() -> impl Strategy<Value = RelationStats> {
 /// float sums in the absorb property stay exact.
 fn scc_strategy() -> impl Strategy<Value = SccStats> {
     (
-        prop::collection::vec(0usize..30, 1..4),
+        (prop::collection::vec(0usize..30, 1..4), prop::collection::vec(0usize..8, 0..3)),
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
         0usize..5000,
         0u64..80_000,
     )
-        .prop_map(|(members, recursive, monotone, ordered, evaluations, wall8)| SccStats {
-            members: members.into_iter().map(|i| format!("R{i}")).collect(),
-            recursive,
-            monotone,
-            ordered,
-            evaluations,
-            wall_ms: wall8 as f64 / 8.0,
+        .prop_map(|((members, dep_sccs), recursive, monotone, ordered, evaluations, wall8)| {
+            SccStats {
+                members: members.into_iter().map(|i| format!("R{i}")).collect(),
+                recursive,
+                monotone,
+                ordered,
+                evaluations,
+                wall_ms: wall8 as f64 / 8.0,
+                dep_sccs,
+            }
         })
+}
+
+/// An arbitrary per-disjunct attribution row, keyed like the solver keys
+/// them (`Relation#index`).
+fn disjunct_strategy() -> impl Strategy<Value = (String, DisjunctStats)> {
+    (0usize..30, 0usize..4, 0usize..5000, 0u64..1 << 30, 0usize..1 << 20, 0u64..1 << 30).prop_map(
+        |(rel, part, recompilations, nodes_built, peak_nodes, wall_us)| {
+            (
+                format!("R{rel}#{part}"),
+                DisjunctStats {
+                    label: format!("disjunct {part} of R{rel}"),
+                    recompilations,
+                    nodes_built,
+                    peak_nodes,
+                    wall_us,
+                },
+            )
+        },
+    )
 }
 
 /// An arbitrary statistics object (relation names deduplicate through the
@@ -59,8 +81,9 @@ fn stats_strategy() -> impl Strategy<Value = SolveStats> {
         prop::collection::vec(scc_strategy(), 0..4),
         counters,
         sizes,
+        prop::collection::vec(disjunct_strategy(), 0..5),
     )
-        .prop_map(|(rels, sccs, counters, sizes)| {
+        .prop_map(|(rels, sccs, counters, sizes, disjuncts)| {
             let (
                 ordered_reevaluations,
                 provenance_nodes,
@@ -85,6 +108,7 @@ fn stats_strategy() -> impl Strategy<Value = SolveStats> {
                 arena_nodes,
                 arena_bytes,
                 peak_arena_bytes,
+                disjuncts: disjuncts.into_iter().collect(),
             }
         })
 }
@@ -136,8 +160,24 @@ proptest! {
             prop_assert_eq!(row.get("recursive"), Some(&Value::Bool(scc.recursive)));
             prop_assert_eq!(row.get("monotone"), Some(&Value::Bool(scc.monotone)));
             prop_assert_eq!(row.get("ordered"), Some(&Value::Bool(scc.ordered)));
+            prop_assert_eq!(row.get("schedule").and_then(Value::as_str), Some(scc.schedule()));
             prop_assert_eq!(num(row, "evaluations") as usize, scc.evaluations);
             prop_assert_eq!(num(row, "wall_ms"), scc.wall_ms);
+            let deps = row.get("dep_sccs").and_then(Value::as_array).expect("dep_sccs");
+            let deps: Vec<usize> = deps.iter().map(|d| d.as_f64().unwrap() as usize).collect();
+            prop_assert_eq!(&deps, &scc.dep_sccs);
+        }
+
+        let disjuncts = v.get("disjuncts").and_then(Value::as_array).expect("disjuncts array");
+        prop_assert_eq!(disjuncts.len(), stats.disjuncts.len());
+        for row in disjuncts {
+            let key = row.get("key").and_then(Value::as_str).expect("disjunct key");
+            let d = &stats.disjuncts[key];
+            prop_assert_eq!(row.get("label").and_then(Value::as_str), Some(d.label.as_str()));
+            prop_assert_eq!(num(row, "recompilations") as usize, d.recompilations);
+            prop_assert_eq!(num(row, "nodes_built") as u64, d.nodes_built);
+            prop_assert_eq!(num(row, "peak_nodes") as usize, d.peak_nodes);
+            prop_assert_eq!(num(row, "wall_us") as u64, d.wall_us);
         }
     }
 
@@ -180,5 +220,25 @@ proptest! {
                 );
             }
         }
+        // Disjunct attribution merges by key: additive counters add,
+        // peaks max, the first non-empty label wins.
+        for (key, d) in &merged.disjuncts {
+            let da = a.disjuncts.get(key);
+            let db = b.disjuncts.get(key);
+            prop_assert_eq!(
+                d.recompilations,
+                da.map_or(0, |x| x.recompilations) + db.map_or(0, |x| x.recompilations)
+            );
+            prop_assert_eq!(
+                d.nodes_built,
+                da.map_or(0, |x| x.nodes_built) + db.map_or(0, |x| x.nodes_built)
+            );
+            prop_assert_eq!(
+                d.peak_nodes,
+                da.map_or(0, |x| x.peak_nodes).max(db.map_or(0, |x| x.peak_nodes))
+            );
+        }
+        prop_assert_eq!(merged.disjuncts.len(),
+            a.disjuncts.keys().chain(b.disjuncts.keys()).collect::<std::collections::BTreeSet<_>>().len());
     }
 }

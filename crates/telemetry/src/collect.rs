@@ -146,19 +146,47 @@ pub struct TraceData {
     pub metrics: Registry,
 }
 
+/// A throttled live-progress sink: called with a rendered heartbeat line
+/// at most once per `interval_us` of collector time, from instrumentation
+/// points as they fire.
+struct Progress {
+    interval_us: u64,
+    last_us: Option<u64>,
+    sink: Box<dyn FnMut(&str)>,
+}
+
 /// The per-thread recording state.
-#[derive(Debug)]
 struct Collector {
     epoch: Instant,
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     depth: usize,
     metrics: Registry,
+    progress: Option<Progress>,
 }
 
 impl Collector {
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Emits a heartbeat if a progress sink is attached and due. Called
+    /// from the recording (enabled-only) paths, never the disabled path.
+    fn tick_progress(&mut self) {
+        let now = self.now_us();
+        let Some(p) = &mut self.progress else { return };
+        // Nothing to report yet (parse/encode) — hold the first beat, and
+        // the throttle window, until a solve metric exists.
+        if !crate::progress::has_signal(&self.metrics) {
+            return;
+        }
+        let due = p.last_us.is_none_or(|last| now.saturating_sub(last) >= p.interval_us);
+        if !due {
+            return;
+        }
+        p.last_us = Some(now);
+        let line = crate::progress::heartbeat(now, &self.metrics);
+        (p.sink)(&line);
     }
 }
 
@@ -186,9 +214,34 @@ pub fn install() {
             events: Vec::new(),
             depth: 0,
             metrics: Registry::default(),
+            progress: None,
         });
     });
     ENABLED.with(|e| e.set(true));
+}
+
+/// Attaches a live-progress sink to the calling thread's collector: from
+/// now on, instrumentation points render a heartbeat line (see
+/// [`crate::progress::heartbeat`]) into `sink` at most once per
+/// `interval`. Replaces any previous sink. Returns `false` (and does
+/// nothing) when no collector is installed — progress is a feature of an
+/// active collector, never of the disabled fast path.
+pub fn attach_progress(interval: std::time::Duration, sink: impl FnMut(&str) + 'static) -> bool {
+    with_collector(|c| {
+        c.progress = Some(Progress {
+            interval_us: interval.as_micros() as u64,
+            last_us: None,
+            sink: Box::new(sink),
+        });
+    })
+    .is_some()
+}
+
+/// A snapshot of the installed collector's metrics registry, without
+/// uninstalling it. `None` when no collector is installed. This is how
+/// `--stats-json` embeds live metrics mid-run.
+pub fn metrics_snapshot() -> Option<Registry> {
+    with_collector(|c| c.metrics.clone())
 }
 
 /// Uninstalls the calling thread's collector and returns everything it
@@ -270,6 +323,7 @@ impl Drop for Span {
                 depth: inner.depth,
                 attrs: inner.attrs,
             });
+            c.tick_progress();
         });
     }
 }
@@ -286,6 +340,7 @@ pub fn event(phase: Phase, name: &'static str, attrs: impl FnOnce() -> Attrs) {
         let t_us = c.now_us();
         let attrs = attrs();
         c.events.push(EventRecord { phase, name, t_us, attrs });
+        c.tick_progress();
     });
 }
 
@@ -295,7 +350,10 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    with_collector(|c| c.metrics.counter_add(name, delta));
+    with_collector(|c| {
+        c.metrics.counter_add(name, delta);
+        c.tick_progress();
+    });
 }
 
 /// Sets a named gauge in the installed registry.
@@ -304,7 +362,10 @@ pub fn gauge_set(name: &'static str, value: f64) {
     if !enabled() {
         return;
     }
-    with_collector(|c| c.metrics.gauge_set(name, value));
+    with_collector(|c| {
+        c.metrics.gauge_set(name, value);
+        c.tick_progress();
+    });
 }
 
 /// Appends a point to a named time series in the installed registry,
@@ -317,6 +378,7 @@ pub fn sample(name: &'static str, value: f64) {
     with_collector(|c| {
         let t = c.now_us();
         c.metrics.sample_at(name, t, value);
+        c.tick_progress();
     });
 }
 
@@ -360,6 +422,56 @@ mod tests {
         assert_eq!(data.spans[1].attrs, vec![("x", AttrValue::UInt(7))]);
         assert_eq!(data.events.len(), 1);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn progress_sink_fires_throttled_and_needs_a_collector() {
+        use std::rc::Rc;
+
+        assert!(
+            !attach_progress(std::time::Duration::ZERO, |_| {}),
+            "no collector, nothing to attach to"
+        );
+
+        install();
+        let lines: Rc<RefCell<Vec<String>>> = Rc::default();
+        let sink = Rc::clone(&lines);
+        assert!(attach_progress(std::time::Duration::ZERO, move |l| {
+            sink.borrow_mut().push(l.to_string());
+        }));
+        counter_add("solve.reevals", 3);
+        gauge_set("bdd.arena_bytes", 2.0 * 1024.0 * 1024.0);
+        assert!(take().is_some());
+        let lines = lines.borrow();
+        assert_eq!(lines.len(), 2, "zero interval beats on every point: {lines:?}");
+        assert!(lines[1].contains("3 re-evals"), "{lines:?}");
+        assert!(lines[1].contains("arena 2.0 MiB"), "{lines:?}");
+
+        // A long interval lets only the first beat through.
+        install();
+        let count = Rc::new(Cell::new(0usize));
+        let sink = Rc::clone(&count);
+        attach_progress(std::time::Duration::from_secs(3600), move |_| {
+            sink.set(sink.get() + 1);
+        });
+        for _ in 0..10 {
+            counter_add("solve.reevals", 1);
+        }
+        assert!(take().is_some());
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_reads_without_uninstalling() {
+        assert!(metrics_snapshot().is_none());
+        install();
+        counter_add("solve.reevals", 7);
+        let snap = metrics_snapshot().expect("collector installed");
+        assert_eq!(snap.counter("solve.reevals"), 7);
+        // Still installed and still accumulating.
+        counter_add("solve.reevals", 1);
+        let data = take().expect("still installed");
+        assert_eq!(data.metrics.counter("solve.reevals"), 8);
     }
 
     #[test]

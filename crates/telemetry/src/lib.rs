@@ -10,12 +10,17 @@
 //!    BDD kernel compiles to one thread-local flag test when disabled (the
 //!    default) — see the cost model in [`collect`].
 //! 2. **Export** ([`TraceData::chrome_trace_json`],
-//!    [`TraceData::profile_summary`]): Chrome trace-event JSON loadable in
-//!    Perfetto / `about:tracing` (`getafix check … --trace-out out.json`),
-//!    plus a human top-spans/self-time summary (`--profile`).
+//!    [`TraceData::folded_stacks`], [`TraceData::profile_summary`]):
+//!    Chrome trace-event JSON loadable in Perfetto / `about:tracing`
+//!    (`getafix check … --trace-out out.json`), folded stacks for
+//!    inferno/speedscope flamegraphs, plus a human top-spans/self-time
+//!    summary (`--profile`).
 //! 3. **Metrics** ([`Registry`]): named monotonic counters, gauges and
 //!    timestamped time series — the publication surface a future
 //!    `getafix serve` and per-worker parallel solvers will snapshot from.
+//!    [`attach_progress`] taps the same registry for a throttled live
+//!    heartbeat (`--progress`), and [`metrics_snapshot`] clones it mid-run
+//!    for `--stats-json`.
 //!
 //! [`json`] is the shared JSON emitter/parser the exporters, the bench
 //! reporter and `SolveStats::to_json` are all built on (this workspace
@@ -41,14 +46,17 @@
 //! ```
 
 pub mod collect;
+pub mod folded;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 
 mod chrome;
 mod profile;
 
 pub use collect::{
-    counter_add, enabled, event, gauge_set, install, sample, span, take, AttrValue, Attrs,
-    EventRecord, Phase, Span, SpanRecord, TraceData,
+    attach_progress, counter_add, enabled, event, gauge_set, install, metrics_snapshot, sample,
+    span, take, AttrValue, Attrs, EventRecord, Phase, Span, SpanRecord, TraceData,
 };
+pub use folded::{parse_folded, rooted_weight};
 pub use metrics::{Registry, Sample};

@@ -142,15 +142,20 @@ impl TraceData {
             self.events.len(),
             total_self as f64 / 1e3
         );
+        // Column widths follow the content (clamped to a floor), so long
+        // relation names never shear the table out of alignment and two
+        // runs over the same trace render byte-identically.
+        let name_w =
+            groups.iter().take(top_n).map(|(name, _)| name.len()).chain([28]).max().unwrap_or(28);
         let _ = writeln!(
             out,
-            "{:<28} {:>7} {:>12} {:>12} {:>6}",
+            "{:<name_w$} {:>7} {:>12} {:>12} {:>6}",
             "span", "count", "self ms", "total ms", "self%"
         );
         for (name, g) in groups.iter().take(top_n) {
             let _ = writeln!(
                 out,
-                "{:<28} {:>7} {:>12.3} {:>12.3} {:>5.1}%",
+                "{:<name_w$} {:>7} {:>12.3} {:>12.3} {:>5.1}%",
                 name,
                 g.count,
                 g.self_us as f64 / 1e3,
@@ -173,16 +178,17 @@ impl TraceData {
             hist.entry(rel).or_default()[bucket] += 1;
         }
         if !hist.is_empty() {
+            let rel_w = hist.keys().map(|r| r.len()).chain([20]).max().unwrap_or(20);
             let _ = writeln!(out);
             let _ = writeln!(
                 out,
-                "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+                "{:<rel_w$} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
                 "re-eval latency", "<10us", "<100us", "<1ms", "<10ms", "<100ms", "more"
             );
             for (rel, buckets) in &hist {
                 let _ = writeln!(
                     out,
-                    "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+                    "{:<rel_w$} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
                     rel, buckets[0], buckets[1], buckets[2], buckets[3], buckets[4], buckets[5]
                 );
             }
@@ -270,6 +276,41 @@ mod tests {
         let cov = data.coverage_of("solve").expect("root exists");
         assert!((cov - 0.9).abs() < 1e-9, "coverage {cov}");
         assert_eq!(data.coverage_of("absent"), None);
+    }
+
+    #[test]
+    fn profile_summary_is_deterministic_under_ties_and_long_names() {
+        // Three groups with identical self time must order by name, and a
+        // relation name longer than any fixed column width must not shear
+        // the table: every body row stays as wide as its header.
+        let mut long = span("reeval", 200, 220, 0);
+        long.attrs
+            .push(("relation", AttrValue::Str("AVeryLongRelationNameThatOverflowsColumns".into())));
+        let data = TraceData {
+            spans: vec![span("beta", 0, 20, 0), span("alpha", 40, 60, 0), long],
+            ..TraceData::default()
+        };
+        let a = data.profile_summary(10);
+        let b = data.profile_summary(10);
+        assert_eq!(a, b);
+        let alpha = a.find("solve/alpha").expect("alpha listed");
+        let beta = a.find("solve/beta").expect("beta listed");
+        let reeval = a.find("solve/reeval").expect("reeval listed");
+        assert!(alpha < beta && beta < reeval, "ties break by name:\n{a}");
+
+        let lines: Vec<&str> = a.lines().collect();
+        let header = lines.iter().position(|l| l.starts_with("span")).expect("table header");
+        let header_len = lines[header].len();
+        for row in &lines[header + 1..header + 4] {
+            assert_eq!(row.len(), header_len, "misaligned row {row:?} in:\n{a}");
+        }
+        let hist_header =
+            lines.iter().find(|l| l.starts_with("re-eval latency")).expect("histogram header");
+        let hist_row = lines
+            .iter()
+            .find(|l| l.starts_with("AVeryLongRelationName"))
+            .expect("histogram row for the long relation");
+        assert_eq!(hist_row.len(), hist_header.len(), "histogram misaligned:\n{a}");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Heartbeat rendering for `--progress`.
+//!
+//! The solver publishes its position through the ordinary metrics registry
+//! (`solve.stratum` / `solve.strata_total` gauges, the `solve.reevals`
+//! counter, `bdd.arena_bytes` and GC gauges); this module turns a registry
+//! snapshot into the one-line heartbeat that
+//! [`attach_progress`](crate::collect::attach_progress) sinks receive.
+//! Keeping the renderer out of the solver means a future `getafix serve`
+//! can publish the same metrics over a socket without new plumbing.
+
+use crate::metrics::Registry;
+use std::fmt::Write as _;
+
+/// Renders the heartbeat line for a registry snapshot at collector time
+/// `t_us`. Sections appear only once their metrics exist, so early beats
+/// (during parse/encode) are short and solve-phase beats are full:
+///
+/// ```text
+/// [  12.4s] stratum 3/7 · 1842 re-evals · arena 12.5 MiB · gc 2 (0.8 ms)
+/// ```
+/// Does the registry hold anything the heartbeat would show? Beats are
+/// suppressed until it does, so `--progress` stays silent through the
+/// (fast, metric-free) parse/encode phases instead of printing bare
+/// timestamps.
+pub fn has_signal(metrics: &Registry) -> bool {
+    metrics.gauge("solve.stratum").is_some()
+        || metrics.counter("solve.reevals") > 0
+        || metrics.gauge("bdd.arena_bytes").is_some()
+        || metrics.counter("solve.gcs") > 0
+}
+
+pub fn heartbeat(t_us: u64, metrics: &Registry) -> String {
+    let mut out = format!("[{:6.1}s]", t_us as f64 / 1e6);
+    if let (Some(k), Some(n)) =
+        (metrics.gauge("solve.stratum"), metrics.gauge("solve.strata_total"))
+    {
+        let _ = write!(out, " stratum {}/{}", k as u64, n as u64);
+    }
+    let reevals = metrics.counter("solve.reevals");
+    if reevals > 0 {
+        let _ = write!(out, " · {reevals} re-evals");
+    }
+    if let Some(bytes) = metrics.gauge("bdd.arena_bytes") {
+        let _ = write!(out, " · arena {:.1} MiB", bytes / (1024.0 * 1024.0));
+    }
+    let gcs = metrics.counter("solve.gcs");
+    if gcs > 0 {
+        let _ = write!(out, " · gc {gcs}");
+        if let Some(pause) = metrics.gauge("solve.gc_pause_ms") {
+            let _ = write!(out, " ({pause:.1} ms)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_grows_with_available_metrics() {
+        let mut m = Registry::new();
+        assert_eq!(heartbeat(1_500_000, &m), "[   1.5s]");
+        assert!(!has_signal(&m), "an empty registry is not worth a beat");
+
+        m.gauge_set("solve.stratum", 3.0);
+        m.gauge_set("solve.strata_total", 7.0);
+        m.counter_add("solve.reevals", 1842);
+        m.gauge_set("bdd.arena_bytes", 12.5 * 1024.0 * 1024.0);
+        m.counter_add("solve.gcs", 2);
+        m.gauge_set("solve.gc_pause_ms", 0.8);
+        assert!(has_signal(&m));
+        let line = heartbeat(12_400_000, &m);
+        assert_eq!(line, "[  12.4s] stratum 3/7 · 1842 re-evals · arena 12.5 MiB · gc 2 (0.8 ms)");
+    }
+}
