@@ -57,6 +57,7 @@ mod explore;
 mod gc;
 mod hasher;
 mod manager;
+mod package;
 mod quant;
 mod rename;
 mod table;
@@ -65,4 +66,5 @@ pub use cache::CacheConfig;
 pub use explore::CubeIter;
 pub use gc::GcResult;
 pub use manager::{Bdd, Manager, ManagerStats, Var};
+pub use package::BddPackage;
 pub use rename::VarMap;

@@ -1,0 +1,264 @@
+//! Cross-manager BDD transfer: [`Manager::export`] serializes the DAG
+//! under a set of roots into a self-contained [`BddPackage`], and
+//! [`Manager::import`] rebuilds those functions inside *another* manager.
+//!
+//! This is the shipping lane of parallel stratified solving: each worker
+//! owns a private manager (no locks, no shared arena), solves its strata,
+//! and hands finished interpretations back as packages the coordinator
+//! imports. Import goes through [`Manager::mk`], so the rebuilt DAG is
+//! re-canonicalized against the target's unique table — two functions
+//! that were equal in the source are equal handles in the target, and the
+//! complement-edge parity of every transferred root is preserved exactly.
+//!
+//! # Encoding
+//!
+//! Nodes are listed children-first (a topological order of the DAG), so a
+//! single forward pass with a dense `package index -> target handle` memo
+//! rebuilds everything; no recursion, no hashing beyond the target's own
+//! unique table. Edge references use the same packed convention as
+//! in-arena handles — `index << 1 | parity` — with index `0` reserved for
+//! the shared terminal (so reference `0` *is* FALSE and `1` *is* TRUE),
+//! and package node `i` addressed as `i + 1`. Stored low edges are
+//! regular in the source's canonical form and stay regular in the
+//! package; [`Manager::mk`] re-normalizes on import anyway, so a package
+//! is valid even across managers that never shared a history.
+
+use crate::manager::{Bdd, Manager};
+
+/// One serialized node: the testing variable and the packed child
+/// references (see the module docs for the reference encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedNode {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A self-contained, manager-independent serialization of the BDD DAG
+/// under a set of roots. Plain data: `Send + Sync`, cheap to move across
+/// a thread boundary.
+#[derive(Debug, Clone, Default)]
+pub struct BddPackage {
+    /// Variable-universe size of the exporting manager; the importer must
+    /// know at least this many variables.
+    num_vars: u32,
+    /// Interior nodes, children-first.
+    nodes: Vec<PackedNode>,
+    /// The exported roots, as packed references (parity preserved).
+    roots: Vec<u32>,
+}
+
+impl BddPackage {
+    /// Number of interior nodes in the package (the shared terminal is
+    /// implicit and not counted).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of exported roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The exporting manager's variable count.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+}
+
+/// Resolves a packed package reference against the import memo.
+#[inline]
+fn resolve(memo: &[Bdd], r: u32) -> Bdd {
+    Bdd(memo[(r >> 1) as usize].0 ^ (r & 1))
+}
+
+impl Manager {
+    /// Serializes the DAG under `roots` into a [`BddPackage`] another
+    /// manager can [`import`](Manager::import). Shared subgraphs are
+    /// exported once; complement parity of every root is preserved.
+    pub fn export(&self, roots: &[Bdd]) -> BddPackage {
+        // Arena index -> package reference base (index 0 stays the
+        // terminal; package node i is addressed as i + 1).
+        let mut newidx: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        newidx[0] = 0;
+        let mut nodes: Vec<PackedNode> = Vec::new();
+        let mut stack: Vec<(u32, bool)> = Vec::new();
+        for &root in roots {
+            stack.push((root.node_index(), false));
+            while let Some((idx, expanded)) = stack.pop() {
+                if newidx[idx as usize] != u32::MAX {
+                    continue;
+                }
+                let n = self.nodes[idx as usize];
+                if expanded {
+                    // Children are numbered; emit with translated edges.
+                    let xlate = |raw: u32| (newidx[(raw >> 1) as usize] << 1) | (raw & 1);
+                    let packed = PackedNode { var: n.var, lo: xlate(n.lo), hi: xlate(n.hi) };
+                    newidx[idx as usize] = nodes.len() as u32 + 1;
+                    nodes.push(packed);
+                } else {
+                    stack.push((idx, true));
+                    stack.push((n.hi >> 1, false));
+                    stack.push((n.lo >> 1, false));
+                }
+            }
+        }
+        let roots =
+            roots.iter().map(|r| (newidx[r.node_index() as usize] << 1) | r.parity()).collect();
+        BddPackage { num_vars: self.num_vars, nodes, roots }
+    }
+
+    /// Rebuilds the functions of `package` in this manager and returns
+    /// their handles, in the order the roots were exported. Every node
+    /// goes through the manager's canonicalizing `mk`, so results are canonical here: a
+    /// function already present in this manager comes back as the
+    /// *existing* handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this manager knows fewer variables than the exporter —
+    /// transfer assumes a shared variable universe (see
+    /// [`Manager::fork_inputs`]).
+    pub fn import(&mut self, package: &BddPackage) -> Vec<Bdd> {
+        assert!(
+            package.num_vars <= self.num_vars,
+            "import: package spans {} variables but this manager only knows {}",
+            package.num_vars,
+            self.num_vars
+        );
+        // memo[0] is the terminal's regular handle; memo[i + 1] the handle
+        // of package node i. Children-first order makes one pass enough.
+        let mut memo: Vec<Bdd> = Vec::with_capacity(package.nodes.len() + 1);
+        memo.push(Bdd::FALSE);
+        for n in &package.nodes {
+            let lo = resolve(&memo, n.lo);
+            let hi = resolve(&memo, n.hi);
+            let f = self.mk(n.var, lo, hi);
+            memo.push(f);
+        }
+        package.roots.iter().map(|&r| resolve(&memo, r)).collect()
+    }
+
+    /// Forks a worker manager sharing this manager's variable universe and
+    /// carrying over the given roots: returns the fresh manager plus the
+    /// transferred handles (in `roots` order). The worker starts with
+    /// empty caches and an arena holding exactly the transferred DAG.
+    pub fn fork_inputs(&self, roots: &[Bdd]) -> (Manager, Vec<Bdd>) {
+        let package = self.export(roots);
+        let mut worker = Manager::with_capacity(package.node_count() + 1);
+        for _ in 0..self.num_vars {
+            worker.new_var();
+        }
+        let imported = worker.import(&package);
+        (worker, imported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Send/Sync audit the parallel solver relies on: managers move
+    /// into worker threads, packages cross thread boundaries. A compile
+    /// failure here is the regression.
+    #[test]
+    fn transfer_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Manager>();
+        assert_send::<Bdd>();
+        assert_send::<BddPackage>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<BddPackage>();
+    }
+
+    #[test]
+    fn roundtrip_within_one_manager_is_identity() {
+        let mut m = Manager::new();
+        let vars = m.new_vars(4);
+        let a = m.var(vars[0]);
+        let b = m.var(vars[2]);
+        let f = m.xor(a, b);
+        let g = m.not(f);
+        let pkg = m.export(&[f, g, Bdd::TRUE, Bdd::FALSE]);
+        assert_eq!(pkg.root_count(), 4);
+        let back = m.import(&pkg);
+        assert_eq!(back, vec![f, g, Bdd::TRUE, Bdd::FALSE]);
+    }
+
+    #[test]
+    fn import_preserves_functions_and_complement_parity() {
+        let mut src = Manager::new();
+        let vars = src.new_vars(5);
+        let a = src.var(vars[0]);
+        let b = src.var(vars[1]);
+        let c = src.var(vars[4]);
+        let ab = src.and(a, b);
+        let f = src.or(ab, c);
+        let nf = src.not(f);
+
+        let (mut dst, roots) = src.fork_inputs(&[f, nf]);
+        assert_eq!(roots.len(), 2);
+        // ¬f must import as the complement handle of f's import.
+        assert_eq!(dst.not(roots[0]), roots[1]);
+        // Truth tables agree pointwise.
+        for bits in 0..32u32 {
+            let env: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(src.eval(f, &env), dst.eval(roots[0], &env), "f at {env:?}");
+            assert_eq!(src.eval(nf, &env), dst.eval(roots[1], &env), "¬f at {env:?}");
+        }
+    }
+
+    #[test]
+    fn import_reuses_existing_nodes() {
+        let mut src = Manager::new();
+        let mut dst = Manager::new();
+        let sv = src.new_vars(3);
+        let dv = dst.new_vars(3);
+        let f_src = {
+            let x = src.var(sv[0]);
+            let y = src.var(sv[1]);
+            src.or(x, y)
+        };
+        let f_dst = {
+            let x = dst.var(dv[0]);
+            let y = dst.var(dv[1]);
+            dst.or(x, y)
+        };
+        let nodes_before = dst.stats().nodes;
+        let back = dst.import(&src.export(&[f_src]));
+        assert_eq!(back[0], f_dst, "identical function must come back as the existing handle");
+        assert_eq!(dst.stats().nodes, nodes_before, "no new nodes for a known function");
+    }
+
+    #[test]
+    fn shared_subgraphs_export_once() {
+        let mut m = Manager::new();
+        let vars = m.new_vars(3);
+        let x = m.var(vars[0]);
+        let y = m.var(vars[1]);
+        let shared = m.and(x, y);
+        let z = m.var(vars[2]);
+        let f = m.or(shared, z);
+        let g = m.xor(shared, z);
+        let pkg = m.export(&[f, g]);
+        let separate = m.export(&[f]).node_count() + m.export(&[g]).node_count();
+        assert!(
+            pkg.node_count() < separate,
+            "joint export {} must share the common subgraph (separate: {})",
+            pkg.node_count(),
+            separate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn import_into_smaller_universe_panics() {
+        let mut src = Manager::new();
+        let vars = src.new_vars(4);
+        let f = src.var(vars[3]);
+        let pkg = src.export(&[f]);
+        let mut dst = Manager::new();
+        dst.new_vars(2);
+        dst.import(&pkg);
+    }
+}

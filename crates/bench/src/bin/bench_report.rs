@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cargo run --release -p getafix-bench --bin bench-report \
-//!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N]
+//!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N] [--jobs N]
 //!     [--compare BASELINE.json] [--compare-out PATH] [--max-wall-regress R]
 //! ```
 //!
@@ -20,6 +20,15 @@
 //! deltas printed as a table and written to `BENCH_compare.json` — and
 //! fails when the total matched worklist wall time exceeds
 //! `--max-wall-regress` (default 1.25) times the baseline.
+//!
+//! `--jobs N` (default 1; env fallback `GETAFIX_JOBS`; 0 = all cores)
+//! fans the independent cases of each fig2 workload, and the fig3
+//! workloads themselves, across a worker pool. Every case solves on a
+//! private BDD manager, so verdicts, re-evaluation counts and the
+//! strategy guard are bit-identical at any job count — only wall times
+//! change. The effective count is recorded as a top-level `jobs` field
+//! (the baseline comparison matches workloads by name/algorithm and
+//! ignores it).
 //!
 //! The JSON is emitted through [`getafix_telemetry::json::JsonWriter`]
 //! (the workspace builds offline, without serde; the telemetry crate's
@@ -49,7 +58,7 @@ use getafix_conc::{
     ConcLimits, Merged,
 };
 use getafix_core::{check_reachability_with, Algorithm};
-use getafix_mucalc::{SolveOptions, SolveStats, Strategy};
+use getafix_mucalc::{parallel_map, resolve_jobs, SolveOptions, SolveStats, Strategy};
 use getafix_telemetry::json::JsonWriter;
 use getafix_witness::concurrent_witness_from;
 use std::time::Instant;
@@ -65,10 +74,19 @@ struct StrategyNumbers {
     stats: SolveStats,
 }
 
-fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> StrategyNumbers {
+fn run_strategy(
+    cases: &[SeqCase],
+    algorithm: Algorithm,
+    strategy: Strategy,
+    jobs: usize,
+) -> StrategyNumbers {
     let t0 = Instant::now();
-    let mut stats = SolveStats::default();
-    for case in cases {
+    // Each case builds its own CFG, solver and BDD manager, so the batch
+    // fans out embarrassingly; verdict asserts run inside the workers and
+    // stats are absorbed in case order afterwards, keeping the aggregate
+    // bit-identical at any job count.
+    let per_case = parallel_map(jobs, (0..cases.len()).collect(), |_, i| {
+        let case = &cases[i];
         let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         let pc = cfg
             .label(&case.label)
@@ -81,7 +99,11 @@ fn run_strategy(cases: &[SeqCase], algorithm: Algorithm, strategy: Strategy) -> 
             "{} ({strategy}): wrong verdict — a benchmark that measures wrong answers is worthless",
             case.name
         );
-        stats.absorb(&r.stats);
+        r.stats
+    });
+    let mut stats = SolveStats::default();
+    for s in &per_case {
+        stats.absorb(s);
     }
     StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, stats }
 }
@@ -172,30 +194,38 @@ fn fig3_workloads() -> Vec<(String, getafix_boolprog::ConcProgram, Vec<String>, 
 /// payload. Verdicts are asserted against the documented thresholds —
 /// a benchmark that measures wrong answers is worthless — and every
 /// reachable case must refine and guided-replay.
-fn fig3_report() -> String {
-    let workloads = fig3_workloads();
+fn fig3_report(jobs: usize) -> String {
+    // The workloads are independent merged systems, so they fan out whole:
+    // each worker merges, solves both strategies and runs the witness
+    // pipeline on a private manager. Verdict asserts stay inside the
+    // workers; the progress lines and the JSON are emitted afterwards in
+    // workload order so the report is byte-stable at any job count.
+    let rows =
+        parallel_map(jobs, fig3_workloads(), |_, (name, program, labels, switches, expect)| {
+            let t0 = Instant::now();
+            let merged = merge(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let targets: Vec<Pc> = labels
+                .iter()
+                .map(|l| merged.cfg.label(l).unwrap_or_else(|| panic!("{name}: no label {l}")))
+                .collect();
+            let wl = run_conc(&merged, &targets, switches, Strategy::Worklist);
+            let rr = run_conc(&merged, &targets, switches, Strategy::RoundRobin);
+            for (strategy, n) in [("worklist", &wl), ("round-robin", &rr)] {
+                assert_eq!(
+                    n.reachable, expect,
+                    "{name} k={switches} ({strategy}): wrong verdict — a benchmark that \
+                 measures wrong answers is worthless"
+                );
+            }
+            (name, switches, expect, merge_ms, wl, rr)
+        });
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("schema", "getafix-bench-fig3/1");
     w.key("workloads");
     w.begin_array();
-    for (name, program, labels, switches, expect) in workloads {
-        let t0 = Instant::now();
-        let merged = merge(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let targets: Vec<Pc> = labels
-            .iter()
-            .map(|l| merged.cfg.label(l).unwrap_or_else(|| panic!("{name}: no label {l}")))
-            .collect();
-        let wl = run_conc(&merged, &targets, switches, Strategy::Worklist);
-        let rr = run_conc(&merged, &targets, switches, Strategy::RoundRobin);
-        for (strategy, n) in [("worklist", &wl), ("round-robin", &rr)] {
-            assert_eq!(
-                n.reachable, expect,
-                "{name} k={switches} ({strategy}): wrong verdict — a benchmark that \
-                 measures wrong answers is worthless"
-            );
-        }
+    for (name, switches, expect, merge_ms, wl, rr) in rows {
         eprintln!(
             "{name} k={switches}: {} — worklist solve {:.1} ms + witness {:.1} ms \
              (explicit search {} states, guided {} steps), round-robin solve {:.1} ms",
@@ -242,6 +272,12 @@ fn main() {
     let bdd_smoke = args.iter().any(|a| a == "--bdd-smoke");
     let scale: usize = flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1);
     let bits: usize = flag_value(&args, "--bits").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let jobs: usize = resolve_jobs(
+        flag_value(&args, "--jobs")
+            .or_else(|| std::env::var("GETAFIX_JOBS").ok())
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1),
+    );
 
     // Kernel microbenches first: they are fast, self-contained and make a
     // kernel regression visible even when a later (solver-level) group
@@ -269,13 +305,14 @@ fn main() {
     w.field_str("schema", "getafix-bench-fig2/2");
     w.field_u64("driver_scale", scale as u64);
     w.field_u64("terminator_bits", bits as u64);
+    w.field_u64("jobs", jobs as u64);
     w.key("workloads");
     w.begin_array();
     let mut guard_failures: Vec<String> = Vec::new();
     for (name, cases) in &workloads {
         for algorithm in algorithms {
-            let wl = run_strategy(cases, algorithm, Strategy::Worklist);
-            let rr = run_strategy(cases, algorithm, Strategy::RoundRobin);
+            let wl = run_strategy(cases, algorithm, Strategy::Worklist, jobs);
+            let rr = run_strategy(cases, algorithm, Strategy::RoundRobin, jobs);
             let (wl_re, rr_re) = (wl.stats.total_reevaluations(), rr.stats.total_reevaluations());
             eprintln!(
                 "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals \
@@ -347,7 +384,7 @@ fn main() {
     // `--skip-fig3` leaves the previous fig3 report untouched — handy when
     // iterating on the sequential kernel/scheduler only.
     if !args.iter().any(|a| a == "--skip-fig3") {
-        let fig3 = fig3_report();
+        let fig3 = fig3_report(jobs);
         std::fs::write(&fig3_path, &fig3).unwrap_or_else(|e| panic!("{fig3_path}: {e}"));
         eprintln!("wrote {fig3_path}");
     }

@@ -3,10 +3,15 @@
 //! 1..=6, reporting verdict, `Reach` set size and time.
 //!
 //! ```text
-//! cargo run --release -p getafix-bench --bin fig3 [-- --max-k K]
+//! cargo run --release -p getafix-bench --bin fig3 [-- --max-k K] [--jobs N]
 //! ```
+//!
+//! `--jobs N` (default 1; env fallback `GETAFIX_JOBS`; 0 = all cores)
+//! fans the independent switch-bound solves of each configuration across
+//! a worker pool — every bound owns a private BDD manager, so the table
+//! is identical at any job count, only faster.
 
-use getafix_bench::run_fig3_config;
+use getafix_bench::run_fig3_config_jobs;
 use getafix_workloads::FIGURE3_CONFIGS;
 
 fn main() {
@@ -17,12 +22,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(6);
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("GETAFIX_JOBS").ok())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1);
 
     println!("Figure 3 — Bluetooth driver, bounded context-switching reachability\n");
     println!("{:<9} {:<10} {:<14} {:<10} Time", "Context", "Reachable", "Reach set", "BDD");
     println!("{:<9} {:<10} {:<14} {:<10}", "switches", "", "size", "nodes");
     for &(name, adders, stoppers) in &FIGURE3_CONFIGS {
-        let (merged, rows) = run_fig3_config(adders, stoppers, max_k);
+        let (merged, rows) = run_fig3_config_jobs(adders, stoppers, max_k, jobs);
         let locals: usize = merged.cfg.procs.iter().map(|p| p.n_locals()).sum();
         println!(
             "\n{} processes: {name}\n({} local variables and {} shared variables)",

@@ -1,0 +1,273 @@
+//! 1-vs-N determinism: solving with a worker pool must be *observably
+//! identical* to the sequential solver — not just the verdict, but the
+//! summary sets and the per-relation re-evaluation counts, bit for bit.
+//!
+//! The argument the suite checks: every worker builds the same variable
+//! universe (allocation is deterministic), wave joins re-canonicalize
+//! shipped BDDs through the coordinator's `mk` (a known function lands on
+//! the existing handle), and every SCC schedule is a deterministic
+//! function of BDD equality — so job count can change only wall-clock and
+//! kernel cache/arena counters. Cross-manager equality is checked the
+//! strong way: the parallel solver's summary is exported, imported into
+//! the sequential solver's manager, and must collide with the sequential
+//! summary's *handle*.
+
+use getafix_boolprog::{parse_program, Cfg, Pc};
+use getafix_core::{build_solver_with, Algorithm};
+use getafix_mucalc::{Bdd, SolveOptions, Solver, Strategy};
+use std::collections::BTreeMap;
+
+/// Solves under the worklist strategy at the given job count and returns
+/// (verdict, summary model list, per-relation re-eval counts, summary
+/// handle, the solver — kept alive so its manager can export/import).
+fn run(
+    cfg: &Cfg,
+    target: Pc,
+    algo: Algorithm,
+    jobs: usize,
+) -> (bool, Vec<Vec<bool>>, BTreeMap<String, usize>, Bdd, Solver) {
+    let options = SolveOptions { jobs, ..SolveOptions::with_strategy(Strategy::Worklist) };
+    let mut solver = build_solver_with(cfg, &[target], algo, options)
+        .unwrap_or_else(|e| panic!("{algo} jobs={jobs}: {e}"));
+    let verdict = solver.eval_query("reach").unwrap_or_else(|e| panic!("{algo} jobs={jobs}: {e}"));
+    let rel = algo.main_relation();
+    let interp = solver.evaluate(rel).unwrap_or_else(|e| panic!("{algo} jobs={jobs}: {e}"));
+    let nparams = solver.system().relation(rel).expect("main relation").params.len();
+    let mut vars = Vec::new();
+    for i in 0..nparams {
+        vars.extend(solver.alloc().formal(rel, i).all_vars());
+    }
+    let models = solver.manager().all_models(interp, &vars);
+    let counts: BTreeMap<String, usize> =
+        solver.stats().relations.iter().map(|(n, r)| (n.clone(), r.reevaluations)).collect();
+    (verdict, models, counts, interp, solver)
+}
+
+/// Runs every algorithm at jobs ∈ {1, 2, 4} and asserts the determinism
+/// contract between the sequential and each parallel run.
+fn jobs_agree(src: &str, label: &str) {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+    let cfg = Cfg::build(&program).unwrap_or_else(|e| panic!("build: {e}\n{src}"));
+    let target = cfg.label(label).unwrap_or_else(|| panic!("no label {label}"));
+    for algo in Algorithm::ALL {
+        let (v1, set1, counts1, interp1, mut seq) = run(&cfg, target, algo, 1);
+        for jobs in [2usize, 4] {
+            let (v, set, counts, interp, par) = run(&cfg, target, algo, jobs);
+            assert_eq!(v, v1, "{algo} jobs={jobs}: verdict diverged\n{src}");
+            assert_eq!(set, set1, "{algo} jobs={jobs}: summary set diverged\n{src}");
+            assert_eq!(
+                counts, counts1,
+                "{algo} jobs={jobs}: per-relation re-evaluation counts diverged\n{src}"
+            );
+            // The strong cross-manager check: shipping the parallel
+            // summary into the sequential manager must re-canonicalize to
+            // the sequential run's exact handle.
+            let pkg = par.manager_ref().export(&[interp]);
+            let moved = seq.manager().import(&pkg);
+            assert_eq!(
+                moved[0], interp1,
+                "{algo} jobs={jobs}: imported summary is a different function\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn independent_procedures_fan_out() {
+    // Four call-independent procedures — the widest wave the scheduler
+    // sees in this corpus: with jobs > 1 their summary strata genuinely
+    // solve on different workers.
+    jobs_agree(
+        r#"
+        decl g0, g1;
+        main() begin
+          decl a, b, c, d;
+          a := f0(T);
+          b := f1(a);
+          c := f2(b);
+          d := f3(c);
+          if (d & g0 & !g1) then HIT: skip; fi;
+        end
+        f0(x) returns 1 begin g0 := x; return !x; end
+        f1(x) returns 1 begin if (*) then g1 := x; fi; return x | g0; end
+        f2(x) returns 1 begin return x = g1; end
+        f3(x) returns 1 begin g0 := g0 | x; return !x; end
+        "#,
+        "HIT",
+    );
+}
+
+#[test]
+fn recursive_and_mutually_recursive_strata() {
+    jobs_agree(
+        r#"
+        decl g;
+        main() begin
+          call even();
+          call rec();
+          if (g) then HIT: skip; fi;
+        end
+        even() begin
+          if (*) then call odd(); fi;
+        end
+        odd() begin
+          if (*) then call even(); fi;
+        end
+        rec() begin
+          if (*) then
+            g := !g;
+            call rec();
+          fi;
+        end
+        "#,
+        "HIT",
+    );
+}
+
+#[test]
+fn negative_verdict_full_fixpoint() {
+    // Unreachable target: no early exit, every stratum runs to its full
+    // fixpoint — the heaviest determinism surface.
+    jobs_agree(
+        r#"
+        decl g, h;
+        main() begin
+          g := F;
+          h := F;
+          call walk();
+          if (g & h) then HIT: skip; fi;
+        end
+        walk() begin
+          if (*) then
+            g := T;
+            h := !g;
+            call walk();
+          fi;
+        end
+        "#,
+        "HIT",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random corpus — same generator family as tests/differential.rs,
+// biased toward several helper procedures so the dependency DAG has
+// genuinely parallel waves.
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift; no dependence on rand's stability guarantees.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn rand_expr(rng: &mut Rng, vars: &[&str], depth: usize) -> String {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => "T".to_string(),
+            1 => "F".to_string(),
+            2 => "*".to_string(),
+            _ => vars[rng.below(vars.len() as u64) as usize].to_string(),
+        };
+    }
+    match rng.below(4) {
+        0 => format!("!({})", rand_expr(rng, vars, depth - 1)),
+        1 => format!("({} & {})", rand_expr(rng, vars, depth - 1), rand_expr(rng, vars, depth - 1)),
+        2 => format!("({} | {})", rand_expr(rng, vars, depth - 1), rand_expr(rng, vars, depth - 1)),
+        _ => format!("({} = {})", rand_expr(rng, vars, depth - 1), rand_expr(rng, vars, depth - 1)),
+    }
+}
+
+fn rand_stmts(rng: &mut Rng, vars: &[&str], budget: &mut usize, depth: usize) -> String {
+    let mut out = String::new();
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        let choice = if depth == 0 { rng.below(4) } else { rng.below(6) };
+        match choice {
+            0 | 1 => {
+                let target = vars[rng.below(vars.len() as u64) as usize];
+                out.push_str(&format!("{target} := {};\n", rand_expr(rng, vars, 2)));
+            }
+            2 => {
+                let v = vars[rng.below(vars.len() as u64) as usize];
+                let h = rng.below(3);
+                out.push_str(&format!("{v} := helper{h}({});\n", rand_expr(rng, vars, 1)));
+            }
+            3 => {
+                out.push_str("call toggle();\n");
+            }
+            4 => {
+                out.push_str(&format!(
+                    "if ({}) then\n{}else\n{}fi;\n",
+                    rand_expr(rng, vars, 2),
+                    rand_stmts(rng, vars, budget, depth - 1),
+                    rand_stmts(rng, vars, budget, depth - 1)
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "while ({} & *) do\n{}od;\n",
+                    rand_expr(rng, vars, 1),
+                    rand_stmts(rng, vars, budget, depth - 1)
+                ));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("skip;\n");
+    }
+    out
+}
+
+#[test]
+fn randomized_programs_deterministic_across_job_counts() {
+    for seed in 1..=10u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let vars = ["g0", "g1", "x", "y"];
+        let mut budget = 12usize;
+        let body = rand_stmts(&mut rng, &vars, &mut budget, 2);
+        let guard = rand_expr(&mut rng, &["g0", "g1"], 2);
+        let src = format!(
+            r#"
+            decl g0, g1;
+            main() begin
+              decl x, y;
+              {body}
+              if ({guard}) then HIT: skip; fi;
+            end
+            helper0(a) returns 1 begin
+              if (*) then g0 := a; fi;
+              return !a;
+            end
+            helper1(a) returns 1 begin
+              return a | g1;
+            end
+            helper2(a) returns 1 begin
+              g1 := g1 = a;
+              return *;
+            end
+            toggle() begin
+              g1 := !g1;
+              if (*) then call toggle(); fi;
+            end
+            "#
+        );
+        jobs_agree(&src, "HIT");
+    }
+}

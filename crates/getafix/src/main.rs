@@ -3,11 +3,11 @@
 //!
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
-//!                         [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--stats]
+//!                         [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
 //! getafix check-conc <file.cbp> --label L --switches K
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--stats] [--trace]
-//!                         [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--stats]
+//!                         [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
 //! getafix inspect <file.bp> [--label L] [--algo ef-opt|ef|ef-naive|simple] [--dot] [--json]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
@@ -50,10 +50,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace] [--trace-out FILE]
+                          [--jobs N] [--stats] [--stats-json] [--trace] [--trace-out FILE]
                           [--profile] [--progress] [--diag-out DIR]
   getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
-                          [--stats] [--stats-json] [--trace] [--trace-out FILE]
+                          [--jobs N] [--stats] [--stats-json] [--trace] [--trace-out FILE]
                           [--profile] [--progress] [--diag-out DIR]
   getafix inspect <file.bp> [--label L] [--algo ALGO] [--dot] [--json]
   getafix emit-mu <file.bp> [--algo ALGO]
@@ -61,6 +61,13 @@ const USAGE: &str = "usage:
 
 ALGO:  ef-opt (default) | ef | ef-naive | simple | bebop | moped-fwd | moped-bwd | oracle
 STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strategy
+--jobs N: worker threads for parallel stratified solving (worklist strategy).
+         1 (default) is the exact single-threaded path; 0 means all available
+         parallelism; N > 1 solves waves of independent SCC strata concurrently,
+         each worker on a private BDD manager. Verdicts, summary truth tables
+         and re-evaluation counts are bit-identical at any job count. The
+         GETAFIX_JOBS environment variable supplies a default when the flag is
+         absent. Ignored by --trace (provenance pins the coordinator's arena)
 --trace: on a REACHABLE verdict, print a concrete witness. For `check`: a
          replay-validated error trace. For `check-conc`: a statement-granular
          interleaved trace — per round, every `(thread, pc, statement)` step with
@@ -243,6 +250,21 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
         }
         options.max_iterations = n;
     }
+    // `--jobs 0` is meaningful (all available parallelism), so only the
+    // unparsable is rejected; the flag wins over the GETAFIX_JOBS default.
+    match flag_value(args, "--jobs") {
+        Some(n) => {
+            options.jobs = n.parse().map_err(|e| format!("--jobs: {e} (use 0 for all cores)"))?;
+        }
+        None => {
+            if let Ok(v) = std::env::var("GETAFIX_JOBS") {
+                options.jobs = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("GETAFIX_JOBS: {e} (use 0 for all cores)"))?;
+            }
+        }
+    }
     Ok(options)
 }
 
@@ -325,6 +347,14 @@ fn print_stats(stats: &SolveStats) {
             stats.gcs, stats.gc_reclaimed_nodes, stats.gc_pause_ms
         );
     }
+    if stats.jobs > 1 {
+        let walls: Vec<String> = stats.worker_wall_ms.iter().map(|w| format!("{w:.2}")).collect();
+        println!(
+            "parallel: {} jobs, per-worker stratum wall {} ms",
+            stats.jobs,
+            if walls.is_empty() { "-".to_string() } else { walls.join(" / ") }
+        );
+    }
     let lookups = stats.cache_hits + stats.cache_misses;
     if lookups > 0 {
         println!(
@@ -398,7 +428,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let label = flag_value(args, "--label").ok_or("missing --label")?;
             let algo = flag_value(args, "--algo").unwrap_or("ef-opt");
             let options = parse_solve_options(args)?;
-            let solver_flags = has_flag(args, "--strategy") || has_flag(args, "--max-iter");
+            let solver_flags = has_flag(args, "--strategy")
+                || has_flag(args, "--max-iter")
+                || has_flag(args, "--jobs");
             let tele = TelemetryFlags::parse(args);
             if tele.diag_out.is_some()
                 && matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle")
@@ -555,6 +587,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let path = args.get(1).ok_or("missing input file")?;
             if has_flag(args, "--strategy")
                 || has_flag(args, "--max-iter")
+                || has_flag(args, "--jobs")
                 || has_flag(args, "--stats")
                 || has_flag(args, "--stats-json")
                 || has_flag(args, "--trace")
@@ -563,10 +596,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 || has_flag(args, "--progress")
                 || has_flag(args, "--diag-out")
             {
-                return Err("--strategy/--max-iter/--stats/--stats-json/--trace/--trace-out/\
-                            --profile/--progress/--diag-out configure or observe the fixed-point \
-                            solver; emit-mu only prints the formulae and never runs it"
-                    .into());
+                return Err(
+                    "--strategy/--max-iter/--jobs/--stats/--stats-json/--trace/\
+                            --trace-out/--profile/--progress/--diag-out configure or observe the \
+                            fixed-point solver; emit-mu only prints the formulae and never runs it"
+                        .into(),
+                );
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -616,8 +651,8 @@ fn check_sequential(
     }
     if baseline && solver_flags {
         return Err(format!(
-            "--strategy/--max-iter configure the fixed-point solver; the `{algo}` baseline \
-             does not run it (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
+            "--strategy/--max-iter/--jobs configure the fixed-point solver; the `{algo}` \
+             baseline does not run it (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
         ));
     }
 

@@ -89,8 +89,11 @@ pub struct Allocation {
     binders: BTreeMap<(String, usize), usize>,
     /// channel -> scratch columns (each a `Vec<Var>` of the channel's width).
     scratch: BTreeMap<String, Vec<Vec<Var>>>,
-    /// Per-instance domain constraint cache (filled lazily).
-    domains: std::cell::RefCell<BTreeMap<usize, Bdd>>,
+    /// Per-instance domain constraints, built eagerly in [`Allocation::build`]
+    /// and rebuilt (via `&mut self`) after a manager GC. Plain owned data —
+    /// no interior mutability — so the allocation is `Send` and a worker
+    /// thread can own a solver outright.
+    domains: Vec<Bdd>,
 }
 
 impl Allocation {
@@ -178,13 +181,9 @@ impl Allocation {
             })
             .collect();
 
-        Ok(Allocation {
-            instances,
-            formals,
-            binders,
-            scratch,
-            domains: std::cell::RefCell::new(BTreeMap::new()),
-        })
+        let mut alloc = Allocation { instances, formals, binders, scratch, domains: Vec::new() };
+        alloc.rebuild_domains(manager);
+        Ok(alloc)
     }
 
     /// The instance of formal parameter `i` of relation `rel`.
@@ -209,27 +208,30 @@ impl Allocation {
     }
 
     /// The domain constraint of an instance: every `range n` leaf holds a
-    /// value `< n`. Cached per instance.
-    pub fn domain(&self, manager: &mut Manager, inst: &Instance) -> Bdd {
-        if let Some(&d) = self.domains.borrow().get(&inst.id) {
-            return d;
-        }
-        let mut acc = Bdd::TRUE;
-        for leaf in &inst.leaves {
-            if let Some(bound) = leaf.leaf.bound {
-                let lt = lt_const(manager, &leaf.vars, bound);
-                acc = manager.and(acc, lt);
-            }
-        }
-        self.domains.borrow_mut().insert(inst.id, acc);
-        acc
+    /// value `< n`. Precomputed in [`Allocation::build`], so this is a
+    /// pure read.
+    pub fn domain(&self, inst: &Instance) -> Bdd {
+        self.domains[inst.id]
     }
 
-    /// Drops the cached domain constraints. Called after a manager GC:
-    /// cached handles may point at reclaimed nodes. The constraints are
-    /// cheap `lt_const` chains and rebuild lazily on next use.
-    pub(crate) fn clear_domain_cache(&self) {
-        self.domains.borrow_mut().clear();
+    /// Recomputes every instance's domain constraint on `manager`. Called
+    /// once at construction and again after a manager GC, when the stored
+    /// handles may point at reclaimed nodes. The constraints are cheap
+    /// `lt_const` chains that hash-cons straight back into the (compacted)
+    /// arena.
+    pub(crate) fn rebuild_domains(&mut self, manager: &mut Manager) {
+        self.domains.clear();
+        self.domains.reserve(self.instances.len());
+        for inst in &self.instances {
+            let mut acc = Bdd::TRUE;
+            for leaf in &inst.leaves {
+                if let Some(bound) = leaf.leaf.bound {
+                    let lt = lt_const(manager, &leaf.vars, bound);
+                    acc = manager.and(acc, lt);
+                }
+            }
+            self.domains.push(acc);
+        }
     }
 
     /// Number of allocated instances (diagnostics).
@@ -451,7 +453,7 @@ mod tests {
         let mut m = Manager::new();
         let alloc = Allocation::build(&mut m, &sys).unwrap();
         let inst = alloc.formal("I", 0).clone();
-        let d = alloc.domain(&mut m, &inst);
+        let d = alloc.domain(&inst);
         // 3 bits, constraint value < 5 → 5 models.
         assert_eq!(m.sat_count(d, m.var_count()), 5.0 * 2f64.powi(m.var_count() as i32 - 3));
     }

@@ -168,7 +168,7 @@ impl<'a> CompileCtx<'a> {
         for (name, _) in binders {
             let inst = self.counter.take(self.alloc).clone();
             vars.extend(inst.all_vars());
-            let d = self.alloc.domain(self.manager, &inst);
+            let d = self.alloc.domain(&inst);
             domain = self.manager.and(domain, d);
             self.bind(name, inst);
         }

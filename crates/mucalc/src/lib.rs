@@ -65,6 +65,7 @@ mod alloc;
 mod ast;
 mod compile;
 mod deps;
+mod parallel;
 mod parse;
 mod pretty;
 mod provenance;
@@ -77,6 +78,7 @@ mod worklist;
 pub use alloc::{eq_const, eq_vars, lt_const, lt_vars, Allocation, Instance, LeafAlloc};
 pub use ast::{CmpOp, Formula, Term};
 pub use deps::{DepGraph, OrderedPlan, Scc};
+pub use parallel::{parallel_map, resolve_jobs, ParallelPlan};
 pub use parse::{parse_system, ParseError};
 pub use provenance::Provenance;
 pub use solve::{

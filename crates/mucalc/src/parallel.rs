@@ -1,0 +1,523 @@
+//! Parallel stratified solving: a wave scheduler over the SCC dependency
+//! levels, a scoped worker pool where every worker owns a **private** BDD
+//! manager, and cross-manager result shipping via
+//! [`Manager::export`]/[`Manager::import`].
+//!
+//! # Why waves, and why private managers
+//!
+//! The worklist engine already solves components dependencies-first; what
+//! stratification *also* gives away for free is independence: two SCCs on
+//! the same dependency level never read each other, so they can solve
+//! concurrently — each against the already-finished strata below. The BDD
+//! kernel, however, is aggressively single-threaded (hash-consed arena,
+//! lossy computed caches), and sharing one manager under a lock would
+//! serialize exactly the operations we are trying to overlap. So each
+//! worker is a full [`Solver`] over the *same* system with its own
+//! manager: [`crate::Allocation::build`] is deterministic, hence every
+//! worker speaks the same variable universe and packages transfer without
+//! renaming.
+//!
+//! # Determinism
+//!
+//! Verdicts, interpretations (as truth tables) and re-evaluation counts
+//! are **bit-identical at any job count**. The argument: a worker solving
+//! an SCC sees exactly the interpretations the sequential solver would —
+//! synced at the wave boundary, re-canonicalized by import — and every
+//! schedule inside an SCC (chaotic worklist, ordered rounds, nested
+//! reference) is a deterministic function of BDD *equality*, which
+//! canonicity makes manager-independent. Only wall-clock and kernel
+//! cache/arena/GC counters may differ across job counts.
+//!
+//! [`Manager::export`]: getafix_bdd::Manager::export
+//! [`Manager::import`]: getafix_bdd::Manager::import
+
+use crate::solve::{SolveError, SolveOptions, SolveStats, Solver};
+use getafix_bdd::{Bdd, BddPackage};
+use getafix_telemetry::{self as telemetry, Phase, TraceData};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a [`SolveOptions::jobs`] value to a concrete worker count:
+/// `0` means "all available parallelism" (falling back to 1 when the
+/// machine will not say), anything else passes through.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Applies `f` to every item on a scoped pool of `jobs` threads and
+/// returns the results **in item order**. Items are claimed from a shared
+/// atomic cursor, so long items do not convoy short ones; `jobs <= 1` (or
+/// a single item) degenerates to a plain in-order loop on the calling
+/// thread. `f` receives `(index, item)`.
+///
+/// Telemetry bridges automatically: when the calling thread has a
+/// collector installed, each pool thread records under its own track
+/// (tid `2 + worker`, sharing the caller's epoch) and everything is
+/// absorbed back — spans appended, counters added — before this returns.
+///
+/// Worker panics propagate to the caller (the scope joins all threads
+/// first).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let epoch = telemetry::epoch();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let traces: Vec<Mutex<Option<TraceData>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for wi in 0..jobs {
+            let (f, slots, results, traces, next) = (&f, &slots, &results, &traces, &next);
+            s.spawn(move || {
+                if let Some(epoch) = epoch {
+                    telemetry::install_worker(2 + wi as u64, epoch);
+                }
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("each item claimed once");
+                    let r = f(i, item);
+                    *results[i].lock().unwrap() = Some(r);
+                }
+                if epoch.is_some() {
+                    *traces[wi].lock().unwrap() = telemetry::take();
+                }
+            });
+        }
+    });
+    for t in traces {
+        if let Some(data) = t.into_inner().unwrap() {
+            telemetry::absorb(data);
+        }
+    }
+    results.into_iter().map(|m| m.into_inner().unwrap().expect("worker filled slot")).collect()
+}
+
+/// The wave schedule of one demanded cone: SCC indices grouped by
+/// dependency level (everything a level-`k` component reads lives on a
+/// level `< k`), heaviest-first within a level so the LPT assignment
+/// starts long poles early.
+///
+/// Weights come from [`SolveStats::disjuncts`] — a *prior* profile of the
+/// same system when one is available (the bench reporter's repeat runs,
+/// a re-solve after [`Solver::set_input`]). On a fresh solver all weights
+/// are zero and the order degrades to ascending SCC index, which is still
+/// deterministic; weights steer wall-clock only, never results.
+#[derive(Debug, Clone)]
+pub struct ParallelPlan {
+    waves: Vec<Vec<usize>>,
+}
+
+/// The scheduling weight of one component: recompilation count and node
+/// pressure of its members' disjuncts, from a prior profile. Wall time is
+/// deliberately **not** consulted — the plan must be a deterministic
+/// function of the profile, and wall time is not.
+fn scc_weight(stats: &SolveStats, idx: usize) -> u64 {
+    stats.sccs[idx]
+        .members
+        .iter()
+        .map(|m| {
+            let prefix = format!("{m}#");
+            stats
+                .disjuncts
+                .range(prefix.clone()..)
+                .take_while(|(k, _)| k.starts_with(prefix.as_str()))
+                .map(|(_, d)| d.recompilations as u64 * 1_000 + d.nodes_built)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+impl ParallelPlan {
+    /// Builds the wave schedule for the `demanded` SCC indices. Relies on
+    /// [`SolveStats::sccs`] being populated for the whole system (done at
+    /// solver construction) with `dep_sccs` edges; SCC indices ascend in
+    /// dependency order, so one ascending pass settles the levels.
+    pub fn new(stats: &SolveStats, demanded: &BTreeSet<usize>) -> ParallelPlan {
+        let mut level: BTreeMap<usize, usize> = BTreeMap::new();
+        for &idx in demanded {
+            let l = stats.sccs[idx]
+                .dep_sccs
+                .iter()
+                .filter(|d| demanded.contains(d))
+                .map(|d| level[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level.insert(idx, l);
+        }
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for (&idx, &l) in &level {
+            if waves.len() <= l {
+                waves.resize(l + 1, Vec::new());
+            }
+            waves[l].push(idx);
+        }
+        for wave in &mut waves {
+            wave.sort_by_key(|&i| (std::cmp::Reverse(scc_weight(stats, i)), i));
+        }
+        ParallelPlan { waves }
+    }
+
+    /// The waves, in solve order; within a wave, heaviest-first.
+    pub fn waves(&self) -> &[Vec<usize>] {
+        &self.waves
+    }
+
+    /// The widest wave — an upper bound on usable workers.
+    pub fn max_wave_len(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// What one worker ships back from a wave: the names it solved and their
+/// interpretations, packaged from its private manager.
+struct WaveOutput {
+    names: Vec<String>,
+    package: BddPackage,
+}
+
+impl Solver {
+    /// The parallel counterpart of the sequential stratum loop in
+    /// `evaluate_worklist`: solve `scc_order` in dependency waves, fanning
+    /// each wave's pending components out over `jobs` workers. Workers
+    /// persist across waves (their managers keep the imported strata, so
+    /// later waves re-sync only the delta); waves with at most one pending
+    /// component run inline on the coordinator — the exact sequential
+    /// path, paying no transfer.
+    pub(crate) fn solve_strata_parallel(
+        &mut self,
+        scc_order: &BTreeSet<usize>,
+        demanded: &BTreeMap<usize, BTreeSet<usize>>,
+        jobs: usize,
+    ) -> Result<(), SolveError> {
+        let plan = ParallelPlan::new(&self.stats, scc_order);
+        let mut workers: Vec<Solver> = Vec::new();
+        // Names every worker already holds. Grows only at wave starts, so
+        // it stays uniform across workers; a worker re-importing a name it
+        // solved itself is a no-op (canonicity: same function, same handle).
+        let mut synced: BTreeSet<String> = BTreeSet::new();
+        let mut strata_done = 0usize;
+        let epoch = telemetry::epoch();
+
+        for (wave_no, wave) in plan.waves().iter().enumerate() {
+            let mut pending: Vec<(usize, BTreeSet<usize>)> = Vec::new();
+            for &idx in wave {
+                let roots = demanded.get(&idx).cloned().unwrap_or_default();
+                if self.stratum_pending(idx, &roots) {
+                    pending.push((idx, roots));
+                }
+            }
+            let skipped = wave.len() - pending.len();
+            strata_done += wave.len();
+            if pending.len() <= 1 {
+                for (idx, roots) in pending {
+                    self.solve_stratum(idx, &roots)?;
+                }
+                self.note_stratum_done(strata_done);
+                continue;
+            }
+
+            if workers.is_empty() {
+                let opts =
+                    SolveOptions { jobs: 1, record_provenance: false, ..self.options.clone() };
+                for _ in 0..jobs.min(plan.max_wave_len()) {
+                    workers.push(Solver::with_options(self.system.clone(), opts.clone())?);
+                }
+            }
+
+            // Delta sync: everything solved since the last wave (plus, on
+            // the first wave, the inputs) ships to every worker as one
+            // shared package.
+            let mut delta: Vec<(String, bool)> = Vec::new();
+            let mut delta_bdds: Vec<Bdd> = Vec::new();
+            for (name, &bdd) in &self.inputs {
+                if synced.insert(name.clone()) {
+                    delta.push((name.clone(), true));
+                    delta_bdds.push(bdd);
+                }
+            }
+            for (name, &bdd) in &self.evaluated {
+                if synced.insert(name.clone()) {
+                    delta.push((name.clone(), false));
+                    delta_bdds.push(bdd);
+                }
+            }
+            let delta_pkg = self.manager.export(&delta_bdds);
+
+            // Longest-processing-time assignment: `pending` is already
+            // heaviest-first, each task goes to the least-loaded worker
+            // (ties to the lowest index — deterministic).
+            let mut assignments: Vec<Vec<(usize, BTreeSet<usize>)>> =
+                (0..workers.len()).map(|_| Vec::new()).collect();
+            let mut load: Vec<u64> = vec![0; workers.len()];
+            for (idx, roots) in pending {
+                let wi = (0..load.len()).min_by_key(|&i| (load[i], i)).expect("workers exist");
+                load[wi] += scc_weight(&self.stats, idx) + 1;
+                assignments[wi].push((idx, roots));
+            }
+
+            let mut wave_span = telemetry::span(Phase::Solve, "wave");
+            if wave_span.is_recording() {
+                wave_span.attr("wave", wave_no);
+                wave_span.attr("strata", wave.len());
+                wave_span.attr("skipped", skipped);
+                wave_span.attr("workers", assignments.iter().filter(|a| !a.is_empty()).count());
+                wave_span.attr("transfer_nodes", delta_pkg.node_count());
+            }
+            let outcomes: Vec<(Result<WaveOutput, SolveError>, Option<TraceData>)> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = workers
+                        .iter_mut()
+                        .zip(assignments)
+                        .enumerate()
+                        .map(|(wi, (worker, tasks))| {
+                            let (delta, delta_pkg) = (&delta, &delta_pkg);
+                            s.spawn(move || {
+                                if let Some(epoch) = epoch {
+                                    telemetry::install_worker(2 + wi as u64, epoch);
+                                }
+                                let out = worker.run_wave(delta, delta_pkg, tasks);
+                                (out, telemetry::take())
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("solve worker panicked")).collect()
+                });
+            drop(wave_span);
+
+            // Absorb every worker's telemetry before surfacing any error,
+            // then fail on the lowest-indexed error — deterministic no
+            // matter which worker hit it first in wall-clock terms.
+            let mut shipped: Vec<WaveOutput> = Vec::new();
+            let mut first_err: Option<SolveError> = None;
+            for (result, trace) in outcomes {
+                if let Some(data) = trace {
+                    telemetry::absorb(data);
+                }
+                match result {
+                    Ok(out) => shipped.push(out),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            for out in shipped {
+                let bdds = self.manager.import(&out.package);
+                for (name, bdd) in out.names.into_iter().zip(bdds) {
+                    self.evaluated.insert(name, bdd);
+                }
+            }
+            self.maybe_gc();
+            self.note_stratum_done(strata_done);
+        }
+
+        // One positional stats merge per worker, in worker order. Workers
+        // never sync kernel counters into their SolveStats, so absorbing
+        // adds only solve-side numbers (re-evals, iterations, per-SCC
+        // wall); the coordinator's final `sync_manager_stats` still owns
+        // the cache/arena fields.
+        if self.stats.worker_wall_ms.len() < workers.len() {
+            self.stats.worker_wall_ms.resize(workers.len(), 0.0);
+        }
+        for (wi, w) in workers.iter().enumerate() {
+            self.stats.worker_wall_ms[wi] += w.stats().sccs.iter().map(|s| s.wall_ms).sum::<f64>();
+            self.stats.absorb(w.stats());
+        }
+        Ok(())
+    }
+
+    /// Would `solve_scc(idx, roots)` do any work? Mirrors its memo-table
+    /// early-exits, so the wave scheduler can run already-solved strata
+    /// counts past the workers without shipping anything.
+    fn stratum_pending(&self, idx: usize, roots: &BTreeSet<usize>) -> bool {
+        let scc = &self.deps.sccs()[idx];
+        if !scc.recursive {
+            return !self.evaluated.contains_key(self.deps.name(scc.members[0]));
+        }
+        if scc.monotone {
+            return scc.members.iter().any(|&m| !self.evaluated.contains_key(self.deps.name(m)));
+        }
+        roots.iter().any(|&r| !self.evaluated.contains_key(self.deps.name(r)))
+    }
+
+    /// One worker's wave: import the shared delta package, solve the
+    /// assigned strata (exactly as the sequential loop would), export the
+    /// newly solved interpretations.
+    fn run_wave(
+        &mut self,
+        delta: &[(String, bool)],
+        delta_pkg: &BddPackage,
+        tasks: Vec<(usize, BTreeSet<usize>)>,
+    ) -> Result<WaveOutput, SolveError> {
+        let imported = self.manager.import(delta_pkg);
+        for ((name, is_input), bdd) in delta.iter().zip(imported) {
+            if *is_input {
+                self.inputs.insert(name.clone(), bdd);
+            } else {
+                self.evaluated.insert(name.clone(), bdd);
+            }
+        }
+        let mut produced: Vec<String> = Vec::new();
+        for (idx, roots) in tasks {
+            self.solve_stratum(idx, &roots)?;
+            let scc = &self.deps.sccs()[idx];
+            if !scc.recursive || scc.monotone {
+                produced.extend(scc.members.iter().map(|&m| self.deps.name(m).to_string()));
+            } else {
+                // Non-monotone components memoize only their demanded
+                // roots (other members' §3 meanings are anchored at their
+                // own top-level evaluation).
+                produced.extend(roots.iter().map(|&r| self.deps.name(r).to_string()));
+            }
+        }
+        produced.sort();
+        produced.dedup();
+        let bdds: Vec<Bdd> = produced
+            .iter()
+            .map(|n| {
+                self.evaluated.get(n).copied().ok_or_else(|| {
+                    SolveError::Internal(format!("worker solved stratum but `{n}` is not memoized"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(WaveOutput { package: self.manager.export(&bdds), names: produced })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::eq_const;
+    use crate::parse::parse_system;
+
+    /// The pool moves whole solvers into worker threads.
+    #[test]
+    fn solver_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Solver>();
+        assert_send::<SolveError>();
+    }
+
+    #[test]
+    fn resolve_jobs_zero_means_available_parallelism() {
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
+        assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_every_item() {
+        for jobs in [1, 2, 4, 9] {
+            let out = parallel_map(jobs, (0..57usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..57usize).map(|x| x * 3).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = parallel_map(4, Vec::<usize>::new(), |_, x| x);
+        assert!(empty.is_empty());
+    }
+
+    /// A diamond of components: two independent reachability fixpoints on
+    /// level 0, a conjunction above them. The plan must put A and B in one
+    /// wave and C after.
+    fn diamond() -> crate::system::System {
+        parse_system(
+            r#"
+            type S = bits 3;
+            input Init(s: S);
+            input Edge(s: S, t: S);
+            mu Fwd(u: S) := Init(u) | (exists x: S. Fwd(x) & Edge(x, u));
+            mu Bwd(u: S) := Init(u) | (exists x: S. Bwd(x) & Edge(u, x));
+            mu Both(u: S) := Fwd(u) & Bwd(u);
+            query any := exists u: S. Both(u);
+        "#,
+        )
+        .expect("diamond system parses")
+    }
+
+    fn seeded(jobs: usize) -> Solver {
+        let options = SolveOptions { jobs, ..SolveOptions::new() };
+        let mut solver = Solver::with_options(diamond(), options).expect("solver builds");
+        let init = {
+            let vars = solver.alloc().formal("Init", 0).all_vars();
+            let m = solver.manager();
+            eq_const(m, &vars, 0)
+        };
+        solver.set_input("Init", init).expect("Init is an input");
+        let trans = {
+            let s = solver.alloc().formal("Edge", 0).all_vars();
+            let t = solver.alloc().formal("Edge", 1).all_vars();
+            let m = solver.manager();
+            let mut acc = m.constant(false);
+            for v in 0u64..7 {
+                let a = eq_const(m, &s, v);
+                let b = eq_const(m, &t, v + 1);
+                let edge = m.and(a, b);
+                acc = m.or(acc, edge);
+            }
+            acc
+        };
+        solver.set_input("Edge", trans).expect("Edge is an input");
+        solver
+    }
+
+    #[test]
+    fn plan_levels_respect_dependencies() {
+        let solver = Solver::new(diamond()).expect("solver builds");
+        let demanded: BTreeSet<usize> = (0..solver.stats().sccs.len()).collect();
+        let plan = ParallelPlan::new(solver.stats(), &demanded);
+        let level_of = |name: &str| {
+            plan.waves()
+                .iter()
+                .position(|w| {
+                    w.iter().any(|&i| solver.stats().sccs[i].members.contains(&name.to_string()))
+                })
+                .expect("every component is planned")
+        };
+        assert_eq!(level_of("Fwd"), 0);
+        assert_eq!(level_of("Bwd"), 0);
+        assert_eq!(level_of("Both"), 1);
+        assert_eq!(plan.max_wave_len(), 2);
+    }
+
+    /// The determinism contract, end to end on the diamond: any job count
+    /// yields the same verdict, the same per-relation re-eval counts and
+    /// truth-table-identical interpretations (checked by importing the
+    /// parallel run's summaries into the sequential run's manager).
+    #[test]
+    fn any_job_count_matches_single_thread_exactly() {
+        let mut seq = seeded(1);
+        assert!(seq.eval_query("any").expect("sequential solve"));
+        for jobs in [2, 3, 8] {
+            let mut par = seeded(jobs);
+            assert!(par.eval_query("any").expect("parallel solve"), "jobs={jobs}");
+            for rel in ["Fwd", "Bwd", "Both"] {
+                assert_eq!(
+                    seq.stats().relations[rel].reevaluations,
+                    par.stats().relations[rel].reevaluations,
+                    "re-eval count of {rel} at jobs={jobs}"
+                );
+                let theirs = par.evaluated[rel];
+                let pkg = par.manager.export(&[theirs]);
+                let moved = seq.manager.import(&pkg);
+                assert_eq!(moved[0], seq.evaluated[rel], "interpretation of {rel} at jobs={jobs}");
+            }
+        }
+    }
+}

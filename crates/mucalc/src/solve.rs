@@ -172,6 +172,18 @@ pub struct SolveOptions {
     /// `None` disables collection. Only the worklist strategy collects;
     /// the round-robin reference never does.
     pub gc_threshold: Option<usize>,
+    /// Worker threads for parallel stratified solving. `1` (the default)
+    /// is the exact single-threaded path; `0` means "use all available
+    /// parallelism"; `N > 1` lets waves of independent SCC strata solve
+    /// concurrently, each worker on a private BDD manager, with results
+    /// shipped back via cross-manager export/import at wave joins.
+    /// Verdicts, interpretations (as truth tables) and re-evaluation
+    /// counts are bit-identical at any job count; only wall-clock and
+    /// kernel cache/arena counters may differ. Ignored (treated as 1)
+    /// when [`SolveOptions::record_provenance`] is set — provenance
+    /// snapshots pin the coordinator's arena, so that path stays
+    /// sequential — and by the round-robin reference strategy.
+    pub jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -201,7 +213,15 @@ impl SolveOptions {
             strategy: Strategy::default(),
             record_provenance: false,
             gc_threshold: Some(Self::DEFAULT_GC_THRESHOLD),
+            jobs: 1,
         }
+    }
+
+    /// Resolves [`SolveOptions::jobs`] to a concrete worker count:
+    /// `0` becomes the machine's available parallelism, everything else
+    /// passes through.
+    pub fn effective_jobs(&self) -> usize {
+        crate::parallel::resolve_jobs(self.jobs)
     }
 
     fn validate(&self) -> Result<(), SolveError> {
@@ -334,6 +354,13 @@ pub struct SolveStats {
     /// position among the body's top-level disjuncts). Worklist strategy
     /// only; the round-robin reference compiles whole bodies.
     pub disjuncts: BTreeMap<String, DisjunctStats>,
+    /// Effective worker count of the last worklist evaluation (`1` =
+    /// the sequential path, `0` = the solver has not run).
+    pub jobs: usize,
+    /// Wall-clock each pool worker spent solving strata, in milliseconds,
+    /// indexed by worker. Empty for sequential runs (the coordinator's
+    /// time lives in [`SccStats::wall_ms`] either way).
+    pub worker_wall_ms: Vec<f64>,
 }
 
 impl SolveStats {
@@ -369,6 +396,13 @@ impl SolveStats {
         w.field_u64("arena_nodes", self.arena_nodes as u64);
         w.field_u64("arena_bytes", self.arena_bytes as u64);
         w.field_u64("peak_arena_bytes", self.peak_arena_bytes as u64);
+        w.field_u64("jobs", self.jobs as u64);
+        w.key("worker_wall_ms");
+        w.begin_array();
+        for &wall in &self.worker_wall_ms {
+            w.value_f64(wall);
+        }
+        w.end_array();
         w.key("relations");
         w.begin_array();
         for (name, r) in &self.relations {
@@ -519,6 +553,13 @@ impl SolveStats {
         self.arena_nodes = self.arena_nodes.max(other.arena_nodes);
         self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
         self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
+        self.jobs = self.jobs.max(other.jobs);
+        if self.worker_wall_ms.len() < other.worker_wall_ms.len() {
+            self.worker_wall_ms.resize(other.worker_wall_ms.len(), 0.0);
+        }
+        for (mine, theirs) in self.worker_wall_ms.iter_mut().zip(&other.worker_wall_ms) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -767,7 +808,7 @@ impl Solver {
         for b in extras.iter_mut() {
             **b = remapped.next().expect("gc root count mismatch");
         }
-        self.alloc.clear_domain_cache();
+        self.alloc.rebuild_domains(&mut self.manager);
         self.stats.gcs += 1;
         self.stats.gc_reclaimed_nodes += result.reclaimed();
         if telemetry::enabled() {
@@ -858,7 +899,7 @@ impl Solver {
         let mut formals_domain = Bdd::TRUE;
         for i in 0..param_names.len() {
             let inst = self.alloc.formal(name, i).clone();
-            let d = self.alloc.domain(&mut self.manager, &inst);
+            let d = self.alloc.domain(&inst);
             formals_domain = self.manager.and(formals_domain, d);
         }
 

@@ -157,37 +157,21 @@ impl Solver {
             telemetry::gauge_set("solve.strata_total", scc_order.len() as f64);
             telemetry::gauge_set("solve.stratum", 0.0);
         }
-        let mut strata_done = 0usize;
-        for idx in scc_order {
-            let roots = demanded.get(&idx).cloned().unwrap_or_default();
-            let stratum_start = Instant::now();
-            {
-                let mut span = telemetry::span(Phase::Solve, "stratum");
-                if span.is_recording() {
-                    let scc = &self.deps.sccs()[idx];
-                    span.attr("scc", idx);
-                    span.attr("members", scc.members.len());
-                    span.attr("recursive", scc.recursive);
-                    span.attr("monotone", scc.monotone);
-                }
-                self.solve_scc(idx, &roots)?;
-            }
-            self.stats.sccs[idx].wall_ms += stratum_start.elapsed().as_secs_f64() * 1e3;
-            // Stratum boundary: nothing intermediate is live, so the arena
-            // can be compacted around the inputs, the memoized
-            // interpretations and the provenance snapshots.
-            self.maybe_gc();
-            strata_done += 1;
-            if telemetry::enabled() {
-                // Kernel-counter time series: one point per stratum turns
-                // the terminal cache ratio into a trajectory over the run.
-                let ms = self.manager.stats();
-                telemetry::sample("bdd.cache_hits", ms.cache_hits as f64);
-                telemetry::sample("bdd.cache_misses", ms.cache_misses as f64);
-                telemetry::sample("bdd.arena_nodes", ms.nodes as f64);
-                telemetry::sample("bdd.arena_bytes", ms.arena_bytes as f64);
-                telemetry::gauge_set("bdd.arena_bytes", ms.arena_bytes as f64);
-                telemetry::gauge_set("solve.stratum", strata_done as f64);
+        // Provenance snapshots pin every intermediate value in the
+        // coordinator's arena, so that path stays on the exact sequential
+        // schedule regardless of the job count.
+        let jobs = self.options.effective_jobs();
+        if jobs > 1 && !self.options.record_provenance {
+            self.stats.jobs = self.stats.jobs.max(jobs);
+            self.solve_strata_parallel(&scc_order, &demanded, jobs)?;
+        } else {
+            self.stats.jobs = self.stats.jobs.max(1);
+            let mut strata_done = 0usize;
+            for idx in scc_order {
+                let roots = demanded.get(&idx).cloned().unwrap_or_default();
+                self.solve_stratum(idx, &roots)?;
+                strata_done += 1;
+                self.note_stratum_done(strata_done);
             }
         }
         self.evaluated
@@ -196,9 +180,56 @@ impl Solver {
             .ok_or_else(|| SolveError::Internal(format!("`{name}` not solved by its component")))
     }
 
+    /// One stratum of the worklist schedule: solve component `idx` (with a
+    /// telemetry span and per-SCC wall attribution), then collect at the
+    /// stratum boundary — nothing intermediate is live there, so the arena
+    /// can be compacted around the inputs, the memoized interpretations
+    /// and the provenance snapshots.
+    pub(crate) fn solve_stratum(
+        &mut self,
+        idx: usize,
+        roots: &BTreeSet<usize>,
+    ) -> Result<(), SolveError> {
+        let stratum_start = Instant::now();
+        {
+            let mut span = telemetry::span(Phase::Solve, "stratum");
+            if span.is_recording() {
+                let scc = &self.deps.sccs()[idx];
+                span.attr("scc", idx);
+                span.attr("members", scc.members.len());
+                span.attr("recursive", scc.recursive);
+                span.attr("monotone", scc.monotone);
+            }
+            self.solve_scc(idx, roots)?;
+        }
+        self.stats.sccs[idx].wall_ms += stratum_start.elapsed().as_secs_f64() * 1e3;
+        self.maybe_gc();
+        Ok(())
+    }
+
+    /// Telemetry bookkeeping after `strata_done` strata have finished:
+    /// kernel-counter time series (one point per stratum turns the
+    /// terminal cache ratio into a trajectory over the run) and the
+    /// heartbeat position gauge.
+    pub(crate) fn note_stratum_done(&mut self, strata_done: usize) {
+        if telemetry::enabled() {
+            let ms = self.manager.stats();
+            telemetry::sample("bdd.cache_hits", ms.cache_hits as f64);
+            telemetry::sample("bdd.cache_misses", ms.cache_misses as f64);
+            telemetry::sample("bdd.arena_nodes", ms.nodes as f64);
+            telemetry::sample("bdd.arena_bytes", ms.arena_bytes as f64);
+            telemetry::gauge_set("bdd.arena_bytes", ms.arena_bytes as f64);
+            telemetry::gauge_set("solve.stratum", strata_done as f64);
+        }
+    }
+
     /// Solves one component; `demanded` are the members read from outside
     /// the component (or the evaluation root).
-    fn solve_scc(&mut self, idx: usize, demanded: &BTreeSet<usize>) -> Result<(), SolveError> {
+    pub(crate) fn solve_scc(
+        &mut self,
+        idx: usize,
+        demanded: &BTreeSet<usize>,
+    ) -> Result<(), SolveError> {
         let (members, recursive, monotone) = {
             let scc = &self.deps.sccs()[idx];
             let names: Vec<String> =
@@ -598,7 +629,7 @@ impl Solver {
         let mut formals_domain = Bdd::TRUE;
         for i in 0..param_names.len() {
             let inst = self.alloc.formal(name, i).clone();
-            let d = self.alloc.domain(&mut self.manager, &inst);
+            let d = self.alloc.domain(&inst);
             formals_domain = self.manager.and(formals_domain, d);
         }
         Ok(MemberPlan { name: name.to_string(), param_names, parts, intra_deps, formals_domain })

@@ -36,9 +36,11 @@ fn write_attrs(w: &mut JsonWriter, attrs: &Attrs) {
 impl TraceData {
     /// Renders the trace as a Chrome trace-event JSON document.
     ///
-    /// `pid`/`tid` are fixed at 1 — the pipeline is single-threaded; when
-    /// parallel solving lands, each worker exports its own collector under
-    /// its own `tid`.
+    /// `pid` is fixed at 1; `tid` is each record's own logical thread id
+    /// (1 = the coordinator, `2 + worker_index` for solve workers), so a
+    /// parallel run renders one track per worker. Counter samples stay on
+    /// tid 1 — the coordinator's registry absorbs worker metrics at wave
+    /// joins.
     pub fn chrome_trace_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -52,7 +54,7 @@ impl TraceData {
             w.field_u64("ts", s.t_start_us);
             w.field_u64("dur", s.dur_us());
             w.field_u64("pid", 1);
-            w.field_u64("tid", 1);
+            w.field_u64("tid", s.tid);
             if !s.attrs.is_empty() {
                 w.key("args");
                 write_attrs(&mut w, &s.attrs);
@@ -67,7 +69,7 @@ impl TraceData {
             w.field_str("s", "t");
             w.field_u64("ts", e.t_us);
             w.field_u64("pid", 1);
-            w.field_u64("tid", 1);
+            w.field_u64("tid", e.tid);
             if !e.attrs.is_empty() {
                 w.key("args");
                 write_attrs(&mut w, &e.attrs);

@@ -55,8 +55,9 @@ mod chrome;
 mod profile;
 
 pub use collect::{
-    attach_progress, counter_add, enabled, event, gauge_set, install, metrics_snapshot, sample,
-    span, take, AttrValue, Attrs, EventRecord, Phase, Span, SpanRecord, TraceData,
+    absorb, attach_progress, counter_add, enabled, epoch, event, gauge_set, install,
+    install_worker, metrics_snapshot, sample, span, take, AttrValue, Attrs, EventRecord, Phase,
+    Span, SpanRecord, TraceData,
 };
 pub use folded::{parse_folded, rooted_weight};
 pub use metrics::{Registry, Sample};

@@ -76,6 +76,23 @@ impl Registry {
         self.series.iter().map(|(&n, s)| (n, s.as_slice()))
     }
 
+    /// Merges another registry into this one: counters add, gauges
+    /// overwrite (last writer wins), series extend with the other's
+    /// points appended. This is the wave-join operation of parallel
+    /// solving — per-worker registries fold into the coordinator's so
+    /// heartbeats and `--stats-json` report fleet-wide totals.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (&name, &v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauge_set(name, v);
+        }
+        for (&name, samples) in &other.series {
+            self.series.entry(name).or_default().extend_from_slice(samples);
+        }
+    }
+
     /// Is there nothing recorded at all?
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.series.is_empty()
