@@ -40,24 +40,34 @@
 //!
 //! ```json
 //! {
-//!   "schema": "getafix-bench-fig2/2",
+//!   "schema": "getafix-bench-fig2/3",
 //!   "workloads": [
 //!     { "name": "regression-positive", "cases": 9, "algorithm": "ef-opt",
 //!       "strategies": {
 //!         "worklist":    { "wall_ms": 12.3, "reevaluations": 150, "stats": { … } },
-//!         "round-robin": { "wall_ms": 45.6, "reevaluations": 510, "stats": { … } } } },
+//!         "round-robin": { "wall_ms": 45.6, "reevaluations": 510, "stats": { … } } },
+//!       "slice": { "vars_before": 400, "vars_after": 320, "relations_pruned": 12,
+//!                  "reevaluations": 120, "wall_ms": 8.9 } },
 //!     …
 //!   ]
 //! }
 //! ```
+//!
+//! The `slice` object measures the pre-solve slicer on the same cases:
+//! total encoded BDD variables before/after slicing, CFG relations
+//! (edges + procedures) pruned, and the worklist re-evaluation count on
+//! the sliced programs (compare against `strategies.worklist`). The
+//! `dead-baggage` workload asserts a *strict* reduction in both variables
+//! and re-evaluations on every run.
 
-use getafix_bench::{regression_cases, slam_cases, terminator_cases, SeqCase};
+use getafix_bench::{dead_baggage_cases, regression_cases, slam_cases, terminator_cases, SeqCase};
+use getafix_boolprog::analysis::{slice, AnalysisOptions};
 use getafix_boolprog::{parse_concurrent, Cfg, Pc};
 use getafix_conc::{
     build_conc_solver_with, check_conc_solver, conc_refine_schedule, conc_replay_guided, merge,
     ConcLimits, Merged,
 };
-use getafix_core::{check_reachability_with, Algorithm};
+use getafix_core::{build_solver_with, check_reachability_with, Algorithm};
 use getafix_mucalc::{parallel_map, resolve_jobs, SolveOptions, SolveStats, Strategy};
 use getafix_telemetry::json::JsonWriter;
 use getafix_witness::concurrent_witness_from;
@@ -106,6 +116,75 @@ fn run_strategy(
         stats.absorb(s);
     }
     StrategyNumbers { wall_ms: t0.elapsed().as_secs_f64() * 1e3, stats }
+}
+
+/// The pre-solve slicer's effect on a workload, aggregated over its
+/// cases: encoded BDD variable counts before/after, CFG relations pruned,
+/// and the worklist re-evaluation count on the sliced programs.
+struct SliceNumbers {
+    /// Sum of solver manager variable counts over the unsliced cases.
+    vars_before: usize,
+    /// Sum over the sliced cases (0 contribution when the slice proved a
+    /// target unreachable and no solver was built at all).
+    vars_after: usize,
+    /// CFG relations removed: pruned edges plus dropped procedures.
+    relations_pruned: usize,
+    /// Worklist re-evaluations on the sliced cases.
+    reevaluations: usize,
+    wall_ms: f64,
+}
+
+fn run_slice(cases: &[SeqCase], algorithm: Algorithm, jobs: usize) -> SliceNumbers {
+    let t0 = Instant::now();
+    let per_case = parallel_map(jobs, (0..cases.len()).collect(), |_, i| {
+        let case = &cases[i];
+        let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let pc = cfg
+            .label(&case.label)
+            .unwrap_or_else(|| panic!("{}: no label {}", case.name, case.label));
+        let options = SolveOptions::with_strategy(Strategy::Worklist);
+        // Variable allocation happens at encode time, so the unsliced
+        // count needs a build but no solve (the solves above already
+        // measured the unsliced work).
+        let full = build_solver_with(&cfg, &[pc], algorithm, options.clone())
+            .unwrap_or_else(|e| panic!("{} (slice baseline): {e}", case.name));
+        let vars_before = full.manager_ref().var_count();
+        drop(full);
+        let sliced = slice(&cfg, &AnalysisOptions::sequential().with_targets(&[pc]));
+        let (vars_after, reevals, verdict) = match sliced.map_pc(pc) {
+            Some(new_pc) => {
+                let mut cut = build_solver_with(&sliced.cfg, &[new_pc], algorithm, options)
+                    .unwrap_or_else(|e| panic!("{} (sliced): {e}", case.name));
+                let v = cut
+                    .eval_query("reach")
+                    .unwrap_or_else(|e| panic!("{} (sliced): {e}", case.name));
+                (cut.manager_ref().var_count(), cut.stats().total_reevaluations(), v)
+            }
+            // Target pruned: provably unreachable, nothing to solve.
+            None => (0, 0, false),
+        };
+        assert_eq!(
+            verdict, case.expect,
+            "{}: --slice changed the verdict — slicing that rewrites answers is worthless",
+            case.name
+        );
+        (vars_before, vars_after, sliced.stats.relations_pruned(), reevals)
+    });
+    let mut n = SliceNumbers {
+        vars_before: 0,
+        vars_after: 0,
+        relations_pruned: 0,
+        reevaluations: 0,
+        wall_ms: 0.0,
+    };
+    for (vb, va, rp, re) in per_case {
+        n.vars_before += vb;
+        n.vars_after += va;
+        n.relations_pruned += rp;
+        n.reevaluations += re;
+    }
+    n.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    n
 }
 
 /// One strategy's end-to-end numbers on a concurrent workload.
@@ -294,6 +373,7 @@ fn main() {
         workloads.push((format!("driver-{}", slug(&name)), cases));
     }
     workloads.push((format!("terminator-{bits}bit"), terminator_cases(bits)));
+    workloads.push(("dead-baggage".into(), dead_baggage_cases()));
 
     // `ef` is a monotone fixpoint; `ef-opt` is the non-monotone §4.3
     // system running the ordered change-driven schedule — under the
@@ -302,7 +382,7 @@ fn main() {
     let algorithms = [Algorithm::EntryForward, Algorithm::EntryForwardOpt];
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.field_str("schema", "getafix-bench-fig2/2");
+    w.field_str("schema", "getafix-bench-fig2/3");
     w.field_u64("driver_scale", scale as u64);
     w.field_u64("terminator_bits", bits as u64);
     w.field_u64("jobs", jobs as u64);
@@ -313,17 +393,43 @@ fn main() {
         for algorithm in algorithms {
             let wl = run_strategy(cases, algorithm, Strategy::Worklist, jobs);
             let rr = run_strategy(cases, algorithm, Strategy::RoundRobin, jobs);
+            let sl = run_slice(cases, algorithm, jobs);
             let (wl_re, rr_re) = (wl.stats.total_reevaluations(), rr.stats.total_reevaluations());
             eprintln!(
                 "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals \
-                 ({} on ordered schedules), round-robin {:.1} ms / {} re-evals",
+                 ({} on ordered schedules), round-robin {:.1} ms / {} re-evals, \
+                 sliced {} -> {} BDD vars / {} re-evals ({} relations pruned)",
                 cases.len(),
                 wl.wall_ms,
                 wl_re,
                 wl.stats.ordered_reevaluations,
                 rr.wall_ms,
-                rr_re
+                rr_re,
+                sl.vars_before,
+                sl.vars_after,
+                sl.reevaluations,
+                sl.relations_pruned
             );
+            // The slicer's own guard: on the dead-baggage workload — built
+            // of nothing but prunable junk around live kernels — the slice
+            // must strictly shrink both the encoded BDD variable count and
+            // the worklist re-evaluation count.
+            if name == "dead-baggage" {
+                if sl.vars_after >= sl.vars_before {
+                    guard_failures.push(format!(
+                        "{name} ({algorithm}): slicing lost its BDD variable reduction \
+                         ({} >= {})",
+                        sl.vars_after, sl.vars_before
+                    ));
+                }
+                if sl.reevaluations >= wl_re {
+                    guard_failures.push(format!(
+                        "{name} ({algorithm}): slicing lost its re-evaluation reduction \
+                         ({} >= {wl_re})",
+                        sl.reevaluations
+                    ));
+                }
+            }
             // Regression guard: the scheduler must never do more work, and
             // must do *strictly less* on ef-opt — the ordered non-monotone
             // schedule's whole point. (Plain `ef` is a single-relation
@@ -351,6 +457,16 @@ fn main() {
                 w.field_raw("stats", &n.stats.to_json());
                 w.end_object();
             }
+            w.end_object();
+            // The pre-solve slicer's effect on this workload; the sliced
+            // re-evaluations compare against `strategies.worklist`.
+            w.key("slice");
+            w.begin_object();
+            w.field_u64("vars_before", sl.vars_before as u64);
+            w.field_u64("vars_after", sl.vars_after as u64);
+            w.field_u64("relations_pruned", sl.relations_pruned as u64);
+            w.field_u64("reevaluations", sl.reevaluations as u64);
+            w.field_f64_prec("wall_ms", sl.wall_ms, 3);
             w.end_object();
             w.end_object();
         }

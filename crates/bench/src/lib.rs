@@ -184,6 +184,20 @@ pub fn slam_cases(scale: usize) -> Vec<(String, Vec<SeqCase>)> {
         .collect()
 }
 
+/// The dead-baggage rows: live kernels wrapped in prunable junk, the
+/// workload the pre-solve slicer is measured on.
+pub fn dead_baggage_cases() -> Vec<SeqCase> {
+    workloads::dead_baggage_suite()
+        .into_iter()
+        .map(|c| SeqCase {
+            name: c.name,
+            program: c.program,
+            label: c.label,
+            expect: c.expect_reachable,
+        })
+        .collect()
+}
+
 /// The Terminator rows at a given counter width.
 pub fn terminator_cases(bits: usize) -> Vec<SeqCase> {
     workloads::terminator_suite(bits)

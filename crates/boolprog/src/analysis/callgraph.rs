@@ -1,0 +1,135 @@
+//! Call-graph construction, reachability from the entry roots, and
+//! transitive global modification sets (used by constant propagation to
+//! havoc exactly the globals a call can touch).
+
+use crate::cfg::{Cfg, Edge, Pc, ProcId, VarRef};
+use std::collections::BTreeSet;
+
+/// The program's call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Syntactic callees per procedure.
+    pub callees: Vec<BTreeSet<ProcId>>,
+    /// Procedure is reachable from the roots through syntactic call edges.
+    pub reachable: Vec<bool>,
+    /// Globals a call to the procedure may modify, transitively (direct
+    /// assignments, return-value bindings into globals at its call sites
+    /// are charged to the *caller*, plus everything its callees modify).
+    pub mod_globals: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph and computes reachability from `roots`.
+    pub fn build(cfg: &Cfg, roots: &[ProcId]) -> CallGraph {
+        let n = cfg.procs.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut mod_globals = vec![BTreeSet::new(); n];
+        for proc in &cfg.procs {
+            for edges in proc.edges.values() {
+                for edge in edges {
+                    match edge {
+                        Edge::Internal { assigns, .. } => {
+                            for (target, _) in assigns {
+                                if let VarRef::Global(g) = target {
+                                    mod_globals[proc.id].insert(*g);
+                                }
+                            }
+                        }
+                        Edge::Call { callee, rets, .. } => {
+                            callees[proc.id].insert(*callee);
+                            for target in rets {
+                                if let VarRef::Global(g) = target {
+                                    mod_globals[proc.id].insert(*g);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Transitive closure of the modification sets over call edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                for callee in callees[id].clone() {
+                    let extra: Vec<usize> = mod_globals[callee]
+                        .iter()
+                        .filter(|g| !mod_globals[id].contains(*g))
+                        .copied()
+                        .collect();
+                    if !extra.is_empty() {
+                        mod_globals[id].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let reachable = bfs(&callees, n, roots);
+        CallGraph { callees, reachable, mod_globals }
+    }
+
+    /// Re-runs reachability counting only call edges whose source pc is in
+    /// `reachable_pcs` — a call inside a statically-unreachable branch
+    /// keeps nobody alive.
+    pub fn refine_reachable(
+        &self,
+        cfg: &Cfg,
+        roots: &[ProcId],
+        reachable_pcs: &[bool],
+    ) -> Vec<bool> {
+        let n = cfg.procs.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        for proc in &cfg.procs {
+            for (pc, edges) in &proc.edges {
+                if !reachable_pcs[*pc as usize] {
+                    continue;
+                }
+                for edge in edges {
+                    if let Edge::Call { callee, .. } = edge {
+                        callees[proc.id].insert(*callee);
+                    }
+                }
+            }
+        }
+        bfs(&callees, n, roots)
+    }
+
+    /// Call sites of `callee`: `(caller, pc, edge index)` triples, in
+    /// deterministic order.
+    pub fn call_sites(&self, cfg: &Cfg, callee: ProcId) -> Vec<(ProcId, Pc, usize)> {
+        let mut sites = Vec::new();
+        for proc in &cfg.procs {
+            for (pc, edges) in &proc.edges {
+                for (idx, edge) in edges.iter().enumerate() {
+                    if matches!(edge, Edge::Call { callee: c, .. } if *c == callee) {
+                        sites.push((proc.id, *pc, idx));
+                    }
+                }
+            }
+        }
+        sites
+    }
+}
+
+fn bfs(callees: &[BTreeSet<ProcId>], n: usize, roots: &[ProcId]) -> Vec<bool> {
+    let mut reachable = vec![false; n];
+    let mut queue: Vec<ProcId> = Vec::new();
+    for &r in roots {
+        if r < n && !reachable[r] {
+            reachable[r] = true;
+            queue.push(r);
+        }
+    }
+    while let Some(p) = queue.pop() {
+        for &c in &callees[p] {
+            if !reachable[c] {
+                reachable[c] = true;
+                queue.push(c);
+            }
+        }
+    }
+    reachable
+}

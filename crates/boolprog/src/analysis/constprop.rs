@@ -1,0 +1,279 @@
+//! Intraprocedural forward constant propagation.
+//!
+//! Three-valued (true / false / unknown) abstract interpretation over one
+//! procedure's CFG: a worklist fixpoint from the entry pc, joining
+//! pointwise at merge points, skipping edges whose guard is statically
+//! false. After the fixpoint, a pc the iteration never reached is
+//! *statically unreachable* and an edge whose guard cannot be true in the
+//! final entry state is *infeasible* — both are exact consequences of the
+//! pinned initialization semantics (globals start false at program start,
+//! non-parameter locals start false at procedure entry, see the `cfg`
+//! module docs), not heuristics.
+//!
+//! Guard refinement: along an edge guarded by a literal (or a conjunction
+//! of literals when taken, a disjunction when refuted) the target state
+//! learns the literal's value — enough to see through the
+//! `if (c) then … else … fi` lowering pattern without a full relational
+//! domain.
+
+use super::callgraph::CallGraph;
+use crate::cfg::{Cfg, Edge, LExpr, Pc, ProcCfg, VarRef};
+use std::collections::VecDeque;
+
+/// One variable's abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abs {
+    True,
+    False,
+    Top,
+}
+
+impl Abs {
+    /// `(can_be_true, can_be_false)`.
+    fn value_set(self) -> (bool, bool) {
+        match self {
+            Abs::True => (true, false),
+            Abs::False => (false, true),
+            Abs::Top => (true, true),
+        }
+    }
+
+    fn from_value_set(can_true: bool, can_false: bool) -> Abs {
+        match (can_true, can_false) {
+            (true, false) => Abs::True,
+            (false, true) => Abs::False,
+            // `(false, false)` cannot arise from a consistent state; treat
+            // it as unknown rather than propagate a contradiction.
+            _ => Abs::Top,
+        }
+    }
+
+    fn join(self, other: Abs) -> Abs {
+        if self == other {
+            self
+        } else {
+            Abs::Top
+        }
+    }
+}
+
+/// The abstract state at one pc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Env {
+    globals: Vec<Abs>,
+    locals: Vec<Abs>,
+}
+
+impl Env {
+    fn read(&self, v: VarRef) -> Abs {
+        match v {
+            VarRef::Global(g) => self.globals[g],
+            VarRef::Local(l) => self.locals[l],
+        }
+    }
+
+    fn write(&mut self, v: VarRef, a: Abs) {
+        match v {
+            VarRef::Global(g) => self.globals[g] = a,
+            VarRef::Local(l) => self.locals[l] = a,
+        }
+    }
+
+    fn havoc_globals(&mut self) {
+        for g in &mut self.globals {
+            *g = Abs::Top;
+        }
+    }
+
+    /// Pointwise join; returns whether `self` changed.
+    fn join_from(&mut self, other: &Env) -> bool {
+        let mut changed = false;
+        for (a, b) in self.globals.iter_mut().zip(&other.globals) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Three-valued expression evaluation: `(can_be_true, can_be_false)`.
+/// Mirrors [`LExpr::value_set`] with an abstract read.
+fn eval(e: &LExpr, env: &Env) -> (bool, bool) {
+    match e {
+        LExpr::Const(b) => (*b, !*b),
+        LExpr::Nondet => (true, true),
+        LExpr::Var(v) => env.read(*v).value_set(),
+        LExpr::Not(a) => {
+            let (t, f) = eval(a, env);
+            (f, t)
+        }
+        LExpr::And(a, b) => {
+            let (at, af) = eval(a, env);
+            let (bt, bf) = eval(b, env);
+            (at && bt, af || bf)
+        }
+        LExpr::Or(a, b) => {
+            let (at, af) = eval(a, env);
+            let (bt, bf) = eval(b, env);
+            (at || bt, af && bf)
+        }
+        LExpr::Eq(a, b) => {
+            let (at, af) = eval(a, env);
+            let (bt, bf) = eval(b, env);
+            (at && bt || af && bf, at && bf || af && bt)
+        }
+        LExpr::Ne(a, b) => {
+            let (at, af) = eval(a, env);
+            let (bt, bf) = eval(b, env);
+            (at && bf || af && bt, at && bt || af && bf)
+        }
+        LExpr::Schoose(pos, neg) => {
+            let (pt, pf) = eval(pos, env);
+            let (nt, nf) = eval(neg, env);
+            (pt || (pf && nf), pf && (nt || nf))
+        }
+    }
+}
+
+/// Learns literal facts from assuming `e` evaluates to `want`.
+fn refine(env: &mut Env, e: &LExpr, want: bool) {
+    match e {
+        LExpr::Var(v) => env.write(*v, if want { Abs::True } else { Abs::False }),
+        LExpr::Not(a) => refine(env, a, !want),
+        LExpr::And(a, b) if want => {
+            refine(env, a, true);
+            refine(env, b, true);
+        }
+        LExpr::Or(a, b) if !want => {
+            refine(env, a, false);
+            refine(env, b, false);
+        }
+        _ => {}
+    }
+}
+
+/// The per-procedure result.
+#[derive(Debug)]
+pub struct ProcFacts {
+    /// Pcs reachable from the entry through feasible edges, ascending.
+    pub reachable: Vec<Pc>,
+    /// `(pc, edge index)` of edges whose guard is statically false at a
+    /// reachable source pc.
+    pub infeasible: Vec<(Pc, usize)>,
+}
+
+/// Runs the fixpoint on one procedure.
+pub fn run(cfg: &Cfg, proc: &ProcCfg, callgraph: &CallGraph, concurrent: bool) -> ProcFacts {
+    let (lo, hi) = proc.pc_range;
+    let idx = |pc: Pc| (pc - lo) as usize;
+    let mut states: Vec<Option<Env>> = vec![None; (hi - lo) as usize];
+
+    // Entry state, per the pinned initialization semantics: `main` starts
+    // the program (globals false), every other procedure is entered by a
+    // call (parameters unknown, globals whatever the caller had);
+    // non-parameter locals are always false at entry. Under concurrency
+    // any interleaving may rewrite globals between two steps, so globals
+    // are unknown everywhere.
+    let globals_known = !concurrent && proc.id == cfg.main;
+    let mut entry = Env {
+        globals: vec![if globals_known { Abs::False } else { Abs::Top }; cfg.globals.len()],
+        locals: vec![Abs::False; proc.n_locals()],
+    };
+    for p in 0..proc.params {
+        entry.locals[p] = Abs::Top;
+    }
+    states[idx(proc.entry)] = Some(entry);
+
+    let mut queue: VecDeque<Pc> = VecDeque::new();
+    let mut queued = vec![false; (hi - lo) as usize];
+    queue.push_back(proc.entry);
+    queued[idx(proc.entry)] = true;
+
+    while let Some(pc) = queue.pop_front() {
+        queued[idx(pc)] = false;
+        let env = states[idx(pc)].clone().expect("queued pc has a state");
+        let Some(edges) = proc.edges.get(&pc) else { continue };
+        for edge in edges {
+            let (to, out) = match edge {
+                Edge::Internal { to, guard, assigns } => {
+                    let (can_true, _) = eval(guard, &env);
+                    if !can_true {
+                        continue;
+                    }
+                    let mut pre = env.clone();
+                    refine(&mut pre, guard, true);
+                    // Parallel assignment: all right-hand sides evaluate
+                    // in the pre-state.
+                    let vals: Vec<(VarRef, Abs)> = assigns
+                        .iter()
+                        .map(|(v, e)| {
+                            let (t, f) = eval(e, &pre);
+                            (*v, Abs::from_value_set(t, f))
+                        })
+                        .collect();
+                    let mut out = pre;
+                    for (v, a) in vals {
+                        out.write(v, a);
+                    }
+                    (*to, out)
+                }
+                Edge::Call { callee, rets, ret_to, .. } => {
+                    let mut out = env.clone();
+                    for r in rets {
+                        out.write(*r, Abs::Top);
+                    }
+                    for &g in &callgraph.mod_globals[*callee] {
+                        out.globals[g] = Abs::Top;
+                    }
+                    (*ret_to, out)
+                }
+            };
+            let mut out = out;
+            if concurrent {
+                out.havoc_globals();
+            }
+            let changed = match &mut states[idx(to)] {
+                Some(existing) => existing.join_from(&out),
+                slot @ None => {
+                    *slot = Some(out);
+                    true
+                }
+            };
+            if changed && !queued[idx(to)] {
+                queued[idx(to)] = true;
+                queue.push_back(to);
+            }
+        }
+    }
+
+    // Final facts: reachability is "has a state"; infeasibility is judged
+    // against the *final* (weakest) state, so it is a fixpoint property,
+    // not an iteration artifact.
+    let mut reachable = Vec::new();
+    let mut infeasible = Vec::new();
+    for pc in lo..hi {
+        let Some(env) = &states[idx(pc)] else { continue };
+        reachable.push(pc);
+        if let Some(edges) = proc.edges.get(&pc) {
+            for (i, edge) in edges.iter().enumerate() {
+                if let Edge::Internal { guard, .. } = edge {
+                    let (can_true, _) = eval(guard, env);
+                    if !can_true {
+                        infeasible.push((pc, i));
+                    }
+                }
+            }
+        }
+    }
+    ProcFacts { reachable, infeasible }
+}

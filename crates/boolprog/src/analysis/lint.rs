@@ -1,0 +1,232 @@
+//! Findings: the analysis facts rendered as deterministic, structured
+//! diagnostics for the `getafix lint` verb.
+//!
+//! Ordering is part of the contract (golden tests pin it): dead
+//! procedures by id, dead globals by index, then per live procedure (by
+//! id) dead locals by slot, unreachable statements by pc, and infeasible
+//! branches by `(pc, edge index)`.
+
+use super::{analyze, Analysis, AnalysisOptions};
+use crate::cfg::{Cfg, Edge, Pc};
+use std::fmt;
+
+/// How serious a finding is. `--deny` fails the run on any
+/// [`Severity::Warning`]; [`Severity::Info`] findings (e.g. an assert
+/// that can never fail — working code) never fail a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// The class of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// No call path from the entry roots reaches the procedure.
+    DeadProc,
+    /// The global is never read; deleting it is safe.
+    DeadGlobal,
+    /// The local (or parameter) is never read; deleting it is safe.
+    DeadLocal,
+    /// No feasible edge path from the procedure's entry reaches the
+    /// statement.
+    UnreachableCode,
+    /// The edge's guard is statically false.
+    InfeasibleBranch,
+    /// The assert's condition is statically true.
+    AssertNeverFails,
+    /// The assert's condition is statically false.
+    AssertAlwaysFails,
+    /// The analysis abstained (control flow crosses a procedure
+    /// boundary); no pruning facts were computed.
+    Abstained,
+}
+
+impl FindingKind {
+    /// Stable machine-readable class name.
+    pub fn slug(self) -> &'static str {
+        match self {
+            FindingKind::DeadProc => "dead-proc",
+            FindingKind::DeadGlobal => "dead-global",
+            FindingKind::DeadLocal => "dead-local",
+            FindingKind::UnreachableCode => "unreachable-code",
+            FindingKind::InfeasibleBranch => "infeasible-branch",
+            FindingKind::AssertNeverFails => "assert-never-fails",
+            FindingKind::AssertAlwaysFails => "assert-always-fails",
+            FindingKind::Abstained => "abstained",
+        }
+    }
+
+    fn severity(self) -> Severity {
+        match self {
+            FindingKind::AssertNeverFails | FindingKind::Abstained => Severity::Info,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub severity: Severity,
+    /// Owning procedure, empty for program-level findings (dead globals,
+    /// abstention).
+    pub proc_name: String,
+    /// The pc the finding anchors to, if any (original numbering).
+    pub pc: Option<Pc>,
+    /// 1-based source line, when the pc carried one.
+    pub line: Option<u32>,
+    pub message: String,
+}
+
+impl Finding {
+    fn new(
+        kind: FindingKind,
+        proc_name: &str,
+        pc: Option<Pc>,
+        line: Option<u32>,
+        message: String,
+    ) -> Finding {
+        Finding {
+            kind,
+            severity: kind.severity(),
+            proc_name: proc_name.to_string(),
+            pc,
+            line,
+            message,
+        }
+    }
+}
+
+/// Runs the analysis and renders findings.
+pub fn lint(cfg: &Cfg, opts: &AnalysisOptions) -> Vec<Finding> {
+    lint_with(cfg, &analyze(cfg, opts))
+}
+
+/// Renders findings from precomputed analysis facts.
+pub fn lint_with(cfg: &Cfg, analysis: &Analysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if analysis.abstained {
+        findings.push(Finding::new(
+            FindingKind::Abstained,
+            "",
+            None,
+            None,
+            "control flow crosses a procedure boundary; no pruning facts computed".into(),
+        ));
+        return findings;
+    }
+
+    for proc in &cfg.procs {
+        if !analysis.live_procs[proc.id] {
+            findings.push(Finding::new(
+                FindingKind::DeadProc,
+                &proc.name,
+                Some(proc.entry),
+                cfg.line_of(proc.entry),
+                format!("procedure `{}` is never called", proc.name),
+            ));
+        }
+    }
+
+    for (g, name) in cfg.globals.iter().enumerate() {
+        if !analysis.live_globals[g] {
+            findings.push(Finding::new(
+                FindingKind::DeadGlobal,
+                "",
+                None,
+                None,
+                format!("global `{name}` is never read"),
+            ));
+        }
+    }
+
+    for proc in &cfg.procs {
+        if !analysis.live_procs[proc.id] {
+            continue;
+        }
+        for (i, name) in proc.locals.iter().enumerate() {
+            if !analysis.live_locals[proc.id][i] {
+                let what = if i < proc.params { "parameter" } else { "local" };
+                findings.push(Finding::new(
+                    FindingKind::DeadLocal,
+                    &proc.name,
+                    None,
+                    None,
+                    format!("{what} `{name}` of `{}` is never read", proc.name),
+                ));
+            }
+        }
+
+        // Synthetic pcs (the implicit exit, the assert sink) carry no
+        // source position; report only pcs the programmer can see.
+        for pc in proc.pc_range.0..proc.pc_range.1 {
+            if analysis.reachable_pcs[pc as usize] {
+                continue;
+            }
+            let line = cfg.line_of(pc);
+            let label = cfg.labels.iter().find(|(name, &p)| p == pc && !name.starts_with("__"));
+            if line.is_none() && label.is_none() {
+                continue;
+            }
+            let at = match (label, line) {
+                (Some((name, _)), Some(l)) => format!("`{name}:` (line {l})"),
+                (Some((name, _)), None) => format!("`{name}:`"),
+                (None, Some(l)) => format!("line {l}"),
+                (None, None) => unreachable!(),
+            };
+            findings.push(Finding::new(
+                FindingKind::UnreachableCode,
+                &proc.name,
+                Some(pc),
+                line,
+                format!("statement at {at} in `{}` is unreachable", proc.name),
+            ));
+        }
+
+        let mut infeasible: Vec<(Pc, usize)> = analysis
+            .infeasible_edges
+            .iter()
+            .filter(|(pc, _)| proc.contains(*pc))
+            .copied()
+            .collect();
+        infeasible.sort_unstable();
+        for (pc, idx) in infeasible {
+            let edge = &proc.edges[&pc][idx];
+            let line = cfg.line_of(pc);
+            let at = line.map_or_else(String::new, |l| format!(" at line {l}"));
+            let is_assert_site = proc.error_pc.is_some_and(|err| {
+                proc.edges[&pc].iter().any(|e| matches!(e, Edge::Internal { to, .. } if *to == err))
+            });
+            let (kind, message) = match edge {
+                Edge::Internal { to, .. } if proc.error_pc == Some(*to) && is_assert_site => (
+                    FindingKind::AssertNeverFails,
+                    format!("assert{at} in `{}` can never fail", proc.name),
+                ),
+                _ if is_assert_site => (
+                    FindingKind::AssertAlwaysFails,
+                    format!("assert{at} in `{}` always fails", proc.name),
+                ),
+                _ => (
+                    FindingKind::InfeasibleBranch,
+                    format!(
+                        "branch{at} in `{}` is statically infeasible (guard is always false)",
+                        proc.name
+                    ),
+                ),
+            };
+            findings.push(Finding::new(kind, &proc.name, Some(pc), line, message));
+        }
+    }
+    findings
+}

@@ -1,0 +1,135 @@
+//! Backward faint-variable analysis, interprocedural through call/return
+//! bindings.
+//!
+//! A variable is **live** when its value can transitively reach a guard on
+//! some kept (reachable, feasible) edge — the branches that gate reaching
+//! any reachability target. Everything else is *faint*: deleting it (and
+//! every assignment to it) cannot change which pcs are reachable, because
+//! no transition's feasibility ever reads it. This is deletion-oriented
+//! liveness — a whole-variable property, not the classic per-pc kind — so
+//! the fixpoint runs over one global mark set:
+//!
+//! * every variable read by a kept edge's guard is live;
+//! * if an assignment target is live, the right-hand side's reads are live;
+//! * a callee parameter is live exactly when its local slot is live, and
+//!   then every call site's corresponding argument reads are live;
+//! * a return slot is live when *some* kept call site binds it to a live
+//!   receiver — and then every call site's receiver for that slot is
+//!   marked live too (the slot survives slicing, so each binding needs a
+//!   representable target), as are the slot's return-expression reads at
+//!   every kept exit.
+
+use crate::cfg::{Cfg, Edge, Pc, VarRef};
+use std::collections::BTreeSet;
+
+/// The fixpoint result.
+#[derive(Debug)]
+pub struct Liveness {
+    pub globals: Vec<bool>,
+    pub locals: Vec<Vec<bool>>,
+    pub ret_slots: Vec<Vec<bool>>,
+}
+
+/// Runs the fixpoint over the kept fragment of the CFG.
+pub fn run(
+    cfg: &Cfg,
+    live_procs: &[bool],
+    reachable_pcs: &[bool],
+    infeasible_edges: &[(Pc, usize)],
+) -> Liveness {
+    let infeasible: BTreeSet<(Pc, usize)> = infeasible_edges.iter().copied().collect();
+    let mut live = Liveness {
+        globals: vec![false; cfg.globals.len()],
+        locals: cfg.procs.iter().map(|p| vec![false; p.n_locals()]).collect(),
+        ret_slots: cfg.procs.iter().map(|p| vec![false; p.returns]).collect(),
+    };
+
+    loop {
+        let mut changed = false;
+        for proc in &cfg.procs {
+            if !live_procs[proc.id] {
+                continue;
+            }
+            for (pc, edges) in &proc.edges {
+                if !reachable_pcs[*pc as usize] {
+                    continue;
+                }
+                for (idx, edge) in edges.iter().enumerate() {
+                    if infeasible.contains(&(*pc, idx)) {
+                        continue;
+                    }
+                    match edge {
+                        Edge::Internal { guard, assigns, .. } => {
+                            for v in guard.vars() {
+                                changed |= live.mark(proc.id, v);
+                            }
+                            for (target, e) in assigns {
+                                if live.is_live(proc.id, *target) {
+                                    for v in e.vars() {
+                                        changed |= live.mark(proc.id, v);
+                                    }
+                                }
+                            }
+                        }
+                        Edge::Call { callee, args, rets, .. } => {
+                            for (i, arg) in args.iter().enumerate() {
+                                if live.locals[*callee][i] {
+                                    for v in arg.vars() {
+                                        changed |= live.mark(proc.id, v);
+                                    }
+                                }
+                            }
+                            for (j, r) in rets.iter().enumerate() {
+                                if live.is_live(proc.id, *r) && !live.ret_slots[*callee][j] {
+                                    live.ret_slots[*callee][j] = true;
+                                    changed = true;
+                                }
+                                if live.ret_slots[*callee][j] {
+                                    changed |= live.mark(proc.id, *r);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for exit in &proc.exits {
+                if !reachable_pcs[exit.pc as usize] {
+                    continue;
+                }
+                for (j, e) in exit.ret_exprs.iter().enumerate() {
+                    if live.ret_slots[proc.id][j] {
+                        for v in e.vars() {
+                            changed |= live.mark(proc.id, v);
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return live;
+        }
+    }
+}
+
+impl Liveness {
+    fn is_live(&self, proc: usize, v: VarRef) -> bool {
+        match v {
+            VarRef::Global(g) => self.globals[g],
+            VarRef::Local(l) => self.locals[proc][l],
+        }
+    }
+
+    /// Marks a variable live; returns whether that was news.
+    fn mark(&mut self, proc: usize, v: VarRef) -> bool {
+        let slot = match v {
+            VarRef::Global(g) => &mut self.globals[g],
+            VarRef::Local(l) => &mut self.locals[proc][l],
+        };
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            true
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Pre-solve static analysis over the lowered [`Cfg`].
+//!
+//! The fixed-point engines encode the *whole* program into the BDD-backed
+//! relation system; real inputs (SLAM/Terminator-style device-driver
+//! abstractions) carry dead procedures, statically-unreachable branches,
+//! constant guards, and never-read variables that inflate relation and BDD
+//! variable counts before the solver ever runs. This module is the
+//! demand-aware pre-pass that removes them:
+//!
+//! * [`CallGraph`] — call-graph construction with dead-procedure detection
+//!   from the entry roots, plus transitive global modification sets;
+//! * constant propagation ([`analyze`]) — intraprocedural forward
+//!   three-valued propagation over [`crate::LExpr`] guards, marking
+//!   infeasible edges and statically-unreachable pcs;
+//! * liveness ([`analyze`]) — backward *faint-variable* analysis (globals
+//!   and per-procedure locals), propagated interprocedurally through
+//!   call/return bindings: a variable is live only if it transitively
+//!   feeds a guard on some feasible edge (the branches that gate reaching
+//!   any query target) — everything else can be deleted outright;
+//! * [`slice()`] — a verdict-preserving rewrite dropping dead procedures,
+//!   pruning infeasible edges and deleting dead variables, so the BDD
+//!   encoding allocates strictly fewer variables, while preserving the
+//!   pc→line and label maps so `--trace` witnesses still print real
+//!   source locations;
+//! * [`lint`] — the same facts surfaced as deterministic findings for the
+//!   `getafix lint` verb.
+//!
+//! # Soundness contract
+//!
+//! Slicing preserves reachability verdicts for every target that survives
+//! the slice, and a pruned target is *provably unreachable* (it sat in a
+//! procedure no call path from the roots reaches, or at a pc no feasible
+//! edge path from its procedure's entry reaches). Variable deletion is
+//! restricted to faint variables — never read by any kept guard,
+//! assignment that feeds a kept read, call argument bound to a live
+//! parameter, or return expression bound to a live return slot — so the
+//! reachable pc set is untouched. For merged concurrent CFGs
+//! ([`AnalysisOptions::concurrent`]) globals are havocked at every step
+//! (any interleaving may rewrite shared state between two statements of
+//! one thread), which disables global-based edge pruning but keeps
+//! procedure- and local-level facts exact.
+
+mod callgraph;
+mod constprop;
+mod lint;
+mod liveness;
+mod slice;
+
+pub use callgraph::CallGraph;
+pub use lint::{lint, lint_with, Finding, FindingKind, Severity};
+pub use slice::{slice, Slice, SliceStats};
+
+use crate::cfg::{Cfg, Edge, Pc, ProcId};
+
+/// Configuration for [`analyze`], [`slice()`] and [`lint`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// Entry procedures. `main` is always implicitly a root; merged
+    /// concurrent programs add every thread's entry procedure.
+    pub roots: Vec<ProcId>,
+    /// Query target pcs (reachability labels / assert sinks). Targets do
+    /// not change the computed facts — liveness is seeded from the guards
+    /// gating *any* control flow — but [`slice()`] records which of them
+    /// survive, and a pruned target is provably unreachable.
+    pub targets: Vec<Pc>,
+    /// The CFG is a merged concurrent program: globals are shared across
+    /// threads and must be treated as unknown at every step.
+    pub concurrent: bool,
+}
+
+impl AnalysisOptions {
+    /// Options for a sequential program: root `main`, no targets.
+    pub fn sequential() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    /// Options for a merged concurrent program whose threads enter at
+    /// `entries` (pcs, as in `Merged::thread_entries`).
+    pub fn concurrent_with_entries(cfg: &Cfg, entries: &[Pc]) -> AnalysisOptions {
+        AnalysisOptions {
+            roots: entries.iter().map(|&pc| cfg.proc_of(pc).id).collect(),
+            targets: Vec::new(),
+            concurrent: true,
+        }
+    }
+
+    /// Adds query targets.
+    #[must_use]
+    pub fn with_targets(mut self, targets: &[Pc]) -> AnalysisOptions {
+        self.targets = targets.to_vec();
+        self
+    }
+}
+
+/// The combined result of the three analyses. Indexing: `live_procs` by
+/// [`ProcId`], `reachable_pcs` by pc, `live_locals[p][i]` by procedure and
+/// local slot, `live_ret_slots[p][j]` by procedure and return slot.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The call graph, with reachability from the roots.
+    pub callgraph: CallGraph,
+    /// Procedure is reachable through some feasible call path from a root.
+    pub live_procs: Vec<bool>,
+    /// Pc is reachable from its procedure's entry through feasible edges
+    /// (always `false` for pcs of dead procedures).
+    pub reachable_pcs: Vec<bool>,
+    /// `(pc, edge index)` pairs whose guard is statically false at a
+    /// reachable source pc.
+    pub infeasible_edges: Vec<(Pc, usize)>,
+    /// Global is read somewhere that matters (not faint).
+    pub live_globals: Vec<bool>,
+    /// Local slot is read somewhere that matters (not faint).
+    pub live_locals: Vec<Vec<bool>>,
+    /// Return slot is bound to a live receiver at some kept call site.
+    pub live_ret_slots: Vec<Vec<bool>>,
+    /// The analysis refused to prune (the CFG has an edge that crosses a
+    /// procedure boundary — structurally possible via `goto`, outside the
+    /// fragment the dataflow equations model). All facts are then the
+    /// conservative "everything live / reachable / feasible".
+    pub abstained: bool,
+}
+
+impl Analysis {
+    /// The fully conservative result: nothing prunable.
+    fn conservative(cfg: &Cfg, callgraph: CallGraph, abstained: bool) -> Analysis {
+        Analysis {
+            callgraph,
+            live_procs: vec![true; cfg.procs.len()],
+            reachable_pcs: vec![true; cfg.pc_count as usize],
+            infeasible_edges: Vec::new(),
+            live_globals: vec![true; cfg.globals.len()],
+            live_locals: cfg.procs.iter().map(|p| vec![true; p.n_locals()]).collect(),
+            live_ret_slots: cfg.procs.iter().map(|p| vec![true; p.returns]).collect(),
+            abstained,
+        }
+    }
+
+    /// The effective roots: the requested roots plus `main`.
+    fn roots(cfg: &Cfg, opts: &AnalysisOptions) -> Vec<ProcId> {
+        let mut roots = vec![cfg.main];
+        for &r in &opts.roots {
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+        roots
+    }
+}
+
+/// Runs call-graph, constant-propagation and liveness analysis.
+pub fn analyze(cfg: &Cfg, opts: &AnalysisOptions) -> Analysis {
+    let roots = Analysis::roots(cfg, opts);
+    let callgraph = CallGraph::build(cfg, &roots);
+
+    // The dataflow equations assume intraprocedural `Internal` edges. A
+    // `goto` to a label in another procedure is structurally expressible;
+    // abstain rather than mis-model it.
+    for proc in &cfg.procs {
+        for edges in proc.edges.values() {
+            for edge in edges {
+                let crosses = match edge {
+                    Edge::Internal { to, .. } => !proc.contains(*to),
+                    Edge::Call { ret_to, .. } => !proc.contains(*ret_to),
+                };
+                if crosses {
+                    return Analysis::conservative(cfg, callgraph, true);
+                }
+            }
+        }
+    }
+
+    // Forward constant propagation per syntactically-reachable procedure.
+    let mut reachable_pcs = vec![false; cfg.pc_count as usize];
+    let mut infeasible_edges = Vec::new();
+    for proc in &cfg.procs {
+        if !callgraph.reachable[proc.id] {
+            continue;
+        }
+        let facts = constprop::run(cfg, proc, &callgraph, opts.concurrent);
+        for pc in facts.reachable {
+            reachable_pcs[pc as usize] = true;
+        }
+        infeasible_edges.extend(facts.infeasible);
+    }
+
+    // Re-run procedure reachability over *feasible* call sites only: a
+    // call at a statically-unreachable pc keeps nobody alive. A single
+    // BFS handles cascades.
+    let live_procs = callgraph.refine_reachable(cfg, &roots, &reachable_pcs);
+    for proc in &cfg.procs {
+        if !live_procs[proc.id] {
+            for pc in proc.pc_range.0..proc.pc_range.1 {
+                reachable_pcs[pc as usize] = false;
+            }
+        }
+    }
+    infeasible_edges.retain(|&(pc, _)| reachable_pcs[pc as usize]);
+
+    let live = liveness::run(cfg, &live_procs, &reachable_pcs, &infeasible_edges);
+
+    Analysis {
+        callgraph,
+        live_procs,
+        reachable_pcs,
+        infeasible_edges,
+        live_globals: live.globals,
+        live_locals: live.locals,
+        live_ret_slots: live.ret_slots,
+        abstained: false,
+    }
+}
+
+#[cfg(test)]
+mod tests;

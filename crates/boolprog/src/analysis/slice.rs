@@ -1,0 +1,392 @@
+//! The verdict-preserving program slicer.
+//!
+//! Rewrites a [`Cfg`] into an equivalent, smaller one using the facts
+//! from [`analyze`]: dead procedures are dropped, statically-unreachable
+//! pcs and infeasible edges are pruned, and faint variables — globals,
+//! locals, parameters, and whole return slots — are deleted, with every
+//! call site's argument/receiver lists rewritten to match. Pcs are
+//! renumbered densely (preserving per-procedure contiguity and relative
+//! order), which shrinks the solver's `PC` range type; variable deletion
+//! shrinks the `Global`/`Local` bit vectors. The label and pc→line maps
+//! are carried through the renumbering, so `--trace` witnesses on the
+//! sliced program still print real source locations.
+//!
+//! Reachability verdicts are preserved: a target whose pc survives is
+//! reachable in the slice iff it was reachable in the original, and a
+//! target whose pc was pruned is provably unreachable (see
+//! [`Slice::map_pc`] returning `None`).
+
+use super::{analyze, Analysis, AnalysisOptions};
+use crate::cfg::{Cfg, Edge, ExitPoint, LExpr, Pc, ProcCfg, ProcId, VarRef};
+use std::collections::BTreeMap;
+
+/// Before/after size accounting for one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceStats {
+    pub procs_before: usize,
+    pub procs_after: usize,
+    pub pcs_before: usize,
+    pub pcs_after: usize,
+    pub edges_before: usize,
+    pub edges_after: usize,
+    pub globals_before: usize,
+    pub globals_after: usize,
+    pub max_locals_before: usize,
+    pub max_locals_after: usize,
+    /// State bits the encoder will allocate per frame copy:
+    /// `range_width(pc_count) + max(globals, 1) + max(max_locals, 1)`.
+    pub state_bits_before: usize,
+    pub state_bits_after: usize,
+}
+
+impl SliceStats {
+    /// CFG relations removed: pruned edges plus dropped procedures.
+    pub fn relations_pruned(&self) -> usize {
+        (self.edges_before - self.edges_after) + (self.procs_before - self.procs_after)
+    }
+
+    /// Did the slice shrink anything at all?
+    pub fn reduced(&self) -> bool {
+        self.pcs_after < self.pcs_before
+            || self.edges_after < self.edges_before
+            || self.globals_after < self.globals_before
+            || self.max_locals_after < self.max_locals_before
+    }
+}
+
+/// State bits per frame copy, mirroring the encoder's type declarations
+/// (`PC: Range(pc_count)`, `Global: Bits(globals)`, `Local: Bits(max_locals)`).
+fn state_bits(cfg: &Cfg) -> usize {
+    let pc = cfg.pc_count.max(1) as u64;
+    let pc_bits = if pc <= 1 { 1 } else { (64 - (pc - 1).leading_zeros()) as usize };
+    pc_bits + cfg.globals.len().max(1) + cfg.max_locals().max(1)
+}
+
+fn edge_count(cfg: &Cfg) -> usize {
+    cfg.procs.iter().map(|p| p.edges.values().map(Vec::len).sum::<usize>()).sum()
+}
+
+/// The result of slicing.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// The rewritten program.
+    pub cfg: Cfg,
+    /// Surviving pcs, old → new. A pc absent here was pruned — and is
+    /// therefore provably unreachable.
+    pub pc_map: BTreeMap<Pc, Pc>,
+    /// Surviving procedures, old id → new id.
+    pub proc_map: BTreeMap<ProcId, ProcId>,
+    /// The analysis the slice was computed from.
+    pub analysis: Analysis,
+    /// Size accounting.
+    pub stats: SliceStats,
+}
+
+impl Slice {
+    /// The new pc for an original pc, or `None` if it was pruned
+    /// (provably unreachable).
+    pub fn map_pc(&self, pc: Pc) -> Option<Pc> {
+        self.pc_map.get(&pc).copied()
+    }
+
+    /// Maps a target list into the slice, dropping pruned (unreachable)
+    /// targets.
+    pub fn map_targets(&self, targets: &[Pc]) -> Vec<Pc> {
+        targets.iter().filter_map(|&pc| self.map_pc(pc)).collect()
+    }
+}
+
+/// Slices a CFG. Always succeeds; when the analysis abstains the result
+/// is the identity slice (a verbatim copy with identity maps).
+pub fn slice(cfg: &Cfg, opts: &AnalysisOptions) -> Slice {
+    slice_with(cfg, analyze(cfg, opts))
+}
+
+/// Slices a CFG from precomputed analysis facts.
+pub fn slice_with(cfg: &Cfg, analysis: Analysis) -> Slice {
+    let before = (cfg.procs.len(), cfg.pc_count as usize, edge_count(cfg));
+    if analysis.abstained {
+        let pc_map = (0..cfg.pc_count).map(|pc| (pc, pc)).collect();
+        let proc_map = (0..cfg.procs.len()).map(|id| (id, id)).collect();
+        let bits = state_bits(cfg);
+        return Slice {
+            cfg: cfg.clone(),
+            pc_map,
+            proc_map,
+            analysis,
+            stats: SliceStats {
+                procs_before: before.0,
+                procs_after: before.0,
+                pcs_before: before.1,
+                pcs_after: before.1,
+                edges_before: before.2,
+                edges_after: before.2,
+                globals_before: cfg.globals.len(),
+                globals_after: cfg.globals.len(),
+                max_locals_before: cfg.max_locals(),
+                max_locals_after: cfg.max_locals(),
+                state_bits_before: bits,
+                state_bits_after: bits,
+            },
+        };
+    }
+
+    // Variable renumbering. Globals: kept iff live. Locals: kept iff
+    // live; order is preserved, so kept parameters stay a prefix of the
+    // kept locals. Return slots: kept iff live at some call site.
+    let global_map: Vec<Option<usize>> = renumber(&analysis.live_globals);
+    let local_maps: Vec<Vec<Option<usize>>> =
+        analysis.live_locals.iter().map(|l| renumber(l)).collect();
+    let ret_maps: Vec<Vec<Option<usize>>> =
+        analysis.live_ret_slots.iter().map(|r| renumber(r)).collect();
+
+    // Procedure and pc renumbering: original order, reachable pcs only.
+    let mut proc_map = BTreeMap::new();
+    let mut pc_map = BTreeMap::new();
+    let mut next_pc: Pc = 0;
+    for proc in &cfg.procs {
+        if !analysis.live_procs[proc.id] {
+            continue;
+        }
+        let new_id = proc_map.len();
+        proc_map.insert(proc.id, new_id);
+        for pc in proc.pc_range.0..proc.pc_range.1 {
+            if analysis.reachable_pcs[pc as usize] {
+                pc_map.insert(pc, next_pc);
+                next_pc += 1;
+            }
+        }
+    }
+
+    let remap_var = |proc: ProcId, v: VarRef| -> VarRef {
+        match v {
+            VarRef::Global(g) => VarRef::Global(global_map[g].expect("remapped global is live")),
+            VarRef::Local(l) => VarRef::Local(local_maps[proc][l].expect("remapped local is live")),
+        }
+    };
+
+    let mut procs = Vec::new();
+    for proc in &cfg.procs {
+        if !analysis.live_procs[proc.id] {
+            continue;
+        }
+        let remap_expr = |e: &LExpr| remap_lexpr(e, &|v| remap_var(proc.id, v));
+        let infeasible = |pc: Pc, idx: usize| {
+            analysis.infeasible_edges.iter().any(|&(p, i)| p == pc && i == idx)
+        };
+
+        // New pcs were assigned sequentially in ascending old order, so
+        // the kept pcs of this procedure form a contiguous new range. The
+        // entry is always reachable, so the range is never empty.
+        let kept_pcs: Vec<Pc> = (proc.pc_range.0..proc.pc_range.1)
+            .filter(|pc| analysis.reachable_pcs[*pc as usize])
+            .map(|pc| pc_map[&pc])
+            .collect();
+        let range_lo = *kept_pcs.first().expect("live procedure keeps its entry");
+        let range_hi = kept_pcs.last().expect("live procedure keeps its entry") + 1;
+
+        let mut edges: BTreeMap<Pc, Vec<Edge>> = BTreeMap::new();
+        for (pc, old_edges) in &proc.edges {
+            if !analysis.reachable_pcs[*pc as usize] {
+                continue;
+            }
+            let mut kept = Vec::new();
+            for (idx, edge) in old_edges.iter().enumerate() {
+                if infeasible(*pc, idx) {
+                    continue;
+                }
+                kept.push(match edge {
+                    Edge::Internal { to, guard, assigns } => Edge::Internal {
+                        to: pc_map[to],
+                        guard: remap_expr(guard),
+                        assigns: assigns
+                            .iter()
+                            .filter(|(target, _)| is_live(&analysis, proc.id, *target))
+                            .map(|(target, e)| (remap_var(proc.id, *target), remap_expr(e)))
+                            .collect(),
+                    },
+                    Edge::Call { callee, args, rets, ret_to } => Edge::Call {
+                        callee: proc_map[callee],
+                        args: args
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| local_maps[*callee][*i].is_some())
+                            .map(|(_, a)| remap_expr(a))
+                            .collect(),
+                        rets: rets
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| ret_maps[*callee][*j].is_some())
+                            .map(|(_, r)| remap_var(proc.id, *r))
+                            .collect(),
+                        ret_to: pc_map[ret_to],
+                    },
+                });
+            }
+            if !kept.is_empty() {
+                edges.insert(pc_map[pc], kept);
+            }
+        }
+
+        let mut exits = Vec::new();
+        for exit in &proc.exits {
+            if !analysis.reachable_pcs[exit.pc as usize] {
+                continue;
+            }
+            exits.push(ExitPoint {
+                pc: pc_map[&exit.pc],
+                ret_exprs: exit
+                    .ret_exprs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| ret_maps[proc.id][*j].is_some())
+                    .map(|(_, e)| remap_expr(e))
+                    .collect(),
+            });
+        }
+
+        let kept_locals: Vec<String> = proc
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| local_maps[proc.id][*i].is_some())
+            .map(|(_, name)| name.clone())
+            .collect();
+        let kept_params = (0..proc.params).filter(|&i| local_maps[proc.id][i].is_some()).count();
+
+        procs.push(ProcCfg {
+            name: proc.name.clone(),
+            id: proc_map[&proc.id],
+            params: kept_params,
+            returns: ret_maps[proc.id].iter().filter(|s| s.is_some()).count(),
+            locals: kept_locals,
+            entry: pc_map[&proc.entry],
+            pc_range: (range_lo, range_hi),
+            edges,
+            exits,
+            error_pc: proc
+                .error_pc
+                .filter(|pc| analysis.reachable_pcs[*pc as usize])
+                .map(|pc| pc_map[&pc]),
+        });
+    }
+
+    let globals: Vec<String> = cfg
+        .globals
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| global_map[*g].is_some())
+        .map(|(_, name)| name.clone())
+        .collect();
+    let labels: BTreeMap<String, Pc> = cfg
+        .labels
+        .iter()
+        .filter_map(|(name, pc)| pc_map.get(pc).map(|&new| (name.clone(), new)))
+        .collect();
+    let lines: BTreeMap<Pc, u32> =
+        cfg.lines.iter().filter_map(|(pc, line)| pc_map.get(pc).map(|&new| (new, *line))).collect();
+
+    let sliced =
+        Cfg { globals, main: proc_map[&cfg.main], procs, pc_count: next_pc, labels, lines };
+    debug_assert!(validate(&sliced), "slicer produced an inconsistent CFG");
+
+    let stats = SliceStats {
+        procs_before: before.0,
+        procs_after: sliced.procs.len(),
+        pcs_before: before.1,
+        pcs_after: sliced.pc_count as usize,
+        edges_before: before.2,
+        edges_after: edge_count(&sliced),
+        globals_before: cfg.globals.len(),
+        globals_after: sliced.globals.len(),
+        max_locals_before: cfg.max_locals(),
+        max_locals_after: sliced.max_locals(),
+        state_bits_before: state_bits(cfg),
+        state_bits_after: state_bits(&sliced),
+    };
+    Slice { cfg: sliced, pc_map, proc_map, analysis, stats }
+}
+
+fn is_live(analysis: &Analysis, proc: ProcId, v: VarRef) -> bool {
+    match v {
+        VarRef::Global(g) => analysis.live_globals[g],
+        VarRef::Local(l) => analysis.live_locals[proc][l],
+    }
+}
+
+/// Old index → new index for the kept (`true`) entries, order-preserving.
+fn renumber(kept: &[bool]) -> Vec<Option<usize>> {
+    let mut next = 0;
+    kept.iter()
+        .map(|&keep| {
+            if keep {
+                let i = next;
+                next += 1;
+                Some(i)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn remap_lexpr(e: &LExpr, f: &impl Fn(VarRef) -> VarRef) -> LExpr {
+    match e {
+        LExpr::Const(b) => LExpr::Const(*b),
+        LExpr::Nondet => LExpr::Nondet,
+        LExpr::Var(v) => LExpr::Var(f(*v)),
+        LExpr::Not(a) => LExpr::Not(Box::new(remap_lexpr(a, f))),
+        LExpr::And(a, b) => LExpr::And(Box::new(remap_lexpr(a, f)), Box::new(remap_lexpr(b, f))),
+        LExpr::Or(a, b) => LExpr::Or(Box::new(remap_lexpr(a, f)), Box::new(remap_lexpr(b, f))),
+        LExpr::Eq(a, b) => LExpr::Eq(Box::new(remap_lexpr(a, f)), Box::new(remap_lexpr(b, f))),
+        LExpr::Ne(a, b) => LExpr::Ne(Box::new(remap_lexpr(a, f)), Box::new(remap_lexpr(b, f))),
+        LExpr::Schoose(a, b) => {
+            LExpr::Schoose(Box::new(remap_lexpr(a, f)), Box::new(remap_lexpr(b, f)))
+        }
+    }
+}
+
+/// Structural invariants the rest of the pipeline relies on: dense,
+/// disjoint, in-order pc ranges; edges and exits inside their procedure;
+/// call targets valid; expression variable references in range.
+fn validate(cfg: &Cfg) -> bool {
+    let mut next = 0;
+    for proc in &cfg.procs {
+        if proc.pc_range.0 != next || proc.pc_range.1 < proc.pc_range.0 {
+            return false;
+        }
+        next = proc.pc_range.1;
+        if !proc.contains(proc.entry) || proc.params > proc.locals.len() {
+            return false;
+        }
+        for (pc, edges) in &proc.edges {
+            if !proc.contains(*pc) {
+                return false;
+            }
+            for edge in edges {
+                match edge {
+                    Edge::Internal { to, .. } => {
+                        if !proc.contains(*to) {
+                            return false;
+                        }
+                    }
+                    Edge::Call { callee, args, rets, ret_to } => {
+                        if *callee >= cfg.procs.len() || !proc.contains(*ret_to) {
+                            return false;
+                        }
+                        let target = &cfg.procs[*callee];
+                        if args.len() != target.params || rets.len() != target.returns {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        for exit in &proc.exits {
+            if !proc.contains(exit.pc) || exit.ret_exprs.len() != proc.returns {
+                return false;
+            }
+        }
+    }
+    next == cfg.pc_count
+}

@@ -1,0 +1,477 @@
+//! Unit tests for the analysis passes and the slicer, including the
+//! explicit-oracle differential: slicing never changes a verdict.
+
+use super::*;
+use crate::interp::explicit_reachable;
+use crate::parse::parse_program;
+
+fn build(src: &str) -> Cfg {
+    Cfg::build(&parse_program(src).expect("parse")).expect("lower")
+}
+
+fn seq_slice(src: &str) -> Slice {
+    slice(&build(src), &AnalysisOptions::sequential())
+}
+
+/// Verdict differential against the explicit oracle for every label.
+fn assert_slice_preserves_verdicts(src: &str) {
+    let cfg = build(src);
+    let sliced = slice(&cfg, &AnalysisOptions::sequential());
+    for (label, &pc) in &cfg.labels {
+        let before = explicit_reachable(&cfg, &[pc], 5_000_000).expect("oracle").reachable;
+        let after = match sliced.map_pc(pc) {
+            Some(new) => {
+                explicit_reachable(&sliced.cfg, &[new], 5_000_000).expect("oracle").reachable
+            }
+            None => false,
+        };
+        assert_eq!(before, after, "verdict changed for `{label}`:\n{src}");
+    }
+}
+
+#[test]
+fn dead_procedure_is_detected_and_dropped() {
+    let s = seq_slice(
+        r#"
+        main() begin
+          skip;
+        end
+        helper() begin
+          skip;
+        end
+        "#,
+    );
+    assert!(!s.analysis.live_procs[1]);
+    assert_eq!(s.cfg.procs.len(), 1);
+    assert_eq!(s.stats.procs_before, 2);
+    assert_eq!(s.stats.procs_after, 1);
+    assert!(s.stats.reduced());
+}
+
+#[test]
+fn transitively_dead_procedures_are_dropped() {
+    let s = seq_slice(
+        r#"
+        main() begin
+          skip;
+        end
+        a() begin
+          call b();
+        end
+        b() begin
+          skip;
+        end
+        "#,
+    );
+    assert_eq!(s.cfg.procs.len(), 1);
+}
+
+#[test]
+fn called_procedures_stay() {
+    let s = seq_slice(
+        r#"
+        main() begin
+          call a();
+        end
+        a() begin
+          call b();
+        end
+        b() begin
+          skip;
+        end
+        "#,
+    );
+    assert_eq!(s.cfg.procs.len(), 3);
+}
+
+#[test]
+fn constant_guard_prunes_the_dead_branch() {
+    let cfg = build(
+        r#"
+        decl g;
+        main() begin
+          g := F;
+          if (g) then
+            DEAD: skip;
+          else
+            LIVE: skip;
+          fi;
+        end
+        "#,
+    );
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    assert!(s.map_pc(cfg.label("DEAD").unwrap()).is_none(), "dead branch pruned");
+    assert!(s.map_pc(cfg.label("LIVE").unwrap()).is_some(), "live branch kept");
+    assert!(s.cfg.label("LIVE").is_some() && s.cfg.label("DEAD").is_none());
+}
+
+#[test]
+fn call_havocs_modified_globals() {
+    // `flip` rewrites g, so the branch on g after the call must survive.
+    let cfg = build(
+        r#"
+        decl g;
+        main() begin
+          g := F;
+          call flip();
+          if (g) then HIT: skip; fi;
+        end
+        flip() begin
+          g := T;
+        end
+        "#,
+    );
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    assert!(s.map_pc(cfg.label("HIT").unwrap()).is_some());
+    assert!(s.analysis.callgraph.mod_globals[1].contains(&0));
+}
+
+#[test]
+fn dead_globals_and_locals_are_deleted() {
+    let s = seq_slice(
+        r#"
+        decl g, junk;
+        main() begin
+          decl x, scratch;
+          junk := T;
+          scratch := junk;
+          x := *;
+          g := x;
+          if (g) then HIT: skip; fi;
+        end
+        "#,
+    );
+    // `junk` and `scratch` only feed each other — both faint.
+    assert_eq!(s.cfg.globals, vec!["g"]);
+    assert_eq!(s.cfg.procs[0].locals, vec!["x"]);
+    assert!(s.stats.globals_after < s.stats.globals_before);
+    assert!(s.stats.max_locals_after < s.stats.max_locals_before);
+}
+
+#[test]
+fn unused_parameters_and_return_slots_are_dropped() {
+    let s = seq_slice(
+        r#"
+        decl g;
+        main() begin
+          decl a, b;
+          a, b := f(g, T);
+          g := a;
+          if (g) then HIT: skip; fi;
+        end
+        f(x, unused) returns 2 begin
+          return x, F;
+        end
+        "#,
+    );
+    let f = s.cfg.proc_by_name("f").expect("f kept");
+    assert_eq!(f.params, 1, "unused parameter dropped");
+    assert_eq!(f.locals, vec!["x"]);
+    assert_eq!(f.returns, 1, "unused return slot dropped");
+    for exit in &f.exits {
+        assert_eq!(exit.ret_exprs.len(), 1);
+    }
+    let main = &s.cfg.procs[s.cfg.main];
+    for edges in main.edges.values() {
+        for e in edges {
+            if let Edge::Call { args, rets, .. } = e {
+                assert_eq!(args.len(), 1);
+                assert_eq!(rets.len(), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn live_ret_slot_at_one_site_keeps_every_sites_receiver() {
+    // Site 1 reads the return; site 2 discards it. The slot stays, so
+    // site 2's receiver must stay representable (kept).
+    let s = seq_slice(
+        r#"
+        decl g;
+        main() begin
+          decl a, b;
+          a := f();
+          g := a;
+          b := f();
+          if (g) then HIT: skip; fi;
+        end
+        f() returns 1 begin
+          return T;
+        end
+        "#,
+    );
+    let main = &s.cfg.procs[s.cfg.main];
+    assert!(main.locals.contains(&"b".to_string()), "discarding receiver kept");
+}
+
+#[test]
+fn guard_refinement_sees_through_if_lowering() {
+    // In the then-branch c is known true, so the inner else is dead.
+    let cfg = build(
+        r#"
+        main() begin
+          decl c;
+          c := *;
+          if (c) then
+            if (c) then
+              LIVE: skip;
+            else
+              DEAD: skip;
+            fi;
+          fi;
+        end
+        "#,
+    );
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    assert!(s.map_pc(cfg.label("DEAD").unwrap()).is_none());
+    assert!(s.map_pc(cfg.label("LIVE").unwrap()).is_some());
+}
+
+#[test]
+fn lines_and_labels_survive_renumbering() {
+    let cfg = build(
+        r#"decl g;
+main() begin
+  g := T;
+  HIT: skip;
+end
+unused() begin
+  skip;
+end"#,
+    );
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    let old = cfg.label("HIT").unwrap();
+    let new = s.cfg.label("HIT").unwrap();
+    assert_eq!(s.map_pc(old), Some(new));
+    assert_eq!(cfg.line_of(old), s.cfg.line_of(new));
+    assert_eq!(s.cfg.line_of(new), Some(4));
+}
+
+#[test]
+fn concurrent_mode_never_trusts_globals() {
+    // Sequentially `g := F; if (g)` makes HIT dead — but under
+    // concurrency another thread may set g between the two statements.
+    let cfg = build(
+        r#"
+        decl g;
+        main() begin
+          g := F;
+          if (g) then HIT: skip; fi;
+        end
+        "#,
+    );
+    let seq = slice(&cfg, &AnalysisOptions::sequential());
+    assert!(seq.map_pc(cfg.label("HIT").unwrap()).is_none());
+    let conc = slice(&cfg, &AnalysisOptions { roots: vec![], targets: vec![], concurrent: true });
+    assert!(conc.map_pc(cfg.label("HIT").unwrap()).is_some());
+}
+
+#[test]
+fn assert_facts_are_classified() {
+    let findings = lint(
+        &build(
+            r#"
+            decl g;
+            main() begin
+              g := T;
+              assert (g);
+              g := F;
+              assert (g);
+            end
+            "#,
+        ),
+        &AnalysisOptions::sequential(),
+    );
+    let kinds: Vec<FindingKind> = findings.iter().map(|f| f.kind).collect();
+    assert!(kinds.contains(&FindingKind::AssertNeverFails));
+    assert!(kinds.contains(&FindingKind::AssertAlwaysFails));
+    let never = findings.iter().find(|f| f.kind == FindingKind::AssertNeverFails).unwrap();
+    assert_eq!(never.severity, Severity::Info);
+}
+
+#[test]
+fn lint_findings_are_deterministically_ordered() {
+    let cfg = build(
+        r#"
+        decl g, junk;
+        main() begin
+          decl x;
+          g := F;
+          if (g) then DEAD: skip; fi;
+          HIT: skip;
+        end
+        orphan() begin
+          junk := T;
+        end
+        "#,
+    );
+    let opts = AnalysisOptions::sequential();
+    let a = lint(&cfg, &opts);
+    let b = lint(&cfg, &opts);
+    assert_eq!(a, b);
+    let kinds: Vec<&'static str> = a.iter().map(|f| f.kind.slug()).collect();
+    assert_eq!(
+        kinds,
+        vec!["dead-proc", "dead-global", "dead-local", "unreachable-code", "infeasible-branch"]
+    );
+}
+
+#[test]
+fn identity_slice_when_nothing_prunable() {
+    let src = r#"
+        decl g;
+        main() begin
+          g := *;
+          if (g) then HIT: skip; fi;
+        end
+        "#;
+    let cfg = build(src);
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    assert_eq!(s.cfg.pc_count, cfg.pc_count);
+    assert_eq!(s.cfg.globals, cfg.globals);
+    assert!(!s.stats.reduced());
+    assert!(lint(&cfg, &AnalysisOptions::sequential()).is_empty());
+}
+
+#[test]
+fn goto_across_procedures_abstains() {
+    // A goto to a label in another procedure is structurally expressible;
+    // the analysis must refuse to prune rather than mis-model it.
+    use crate::ast::{Proc, Program, Stmt, StmtKind};
+    // `other` is lowered first so its label is known when `main`'s goto
+    // resolves — a backward cross-procedure jump.
+    let program = Program {
+        globals: vec![],
+        procs: vec![
+            Proc {
+                name: "other".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec![],
+                body: vec![Stmt::labeled("ELSEWHERE", StmtKind::Skip)],
+            },
+            Proc {
+                name: "main".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec![],
+                body: vec![Stmt::new(StmtKind::Goto("ELSEWHERE".into()))],
+            },
+        ],
+    };
+    let cfg = Cfg::build(&program).expect("lower");
+    let s = slice(&cfg, &AnalysisOptions::sequential());
+    assert!(s.analysis.abstained);
+    assert_eq!(s.cfg.pc_count, cfg.pc_count);
+    let findings = lint(&cfg, &AnalysisOptions::sequential());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].kind.slug(), "abstained");
+}
+
+#[test]
+fn slicing_reduces_state_bits_on_baggage() {
+    // Enough dead pcs to cross a PC-range power-of-two boundary plus dead
+    // variables: the encoder's per-frame bit budget must strictly shrink.
+    let s = seq_slice(
+        r#"
+        decl g, d0, d1, d2;
+        main() begin
+          decl x;
+          x := *;
+          g := x;
+          if (g) then HIT: skip; fi;
+        end
+        ballast() begin
+          decl a, b, c;
+          a := *; b := a; c := b;
+          a := *; b := a; c := b;
+          a := *; b := a; c := b;
+          a := *; b := a; c := b;
+        end
+        "#,
+    );
+    assert!(s.stats.state_bits_after < s.stats.state_bits_before, "{:?}", s.stats);
+    assert!(s.stats.relations_pruned() > 0);
+}
+
+#[test]
+fn oracle_differential_over_feature_corpus() {
+    for src in [
+        // Recursion with a dead helper.
+        r#"
+        decl g;
+        main() begin
+          decl x;
+          x := *;
+          g := even(x);
+          if (g) then HIT: skip; fi;
+        end
+        even(n) returns 1 begin
+          decl r;
+          if (n) then r := odd(!n); else r := T; fi;
+          return r;
+        end
+        odd(n) returns 1 begin
+          decl r;
+          if (n) then r := even(!n); else r := F; fi;
+          return r;
+        end
+        corpse() begin
+          g := T;
+        end
+        "#,
+        // Constant guards, while loops, assume.
+        r#"
+        decl g;
+        main() begin
+          decl x;
+          g := F;
+          while (!g) do
+            g := *;
+          od;
+          assume (g);
+          if (!g) then DEAD: skip; fi;
+          HIT: skip;
+        end
+        "#,
+        // Asserts in both flavors.
+        r#"
+        decl g;
+        main() begin
+          g := T;
+          assert (g);
+          g := *;
+          assert (g);
+          HIT: skip;
+        end
+        "#,
+        // schoose and dead-variable havoc.
+        r#"
+        decl g;
+        main() begin
+          decl x, y;
+          dead x, y;
+          g := schoose [x, y];
+          if (g) then HIT: skip; fi;
+        end
+        "#,
+        // Multi-return with partially-dead slots; goto.
+        r#"
+        decl g;
+        main() begin
+          decl a, b;
+          a, b := pair();
+          g := a;
+          goto L;
+          g := b;
+          L: if (g) then HIT: skip; fi;
+        end
+        pair() returns 2 begin
+          return *, F;
+        end
+        "#,
+    ] {
+        assert_slice_preserves_verdicts(src);
+    }
+}

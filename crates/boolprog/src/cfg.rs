@@ -919,8 +919,24 @@ end"#,
         assert!(build_err("decl g; main() begin decl g; skip; end").0.contains("shadows"));
         assert!(build_err("main() begin return T; end").0.contains("returns 0"));
         assert!(build_err("main() begin goto X; end").0.contains("unknown label"));
-        assert!(build_err("main() begin L: skip; L: skip; end").0.contains("twice"));
         assert!(build_err("main() begin call main(); end").0.contains("must not be called"));
+        // The parser now rejects duplicate labels up front; the builder
+        // keeps its own check for programmatically built ASTs.
+        use crate::ast::Proc;
+        let program = Program {
+            globals: vec![],
+            procs: vec![Proc {
+                name: "main".into(),
+                params: vec![],
+                returns: 0,
+                locals: vec![],
+                body: vec![
+                    crate::ast::Stmt::labeled("L", StmtKind::Skip),
+                    crate::ast::Stmt::labeled("L", StmtKind::Skip),
+                ],
+            }],
+        };
+        assert!(Cfg::build(&program).unwrap_err().0.contains("twice"));
         assert!(build_err("main() begin decl x; x, x := T, F; end").0.contains("twice"));
     }
 

@@ -11,7 +11,11 @@
 //! * CFG lowering with full semantic checking ([`Cfg::build`]);
 //! * an explicit-state summary-based reachability oracle
 //!   ([`explicit_reachable`]) used for differential testing of every
-//!   symbolic engine in the workspace.
+//!   symbolic engine in the workspace;
+//! * pre-solve static analysis ([`analysis`]): call-graph dead-procedure
+//!   detection, constant propagation, interprocedural faint-variable
+//!   liveness, dataflow lints, and a verdict-preserving program slicer
+//!   ([`analysis::slice`]) that shrinks the BDD encoding.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analysis;
 mod ast;
 mod bits;
 mod cfg;
@@ -43,6 +48,7 @@ mod interp;
 mod parse;
 mod replay;
 
+pub use analysis::{AnalysisOptions, Slice, SliceStats};
 pub use ast::{ConcProgram, Expr, Proc, Program, ProgramMetadata, Stmt, StmtKind};
 pub use bits::{admits, enumerate_choices, frame_mask, next_states, read_var, write_var, Bits};
 pub use cfg::{BuildError, Cfg, Edge, ExitPoint, LExpr, Pc, ProcCfg, ProcId, VarRef};

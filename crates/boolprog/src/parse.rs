@@ -228,11 +228,28 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Procedure name → 1-based line of its first definition, within the
+    /// current program unit (reset per thread in concurrent programs).
+    procs_seen: std::collections::BTreeMap<String, usize>,
+    /// Label → 1-based line of its first occurrence; labels share one
+    /// program-wide namespace (reachability targets), so duplicates are
+    /// rejected across procedures too.
+    labels_seen: std::collections::BTreeMap<String, usize>,
 }
 
 impl Parser {
     fn new(src: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { tokens: lex(src)?, pos: 0 })
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            procs_seen: Default::default(),
+            labels_seen: Default::default(),
+        })
+    }
+
+    /// Position of the token at `idx` (1-based), for error anchoring.
+    fn span_at(&self, idx: usize) -> (usize, usize) {
+        self.tokens.get(idx).map(|s| (s.line, s.col)).unwrap_or((0, 0))
     }
 
     fn at_end(&self) -> bool {
@@ -329,6 +346,10 @@ impl Parser {
     }
 
     fn parse_program_until(&mut self, stop_kw: Option<&str>) -> Result<Program, ParseError> {
+        // Each program unit (a sequential program, or one thread of a
+        // concurrent one) is its own namespace for procedures and labels.
+        self.procs_seen.clear();
+        self.labels_seen.clear();
         let mut globals = Vec::new();
         while self.eat_kw("decl") {
             globals.extend(self.parse_ident_list()?);
@@ -354,6 +375,17 @@ impl Parser {
 
     fn parse_proc(&mut self) -> Result<Proc, ParseError> {
         let name = self.expect_ident()?;
+        let (line, col) = self.span_at(self.pos - 1);
+        if let Some(&first) = self.procs_seen.get(&name) {
+            return Err(ParseError {
+                message: format!(
+                    "procedure `{name}` defined twice (first definition at line {first})"
+                ),
+                line,
+                col,
+            });
+        }
+        self.procs_seen.insert(name.clone(), line);
         self.expect_sym("(")?;
         let mut params = Vec::new();
         if !self.is_sym(")") {
@@ -399,6 +431,17 @@ impl Parser {
             && matches!(self.peek2(), Some(Tok::Sym(":")))
         {
             let l = self.expect_ident()?;
+            let (lline, lcol) = self.span_at(self.pos - 1);
+            if let Some(&first) = self.labels_seen.get(&l) {
+                return Err(ParseError {
+                    message: format!(
+                        "label `{l}` declared twice (first declaration at line {first})"
+                    ),
+                    line: lline,
+                    col: lcol,
+                });
+            }
+            self.labels_seen.insert(l.clone(), lline);
             self.expect_sym(":")?;
             Some(l)
         } else {
@@ -731,5 +774,51 @@ mod tests {
         .unwrap();
         assert_eq!(p.procs[0].body[0].label.as_deref(), Some("L1"));
         assert_eq!(p.procs[0].body[1].label, None);
+    }
+
+    #[test]
+    fn duplicate_procedure_is_a_parse_error_with_position() {
+        let err = parse_program("main() begin skip; end\nf() begin skip; end\nf() begin skip; end")
+            .unwrap_err();
+        assert!(err.message.contains("procedure `f` defined twice"), "{err}");
+        assert!(err.message.contains("line 2"), "{err}");
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 1);
+    }
+
+    #[test]
+    fn duplicate_label_is_a_parse_error_with_position() {
+        let err = parse_program("main() begin\nL: skip;\nL: skip;\nend").unwrap_err();
+        assert!(err.message.contains("label `L` declared twice"), "{err}");
+        assert!(err.message.contains("line 2"), "{err}");
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 1);
+    }
+
+    #[test]
+    fn duplicate_label_across_procedures_is_rejected() {
+        // Labels are one program-wide namespace (reachability targets).
+        let err = parse_program("main() begin L: skip; end\nf() begin L: skip; end").unwrap_err();
+        assert!(err.message.contains("label `L` declared twice"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_across_threads_are_fine() {
+        // Each thread is its own namespace; merging prefixes names.
+        let c = parse_concurrent(
+            r#"
+            shared g;
+            thread
+              main() begin HIT: skip; end
+              f() begin skip; end
+            endthread
+            thread
+              main() begin HIT: skip; end
+              f() begin skip; end
+            endthread
+            "#,
+        )
+        .unwrap();
+        assert_eq!(c.threads.len(), 2);
     }
 }

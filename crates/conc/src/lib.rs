@@ -59,5 +59,5 @@ pub use explicit::{
     conc_explicit_reachable, conc_refine_schedule, conc_replay_guided, conc_replay_schedule,
     ConcExplicitError, ConcLimits, GuidedStep, RefinedTrace, ScheduleRound,
 };
-pub use merge::{merge, Merged};
+pub use merge::{merge, slice_merged, Merged};
 pub use system::{system_conc, ConcParams};

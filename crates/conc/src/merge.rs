@@ -75,6 +75,29 @@ pub fn merge(conc: &ConcProgram) -> Result<Merged, BuildError> {
     Ok(Merged { cfg, thread_entries, n_threads: conc.threads.len() })
 }
 
+/// Slices a merged concurrent program, preserving bounded-round
+/// reachability verdicts.
+///
+/// Runs the pre-solve analysis in concurrent mode (globals are havocked
+/// at every step — any interleaving may rewrite shared state between two
+/// statements of one thread) with every thread's entry procedure as a
+/// root, then rewrites the merged CFG and remaps the thread entries. A
+/// target pruned by the slice (absent from the returned
+/// [`Slice::pc_map`](getafix_boolprog::Slice)) is provably unreachable
+/// under *any* context-switch bound.
+pub fn slice_merged(merged: &Merged, targets: &[Pc]) -> (Merged, getafix_boolprog::Slice) {
+    use getafix_boolprog::analysis::{slice, AnalysisOptions};
+    let opts = AnalysisOptions::concurrent_with_entries(&merged.cfg, &merged.thread_entries)
+        .with_targets(targets);
+    let sliced = slice(&merged.cfg, &opts);
+    let thread_entries = merged
+        .thread_entries
+        .iter()
+        .map(|&pc| sliced.map_pc(pc).expect("thread entries are analysis roots and survive"))
+        .collect();
+    (Merged { cfg: sliced.cfg.clone(), thread_entries, n_threads: merged.n_threads }, sliced)
+}
+
 struct Renamer<'a> {
     prefix: &'a str,
     thread_globals: &'a BTreeSet<&'a str>,

@@ -42,6 +42,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod lint;
+
 pub use getafix_bdd as bdd;
 pub use getafix_bebop as bebop;
 pub use getafix_boolprog as boolprog;

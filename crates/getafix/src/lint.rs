@@ -1,0 +1,84 @@
+//! Rendering for the `getafix lint` verb: the human findings table and
+//! the `getafix-lint/1` JSON document.
+//!
+//! Kept out of `main.rs` so golden-output tests can pin both renderings
+//! byte for byte. Findings arrive already deterministically ordered (see
+//! [`getafix_boolprog::analysis::lint`]); the renderers add nothing but
+//! formatting.
+
+use getafix_boolprog::analysis::{Finding, Severity};
+use getafix_telemetry::json::JsonWriter;
+
+/// True when any finding is a [`Severity::Warning`] — the `--deny` exit
+/// criterion (`info` findings never fail a run).
+pub fn has_warnings(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Warning)
+}
+
+/// The human findings table. Ends with a one-line census; prints
+/// "no findings" for a clean program.
+pub fn render_table(file: &str, findings: &[Finding]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if findings.is_empty() {
+        let _ = writeln!(out, "{file}: no findings");
+        return out;
+    }
+    let _ = writeln!(out, "{file}:");
+    let _ = writeln!(out, "{:<8} {:<20} {:>5}  finding", "severity", "kind", "line");
+    for f in findings {
+        let line = f.line.map_or_else(|| "-".to_string(), |l| l.to_string());
+        let _ = writeln!(
+            out,
+            "{:<8} {:<20} {:>5}  {}",
+            f.severity.to_string(),
+            f.kind.slug(),
+            line,
+            f.message
+        );
+    }
+    let warnings = findings.iter().filter(|f| f.severity == Severity::Warning).count();
+    let infos = findings.len() - warnings;
+    let _ = writeln!(
+        out,
+        "{} finding{}: {warnings} warning{}, {infos} info",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// The `getafix-lint/1` JSON document (one object, trailing newline).
+pub fn render_json(file: &str, findings: &[Finding]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "getafix-lint/1");
+    w.field_str("file", file);
+    w.key("findings");
+    w.begin_array();
+    for f in findings {
+        w.begin_object();
+        w.field_str("kind", f.kind.slug());
+        w.field_str("severity", &f.severity.to_string());
+        if !f.proc_name.is_empty() {
+            w.field_str("proc", &f.proc_name);
+        }
+        if let Some(pc) = f.pc {
+            w.field_u64("pc", u64::from(pc));
+        }
+        if let Some(line) = f.line {
+            w.field_u64("line", u64::from(line));
+        }
+        w.field_str("message", &f.message);
+        w.end_object();
+    }
+    w.end_array();
+    let warnings = findings.iter().filter(|f| f.severity == Severity::Warning).count();
+    w.field_u64("warnings", warnings as u64);
+    w.field_u64("infos", (findings.len() - warnings) as u64);
+    w.end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}

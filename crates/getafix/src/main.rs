@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! getafix check <file.bp> --label L [--algo ef-opt|ef|ef-naive|simple|bebop|moped-fwd|moped-bwd|oracle]
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--stats]
-//!                         [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--slice]
+//!                         [--stats] [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
 //! getafix check-conc <file.cbp> --label L --switches K
-//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--stats]
-//!                         [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//!                         [--strategy worklist|round-robin] [--max-iter N] [--jobs N] [--slice]
+//!                         [--stats] [--trace] [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+//! getafix lint <file.bp|file.cbp> [--json] [--deny]
 //! getafix inspect <file.bp> [--label L] [--algo ef-opt|ef|ef-naive|simple] [--dot] [--json]
 //! getafix emit-mu <file.bp> [--algo ef-opt|ef|ef-naive|simple]
 //! ```
@@ -15,7 +16,10 @@
 //! Exit codes distinguish verdicts so scripts can branch: `0` unreachable
 //! (or no verdict asked for, as with `emit-mu`), `1` reachable, `2` error.
 
-use getafix::conc::ConcLimits;
+use getafix::boolprog::analysis::{lint as lint_cfg, slice as slice_cfg, AnalysisOptions};
+use getafix::boolprog::SliceStats;
+use getafix::conc::{slice_merged, ConcLimits};
+use getafix::lint::{has_warnings, render_json, render_table};
 use getafix::prelude::*;
 use getafix::witness::{concurrent_trace_from_schedule, WitnessError};
 use getafix_core::AnalysisError;
@@ -50,11 +54,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
-                          [--jobs N] [--stats] [--stats-json] [--trace] [--trace-out FILE]
-                          [--profile] [--progress] [--diag-out DIR]
+                          [--jobs N] [--slice] [--stats] [--stats-json] [--trace]
+                          [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
   getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
-                          [--jobs N] [--stats] [--stats-json] [--trace] [--trace-out FILE]
-                          [--profile] [--progress] [--diag-out DIR]
+                          [--jobs N] [--slice] [--stats] [--stats-json] [--trace]
+                          [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
+  getafix lint <file.bp|file.cbp> [--json] [--deny]
   getafix inspect <file.bp> [--label L] [--algo ALGO] [--dot] [--json]
   getafix emit-mu <file.bp> [--algo ALGO]
   getafix help
@@ -68,6 +73,16 @@ STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strat
          and re-evaluation counts are bit-identical at any job count. The
          GETAFIX_JOBS environment variable supplies a default when the flag is
          absent. Ignored by --trace (provenance pins the coordinator's arena)
+--slice: run the pre-solve static analysis (call graph, constant propagation,
+         faint-variable liveness) and solve the verdict-preserving slice instead
+         of the full program — dead procedures, statically-infeasible edges and
+         never-read variables are deleted before encoding, so the BDD allocates
+         strictly fewer variables. Verdicts are identical with and without the
+         flag; a target pruned by the slice is provably unreachable and reported
+         without solving. Combine with --stats for the before/after sizes.
+         For `check-conc` the analysis runs in concurrent mode (shared globals
+         are treated as unknown at every step), so a pruned target is
+         unreachable under ANY context-switch bound
 --trace: on a REACHABLE verdict, print a concrete witness. For `check`: a
          replay-validated error trace. For `check-conc`: a statement-granular
          interleaved trace — per round, every `(thread, pc, statement)` step with
@@ -97,6 +112,14 @@ STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strat
          depgraph.dot + depgraph.json (solve topology), stats.json (solver
          statistics with the metrics registry embedded) and manifest.json
          (tool version, platform, argv)
+lint:    parse the program and report the pre-solve analysis as findings — dead
+         procedures, never-read globals/locals/parameters, unreachable
+         statements, statically infeasible branches, and asserts that never or
+         always fail. `.cbp` inputs are merged and analyzed in concurrent mode.
+         --json prints the machine-readable `getafix-lint/1` document instead of
+         the human table; --deny exits 1 when any warning-severity finding is
+         present (info findings — e.g. an assert that can never fail — never
+         fail the run)
 inspect: parse the program, run the solver once and report the solve topology —
          SCCs, dependency edges and schedule classification (once / chaotic /
          ordered / nested). --dot / --json print the GraphViz / JSON document
@@ -420,6 +443,25 @@ fn print_topology(stats: &SolveStats) {
     );
 }
 
+/// Prints the `--slice --stats` before/after size accounting.
+fn print_slice_stats(s: &SliceStats) {
+    println!(
+        "slice: pcs {} -> {}, edges {} -> {}, globals {} -> {}, max locals {} -> {}, \
+         state bits/frame {} -> {} ({} relations pruned)",
+        s.pcs_before,
+        s.pcs_after,
+        s.edges_before,
+        s.edges_after,
+        s.globals_before,
+        s.globals_after,
+        s.max_locals_before,
+        s.max_locals_after,
+        s.state_bits_before,
+        s.state_bits_after,
+        s.relations_pruned()
+    );
+}
+
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
@@ -448,6 +490,31 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
                 Cfg::build(&program).map_err(|e| e.to_string())?
+            };
+            // `--slice`: solve the verdict-preserving slice instead. The
+            // label is resolved on the original CFG first, so a pruned
+            // target short-circuits to an `unreachable` verdict without
+            // encoding anything.
+            let cfg = if has_flag(args, "--slice") {
+                let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+                let sliced = {
+                    let _span = telemetry::span(Phase::Encode, "slice");
+                    slice_cfg(&cfg, &AnalysisOptions::sequential().with_targets(&[pc]))
+                };
+                if has_flag(args, "--stats") {
+                    print_slice_stats(&sliced.stats);
+                }
+                if sliced.map_pc(pc).is_none() {
+                    println!(
+                        "unreachable: `{label}` — pruned by the pre-solve slice \
+                         (provably unreachable)"
+                    );
+                    tele.finish(None)?;
+                    return Ok(Outcome::Unreachable);
+                }
+                sliced.cfg
+            } else {
+                cfg
             };
             let (outcome, stats) = check_sequential(
                 &cfg,
@@ -521,7 +588,35 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?
             };
             let merged = merge(&conc).map_err(|e| e.to_string())?;
-            let pc = merged.cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+            let mut pc = merged.cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+            // `--slice`: concurrent-mode analysis (globals are unknown at
+            // every step), so a pruned target is unreachable under ANY
+            // context-switch bound — not just the requested one.
+            let merged = if has_flag(args, "--slice") {
+                let (sliced_merged, sliced) = {
+                    let _span = telemetry::span(Phase::Encode, "slice");
+                    slice_merged(&merged, &[pc])
+                };
+                if has_flag(args, "--stats") {
+                    print_slice_stats(&sliced.stats);
+                }
+                match sliced.map_pc(pc) {
+                    Some(new_pc) => {
+                        pc = new_pc;
+                        sliced_merged
+                    }
+                    None => {
+                        println!(
+                            "unreachable: `{label}` within {switches} switches — pruned by the \
+                             pre-solve slice (provably unreachable at any context-switch bound)"
+                        );
+                        tele.finish(None)?;
+                        return Ok(Outcome::Unreachable);
+                    }
+                }
+            } else {
+                merged
+            };
             // One solver for verdict *and* (with --trace) witness: the
             // extraction reuses the memoized `Reach` interpretation.
             let mut solver = build_conc_solver_with(&merged, &[pc], switches, options)
@@ -582,6 +677,36 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             tele.finish(Some(&r.stats))?;
             Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
+        }
+        "lint" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            // `.cbp` files are concurrent programs: merge the threads and
+            // analyze in concurrent mode (shared globals unknown at every
+            // step). Everything else parses as a sequential program.
+            let findings = if path.ends_with(".cbp") {
+                let conc = parse_concurrent(&src).map_err(|e| format!("{path}: {e}"))?;
+                let merged = merge(&conc).map_err(|e| e.to_string())?;
+                let opts =
+                    AnalysisOptions::concurrent_with_entries(&merged.cfg, &merged.thread_entries);
+                lint_cfg(&merged.cfg, &opts)
+            } else {
+                let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+                let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+                lint_cfg(&cfg, &AnalysisOptions::sequential())
+            };
+            if has_flag(args, "--json") {
+                print!("{}", render_json(path, &findings));
+            } else {
+                print!("{}", render_table(path, &findings));
+            }
+            // `--deny` maps warnings onto exit 1 so CI can gate on a clean
+            // corpus; info findings never fail the run.
+            Ok(if has_flag(args, "--deny") && has_warnings(&findings) {
+                Outcome::Reachable
+            } else {
+                Outcome::NoVerdict
+            })
         }
         "emit-mu" => {
             let path = args.get(1).ok_or("missing input file")?;

@@ -1,0 +1,109 @@
+//! Golden-output tests for `getafix lint`: the human table and the
+//! `getafix-lint/1` JSON document are pinned byte for byte on the shipped
+//! `examples/dead_code.bp`. Finding order is part of the lint contract
+//! (dead procedures by id, dead globals by index, then per live procedure
+//! dead locals, unreachable statements, infeasible branches), so any
+//! reordering — however cosmetic — must show up here as a diff.
+
+use getafix::boolprog::analysis::{lint, AnalysisOptions};
+use getafix::boolprog::{parse_program, Cfg};
+use getafix::lint::{has_warnings, render_json, render_table};
+
+fn dead_code_findings() -> Vec<getafix::boolprog::analysis::Finding> {
+    let src = include_str!("../../../examples/dead_code.bp");
+    let program = parse_program(src).expect("dead_code.bp parses");
+    let cfg = Cfg::build(&program).expect("dead_code.bp builds");
+    lint(&cfg, &AnalysisOptions::sequential())
+}
+
+#[test]
+fn dead_code_example_table_is_stable() {
+    let findings = dead_code_findings();
+    let table = render_table("examples/dead_code.bp", &findings);
+    let expected = "\
+examples/dead_code.bp:
+severity kind                  line  finding
+warning  dead-proc               40  procedure `legacy_path` is never called
+warning  dead-global              -  global `scratch` is never read
+warning  dead-local               -  local `junk` of `main` is never read
+warning  unreachable-code        21  statement at `NEVER:` (line 21) in `main` is unreachable
+warning  infeasible-branch       20  branch at line 20 in `main` is statically infeasible (guard is always false)
+info     assert-never-fails      27  assert at line 27 in `init` can never fail
+6 findings: 5 warnings, 1 info
+";
+    assert_eq!(table, expected);
+    assert!(has_warnings(&findings));
+}
+
+#[test]
+fn dead_code_example_json_is_stable() {
+    let findings = dead_code_findings();
+    let json = render_json("examples/dead_code.bp", &findings);
+    let expected = r#"{
+  "schema": "getafix-lint/1",
+  "file": "examples/dead_code.bp",
+  "findings": [
+    {
+      "kind": "dead-proc",
+      "severity": "warning",
+      "proc": "legacy_path",
+      "pc": 18,
+      "line": 40,
+      "message": "procedure `legacy_path` is never called"
+    },
+    {
+      "kind": "dead-global",
+      "severity": "warning",
+      "message": "global `scratch` is never read"
+    },
+    {
+      "kind": "dead-local",
+      "severity": "warning",
+      "proc": "main",
+      "message": "local `junk` of `main` is never read"
+    },
+    {
+      "kind": "unreachable-code",
+      "severity": "warning",
+      "proc": "main",
+      "pc": 8,
+      "line": 21,
+      "message": "statement at `NEVER:` (line 21) in `main` is unreachable"
+    },
+    {
+      "kind": "infeasible-branch",
+      "severity": "warning",
+      "proc": "main",
+      "pc": 6,
+      "line": 20,
+      "message": "branch at line 20 in `main` is statically infeasible (guard is always false)"
+    },
+    {
+      "kind": "assert-never-fails",
+      "severity": "info",
+      "proc": "init",
+      "pc": 12,
+      "line": 27,
+      "message": "assert at line 27 in `init` can never fail"
+    }
+  ],
+  "warnings": 5,
+  "infos": 1
+}
+"#;
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn clean_program_renders_no_findings() {
+    let src = "decl g;\nmain() begin\n  g := *;\n  if (g) then HIT: skip; fi;\nend\n";
+    let program = parse_program(src).expect("parses");
+    let cfg = Cfg::build(&program).expect("builds");
+    let findings = lint(&cfg, &AnalysisOptions::sequential());
+    assert!(findings.is_empty(), "expected a clean program, got {findings:?}");
+    assert!(!has_warnings(&findings));
+    assert_eq!(render_table("clean.bp", &findings), "clean.bp: no findings\n");
+    let json = render_json("clean.bp", &findings);
+    assert!(json.contains("\"warnings\": 0"), "{json}");
+    assert!(json.contains("\"findings\": []"), "{json}");
+}

@@ -89,22 +89,33 @@ where
                     if i >= slots.len() {
                         break;
                     }
-                    let item = slots[i].lock().unwrap().take().expect("each item claimed once");
+                    let item = slots[i]
+                        .lock()
+                        .expect("no panic holds a slot lock")
+                        .take()
+                        .expect("each item claimed once");
                     let r = f(i, item);
-                    *results[i].lock().unwrap() = Some(r);
+                    *results[i].lock().expect("no panic holds a result lock") = Some(r);
                 }
                 if epoch.is_some() {
-                    *traces[wi].lock().unwrap() = telemetry::take();
+                    *traces[wi].lock().expect("no panic holds a trace lock") = telemetry::take();
                 }
             });
         }
     });
     for t in traces {
-        if let Some(data) = t.into_inner().unwrap() {
+        if let Some(data) = t.into_inner().expect("workers joined before reading traces") {
             telemetry::absorb(data);
         }
     }
-    results.into_iter().map(|m| m.into_inner().unwrap().expect("worker filled slot")).collect()
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("workers joined before reading results")
+                .expect("worker filled slot")
+        })
+        .collect()
 }
 
 /// The wave schedule of one demanded cone: SCC indices grouped by

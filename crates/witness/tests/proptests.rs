@@ -8,12 +8,14 @@
 //! round-level schedule replayer.
 
 use getafix_boolprog::{
+    analysis::{slice, AnalysisOptions},
     explicit_reachable, replay, Cfg, ConcProgram, Expr, Proc, Program, Stmt, StmtKind,
 };
 use getafix_conc::{
-    conc_explicit_reachable, conc_replay_guided, conc_replay_schedule, merge, ConcExplicitError,
-    ConcLimits,
+    check_merged_with, conc_explicit_reachable, conc_replay_guided, conc_replay_schedule, merge,
+    slice_merged, ConcExplicitError, ConcLimits,
 };
+use getafix_core::{check_reachability_with, Algorithm};
 use getafix_mucalc::{SolveOptions, Strategy as SolverStrategy};
 use getafix_witness::{concurrent_trace_from_schedule, concurrent_witness, sequential_witness};
 use proptest::prelude::*;
@@ -316,6 +318,79 @@ proptest! {
                     "{strategy}: reordered-steps mutation accepted"
                 );
             }
+        }
+    }
+
+    /// Slice-then-solve ≡ solve: the pre-solve slicer preserves verdicts
+    /// on random programs — under both solver strategies and jobs ∈ {1, 4}
+    /// — a pruned target is confirmed unreachable by the explicit oracle,
+    /// and witnesses extracted on the *sliced* program still replay in the
+    /// sliced program's concrete semantics.
+    #[test]
+    fn slicing_preserves_verdicts_and_witnesses(p in program_strategy()) {
+        let cfg = Cfg::build(&p).unwrap_or_else(|e| panic!("{e}\n{p}"));
+        let target = cfg.label("HIT").expect("generated label");
+        let oracle = explicit_reachable(&cfg, &[target], 5_000_000)
+            .expect("oracle within budget")
+            .reachable;
+        let sliced = slice(&cfg, &AnalysisOptions::sequential().with_targets(&[target]));
+        let Some(new_target) = sliced.map_pc(target) else {
+            prop_assert!(!oracle, "slicer pruned a reachable target\n{}", p);
+            return Ok(());
+        };
+        for strategy in [SolverStrategy::Worklist, SolverStrategy::RoundRobin] {
+            for jobs in [1usize, 4] {
+                let options = SolveOptions { jobs, ..SolveOptions::with_strategy(strategy) };
+                let r = check_reachability_with(
+                    &sliced.cfg,
+                    &[new_target],
+                    Algorithm::EntryForwardOpt,
+                    options,
+                )
+                .unwrap_or_else(|e| panic!("{strategy} jobs={jobs}: {e}\n{p}"));
+                prop_assert_eq!(
+                    r.reachable, oracle,
+                    "{} jobs={}: sliced verdict diverged from the oracle\n{}", strategy, jobs, p
+                );
+            }
+            let witness =
+                sequential_witness(&sliced.cfg, &[new_target], SolveOptions::with_strategy(strategy))
+                    .unwrap_or_else(|e| panic!("{strategy}: {e}\n{p}"));
+            match witness {
+                Some(trace) => {
+                    prop_assert!(oracle, "{}: sliced witness for unreachable target\n{}", strategy, p);
+                    let check = replay(&sliced.cfg, &trace.to_replay(), &[new_target]);
+                    prop_assert!(check.is_ok(), "{}: sliced replay rejected: {:?}\n{}", strategy, check, p);
+                }
+                None => prop_assert!(!oracle, "{}: reachable but no sliced witness\n{}", strategy, p),
+            }
+        }
+    }
+
+    /// The concurrent analogue: slicing a merged program (concurrent-mode
+    /// analysis — shared globals unknown at every step) preserves
+    /// bounded-round verdicts, and a pruned target is confirmed
+    /// unreachable by the explicit interleaving oracle.
+    #[test]
+    fn conc_slicing_preserves_verdicts(p in conc_program_strategy()) {
+        let merged = merge(&p).unwrap();
+        let target = merged.cfg.label("t0__HIT").expect("generated label");
+        let switches = 2usize;
+        let oracle = conc_explicit_reachable(&merged, &[target], switches, ConcLimits::default())
+            .expect("oracle within budget");
+        let (sliced_merged, s) = slice_merged(&merged, &[target]);
+        let Some(new_target) = s.map_pc(target) else {
+            prop_assert!(!oracle, "slicer pruned a reachable concurrent target\n{:?}", p);
+            return Ok(());
+        };
+        for strategy in [SolverStrategy::Worklist, SolverStrategy::RoundRobin] {
+            let options = SolveOptions::with_strategy(strategy);
+            let r = check_merged_with(&sliced_merged, &[new_target], switches, options)
+                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            prop_assert_eq!(
+                r.reachable, oracle,
+                "{}: sliced concurrent verdict diverged from the oracle", strategy
+            );
         }
     }
 }

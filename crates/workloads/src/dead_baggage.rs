@@ -1,0 +1,121 @@
+//! The dead-baggage suite: live reachability kernels wrapped in the junk
+//! real predicate abstractions accumulate — a loop-carried chain of faint
+//! locals (never read by any guard, but shifted every iteration, so the
+//! solver drags their full product through the fixpoint), a write-only
+//! global, a statically-false branch into a dead recursive pair, and an
+//! entirely uncalled procedure.
+//!
+//! The suite exists to measure the pre-solve slicer: every case's verdict
+//! is decided by the small kernel alone, so slicing must preserve it while
+//! strictly shrinking both the encoded BDD variable count (the faint chain
+//! and the dead procedures' pcs disappear from the state layout) and the
+//! worklist re-evaluation count (the faint product no longer delays
+//! summary convergence).
+
+use crate::Case;
+use getafix_boolprog::parse_program;
+use std::fmt::Write;
+
+/// One dead-baggage program: a `chain`-long faint shift register in a
+/// nondeterministic loop around a one-flag kernel. `positive` picks the
+/// guard: `g` (reachable — the kernel can set it) or `g & !g`
+/// (unreachable, but *not* provably so for a non-relational constant
+/// propagation, so the sliced program still solves to its full fixpoint).
+fn dead_baggage_src(chain: usize, positive: bool) -> String {
+    assert!(chain >= 2, "the shift register needs at least two stages");
+    let mut s = String::new();
+    let _ = writeln!(s, "decl g, scratch;");
+    let _ = writeln!(s, "main() begin");
+    for i in 0..chain {
+        let _ = writeln!(s, "  decl s{i};");
+    }
+    let _ = writeln!(s, "  s0 := *;");
+    let _ = writeln!(s, "  while (*) do");
+    for i in (1..chain).rev() {
+        let _ = writeln!(s, "    s{i} := s{};", i - 1);
+    }
+    let _ = writeln!(s, "    s0 := *;");
+    let _ = writeln!(s, "    scratch := s{};", chain - 1);
+    let _ = writeln!(s, "  od;");
+    let _ = writeln!(s, "  call kernel();");
+    let _ = writeln!(s, "  if (!T) then");
+    let _ = writeln!(s, "    call legacy0();");
+    let _ = writeln!(s, "  fi;");
+    let guard = if positive { "g" } else { "g & !g" };
+    let _ = writeln!(s, "  if ({guard}) then HIT: skip; fi;");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "kernel() begin");
+    let _ = writeln!(s, "  if (*) then g := !g; fi;");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "legacy0() begin");
+    let _ = writeln!(s, "  decl t;");
+    let _ = writeln!(s, "  t := *;");
+    let _ = writeln!(s, "  call legacy1();");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "legacy1() begin");
+    let _ = writeln!(s, "  call legacy0();");
+    let _ = writeln!(s, "end");
+    let _ = writeln!(s, "orphan() begin");
+    let _ = writeln!(s, "  call kernel();");
+    let _ = writeln!(s, "end");
+    s
+}
+
+/// The dead-baggage cases: shift registers of 2, 4 and 6 stages, each in
+/// a reachable and an unreachable variant.
+pub fn dead_baggage_suite() -> Vec<Case> {
+    let mut out = Vec::new();
+    for chain in [2usize, 4, 6] {
+        for positive in [true, false] {
+            let name = format!("dead-baggage-{chain}{}", if positive { "p" } else { "n" });
+            let src = dead_baggage_src(chain, positive);
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("dead-baggage template {name}: {e}\n{src}"));
+            out.push(Case { name, program, label: "HIT".into(), expect_reachable: positive });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use getafix_boolprog::{
+        analysis::{slice, AnalysisOptions},
+        explicit_reachable, Cfg,
+    };
+
+    #[test]
+    fn verdicts_match_the_oracle() {
+        for case in dead_baggage_suite() {
+            let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let pc = cfg.label(&case.label).expect("HIT label");
+            let r = explicit_reachable(&cfg, &[pc], 50_000_000).expect("oracle in budget");
+            assert_eq!(r.reachable, case.expect_reachable, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn every_case_slices_strictly_smaller() {
+        // The suite's reason to exist: the baggage must be deletable (and
+        // deleted) without touching the verdict-deciding kernel.
+        for case in dead_baggage_suite() {
+            let cfg = Cfg::build(&case.program).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let pc = cfg.label(&case.label).expect("HIT label");
+            let s = slice(&cfg, &AnalysisOptions::sequential().with_targets(&[pc]));
+            assert!(s.map_pc(pc).is_some(), "{}: target must survive the slice", case.name);
+            assert!(
+                s.stats.state_bits_after < s.stats.state_bits_before,
+                "{}: expected a state-bit reduction, got {:?}",
+                case.name,
+                s.stats
+            );
+            assert!(s.stats.relations_pruned() > 0, "{}: nothing pruned", case.name);
+            // The faint chain and the write-only global are gone entirely.
+            assert_eq!(s.stats.max_locals_after, 0, "{}", case.name);
+            assert_eq!(s.stats.globals_after, 1, "{}", case.name);
+            // Both dead procedures (legacy pair + orphan) dropped.
+            assert_eq!(s.stats.procs_after, s.stats.procs_before - 3, "{}", case.name);
+        }
+    }
+}

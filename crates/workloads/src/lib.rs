@@ -7,6 +7,9 @@
 //!   `iscsiprt`/`floppy`/negative/`iscsi` shapes (Figure 2, SLAM rows);
 //! * [`terminator_suite`] — state-rich counter programs in the two `dead`
 //!   modelings (Figure 2, Terminator rows);
+//! * [`dead_baggage_suite`] — live kernels wrapped in prunable junk
+//!   (faint shift registers, dead procedures, write-only globals) for
+//!   measuring the pre-solve slicer;
 //! * [`bluetooth`] — the Qadeer–Wu Bluetooth driver model with adder and
 //!   stopper threads (Figure 3), tuned so the bug thresholds match the
 //!   paper's table exactly.
@@ -15,11 +18,13 @@
 //! construction and are re-checked against the explicit oracle in tests.
 
 mod bluetooth;
+mod dead_baggage;
 mod regression;
 mod slam;
 mod terminator;
 
 pub use bluetooth::{adder_err_label, bluetooth, FIG3_WITNESS_CASES, FIGURE3_CONFIGS};
+pub use dead_baggage::dead_baggage_suite;
 pub use regression::{regression_suite, Case};
 pub use slam::{driver, slam_suites, DriverCase, DriverSpec};
 pub use terminator::{terminator, terminator_suite, DeadStyle, TerminatorCase, TerminatorVariant};
