@@ -12,8 +12,15 @@
 //! ```text
 //! cargo run --release -p getafix-bench --bin bench-report \
 //!     [-- --out PATH] [--out-fig3 PATH] [--scale N] [--bits N] [--jobs N]
-//!     [--compare BASELINE.json] [--compare-out PATH] [--max-wall-regress R]
+//!     [--timeout SECS] [--compare BASELINE.json] [--compare-out PATH]
+//!     [--max-wall-regress R]
 //! ```
+//!
+//! `--timeout SECS` (env fallback `GETAFIX_TIMEOUT`) puts one wall-clock
+//! deadline over the whole run: every case of every workload shares the
+//! same cancellation token, so the first trip stops all in-flight solves
+//! at their next poll point and the process exits 3 with the tripping
+//! case's partial statistics — a hung benchmark can never wedge CI.
 //!
 //! `--compare BASELINE.json` diffs the fresh fig2 report against a
 //! committed baseline — per-workload wall/re-eval/cache-hit/peak-arena
@@ -65,16 +72,47 @@ use getafix_boolprog::analysis::{slice, AnalysisOptions};
 use getafix_boolprog::{parse_concurrent, Cfg, Pc};
 use getafix_conc::{
     build_conc_solver_with, check_conc_solver, conc_refine_schedule, conc_replay_guided, merge,
-    ConcLimits, Merged,
+    ConcError, ConcExplicitError, ConcLimits, Merged,
 };
-use getafix_core::{build_solver_with, check_reachability_with, Algorithm};
-use getafix_mucalc::{parallel_map, resolve_jobs, SolveOptions, SolveStats, Strategy};
+use getafix_core::{build_solver_with, check_reachability_with, Algorithm, AnalysisError};
+use getafix_mucalc::{
+    parallel_map, resolve_jobs, ResourceLimits, SolveError, SolveOptions, SolveStats, Strategy,
+};
 use getafix_telemetry::json::JsonWriter;
-use getafix_witness::concurrent_witness_from;
+use getafix_witness::{concurrent_witness_from, WitnessError};
 use std::time::Instant;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Builds the run-wide resource limits from `--timeout SECS` (env
+/// fallback `GETAFIX_TIMEOUT`). Every case receives a clone of the
+/// returned value, so the whole run shares one absolute deadline and one
+/// cancellation token: the first trip stops every in-flight solve.
+fn parse_limits(args: &[String]) -> ResourceLimits {
+    let mut limits = ResourceLimits::default();
+    let timeout = flag_value(args, "--timeout").or_else(|| std::env::var("GETAFIX_TIMEOUT").ok());
+    if let Some(s) = timeout {
+        let secs: f64 = s.trim().parse().unwrap_or_else(|e| panic!("--timeout: {e}"));
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "--timeout: the deadline must be a positive number of seconds"
+        );
+        limits = limits.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    limits
+}
+
+/// Terminates the run on a tripped resource limit with the documented
+/// exit code 3 — distinct from a panic (broken benchmark, nonzero abort)
+/// so CI can tell "out of time" from "wrong". `detail` is the tripping
+/// case's error, which for solver trips carries the partial statistics
+/// (re-evaluations done, peak arena bytes).
+fn exit_limit(context: &str, detail: &dyn std::fmt::Display) -> ! {
+    eprintln!("resource-limit: {context} — {detail}");
+    eprintln!("bench-report: run aborted by resource limit; reports not written (exit 3)");
+    std::process::exit(3)
 }
 
 /// One strategy's aggregate over a workload: wall time plus the absorbed
@@ -89,6 +127,7 @@ fn run_strategy(
     algorithm: Algorithm,
     strategy: Strategy,
     jobs: usize,
+    limits: &ResourceLimits,
 ) -> StrategyNumbers {
     let t0 = Instant::now();
     // Each case builds its own CFG, solver and BDD manager, so the batch
@@ -101,9 +140,15 @@ fn run_strategy(
         let pc = cfg
             .label(&case.label)
             .unwrap_or_else(|| panic!("{}: no label {}", case.name, case.label));
-        let r =
-            check_reachability_with(&cfg, &[pc], algorithm, SolveOptions::with_strategy(strategy))
-                .unwrap_or_else(|e| panic!("{} ({strategy}): {e}", case.name));
+        let mut options = SolveOptions::with_strategy(strategy);
+        options.limits = limits.clone();
+        let r = match check_reachability_with(&cfg, &[pc], algorithm, options) {
+            Ok(r) => r,
+            Err(AnalysisError::ResourceLimit(report)) => {
+                exit_limit(&format!("{} ({strategy})", case.name), &report)
+            }
+            Err(e) => panic!("{} ({strategy}): {e}", case.name),
+        };
         assert_eq!(
             r.reachable, case.expect,
             "{} ({strategy}): wrong verdict — a benchmark that measures wrong answers is worthless",
@@ -134,7 +179,12 @@ struct SliceNumbers {
     wall_ms: f64,
 }
 
-fn run_slice(cases: &[SeqCase], algorithm: Algorithm, jobs: usize) -> SliceNumbers {
+fn run_slice(
+    cases: &[SeqCase],
+    algorithm: Algorithm,
+    jobs: usize,
+    limits: &ResourceLimits,
+) -> SliceNumbers {
     let t0 = Instant::now();
     let per_case = parallel_map(jobs, (0..cases.len()).collect(), |_, i| {
         let case = &cases[i];
@@ -142,7 +192,8 @@ fn run_slice(cases: &[SeqCase], algorithm: Algorithm, jobs: usize) -> SliceNumbe
         let pc = cfg
             .label(&case.label)
             .unwrap_or_else(|| panic!("{}: no label {}", case.name, case.label));
-        let options = SolveOptions::with_strategy(Strategy::Worklist);
+        let mut options = SolveOptions::with_strategy(Strategy::Worklist);
+        options.limits = limits.clone();
         // Variable allocation happens at encode time, so the unsliced
         // count needs a build but no solve (the solves above already
         // measured the unsliced work).
@@ -155,9 +206,13 @@ fn run_slice(cases: &[SeqCase], algorithm: Algorithm, jobs: usize) -> SliceNumbe
             Some(new_pc) => {
                 let mut cut = build_solver_with(&sliced.cfg, &[new_pc], algorithm, options)
                     .unwrap_or_else(|e| panic!("{} (sliced): {e}", case.name));
-                let v = cut
-                    .eval_query("reach")
-                    .unwrap_or_else(|e| panic!("{} (sliced): {e}", case.name));
+                let v = match cut.eval_query("reach") {
+                    Ok(v) => v,
+                    Err(SolveError::LimitExceeded(report)) => {
+                        exit_limit(&format!("{} (sliced)", case.name), &report)
+                    }
+                    Err(e) => panic!("{} (sliced): {e}", case.name),
+                };
                 (cut.manager_ref().var_count(), cut.stats().total_reevaluations(), v)
             }
             // Target pruned: provably unreachable, nothing to solve.
@@ -203,30 +258,58 @@ struct ConcNumbers {
     stats: SolveStats,
 }
 
-fn run_conc(merged: &Merged, targets: &[Pc], switches: usize, strategy: Strategy) -> ConcNumbers {
+fn run_conc(
+    merged: &Merged,
+    targets: &[Pc],
+    switches: usize,
+    strategy: Strategy,
+    limits: &ResourceLimits,
+) -> ConcNumbers {
     let t0 = Instant::now();
-    let mut solver =
-        build_conc_solver_with(merged, targets, switches, SolveOptions::with_strategy(strategy))
-            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
-    let r = check_conc_solver(&mut solver, switches).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+    let mut options = SolveOptions::with_strategy(strategy);
+    options.limits = limits.clone();
+    let mut solver = build_conc_solver_with(merged, targets, switches, options)
+        .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+    let r = match check_conc_solver(&mut solver, switches) {
+        Ok(r) => r,
+        Err(ConcError::ResourceLimit(report)) => exit_limit(&strategy.to_string(), &report),
+        Err(e) => panic!("{strategy}: {e}"),
+    };
     let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t1 = Instant::now();
-    let schedule = concurrent_witness_from(&mut solver, merged, targets, switches)
-        .unwrap_or_else(|e| panic!("{strategy}: witness: {e}"));
+    let schedule = match concurrent_witness_from(&mut solver, merged, targets, switches) {
+        Ok(s) => s,
+        Err(e @ WitnessError::ResourceLimit(_)) => exit_limit(&format!("{strategy}: witness"), &e),
+        Err(e) => panic!("{strategy}: witness: {e}"),
+    };
     assert_eq!(
         r.reachable,
         schedule.is_some(),
         "{strategy}: witness extraction disagreed with the verdict"
     );
+    // The explicit refine/replay searches poll the same token as the
+    // symbolic solves: one `--timeout` governs the whole pipeline.
+    let conc_limits = ConcLimits { resources: limits.clone(), ..ConcLimits::default() };
     let (explicit_search_states, guided_steps) = match &schedule {
         Some(s) => {
             let rounds = s.to_replay();
-            let refined = conc_refine_schedule(merged, targets, &rounds, ConcLimits::default())
-                .unwrap_or_else(|e| panic!("{strategy}: refine: {e}"))
-                .unwrap_or_else(|| panic!("{strategy}: schedule does not refine"));
-            conc_replay_guided(merged, targets, &rounds, &refined.steps, ConcLimits::default())
-                .unwrap_or_else(|e| panic!("{strategy}: guided replay: {e}"));
+            let refined = match conc_refine_schedule(merged, targets, &rounds, conc_limits.clone())
+            {
+                Ok(r) => r,
+                Err(e @ ConcExplicitError::ResourceLimit { .. }) => {
+                    exit_limit(&format!("{strategy}: refine"), &e)
+                }
+                Err(e) => panic!("{strategy}: refine: {e}"),
+            }
+            .unwrap_or_else(|| panic!("{strategy}: schedule does not refine"));
+            match conc_replay_guided(merged, targets, &rounds, &refined.steps, conc_limits) {
+                Ok(_) => {}
+                Err(e @ ConcExplicitError::ResourceLimit { .. }) => {
+                    exit_limit(&format!("{strategy}: guided replay"), &e)
+                }
+                Err(e) => panic!("{strategy}: guided replay: {e}"),
+            }
             (refined.search_states, refined.steps.len())
         }
         None => (0, 0),
@@ -273,7 +356,7 @@ fn fig3_workloads() -> Vec<(String, getafix_boolprog::ConcProgram, Vec<String>, 
 /// payload. Verdicts are asserted against the documented thresholds —
 /// a benchmark that measures wrong answers is worthless — and every
 /// reachable case must refine and guided-replay.
-fn fig3_report(jobs: usize) -> String {
+fn fig3_report(jobs: usize, limits: &ResourceLimits) -> String {
     // The workloads are independent merged systems, so they fan out whole:
     // each worker merges, solves both strategies and runs the witness
     // pipeline on a private manager. Verdict asserts stay inside the
@@ -288,8 +371,8 @@ fn fig3_report(jobs: usize) -> String {
                 .iter()
                 .map(|l| merged.cfg.label(l).unwrap_or_else(|| panic!("{name}: no label {l}")))
                 .collect();
-            let wl = run_conc(&merged, &targets, switches, Strategy::Worklist);
-            let rr = run_conc(&merged, &targets, switches, Strategy::RoundRobin);
+            let wl = run_conc(&merged, &targets, switches, Strategy::Worklist, limits);
+            let rr = run_conc(&merged, &targets, switches, Strategy::RoundRobin, limits);
             for (strategy, n) in [("worklist", &wl), ("round-robin", &rr)] {
                 assert_eq!(
                     n.reachable, expect,
@@ -357,6 +440,7 @@ fn main() {
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(1),
     );
+    let limits = parse_limits(&args);
 
     // Kernel microbenches first: they are fast, self-contained and make a
     // kernel regression visible even when a later (solver-level) group
@@ -391,9 +475,9 @@ fn main() {
     let mut guard_failures: Vec<String> = Vec::new();
     for (name, cases) in &workloads {
         for algorithm in algorithms {
-            let wl = run_strategy(cases, algorithm, Strategy::Worklist, jobs);
-            let rr = run_strategy(cases, algorithm, Strategy::RoundRobin, jobs);
-            let sl = run_slice(cases, algorithm, jobs);
+            let wl = run_strategy(cases, algorithm, Strategy::Worklist, jobs, &limits);
+            let rr = run_strategy(cases, algorithm, Strategy::RoundRobin, jobs, &limits);
+            let sl = run_slice(cases, algorithm, jobs, &limits);
             let (wl_re, rr_re) = (wl.stats.total_reevaluations(), rr.stats.total_reevaluations());
             eprintln!(
                 "{name} ({algorithm}): {} cases — worklist {:.1} ms / {} re-evals \
@@ -500,7 +584,7 @@ fn main() {
     // `--skip-fig3` leaves the previous fig3 report untouched — handy when
     // iterating on the sequential kernel/scheduler only.
     if !args.iter().any(|a| a == "--skip-fig3") {
-        let fig3 = fig3_report(jobs);
+        let fig3 = fig3_report(jobs, &limits);
         std::fs::write(&fig3_path, &fig3).unwrap_or_else(|e| panic!("{fig3_path}: {e}"));
         eprintln!("wrote {fig3_path}");
     }

@@ -225,9 +225,29 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
     Ok(out)
 }
 
+/// Upper bound on a procedure's `returns N` count. Return tuples lower
+/// to one CFG expression per slot, so an absurd count in a hostile file
+/// would become an equally absurd allocation during lowering; anything
+/// past this is a parse error instead.
+const MAX_RETURNS: usize = 1024;
+
+/// Upper bound on syntactic nesting (statement bodies and expression
+/// parentheses). Recursive descent turns input nesting into call-stack
+/// depth, so without a bound a file of a few hundred thousand open
+/// parens crashes the process with a stack overflow — an abort, not a
+/// [`ParseError`]. Real programs nest a handful of levels; the bound is
+/// sized so even the fat statement-level frames of a debug build fit a
+/// 2 MiB thread stack with room to spare. NB: a fully parenthesized
+/// printed `&`-chain nests one level per conjunct, so this also caps
+/// re-parseable chain width — keep it comfortably above workload sizes.
+const MAX_NESTING: usize = 100;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current nesting depth across both recursion cycles; see
+    /// [`Parser::descend`].
+    depth: usize,
     /// Procedure name → 1-based line of its first definition, within the
     /// current program unit (reset per thread in concurrent programs).
     procs_seen: std::collections::BTreeMap<String, usize>,
@@ -242,9 +262,22 @@ impl Parser {
         Ok(Parser {
             tokens: lex(src)?,
             pos: 0,
+            depth: 0,
             procs_seen: Default::default(),
             labels_seen: Default::default(),
         })
+    }
+
+    /// Enters one nesting level, rejecting input deeper than
+    /// [`MAX_NESTING`]. Callers pair this with a `self.depth -= 1` on
+    /// their success path; error paths abort the whole parse, so a stale
+    /// count cannot leak into later parsing.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(format!("nesting deeper than {MAX_NESTING} levels")));
+        }
+        Ok(())
     }
 
     /// Position of the token at `idx` (1-based), for error anchoring.
@@ -395,7 +428,13 @@ impl Parser {
         let mut returns = 0usize;
         if self.eat_kw("returns") {
             match self.bump() {
-                Some(Tok::Int(v)) => returns = v as usize,
+                Some(Tok::Int(v)) if v <= MAX_RETURNS as u64 => returns = v as usize,
+                Some(Tok::Int(v)) => {
+                    return Err(self.err(format!(
+                        "`returns {v}` exceeds the supported maximum of {MAX_RETURNS} \
+                         return values"
+                    )))
+                }
                 _ => return Err(self.err("expected a count after `returns`")),
             }
         }
@@ -425,6 +464,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.descend()?;
+        let stmt = self.parse_stmt_at_depth();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn parse_stmt_at_depth(&mut self) -> Result<Stmt, ParseError> {
         let line = self.tokens.get(self.pos).map(|s| s.line as u32);
         // Optional label: IDENT ':' not followed by '='.
         let label = if matches!(self.peek(), Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()))
@@ -584,6 +630,13 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let expr = self.parse_unary_at_depth();
+        self.depth -= 1;
+        expr
+    }
+
+    fn parse_unary_at_depth(&mut self) -> Result<Expr, ParseError> {
         if self.eat_sym("!") {
             let e = self.parse_unary()?;
             return Ok(Expr::Not(Box::new(e)));

@@ -1,0 +1,186 @@
+//! Adversarial-input fuzzing for the `.bp`/`.cbp` parsers: whatever
+//! bytes arrive, `parse_program` and `parse_concurrent` must return
+//! `Ok` or a structured [`ParseError`] — never panic, never overflow
+//! the stack, never turn an attacker-chosen number into an allocation.
+//!
+//! Three input distributions, each probing a different failure class:
+//! raw bytes (lexer robustness), token soup drawn from the grammar's
+//! own vocabulary (parser state machine, much deeper reach than noise),
+//! and mutations of a known-good program (near-miss inputs, the shape
+//! a truncated download or a typo actually has).
+
+use getafix_boolprog::{parse_concurrent, parse_program, ParseError};
+use proptest::prelude::*;
+
+/// Both entry points on one input; the value of interest is that the
+/// calls return at all.
+fn parse_both(src: &str) -> (Result<(), ParseError>, Result<(), ParseError>) {
+    (parse_program(src).map(|_| ()), parse_concurrent(src).map(|_| ()))
+}
+
+/// A structurally plausible program used as the mutation seed.
+const SEED: &str = r#"
+decl g, h;
+
+main() begin
+  decl x, y;
+  x := T;
+  x, y := f(x, *);
+  if (x & !g) then
+    ERR: skip;
+  else
+    y := schoose [x, g];
+  fi;
+  while (*) do
+    call f(T, F);
+  od;
+  assert (g | !h);
+  goto ERR;
+end
+
+f(a, b) returns 2 begin
+  return a, !b;
+end
+"#;
+
+/// Every terminal the grammar knows, plus a few near-keywords; a soup
+/// of these reaches parser states that uniform random bytes never hit.
+const VOCAB: [&str; 38] = [
+    "decl",
+    "begin",
+    "end",
+    "skip",
+    "goto",
+    "return",
+    "returns",
+    "if",
+    "then",
+    "else",
+    "fi",
+    "while",
+    "do",
+    "od",
+    "assert",
+    "assume",
+    "call",
+    "dead",
+    "schoose",
+    "thread",
+    "T",
+    "F",
+    "main",
+    "x",
+    "g",
+    "ERR",
+    "f",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    ":=",
+    "!",
+    "0",
+    "18446744073709551616",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..VOCAB.len(), 0..64)
+        .prop_map(|picks| picks.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded) never panic either parser.
+    #[test]
+    fn raw_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse_both(&src);
+    }
+
+    /// Grammar-vocabulary soup never panics either parser, and whenever
+    /// a soup happens to parse, pretty-printing it re-parses — the
+    /// round-trip invariant holds even for degenerate accepted inputs.
+    #[test]
+    fn token_soup_never_panics(src in token_soup()) {
+        if let Ok(p) = parse_program(&src) {
+            let printed = p.to_string();
+            prop_assert!(
+                parse_program(&printed).is_ok(),
+                "accepted soup failed to round-trip:\n{printed}"
+            );
+        }
+        let _ = parse_concurrent(&src);
+    }
+
+    /// Near-miss inputs: the seed program truncated at an arbitrary
+    /// byte, with arbitrary bytes spliced in. Must never panic, and
+    /// errors must carry a position inside the (line-count of the) input.
+    #[test]
+    fn mutated_seed_never_panics(
+        cut in 0..SEED.len(),
+        splice in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut src = SEED.as_bytes()[..cut].to_vec();
+        src.extend_from_slice(&splice);
+        src.extend_from_slice(&SEED.as_bytes()[cut..]);
+        let src = String::from_utf8_lossy(&src);
+        let lines = src.lines().count() + 1;
+        for r in [parse_program(&src).map(|_| ()), parse_concurrent(&src).map(|_| ())] {
+            if let Err(e) = r {
+                prop_assert!(
+                    e.line <= lines,
+                    "error line {} beyond the {} input lines: {e}", e.line, lines
+                );
+            }
+        }
+    }
+}
+
+/// A hostile `returns` count is rejected at parse time instead of
+/// becoming a giant `ret_exprs` allocation during CFG lowering.
+#[test]
+fn huge_returns_count_is_a_parse_error() {
+    let err = parse_program("f() returns 18446744073709551615 begin end")
+        .expect_err("absurd returns count must not parse");
+    assert!(err.message.contains("exceeds the supported maximum"), "{err}");
+    // The bound itself is generous: a wide-but-sane count still parses.
+    assert!(parse_program("f() returns 1024 begin end").is_ok());
+}
+
+/// An integer literal past `u64` is a lex error, not a panic.
+#[test]
+fn overflowing_integer_literal_is_a_parse_error() {
+    let err = parse_program("f() returns 99999999999999999999 begin end")
+        .expect_err("overflowing literal must not lex");
+    assert!(err.message.contains("out of range"), "{err}");
+}
+
+/// Pathological nesting is a structured error, not a stack overflow:
+/// recursive descent turns input nesting into call-stack depth, so
+/// without the parser's depth bound each of these would abort the
+/// process instead of returning.
+#[test]
+fn deep_nesting_is_a_parse_error() {
+    let parens = format!("main() begin x := {}T{}; end", "(".repeat(200_000), ")".repeat(200_000));
+    let err = parse_program(&parens).expect_err("200k parens must not parse");
+    assert!(err.message.contains("nesting deeper than"), "{err}");
+
+    let nots = format!("main() begin x := {}T; end", "!".repeat(200_000));
+    assert!(parse_program(&nots).expect_err("200k nots").message.contains("nesting deeper than"));
+
+    let ifs = format!(
+        "main() begin {} skip; {} end",
+        "if (T) then ".repeat(100_000),
+        "fi; ".repeat(100_000)
+    );
+    assert!(parse_program(&ifs).expect_err("100k ifs").message.contains("nesting deeper than"));
+
+    // Sequential (non-nested) length is unbounded: depth is released
+    // statement by statement, so a long flat program still parses.
+    let flat = format!("main() begin {} end", "skip; ".repeat(10_000));
+    assert!(parse_program(&flat).is_ok());
+}

@@ -5,7 +5,9 @@ use crate::merge::{merge, Merged};
 use crate::system::{system_conc, ConcParams};
 use getafix_boolprog::{BuildError, ConcProgram, Pc};
 use getafix_core::install_templates;
-use getafix_mucalc::{eq_const, Bdd, SolveError, SolveOptions, SolveStats, Solver, SystemError};
+use getafix_mucalc::{
+    eq_const, Bdd, LimitReport, SolveError, SolveOptions, SolveStats, Solver, SystemError,
+};
 use getafix_telemetry::{self as telemetry, Phase};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -19,6 +21,19 @@ pub enum ConcError {
     System(String),
     /// Encoding or evaluation failed.
     Solve(String),
+    /// A resource bound tripped; the boxed report keeps the partial solve
+    /// statistics (equality compares the limit kind only).
+    ResourceLimit(Box<LimitReport>),
+    /// A solver pool worker panicked; the fault was isolated at the worker
+    /// boundary and peers were cancelled.
+    WorkerPanicked {
+        /// Pool worker index (0-based).
+        worker: usize,
+        /// SCC stratum index the worker was solving.
+        stratum: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// Unknown target label.
     NoSuchTarget(String),
 }
@@ -29,6 +44,13 @@ impl fmt::Display for ConcError {
             ConcError::Merge(m) => write!(f, "merge: {m}"),
             ConcError::System(m) => write!(f, "system: {m}"),
             ConcError::Solve(m) => write!(f, "solve: {m}"),
+            ConcError::ResourceLimit(report) => write!(f, "solve: {report}"),
+            ConcError::WorkerPanicked { worker, stratum, message } => {
+                write!(
+                    f,
+                    "solve: worker {worker} panicked while solving stratum {stratum}: {message}"
+                )
+            }
             ConcError::NoSuchTarget(l) => write!(f, "no label `{l}`"),
         }
     }
@@ -50,7 +72,15 @@ impl From<SystemError> for ConcError {
 
 impl From<SolveError> for ConcError {
     fn from(e: SolveError) -> Self {
-        ConcError::Solve(e.to_string())
+        match e {
+            // Keep the resource errors structured: stringifying would
+            // discard the partial statistics the CLI reports on exit 3.
+            SolveError::LimitExceeded(report) => ConcError::ResourceLimit(report),
+            SolveError::WorkerPanicked { worker, stratum, message } => {
+                ConcError::WorkerPanicked { worker, stratum, message }
+            }
+            other => ConcError::Solve(other.to_string()),
+        }
     }
 }
 

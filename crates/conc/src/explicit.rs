@@ -27,6 +27,7 @@ use getafix_boolprog::{
     admits, enumerate_choices, frame_mask, read_var, write_var, Bits, Edge, Pc, ProcId, ReplayStep,
     VarRef,
 };
+use getafix_mucalc::{LimitKind, ResourceLimits};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
@@ -35,6 +36,16 @@ use std::fmt;
 pub enum ConcExplicitError {
     /// The state budget was exhausted.
     StateLimit(usize),
+    /// A shared resource bound tripped ([`ConcLimits::resources`]):
+    /// deadline, step budget, or an external cancellation. Carries the
+    /// number of distinct configurations searched up to the trip, so the
+    /// budget overrun is reported against the work actually done.
+    ResourceLimit {
+        /// Which bound tripped.
+        kind: LimitKind,
+        /// Distinct configurations visited when the limit fired.
+        search_states: usize,
+    },
     /// A stack exceeded the depth limit (recursion too deep to explore
     /// explicitly).
     StackLimit(usize),
@@ -63,6 +74,13 @@ impl fmt::Display for ConcExplicitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConcExplicitError::StateLimit(n) => write!(f, "state limit {n} exceeded"),
+            ConcExplicitError::ResourceLimit { kind, search_states } => {
+                write!(
+                    f,
+                    "resource limit exceeded ({kind}) after searching {search_states} \
+                     configurations"
+                )
+            }
             ConcExplicitError::StackLimit(n) => write!(f, "stack depth limit {n} exceeded"),
             ConcExplicitError::TooManyVariables(m) => write!(f, "{m}"),
             ConcExplicitError::MalformedSchedule(m) => write!(f, "{m}"),
@@ -79,17 +97,22 @@ impl fmt::Display for ConcExplicitError {
 impl std::error::Error for ConcExplicitError {}
 
 /// Exploration limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ConcLimits {
     /// Maximum distinct configurations.
     pub max_states: usize,
     /// Maximum call-stack depth per thread.
     pub max_stack: usize,
+    /// Shared resource governance (deadline, step budget, cancel token):
+    /// every BFS expansion accounts one step, so the same budget that
+    /// bounds the symbolic solve also bounds the explicit search. Off by
+    /// default.
+    pub resources: ResourceLimits,
 }
 
 impl Default for ConcLimits {
     fn default() -> Self {
-        ConcLimits { max_states: 2_000_000, max_stack: 12 }
+        ConcLimits { max_states: 2_000_000, max_stack: 12, resources: ResourceLimits::default() }
     }
 }
 
@@ -149,6 +172,11 @@ pub fn conc_explicit_reachable(
         if visited.len() > limits.max_states {
             return Err(ConcExplicitError::StateLimit(limits.max_states));
         }
+        // One governed step per expansion: deadline poll + step budget.
+        limits.resources.note_steps(1).map_err(|kind| ConcExplicitError::ResourceLimit {
+            kind,
+            search_states: visited.len(),
+        })?;
         // Target check: active thread's top frame.
         if let Some(top) = c.stacks[c.active].last() {
             if target_set.contains(&top.pc) {
@@ -243,6 +271,10 @@ pub fn conc_replay_schedule(
         if visited.len() > limits.max_states {
             return Err(ConcExplicitError::StateLimit(limits.max_states));
         }
+        limits.resources.note_steps(1).map_err(|kind| ConcExplicitError::ResourceLimit {
+            kind,
+            search_states: visited.len(),
+        })?;
         if t.round == last_round {
             if let Some(top) = t.config.stacks[t.config.active].last() {
                 if target_set.contains(&top.pc) {
@@ -375,6 +407,13 @@ pub fn conc_refine_schedule(
         if links.len() > limits.max_states {
             return Err(ConcExplicitError::StateLimit(limits.max_states));
         }
+        // The refine BFS is the unbounded-search hotspot: account every
+        // expansion against the shared step budget and report how many
+        // configurations were searched when a bound trips.
+        limits.resources.note_steps(1).map_err(|kind| ConcExplicitError::ResourceLimit {
+            kind,
+            search_states: links.len(),
+        })?;
         if t.round == last_round {
             if let Some(top) = t.config.stacks[t.config.active].last() {
                 if target_set.contains(&top.pc) {
@@ -1081,7 +1120,8 @@ mod tests {
         let pc = merged.cfg.label("t0__HIT").unwrap();
         let schedule = [(1, 0), (0, 1)];
         let limits = ConcLimits::default();
-        let steps = conc_refine_schedule(&merged, &[pc], &schedule, limits).unwrap().unwrap().steps;
+        let steps =
+            conc_refine_schedule(&merged, &[pc], &schedule, limits.clone()).unwrap().unwrap().steps;
         let rejected = |r: Result<(), ConcExplicitError>| {
             assert!(
                 matches!(r, Err(ConcExplicitError::ScriptRejected { .. })),
@@ -1092,13 +1132,13 @@ mod tests {
         // Wrong thread on a step.
         let mut bad = steps.clone();
         bad[0].thread = 0;
-        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits.clone()));
 
         // Wrong round (skipping ahead disagrees with the hand-over check
         // or the per-round thread).
         let mut bad = steps.clone();
         bad[0].round = 1;
-        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits.clone()));
 
         // Perturbed globals on a step.
         let mut bad = steps.clone();
@@ -1109,19 +1149,19 @@ mod tests {
         if let ReplayStep::Internal { globals, .. } = &mut bad[i].step {
             *globals ^= 1;
         }
-        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits.clone()));
 
         // Reordered steps.
         if steps.len() >= 2 {
             let mut bad = steps.clone();
             bad.swap(0, 1);
-            rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+            rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits.clone()));
         }
 
         // Truncated script: the final pc is no longer a target.
         let mut bad = steps.clone();
         bad.pop();
-        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits));
+        rejected(conc_replay_guided(&merged, &[pc], &schedule, &bad, limits.clone()));
 
         // The pristine script still replays.
         conc_replay_guided(&merged, &[pc], &schedule, &steps, limits).unwrap();

@@ -4,7 +4,9 @@
 use crate::encode::{install_templates, EncodeError};
 use crate::systems::{system_ef, system_ef_trace, system_efopt, system_simple};
 use getafix_boolprog::{Cfg, Pc};
-use getafix_mucalc::{SolveError, SolveOptions, SolveStats, Solver, System, SystemError};
+use getafix_mucalc::{
+    LimitReport, SolveError, SolveOptions, SolveStats, Solver, System, SystemError,
+};
 use getafix_telemetry::{self as telemetry, Phase};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -66,6 +68,22 @@ pub enum AnalysisError {
     Encode(String),
     /// Fixpoint evaluation failed.
     Solve(String),
+    /// A resource bound tripped (deadline, node budget, step budget or an
+    /// external cancellation). Kept structured — unlike
+    /// [`AnalysisError::Solve`]'s stringified surface — so the CLI can
+    /// print the partial statistics and exit with the dedicated resource
+    /// code. Equality compares the limit kind only.
+    ResourceLimit(Box<LimitReport>),
+    /// A solver pool worker panicked; the fault was isolated at the worker
+    /// boundary and peers were cancelled.
+    WorkerPanicked {
+        /// Pool worker index (0-based).
+        worker: usize,
+        /// SCC stratum index the worker was solving.
+        stratum: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// No pc matches the requested target.
     NoSuchTarget(String),
 }
@@ -76,6 +94,13 @@ impl fmt::Display for AnalysisError {
             AnalysisError::System(m) => write!(f, "system: {m}"),
             AnalysisError::Encode(m) => write!(f, "encode: {m}"),
             AnalysisError::Solve(m) => write!(f, "solve: {m}"),
+            AnalysisError::ResourceLimit(report) => write!(f, "solve: {report}"),
+            AnalysisError::WorkerPanicked { worker, stratum, message } => {
+                write!(
+                    f,
+                    "solve: worker {worker} panicked while solving stratum {stratum}: {message}"
+                )
+            }
             AnalysisError::NoSuchTarget(l) => write!(f, "no label `{l}` in the program"),
         }
     }
@@ -97,7 +122,15 @@ impl From<EncodeError> for AnalysisError {
 
 impl From<SolveError> for AnalysisError {
     fn from(e: SolveError) -> Self {
-        AnalysisError::Solve(e.to_string())
+        match e {
+            // Keep the resource errors structured: stringifying would
+            // discard the partial statistics the CLI reports on exit 3.
+            SolveError::LimitExceeded(report) => AnalysisError::ResourceLimit(report),
+            SolveError::WorkerPanicked { worker, stratum, message } => {
+                AnalysisError::WorkerPanicked { worker, stratum, message }
+            }
+            other => AnalysisError::Solve(other.to_string()),
+        }
     }
 }
 

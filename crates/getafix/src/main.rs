@@ -14,16 +14,21 @@
 //! ```
 //!
 //! Exit codes distinguish verdicts so scripts can branch: `0` unreachable
-//! (or no verdict asked for, as with `emit-mu`), `1` reachable, `2` error.
+//! (or no verdict asked for, as with `emit-mu`), `1` reachable, `2` error,
+//! `3` resource limit exceeded (`--timeout` / `--memory-budget` / Ctrl-C)
+//! with the partial solver statistics still printed.
 
 use getafix::boolprog::analysis::{lint as lint_cfg, slice as slice_cfg, AnalysisOptions};
 use getafix::boolprog::SliceStats;
-use getafix::conc::{slice_merged, ConcLimits};
+use getafix::conc::{slice_merged, ConcError, ConcLimits};
 use getafix::lint::{has_warnings, render_json, render_table};
 use getafix::prelude::*;
 use getafix::witness::{concurrent_trace_from_schedule, WitnessError};
 use getafix_core::AnalysisError;
-use getafix_mucalc::{depgraph_dot, depgraph_json, SolveOptions, SolveStats, Strategy};
+use getafix_mucalc::{
+    depgraph_dot, depgraph_json, install_sigint_cancel, LimitReport, ResourceLimits, SolveError,
+    SolveOptions, SolveStats, Strategy,
+};
 use getafix_telemetry::{self as telemetry, Phase};
 use std::process::ExitCode;
 
@@ -36,6 +41,9 @@ enum Outcome {
     Unreachable,
     /// The command produces no verdict (`emit-mu`, `help`; exit 0).
     NoVerdict,
+    /// A resource bound tripped â€” deadline, memory budget, or Ctrl-C â€”
+    /// and the run stopped cooperatively with partial statistics (exit 3).
+    ResourceExhausted,
 }
 
 fn main() -> ExitCode {
@@ -43,6 +51,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(Outcome::Unreachable) | Ok(Outcome::NoVerdict) => ExitCode::SUCCESS,
         Ok(Outcome::Reachable) => ExitCode::from(1),
+        Ok(Outcome::ResourceExhausted) => ExitCode::from(3),
         Err(msg) => {
             eprintln!("getafix: {msg}");
             eprintln!();
@@ -54,10 +63,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   getafix check <file.bp> --label L [--algo ALGO] [--strategy STRAT] [--max-iter N]
-                          [--jobs N] [--slice] [--stats] [--stats-json] [--trace]
+                          [--jobs N] [--slice] [--timeout SECS] [--memory-budget MB]
+                          [--stats] [--stats-json] [--trace]
                           [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
   getafix check-conc <file.cbp> --label L --switches K [--strategy STRAT] [--max-iter N]
-                          [--jobs N] [--slice] [--stats] [--stats-json] [--trace]
+                          [--jobs N] [--slice] [--timeout SECS] [--memory-budget MB]
+                          [--stats] [--stats-json] [--trace]
                           [--trace-out FILE] [--profile] [--progress] [--diag-out DIR]
   getafix lint <file.bp|file.cbp> [--json] [--deny]
   getafix inspect <file.bp> [--label L] [--algo ALGO] [--dot] [--json]
@@ -83,6 +94,19 @@ STRAT: worklist (default) | round-robin   -- fixed-point solver scheduling strat
          For `check-conc` the analysis runs in concurrent mode (shared globals
          are treated as unknown at every step), so a pruned target is
          unreachable under ANY context-switch bound
+--timeout SECS: wall-clock deadline for the whole solve (fractional values
+         allowed). On expiry every cooperating loop â€” fixpoint re-evaluations,
+         explicit search, witness extraction, all pool workers â€” stops at its
+         next poll point and the run exits 3 with the partial statistics
+         collected so far. The GETAFIX_TIMEOUT environment variable supplies a
+         default when the flag is absent. Ctrl-C (SIGINT) rides the same
+         cancellation token: the first interrupt stops the solve cooperatively
+         (exit 3, partial stats); a second one kills the process
+--memory-budget MB: bound the BDD arena. On pressure the solver degrades
+         gracefully first â€” forces a garbage collection, dropping computed
+         caches and dead intermediates â€” and only if the live set itself still
+         exceeds the budget does the run exit 3, with peak-arena diagnostics
+         in the partial statistics
 --trace: on a REACHABLE verdict, print a concrete witness. For `check`: a
          replay-validated error trace. For `check-conc`: a statement-granular
          interleaved trace â€” per round, every `(thread, pc, statement)` step with
@@ -125,7 +149,9 @@ inspect: parse the program, run the solver once and report the solve topology â€
          ordered / nested). --dot / --json print the GraphViz / JSON document
          instead of the human table
 
-exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error";
+exit codes: 0 = unreachable (or no verdict requested), 1 = reachable, 2 = error,
+            3 = resource limit exceeded (--timeout / --memory-budget / GETAFIX_TIMEOUT /
+                Ctrl-C) -- the partial solver statistics are still printed";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -288,6 +314,29 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
             }
         }
     }
+    // Resource governance: the deadline and node budget land on the shared
+    // limits, whose cancel token doubles as the SIGINT route. The flag wins
+    // over the GETAFIX_TIMEOUT default.
+    let timeout = match flag_value(args, "--timeout") {
+        Some(s) => Some(s.to_string()),
+        None => std::env::var("GETAFIX_TIMEOUT").ok(),
+    };
+    if let Some(s) = timeout {
+        let secs: f64 = s.trim().parse().map_err(|e| format!("--timeout: {e}"))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err("--timeout: the deadline must be a positive number of seconds".into());
+        }
+        options.limits = options.limits.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(s) = flag_value(args, "--memory-budget") {
+        let mb: usize = s.parse().map_err(|e| format!("--memory-budget: {e}"))?;
+        if mb == 0 {
+            return Err("--memory-budget: the budget must be at least 1 MB".into());
+        }
+        // A live node costs ~32 bytes across the arena, unique table and
+        // computed caches, so the megabyte budget becomes a node budget.
+        options.limits = options.limits.with_node_budget(mb * (1024 * 1024 / 32));
+    }
     Ok(options)
 }
 
@@ -307,9 +356,10 @@ impl StatsOutput {
         self.human || self.json
     }
 
-    fn emit(self, stats: &SolveStats) {
+    fn emit(self, stats: &SolveStats, limits: &ResourceLimits) {
         if self.human {
             print_stats(stats);
+            print_limits_line(limits);
         }
         if self.json {
             // With a live collector the metrics registry rides along; with
@@ -393,6 +443,45 @@ fn print_stats(stats: &SolveStats) {
     );
 }
 
+/// The `--stats` `limits:` line â€” what resource governance was configured
+/// (none by default) and how much of it the run consumed. The per-relation
+/// counters above are the work done *within* those bounds.
+fn print_limits_line(limits: &ResourceLimits) {
+    if !limits.any_configured() && limits.cancel.cancelled().is_none() {
+        println!("limits: none");
+        return;
+    }
+    let deadline = match limits.deadline {
+        None => "-".to_string(),
+        Some(d) => match d.checked_duration_since(std::time::Instant::now()) {
+            Some(left) => format!("{:.1}s left", left.as_secs_f64()),
+            None => "expired".to_string(),
+        },
+    };
+    let nodes = limits.node_budget.map_or_else(|| "-".to_string(), |n| format!("{n} nodes"));
+    let steps_budget = limits.step_budget.map_or_else(|| "-".to_string(), |n| n.to_string());
+    let tripped = limits.cancel.cancelled().map_or_else(|| "none".to_string(), |k| k.to_string());
+    println!(
+        "limits: deadline {deadline}, node-budget {nodes}, step-budget {steps_budget}, \
+         steps used {}, tripped: {tripped}",
+        limits.cancel.steps()
+    );
+}
+
+/// The exit-3 surface shared by `check` and `check-conc`: the
+/// resource-limit verdict line, then the partial statistics (the solver
+/// returns real counters up to the trip, not a placeholder).
+fn report_limit(
+    context: &str,
+    report: &LimitReport,
+    stats_out: StatsOutput,
+    limits: &ResourceLimits,
+) -> (Outcome, Option<SolveStats>) {
+    println!("resource-limit: {context} â€” {report}");
+    stats_out.emit(&report.partial, limits);
+    (Outcome::ResourceExhausted, Some(report.partial.clone()))
+}
+
 /// The `deps` column of the SCC tables: the components this one reads,
 /// `-` when it only reads inputs.
 fn deps_cell(dep_sccs: &[usize]) -> String {
@@ -470,9 +559,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let label = flag_value(args, "--label").ok_or("missing --label")?;
             let algo = flag_value(args, "--algo").unwrap_or("ef-opt");
             let options = parse_solve_options(args)?;
+            // Ctrl-C stops the solve at its next poll point: the verdict
+            // line says `interrupted`, partial stats print, exit is 3.
+            install_sigint_cancel(&options.limits.cancel);
             let solver_flags = has_flag(args, "--strategy")
                 || has_flag(args, "--max-iter")
-                || has_flag(args, "--jobs");
+                || has_flag(args, "--jobs")
+                || has_flag(args, "--timeout")
+                || has_flag(args, "--memory-budget");
             let tele = TelemetryFlags::parse(args);
             if tele.diag_out.is_some()
                 && matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle")
@@ -579,6 +673,10 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     .into());
             }
             let options = parse_solve_options(args)?;
+            // Ctrl-C stops the solve at its next poll point: the verdict
+            // line says `interrupted`, partial stats print, exit is 3.
+            install_sigint_cancel(&options.limits.cancel);
+            let limits = options.limits.clone();
             let tele = TelemetryFlags::parse(args);
             tele.install();
             let conc = {
@@ -619,9 +717,26 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             };
             // One solver for verdict *and* (with --trace) witness: the
             // extraction reuses the memoized `Reach` interpretation.
+            let stats_out = StatsOutput {
+                human: has_flag(args, "--stats"),
+                json: has_flag(args, "--stats-json"),
+            };
             let mut solver = build_conc_solver_with(&merged, &[pc], switches, options)
                 .map_err(|e| e.to_string())?;
-            let r = check_conc_solver(&mut solver, switches).map_err(|e| e.to_string())?;
+            let r = match check_conc_solver(&mut solver, switches) {
+                Ok(r) => r,
+                Err(ConcError::ResourceLimit(report)) => {
+                    let (outcome, _) = report_limit(
+                        &format!("`{label}` within {switches} switches"),
+                        &report,
+                        stats_out,
+                        &limits,
+                    );
+                    tele.finish(Some(&report.partial))?;
+                    return Ok(outcome);
+                }
+                Err(e) => return Err(e.to_string()),
+            };
             println!(
                 "{}: `{label}` within {switches} switches â€” Reach: {:.0} tuples, {} BDD nodes, {} iterations, {:.3}s",
                 if r.reachable { "REACHABLE" } else { "unreachable" },
@@ -631,21 +746,28 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 r.solve_time.as_secs_f64()
             );
             if has_flag(args, "--trace") && r.reachable {
-                let schedule = concurrent_witness_from(&mut solver, &merged, &[pc], switches)
-                    .map_err(|e| e.to_string())?
-                    .ok_or("witness extraction disagreed with the verdict")?;
+                let schedule = match concurrent_witness_from(&mut solver, &merged, &[pc], switches)
+                {
+                    Ok(s) => s.ok_or("witness extraction disagreed with the verdict")?,
+                    Err(WitnessError::ResourceLimit(kind)) => {
+                        println!("resource-limit: witness extraction stopped ({kind})");
+                        stats_out.emit(&r.stats, &limits);
+                        tele.finish(Some(&r.stats))?;
+                        return Ok(Outcome::ResourceExhausted);
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
                 println!();
                 // Statement-granular refinement materializes call stacks,
                 // so witnesses needing unbounded recursion exceed the
                 // explicit engine's limits â€” degrade to the round-level
                 // schedule (structural guarantee only) instead of failing
                 // the command.
-                match concurrent_trace_from_schedule(
-                    &merged,
-                    &[pc],
-                    &schedule,
-                    ConcLimits::default(),
-                ) {
+                // The explicit refinement polls the same limits: its BFS
+                // expansions count against the shared step budget/deadline.
+                let refine_limits =
+                    ConcLimits { resources: limits.clone(), ..ConcLimits::default() };
+                match concurrent_trace_from_schedule(&merged, &[pc], &schedule, refine_limits) {
                     Ok(trace) => {
                         println!(
                             "trace ({} statement steps over {} rounds, {} of â‰¤ {switches} \
@@ -665,15 +787,17 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         );
                         print!("{}", schedule.render(&merged.cfg));
                     }
+                    Err(WitnessError::ResourceLimit(kind)) => {
+                        println!("resource-limit: statement refinement stopped ({kind})");
+                        stats_out.emit(&r.stats, &limits);
+                        tele.finish(Some(&r.stats))?;
+                        return Ok(Outcome::ResourceExhausted);
+                    }
                     Err(e) => return Err(e.to_string()),
                 }
             }
-            let stats_out = StatsOutput {
-                human: has_flag(args, "--stats"),
-                json: has_flag(args, "--stats-json"),
-            };
             if stats_out.wanted() {
-                stats_out.emit(&r.stats);
+                stats_out.emit(&r.stats, &limits);
             }
             tele.finish(Some(&r.stats))?;
             Ok(if r.reachable { Outcome::Reachable } else { Outcome::Unreachable })
@@ -713,6 +837,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             if has_flag(args, "--strategy")
                 || has_flag(args, "--max-iter")
                 || has_flag(args, "--jobs")
+                || has_flag(args, "--timeout")
+                || has_flag(args, "--memory-budget")
                 || has_flag(args, "--stats")
                 || has_flag(args, "--stats-json")
                 || has_flag(args, "--trace")
@@ -721,12 +847,11 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 || has_flag(args, "--progress")
                 || has_flag(args, "--diag-out")
             {
-                return Err(
-                    "--strategy/--max-iter/--jobs/--stats/--stats-json/--trace/\
-                            --trace-out/--profile/--progress/--diag-out configure or observe the \
-                            fixed-point solver; emit-mu only prints the formulae and never runs it"
-                        .into(),
-                );
+                return Err("--strategy/--max-iter/--jobs/--timeout/--memory-budget/--stats/\
+                            --stats-json/--trace/--trace-out/--profile/--progress/--diag-out \
+                            configure or observe the fixed-point solver; emit-mu only prints \
+                            the formulae and never runs it"
+                    .into());
             }
             let algo = parse_algo(flag_value(args, "--algo").unwrap_or("ef-opt"))?;
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -767,6 +892,10 @@ fn check_sequential(
     trace: bool,
 ) -> Result<(Outcome, Option<SolveStats>), String> {
     let pc = cfg.label(label).ok_or_else(|| format!("no label `{label}`"))?;
+    // The options move into the solver, but the limits clone shares the
+    // same deadline and cancel token â€” kept for the `limits:` stats line
+    // and for threading governance into witness extraction.
+    let limits = options.limits.clone();
     let baseline = matches!(algo, "bebop" | "moped-fwd" | "moped-bwd" | "oracle");
     if baseline && stats_out.wanted() {
         return Err(format!(
@@ -776,8 +905,9 @@ fn check_sequential(
     }
     if baseline && solver_flags {
         return Err(format!(
-            "--strategy/--max-iter/--jobs configure the fixed-point solver; the `{algo}` \
-             baseline does not run it (use a formula algorithm: ef-opt, ef, ef-naive, simple)"
+            "--strategy/--max-iter/--jobs/--timeout/--memory-budget configure the fixed-point \
+             solver; the `{algo}` baseline does not run it (use a formula algorithm: ef-opt, \
+             ef, ef-naive, simple)"
         ));
     }
 
@@ -793,7 +923,13 @@ fn check_sequential(
         {
             let strategy = options.strategy;
             let t0 = std::time::Instant::now();
-            let reachable = solver.eval_query("reach").map_err(|e| e.to_string())?;
+            let reachable = match solver.eval_query("reach") {
+                Ok(r) => r,
+                Err(SolveError::LimitExceeded(report)) => {
+                    return Ok(report_limit(&format!("`{label}`"), &report, stats_out, &limits));
+                }
+                Err(e) => return Err(e.to_string()),
+            };
             let solve_time = t0.elapsed();
             let stats = solver.stats().clone();
             println!(
@@ -805,14 +941,23 @@ fn check_sequential(
                 solve_time.as_secs_f64(),
             );
             if reachable {
-                let t = sequential_witness_from(&mut solver, cfg, &[pc], WitnessLimits::default())
-                    .map_err(|e| e.to_string())?
-                    .ok_or("witness extraction disagreed with the verdict")?;
+                // Extraction runs under the same limits as the solve: the
+                // onion-peel and path-BFS loops poll the shared token.
+                let wl = WitnessLimits { resources: limits.clone(), ..WitnessLimits::default() };
+                let t = match sequential_witness_from(&mut solver, cfg, &[pc], wl) {
+                    Ok(t) => t.ok_or("witness extraction disagreed with the verdict")?,
+                    Err(WitnessError::ResourceLimit(kind)) => {
+                        println!("resource-limit: witness extraction stopped ({kind})");
+                        stats_out.emit(&stats, &limits);
+                        return Ok((Outcome::ResourceExhausted, Some(stats)));
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
                 println!();
                 println!("trace ({} steps, replay-validated):", t.steps.len());
                 print!("{}", t.render(cfg));
             }
-            stats_out.emit(&stats);
+            stats_out.emit(&stats, &limits);
             let outcome = if reachable { Outcome::Reachable } else { Outcome::Unreachable };
             return Ok((outcome, Some(stats)));
         }
@@ -864,7 +1009,13 @@ fn check_sequential(
         formula => {
             let a = parse_algo(formula)?;
             let strategy = options.strategy;
-            let r = check_reachability_with(cfg, &[pc], a, options).map_err(|e| e.to_string())?;
+            let r = match check_reachability_with(cfg, &[pc], a, options) {
+                Ok(r) => r,
+                Err(AnalysisError::ResourceLimit(report)) => {
+                    return Ok(report_limit(&format!("`{label}`"), &report, stats_out, &limits));
+                }
+                Err(e) => return Err(e.to_string()),
+            };
             let line = format!(
                 "{} summary nodes, {} iterations, {} re-evals ({strategy}), encode {:.3}s, solve {:.3}s",
                 r.summary_nodes,
@@ -896,7 +1047,7 @@ fn check_sequential(
     // Verdict line first, statistics after â€” same order as `check-conc`.
     if let Some(s) = &solver_stats {
         if stats_out.wanted() {
-            stats_out.emit(s);
+            stats_out.emit(s, &limits);
         }
     }
     let outcome = if reachable { Outcome::Reachable } else { Outcome::Unreachable };

@@ -31,12 +31,23 @@
 //! [`Manager::export`]: getafix_bdd::Manager::export
 //! [`Manager::import`]: getafix_bdd::Manager::import
 
+use crate::limits::LimitKind;
 use crate::solve::{SolveError, SolveOptions, SolveStats, Solver};
 use getafix_bdd::{Bdd, BddPackage};
 use getafix_telemetry::{self as telemetry, Phase, TraceData};
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Renders a caught panic payload for [`SolveError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// Resolves a [`SolveOptions::jobs`] value to a concrete worker count:
 /// `0` means "all available parallelism" (falling back to 1 when the
@@ -289,6 +300,12 @@ impl Solver {
                 wave_span.attr("workers", assignments.iter().filter(|a| !a.is_empty()).count());
                 wave_span.attr("transfer_nodes", delta_pkg.node_count());
             }
+            // The first stratum each worker was assigned — the attribution
+            // fallback should a panic somehow escape the per-stratum catch
+            // in `run_wave` (delta import, export, telemetry teardown).
+            let first_strata: Vec<usize> =
+                assignments.iter().map(|a| a.first().map_or(0, |t| t.0)).collect();
+            let cancel = self.options.limits.cancel.clone();
             let outcomes: Vec<(Result<WaveOutput, SolveError>, Option<TraceData>)> =
                 std::thread::scope(|s| {
                     let handles: Vec<_> = workers
@@ -301,18 +318,36 @@ impl Solver {
                                 if let Some(epoch) = epoch {
                                     telemetry::install_worker(2 + wi as u64, epoch);
                                 }
-                                let out = worker.run_wave(delta, delta_pkg, tasks);
+                                let out = worker.run_wave(wi, delta, delta_pkg, tasks);
                                 (out, telemetry::take())
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("solve worker panicked")).collect()
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(wi, h)| {
+                            h.join().unwrap_or_else(|payload| {
+                                cancel.cancel(LimitKind::Interrupted);
+                                (
+                                    Err(SolveError::WorkerPanicked {
+                                        worker: wi,
+                                        stratum: first_strata[wi],
+                                        message: panic_message(payload.as_ref()),
+                                    }),
+                                    None,
+                                )
+                            })
+                        })
+                        .collect()
                 });
             drop(wave_span);
 
             // Absorb every worker's telemetry before surfacing any error,
-            // then fail on the lowest-indexed error — deterministic no
-            // matter which worker hit it first in wall-clock terms.
+            // then fail deterministically: a worker panic outranks the
+            // cooperative limit errors it induced in its peers, and ties
+            // go to the lowest worker index — stable no matter which
+            // worker hit trouble first in wall-clock terms.
             let mut shipped: Vec<WaveOutput> = Vec::new();
             let mut first_err: Option<SolveError> = None;
             for (result, trace) in outcomes {
@@ -321,10 +356,31 @@ impl Solver {
                 }
                 match result {
                     Ok(out) => shipped.push(out),
-                    Err(e) => first_err = first_err.or(Some(e)),
+                    Err(e) => {
+                        let takes_precedence = match (&first_err, &e) {
+                            (None, _) => true,
+                            (Some(SolveError::WorkerPanicked { .. }), _) => false,
+                            (Some(_), SolveError::WorkerPanicked { .. }) => true,
+                            _ => false,
+                        };
+                        if takes_precedence {
+                            first_err = Some(e);
+                        }
+                    }
                 }
             }
-            if let Some(e) = first_err {
+            if let Some(mut e) = first_err {
+                // Fault isolation ends the solve, not the process: absorb
+                // what the surviving workers finished (their completed
+                // strata are real work the partial stats should show),
+                // then return the structured error. A limit report built
+                // inside one worker only saw that worker's counters —
+                // upgrade it to the coordinator's merged view.
+                self.absorb_worker_stats(&workers);
+                if let SolveError::LimitExceeded(report) = &mut e {
+                    self.sync_manager_stats();
+                    report.partial = self.stats.clone();
+                }
                 return Err(e);
             }
             for out in shipped {
@@ -337,11 +393,17 @@ impl Solver {
             self.note_stratum_done(strata_done);
         }
 
-        // One positional stats merge per worker, in worker order. Workers
-        // never sync kernel counters into their SolveStats, so absorbing
-        // adds only solve-side numbers (re-evals, iterations, per-SCC
-        // wall); the coordinator's final `sync_manager_stats` still owns
-        // the cache/arena fields.
+        self.absorb_worker_stats(&workers);
+        Ok(())
+    }
+
+    /// One positional stats merge per worker, in worker order. Workers
+    /// never sync kernel counters into their SolveStats, so absorbing
+    /// adds only solve-side numbers (re-evals, iterations, per-SCC
+    /// wall); the coordinator's final `sync_manager_stats` still owns
+    /// the cache/arena fields. Runs on the success path *and* before an
+    /// error returns, so partial stats credit completed workers.
+    fn absorb_worker_stats(&mut self, workers: &[Solver]) {
         if self.stats.worker_wall_ms.len() < workers.len() {
             self.stats.worker_wall_ms.resize(workers.len(), 0.0);
         }
@@ -349,7 +411,6 @@ impl Solver {
             self.stats.worker_wall_ms[wi] += w.stats().sccs.iter().map(|s| s.wall_ms).sum::<f64>();
             self.stats.absorb(w.stats());
         }
-        Ok(())
     }
 
     /// Would `solve_scc(idx, roots)` do any work? Mirrors its memo-table
@@ -369,8 +430,15 @@ impl Solver {
     /// One worker's wave: import the shared delta package, solve the
     /// assigned strata (exactly as the sequential loop would), export the
     /// newly solved interpretations.
+    ///
+    /// **Fault isolation:** each stratum solve runs under `catch_unwind`.
+    /// A panic is converted to [`SolveError::WorkerPanicked`] (worker and
+    /// stratum attributed), the shared token is cancelled so peers stop at
+    /// their next poll, and the worker returns cleanly — the pool never
+    /// takes the process down with it.
     fn run_wave(
         &mut self,
+        wi: usize,
         delta: &[(String, bool)],
         delta_pkg: &BddPackage,
         tasks: Vec<(usize, BTreeSet<usize>)>,
@@ -385,7 +453,26 @@ impl Solver {
         }
         let mut produced: Vec<String> = Vec::new();
         for (idx, roots) in tasks {
-            self.solve_stratum(idx, &roots)?;
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(target) = &self.options.fault.panic_on_relation {
+                    let scc = &self.deps.sccs()[idx];
+                    if scc.members.iter().any(|&m| self.deps.name(m) == *target) {
+                        panic!("injected fault: worker asked to panic on `{target}`");
+                    }
+                }
+                self.solve_stratum(idx, &roots)
+            }));
+            match solved {
+                Ok(result) => result?,
+                Err(payload) => {
+                    self.options.limits.cancel.cancel(LimitKind::Interrupted);
+                    return Err(SolveError::WorkerPanicked {
+                        worker: wi,
+                        stratum: idx,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
             let scc = &self.deps.sccs()[idx];
             if !scc.recursive || scc.monotone {
                 produced.extend(scc.members.iter().map(|&m| self.deps.name(m).to_string()));

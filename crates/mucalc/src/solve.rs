@@ -52,6 +52,7 @@
 use crate::alloc::{owner_query, owner_rel, Allocation};
 use crate::compile::CompileCtx;
 use crate::deps::DepGraph;
+use crate::limits::{FaultInjection, LimitKind, LimitReport, ResourceLimits};
 use crate::provenance::Provenance;
 use crate::system::{RelationKind, System, SystemError};
 use getafix_bdd::{Bdd, Manager};
@@ -77,6 +78,23 @@ pub enum SolveError {
     System(String),
     /// Invalid solver options (e.g. a zero iteration bound).
     Options(String),
+    /// A resource bound tripped ([`crate::ResourceLimits`]): deadline,
+    /// node budget, step budget, or an external cancellation. The boxed
+    /// [`LimitReport`] carries the partial [`SolveStats`] collected up to
+    /// the trip. Equality compares the limit kind only.
+    LimitExceeded(Box<LimitReport>),
+    /// A pool worker panicked while solving a stratum. The panic was
+    /// caught at the worker boundary, peers were cancelled via the shared
+    /// token, and the process kept running — this error is the clean
+    /// surface of the fault.
+    WorkerPanicked {
+        /// Pool worker index (0-based).
+        worker: usize,
+        /// Index of the SCC stratum the worker was solving.
+        stratum: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// Invariant violation (a bug in the caller or in this crate).
     Internal(String),
 }
@@ -94,6 +112,13 @@ impl fmt::Display for SolveError {
             SolveError::Unknown(n) => write!(f, "unknown relation or query `{n}`"),
             SolveError::System(msg) => write!(f, "{msg}"),
             SolveError::Options(msg) => write!(f, "invalid solver options: {msg}"),
+            SolveError::LimitExceeded(report) => write!(f, "{report}"),
+            SolveError::WorkerPanicked { worker, stratum, message } => {
+                write!(
+                    f,
+                    "solver worker {worker} panicked while solving stratum {stratum}: {message}"
+                )
+            }
             SolveError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -184,6 +209,19 @@ pub struct SolveOptions {
     /// snapshots pin the coordinator's arena, so that path stays
     /// sequential — and by the round-robin reference strategy.
     pub jobs: usize,
+    /// Resource bounds: wall-clock deadline, arena node budget, global
+    /// step budget, plus the shared cancellation token every poll point
+    /// checks. All off by default. Cloning the options (as the parallel
+    /// pool does per worker) *shares* the deadline and token, so one
+    /// budget governs the whole solve. On a trip the solver returns
+    /// [`SolveError::LimitExceeded`] with partial statistics; on node
+    /// pressure it first forces a collection and only fails if the live
+    /// set itself exceeds the budget.
+    pub limits: ResourceLimits,
+    /// Test-only fault injection for the parallel pool (see
+    /// [`crate::FaultInjection`]). Leave defaulted.
+    #[doc(hidden)]
+    pub fault: FaultInjection,
 }
 
 impl Default for SolveOptions {
@@ -214,6 +252,8 @@ impl SolveOptions {
             record_provenance: false,
             gc_threshold: Some(Self::DEFAULT_GC_THRESHOLD),
             jobs: 1,
+            limits: ResourceLimits::default(),
+            fault: FaultInjection::default(),
         }
     }
 
@@ -791,6 +831,15 @@ impl Solver {
         if self.manager.stats().nodes <= threshold {
             return false;
         }
+        self.force_gc_with(extras);
+        true
+    }
+
+    /// Unconditional collection with extra live roots — the threshold-gated
+    /// [`Solver::maybe_gc_with`] and the node-budget degradation ladder
+    /// ([`Solver::enforce_node_budget`]) both bottom out here. Computed
+    /// caches are dropped as part of the collection.
+    pub(crate) fn force_gc_with(&mut self, extras: &mut [&mut Bdd]) {
         let mut roots: Vec<Bdd> = Vec::new();
         roots.extend(self.inputs.values().copied());
         roots.extend(self.evaluated.values().copied());
@@ -815,7 +864,75 @@ impl Solver {
             telemetry::counter_add("solve.gcs", 1);
             telemetry::gauge_set("solve.gc_pause_ms", self.manager.stats().gc_pause_ms);
         }
-        true
+    }
+
+    /// Builds the structured limit error for `kind`: cancels the shared
+    /// token (so pool peers trip at their next poll), refreshes the kernel
+    /// counters, and snapshots the partial statistics into the report.
+    pub(crate) fn limit_error(&mut self, kind: LimitKind) -> SolveError {
+        self.options.limits.cancel.cancel(kind);
+        self.sync_manager_stats();
+        SolveError::LimitExceeded(Box::new(LimitReport { kind, partial: self.stats.clone() }))
+    }
+
+    /// One poll point: checks the shared token and the deadline. Called
+    /// per re-evaluation and per governance round — must stay cheap (an
+    /// atomic load; a clock read only when a deadline is configured).
+    pub(crate) fn check_limits(&mut self) -> Result<(), SolveError> {
+        match self.options.limits.poll() {
+            Ok(()) => Ok(()),
+            Err(kind) => Err(self.limit_error(kind)),
+        }
+    }
+
+    /// Accounts one step against the global budget, then polls. The step
+    /// counter is shared across pool workers via the token, so the budget
+    /// bounds *total* work, not per-worker work.
+    pub(crate) fn note_step(&mut self) -> Result<(), SolveError> {
+        match self.options.limits.note_steps(1) {
+            Ok(()) => Ok(()),
+            Err(kind) => Err(self.limit_error(kind)),
+        }
+    }
+
+    /// The mid-stratum governance round the worklist engine runs where it
+    /// used to only consider GC: poll the limits, do a threshold-gated
+    /// collection, then hold the arena to the node budget.
+    pub(crate) fn govern_with(&mut self, extras: &mut [&mut Bdd]) -> Result<(), SolveError> {
+        self.check_limits()?;
+        self.maybe_gc_with(extras);
+        self.enforce_node_budget(extras)
+    }
+
+    /// Cheap pre-check for mid-loop governance: is the arena over the GC
+    /// threshold or the node budget right now? One counter read — the
+    /// ordered schedule's inner fixpoint calls this every pass and only
+    /// pays for live-root collection when it answers `true`.
+    pub(crate) fn arena_over_pressure(&self) -> bool {
+        let nodes = self.manager.stats().nodes;
+        self.options.gc_threshold.is_some_and(|t| nodes > t)
+            || self.options.limits.node_budget.is_some_and(|b| nodes > b)
+    }
+
+    /// Node-budget enforcement with graceful degradation: when the arena
+    /// exceeds [`crate::ResourceLimits::node_budget`], first force a
+    /// collection (dropping computed caches and dead intermediates), and
+    /// only if the *live* set still exceeds the budget surface
+    /// [`LimitKind::NodeBudget`] — with peak-arena diagnostics in the
+    /// partial stats.
+    pub(crate) fn enforce_node_budget(
+        &mut self,
+        extras: &mut [&mut Bdd],
+    ) -> Result<(), SolveError> {
+        let Some(budget) = self.options.limits.node_budget else { return Ok(()) };
+        if self.manager.stats().nodes <= budget {
+            return Ok(());
+        }
+        self.force_gc_with(extras);
+        if self.manager.stats().nodes <= budget {
+            return Ok(());
+        }
+        Err(self.limit_error(LimitKind::NodeBudget))
     }
 
     /// Attributes one body compilation of `name` to the statistics.
@@ -916,6 +1033,9 @@ impl Solver {
                     bound: self.options.max_iterations,
                 });
             }
+            // One governed step per round: deadline/cancellation poll plus
+            // step-budget accounting, before any BDD work for the round.
+            self.note_step()?;
             let mut round_span = top_level.then(|| {
                 let mut sp = telemetry::span(Phase::Solve, "round");
                 sp.attr("relation", rel_name.as_str());

@@ -203,7 +203,9 @@ impl Solver {
             self.solve_scc(idx, roots)?;
         }
         self.stats.sccs[idx].wall_ms += stratum_start.elapsed().as_secs_f64() * 1e3;
-        self.maybe_gc();
+        // Stratum boundary: threshold-gated collection plus the resource
+        // governance round (cancellation poll, node-budget enforcement).
+        self.govern_with(&mut [])?;
         Ok(())
     }
 
@@ -326,6 +328,7 @@ impl Solver {
             if rounds > bound {
                 return Err(SolveError::Diverged { relation: anchor, bound });
             }
+            self.note_step()?;
             let reevals_before = self.stats.ordered_reevaluations;
             let mut round_span = telemetry::span(Phase::Solve, "round");
             if round_span.is_recording() {
@@ -348,11 +351,29 @@ impl Solver {
                         if passes > bound {
                             return Err(SolveError::Diverged { relation: m.clone(), bound });
                         }
+                        self.note_step()?;
                         let val = self.ordered_eval(&plans[m], &env, &version, &mut cache, i)?;
                         if val == env[m] {
                             break;
                         }
                         Self::ordered_assign(&mut env, &mut version, m, val);
+                        // An inner fixpoint can run for the whole solve
+                        // (a counter-like member iterates its state space
+                        // here), so arena pressure must be relieved at the
+                        // pass boundary too, not just per outer round. The
+                        // pass boundary is a safe point: `val` is dead once
+                        // assigned, and everything the next pass reads is
+                        // registered as a root and remapped in place.
+                        if self.arena_over_pressure() {
+                            let mut extras: Vec<&mut Bdd> = Vec::new();
+                            extras.extend(env.values_mut());
+                            extras.extend(plans.values_mut().map(|p| &mut p.formals_domain));
+                            extras.extend(
+                                cache.values_mut().flatten().flatten().map(|pc| &mut pc.value),
+                            );
+                            extras.push(&mut anchor_val);
+                            self.govern_with(&mut extras)?;
+                        }
                     }
                 } else {
                     let val = self.ordered_eval(&plans[m], &env, &version, &mut cache, i)?;
@@ -388,7 +409,7 @@ impl Solver {
             extras.extend(plans.values_mut().map(|p| &mut p.formals_domain));
             extras.extend(cache.values_mut().flatten().flatten().map(|pc| &mut pc.value));
             extras.push(&mut anchor_val);
-            self.maybe_gc_with(&mut extras);
+            self.govern_with(&mut extras)?;
         }
 
         self.stats.sccs[idx].ordered = true;
@@ -477,6 +498,7 @@ impl Solver {
         }
         let plan = self.member_plan(name, &BTreeSet::new())?;
         let env = self.component_env(std::slice::from_ref(&plan.name))?;
+        self.note_step()?;
         self.note_reevaluation(name);
         let mut acc = Bdd::FALSE;
         for part in &plan.parts {
@@ -531,6 +553,9 @@ impl Solver {
                     bound: self.options.max_iterations,
                 });
             }
+            // One governed step per re-evaluation: deadline/cancellation
+            // poll plus step-budget accounting.
+            self.note_step()?;
 
             let mut pass_span = telemetry::span(Phase::Solve, "reeval");
             if pass_span.is_recording() {
@@ -581,7 +606,7 @@ impl Solver {
             extras.extend(env.values_mut());
             extras.extend(plans.values_mut().map(|p| &mut p.formals_domain));
             extras.extend(value.values_mut());
-            self.maybe_gc_with(&mut extras);
+            self.govern_with(&mut extras)?;
         }
 
         for m in members {

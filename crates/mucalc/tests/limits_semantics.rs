@@ -1,0 +1,180 @@
+//! Resource-governance semantics on the public solver API: budgets trip
+//! into structured errors with partial statistics (deterministically, at
+//! any job count), generous limits leave results bit-identical to an
+//! ungoverned solve, and an injected worker panic surfaces as
+//! [`SolveError::WorkerPanicked`] with peers cancelled — never as a
+//! process abort.
+
+use getafix_mucalc::{
+    eq_const, parse_system, FaultInjection, LimitKind, ResourceLimits, SolveError, SolveOptions,
+    Solver,
+};
+
+/// Two independent reachability fixpoints under a conjunction — the
+/// smallest system whose parallel plan has a two-worker wave, so the
+/// jobs-4 variants below genuinely exercise the pool.
+const DIAMOND: &str = r#"
+    type S = bits 3;
+    input Init(s: S);
+    input Edge(s: S, t: S);
+    mu Fwd(u: S) := Init(u) | (exists x: S. Fwd(x) & Edge(x, u));
+    mu Bwd(u: S) := Init(u) | (exists x: S. Bwd(x) & Edge(u, x));
+    mu Both(u: S) := Fwd(u) & Bwd(u);
+    query any := exists u: S. Both(u);
+"#;
+
+/// Builds the diamond over a 0→1→…→7 chain starting at 0.
+fn seeded(options: SolveOptions) -> Solver {
+    let system = parse_system(DIAMOND).expect("diamond parses");
+    let mut solver = Solver::with_options(system, options).expect("solver builds");
+    let init = {
+        let vars = solver.alloc().formal("Init", 0).all_vars();
+        let m = solver.manager();
+        eq_const(m, &vars, 0)
+    };
+    solver.set_input("Init", init).expect("Init is an input");
+    let chain = {
+        let s = solver.alloc().formal("Edge", 0).all_vars();
+        let t = solver.alloc().formal("Edge", 1).all_vars();
+        let m = solver.manager();
+        let mut acc = m.constant(false);
+        for v in 0u64..7 {
+            let a = eq_const(m, &s, v);
+            let b = eq_const(m, &t, v + 1);
+            let edge = m.and(a, b);
+            acc = m.or(acc, edge);
+        }
+        acc
+    };
+    solver.set_input("Edge", chain).expect("Edge is an input");
+    solver
+}
+
+/// A step budget smaller than the solve trips `LimitExceeded` with
+/// `StepBudget` and carries partial statistics — at jobs 1 and at
+/// jobs 4, where the trip happens inside a pool worker and must
+/// propagate out as the same structured error.
+#[test]
+fn step_budget_trips_deterministically_at_jobs_1_and_4() {
+    for jobs in [1usize, 4] {
+        let limits = ResourceLimits::default().with_step_budget(3);
+        let options = SolveOptions { jobs, limits: limits.clone(), ..SolveOptions::new() };
+        let mut solver = seeded(options);
+        match solver.eval_query("any") {
+            Err(SolveError::LimitExceeded(report)) => {
+                assert_eq!(report.kind, LimitKind::StepBudget, "jobs {jobs}");
+                // The shared token accounted at least the budget's worth
+                // of re-evaluations before tripping.
+                assert!(limits.cancel.steps() >= 3, "jobs {jobs}: {}", limits.cancel.steps());
+            }
+            other => panic!("jobs {jobs}: expected a step-budget trip, got {other:?}"),
+        }
+        // The first trip latches the token, so every subsequent use of
+        // the same limits is cancelled immediately.
+        assert_eq!(limits.cancel.cancelled(), Some(LimitKind::StepBudget), "jobs {jobs}");
+    }
+}
+
+/// A node budget smaller than the live set trips `NodeBudget` even
+/// after the degradation ladder (forced collection, computed-cache
+/// drop, one retry) has run — the chain's transition relation alone
+/// needs more than ten live nodes.
+#[test]
+fn tiny_node_budget_trips_after_forced_gc() {
+    let limits = ResourceLimits::default().with_node_budget(10);
+    let options = SolveOptions { limits, ..SolveOptions::new() };
+    let mut solver = seeded(options);
+    match solver.eval_query("any") {
+        Err(SolveError::LimitExceeded(report)) => {
+            assert_eq!(report.kind, LimitKind::NodeBudget);
+            // The forced collection ran before the solver gave up.
+            assert!(report.partial.gcs >= 1, "gcs = {}", report.partial.gcs);
+        }
+        other => panic!("expected a node-budget trip, got {other:?}"),
+    }
+}
+
+/// Generous limits are invisible: verdict, per-state interpretation and
+/// re-evaluation counts are bit-identical to an ungoverned solve, at
+/// jobs 1 and 4.
+#[test]
+fn generous_limits_leave_results_bit_identical() {
+    let baseline = {
+        let mut solver = seeded(SolveOptions::new());
+        let verdict = solver.eval_query("any").expect("ungoverned solve succeeds");
+        let states = membership(&mut solver);
+        (verdict, states, solver.stats().total_reevaluations())
+    };
+    for jobs in [1usize, 4] {
+        let limits = ResourceLimits::default()
+            .with_step_budget(1_000_000)
+            .with_node_budget(1 << 24)
+            .with_timeout(std::time::Duration::from_secs(600));
+        let options = SolveOptions { jobs, limits, ..SolveOptions::new() };
+        let mut solver = seeded(options);
+        let verdict = solver.eval_query("any").expect("governed solve succeeds");
+        assert_eq!(verdict, baseline.0, "jobs {jobs}: verdict");
+        assert_eq!(membership(&mut solver), baseline.1, "jobs {jobs}: interpretation");
+        assert_eq!(
+            solver.stats().total_reevaluations(),
+            baseline.2,
+            "jobs {jobs}: re-evaluation counts"
+        );
+    }
+}
+
+/// `Both`'s interpretation as an explicit membership vector.
+fn membership(solver: &mut Solver) -> Vec<bool> {
+    let both = solver.evaluate("Both").expect("Both evaluates");
+    let vars = solver.alloc().formal("Both", 0).all_vars();
+    let m = solver.manager();
+    (0u64..8)
+        .map(|v| {
+            let point = eq_const(m, &vars, v);
+            !m.and(both, point).is_false()
+        })
+        .collect()
+}
+
+/// An injected panic in a pool worker is caught at the worker boundary:
+/// the error names the worker and stratum, the shared token is
+/// cancelled so peers stop at their next poll, and the process keeps
+/// running — the whole point of fault-isolated workers.
+#[test]
+fn injected_worker_panic_is_contained_and_cancels_peers() {
+    let limits = ResourceLimits::default();
+    let options = SolveOptions {
+        jobs: 4,
+        limits: limits.clone(),
+        fault: FaultInjection { panic_on_relation: Some("Bwd".into()) },
+        ..SolveOptions::new()
+    };
+    let mut solver = seeded(options);
+    match solver.eval_query("any") {
+        Err(SolveError::WorkerPanicked { worker, stratum, message }) => {
+            assert!(message.contains("injected fault"), "{message}");
+            assert!(worker < 4, "worker index {worker}");
+            let _ = stratum;
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(
+        limits.cancel.cancelled(),
+        Some(LimitKind::Interrupted),
+        "the panicking worker must cancel its peers via the shared token"
+    );
+}
+
+/// The same injection at jobs 1 never fires (the hook lives on the pool
+/// worker path only), so sequential solves are unaffected by the
+/// test-only machinery.
+#[test]
+fn fault_injection_is_inert_without_the_pool() {
+    let options = SolveOptions {
+        jobs: 1,
+        fault: FaultInjection { panic_on_relation: Some("Bwd".into()) },
+        ..SolveOptions::new()
+    };
+    let mut solver = seeded(options);
+    assert!(solver.eval_query("any").expect("sequential solve succeeds"));
+}

@@ -180,7 +180,7 @@ pub fn concurrent_trace_from_schedule(
 ) -> Result<ConcTrace, WitnessError> {
     let _span = getafix_telemetry::span(getafix_telemetry::Phase::Witness, "refine_schedule");
     let rounds = schedule.to_replay();
-    let refined = conc_refine_schedule(merged, targets, &rounds, limits)
+    let refined = conc_refine_schedule(merged, targets, &rounds, limits.clone())
         .map_err(map_explicit)?
         .ok_or_else(|| {
             WitnessError::Internal(format!(
@@ -200,6 +200,7 @@ fn map_explicit(e: ConcExplicitError) -> WitnessError {
         ConcExplicitError::StateLimit(n) | ConcExplicitError::StackLimit(n) => {
             WitnessError::Limit(n)
         }
+        ConcExplicitError::ResourceLimit { kind, .. } => WitnessError::ResourceLimit(kind),
         ConcExplicitError::TooManyVariables(m) => WitnessError::TooManyVariables(m),
         other => WitnessError::Internal(other.to_string()),
     }

@@ -59,7 +59,7 @@ use getafix_boolprog::{
     Edge, LExpr, Pc, VarRef,
 };
 use getafix_core::{install_templates, system_ef_witness};
-use getafix_mucalc::{eq_const, SolveOptions, Solver};
+use getafix_mucalc::{eq_const, LimitKind, ResourceLimits, SolveOptions, Solver};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -73,6 +73,9 @@ pub enum WitnessError {
     TooManyVariables(String),
     /// Exploration exceeded the configured state budget.
     Limit(usize),
+    /// A shared resource bound tripped ([`WitnessLimits::resources`]):
+    /// deadline, step budget, or an external cancellation.
+    ResourceLimit(LimitKind),
     /// Extraction contradicted itself — a bug in the solver, the encoding
     /// or the extractor (the differential suites exist to keep this arm
     /// dead).
@@ -85,6 +88,9 @@ impl fmt::Display for WitnessError {
             WitnessError::Solve(m) => write!(f, "solve: {m}"),
             WitnessError::TooManyVariables(m) => write!(f, "{m}"),
             WitnessError::Limit(n) => write!(f, "witness extraction exceeded {n} states"),
+            WitnessError::ResourceLimit(kind) => {
+                write!(f, "witness extraction hit a resource limit ({kind})")
+            }
             WitnessError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -93,16 +99,21 @@ impl fmt::Display for WitnessError {
 impl std::error::Error for WitnessError {}
 
 /// Extraction tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WitnessLimits {
     /// Cap on BFS states per invocation and on enumerated candidate
     /// tuples; exceeding it is [`WitnessError::Limit`].
     pub max_states: usize,
+    /// Shared resource governance (deadline, step budget, cancel token):
+    /// every onion-peel step and path-BFS expansion accounts one step, so
+    /// the budget that bounds the verdict solve also bounds extraction.
+    /// Off by default.
+    pub resources: ResourceLimits,
 }
 
 impl Default for WitnessLimits {
     fn default() -> Self {
-        WitnessLimits { max_states: 1_000_000 }
+        WitnessLimits { max_states: 1_000_000, resources: ResourceLimits::default() }
     }
 }
 
@@ -401,6 +412,7 @@ impl<'a> Extractor<'a> {
         let mut frames: Vec<(Conf, Conf)> = Vec::new(); // (entry, goal)
         let mut goal = target;
         loop {
+            self.limits.resources.note_steps(1).map_err(WitnessError::ResourceLimit)?;
             let entry = self.entry_of(goal);
             frames.push((entry, goal));
             if entry == self.init_conf() {
@@ -529,6 +541,7 @@ impl<'a> Extractor<'a> {
             if prev.len() > self.limits.max_states {
                 return Err(WitnessError::Limit(self.limits.max_states));
             }
+            self.limits.resources.note_steps(1).map_err(WitnessError::ResourceLimit)?;
             let proc = cfg.proc_of(cur.pc);
             let edges = match proc.edges.get(&cur.pc) {
                 Some(es) => es,
@@ -833,7 +846,8 @@ mod tests {
         "#;
         let system = parse_system(src).unwrap();
         let mut solver = Solver::with_options(system, options.clone()).unwrap();
-        let err = sequential_witness_from(&mut solver, &cfg, &[target], limits).unwrap_err();
+        let err =
+            sequential_witness_from(&mut solver, &cfg, &[target], limits.clone()).unwrap_err();
         assert!(
             matches!(&err, WitnessError::Solve(m) if m.contains("no `pc` field")),
             "wrong error: {err}"

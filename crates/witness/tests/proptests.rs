@@ -234,7 +234,7 @@ proptest! {
         let target = merged.cfg.label("t0__HIT").expect("generated label");
         let limits = ConcLimits::default();
         let switches = 2usize;
-        let oracle = conc_explicit_reachable(&merged, &[target], switches, limits)
+        let oracle = conc_explicit_reachable(&merged, &[target], switches, limits.clone())
             .expect("oracle within budget");
         for strategy in [SolverStrategy::Worklist, SolverStrategy::RoundRobin] {
             let options = SolveOptions::with_strategy(strategy);
@@ -247,17 +247,17 @@ proptest! {
             prop_assert!(oracle, "{strategy}: schedule for unreachable target");
 
             // (a) refinement succeeds and the guided replayer accepts it.
-            let trace = concurrent_trace_from_schedule(&merged, &[target], &schedule, limits)
+            let trace = concurrent_trace_from_schedule(&merged, &[target], &schedule, limits.clone())
                 .unwrap_or_else(|e| panic!("{strategy}: refine: {e}"));
             let rounds = trace.round_skeleton();
             let steps = trace.to_guided();
-            let accepted = conc_replay_guided(&merged, &[target], &rounds, &steps, limits);
+            let accepted = conc_replay_guided(&merged, &[target], &rounds, &steps, limits.clone());
             prop_assert!(accepted.is_ok(), "{strategy}: guided replay rejected: {accepted:?}");
 
             // (c) the round skeleton is exactly the schedule, and the
             // round-level replayer agrees it is executable.
             prop_assert_eq!(&rounds, &schedule.to_replay());
-            let round_ok = conc_replay_schedule(&merged, &[target], &rounds, limits)
+            let round_ok = conc_replay_schedule(&merged, &[target], &rounds, limits.clone())
                 .unwrap_or_else(|e| panic!("{strategy}: round replay: {e}"));
             prop_assert!(round_ok, "{strategy}: round-level replay disagrees with guided");
 
@@ -272,7 +272,7 @@ proptest! {
                 let mut bad = steps.clone();
                 bad[0].thread = (bad[0].thread + 1) % merged.n_threads;
                 prop_assert!(
-                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits.clone())),
                     "{strategy}: wrong-thread mutation accepted"
                 );
 
@@ -288,7 +288,7 @@ proptest! {
                         getafix_boolprog::ReplayStep::Return { ret_to: ret_to + off, globals, locals },
                 };
                 prop_assert!(
-                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits.clone())),
                     "{strategy}: wrong-pc mutation accepted"
                 );
 
@@ -303,7 +303,7 @@ proptest! {
                         getafix_boolprog::ReplayStep::Return { ret_to, globals: globals | 1 << 63, locals },
                 };
                 prop_assert!(
-                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits.clone())),
                     "{strategy}: perturbed-globals mutation accepted"
                 );
             }
@@ -314,7 +314,7 @@ proptest! {
                 let mut bad = steps.clone();
                 bad.swap(0, j);
                 prop_assert!(
-                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits)),
+                    rejected(conc_replay_guided(&merged, &[target], &rounds, &bad, limits.clone())),
                     "{strategy}: reordered-steps mutation accepted"
                 );
             }
